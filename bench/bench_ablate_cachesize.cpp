@@ -1,0 +1,60 @@
+// Ablation: table-cache sizing.  The evaluation fixes the DRAM cache
+// at 2.8% of the Hash-PBN table (Sec 7.1); this bench sweeps the
+// fraction and shows how hit rate, host-DRAM traffic, and projected
+// throughput respond for a cache-sensitive workload (Write-M) and an
+// insensitive one (Write-L) — the capacity/bandwidth trade at the
+// heart of Observation #1.
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace fidr;
+
+namespace {
+
+bench::RunResult
+run_with_fraction(const workload::WorkloadSpec &spec, double fraction)
+{
+    core::FidrConfig config;
+    config.platform = bench::eval_platform();
+    config.platform.cache_fraction = fraction;
+    core::FidrSystem system(config);
+    return bench::drive(system, spec);
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::print_header("Ablation: table-cache size",
+                        "the 2.8% cache sizing of Sec 7.1");
+
+    for (const auto &spec :
+         {workload::write_m_spec(), workload::write_l_spec()}) {
+        std::printf("%s:\n", spec.name.c_str());
+        std::printf("  %10s %10s %12s %14s %12s\n", "cache", "hit",
+                    "DRAM B/B", "cache DRAM", "proj. tput");
+        for (double fraction : {0.007, 0.014, 0.028, 0.056, 0.112}) {
+            const bench::RunResult r = run_with_fraction(spec, fraction);
+            const double cache_gb =
+                fraction *
+                static_cast<double>(
+                    bench::eval_platform().expected_unique_chunks) /
+                (107.0 * 0.7) * 4096 / 1e6;
+            std::printf("  %9.1f%% %9.1f%% %12.2f %11.1f MB %8.1f GBs\n",
+                        100 * fraction, 100 * r.cache.hit_rate(),
+                        r.mem_per_byte, cache_gb,
+                        to_gb_per_s(r.projection.throughput()));
+        }
+        std::printf("\n");
+    }
+    std::printf("Reading: Write-M's duplicate window fits once the "
+                "cache grows past it,\nso hit rate and throughput jump "
+                "together; Write-L's misses come from\ngenuinely fresh "
+                "content and barely respond — more DRAM only helps "
+                "when\nthe workload has locality to capture "
+                "(Observation #1's capacity vs\nbandwidth split).\n");
+    return 0;
+}

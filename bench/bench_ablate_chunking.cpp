@@ -1,0 +1,116 @@
+// Ablation: fixed vs content-defined chunking (Sec 2.1.1).  The paper
+// chooses fixed 4 KB chunking for its negligible compute cost and
+// because block-storage clients write LBA-aligned 4 KB anyway; CDC's
+// advantage appears for byte-stream workloads with insertions (backup
+// streams), where fixed chunking loses all alignment after an edit.
+// This bench quantifies both sides:
+//   - dedup retained after a small insertion edit (streams);
+//   - chunking compute cost per GB, against the hashing cost it rides
+//     with in the NIC.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "fidr/chunking/cdc.h"
+#include "fidr/common/rng.h"
+#include "fidr/hash/sha256.h"
+
+using namespace fidr;
+
+namespace {
+
+Buffer
+random_bytes(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Buffer out(n);
+    for (auto &b : out)
+        b = static_cast<std::uint8_t>(rng.next_u64());
+    return out;
+}
+
+template <typename SplitFn>
+double
+dedup_after_edit(const Buffer &v1, const Buffer &v2, SplitFn split)
+{
+    std::unordered_set<Digest> seen;
+    std::uint64_t total_v2 = 0, dup_v2 = 0;
+    for (const chunking::ChunkSpan &s : split(v1)) {
+        seen.insert(Sha256::hash(std::span<const std::uint8_t>(
+            v1.data() + s.offset, s.length)));
+    }
+    for (const chunking::ChunkSpan &s : split(v2)) {
+        const Digest d = Sha256::hash(std::span<const std::uint8_t>(
+            v2.data() + s.offset, s.length));
+        total_v2 += s.length;
+        if (seen.contains(d))
+            dup_v2 += s.length;
+    }
+    return static_cast<double>(dup_v2) / static_cast<double>(total_v2);
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("===================================================="
+                "================\n");
+    std::printf("Ablation: fixed vs content-defined chunking\n"
+                "  (reproduces the Sec 2.1.1 design discussion)\n");
+    std::printf("===================================================="
+                "================\n");
+
+    // A 16 MB "backup stream", then version 2 with a small insertion
+    // at a random interior point.
+    const Buffer v1 = random_bytes(16 << 20, 10);
+    Buffer v2(v1.begin(), v1.begin() + (5 << 20));
+    const Buffer edit = random_bytes(137, 11);
+    v2.insert(v2.end(), edit.begin(), edit.end());
+    v2.insert(v2.end(), v1.begin() + (5 << 20), v1.end());
+
+    chunking::GearCdc cdc;
+    const double cdc_dedup = dedup_after_edit(
+        v1, v2, [&](const Buffer &b) { return cdc.split(b); });
+    const double fixed_dedup = dedup_after_edit(
+        v1, v2,
+        [](const Buffer &b) { return chunking::split_fixed(b); });
+
+    std::printf("Stream re-dedup after a 137-byte insertion "
+                "(16 MB stream):\n");
+    std::printf("  %-24s %10s\n", "chunking", "dedup kept");
+    std::printf("  %-24s %9.1f%%\n", "fixed 4 KB", 100 * fixed_dedup);
+    std::printf("  %-24s %9.1f%%\n", "CDC (gear, ~4 KB)",
+                100 * cdc_dedup);
+
+    // Compute-cost model: gear hashing ~1 table lookup + shift + add
+    // per byte (~1 cycle/B on a 3 GHz core -> ~0.33 core-s per GB),
+    // versus SHA-256 fingerprinting at ~10 cycles/B that both schemes
+    // pay anyway.
+    const double hashed_fraction =
+        static_cast<double>(cdc.hashed_bytes()) /
+        (2.0 * static_cast<double>(v1.size()));
+    const double cdc_core_s_per_gb = hashed_fraction * 1e9 / 3e9;
+    std::printf("\nChunking compute (model, 3 GHz core):\n");
+    std::printf("  fixed:   ~0 core-s/GB (offset arithmetic only)\n");
+    std::printf("  CDC:     %.2f core-s/GB (%.0f%% of bytes gear-"
+                "hashed)\n",
+                cdc_core_s_per_gb, 100 * hashed_fraction);
+    std::printf("  => at 75 GB/s, software CDC alone would need ~%.0f "
+                "cores — the\n     'high computational overhead' that "
+                "justifies fixed chunking (or\n     FPGA-offloaded CDC "
+                "[9, 28]) in the paper.\n",
+                cdc_core_s_per_gb * 75);
+
+    std::printf("\nVariable chunk-size distribution (CDC):\n");
+    std::size_t mn = SIZE_MAX, mx = 0, count = 0, total = 0;
+    for (const chunking::ChunkSpan &s : cdc.split(v1)) {
+        mn = std::min(mn, s.length);
+        mx = std::max(mx, s.length);
+        total += s.length;
+        ++count;
+    }
+    std::printf("  %zu chunks, min %zu B, avg %zu B, max %zu B\n",
+                count, mn, total / count, mx);
+    return 0;
+}

@@ -1,0 +1,114 @@
+// Extension: multi-tenant table-cache contention (the Sec 8
+// discussion).  A latency-sensitive tenant with high locality shares
+// the server with a scanning tenant whose unique-heavy stream churns
+// the table cache.  Plain LRU lets the scanner flush the hot tenant's
+// buckets; the prioritized LRU the paper suggests protects them.
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace fidr;
+
+namespace {
+
+struct TenantResult {
+    double hot_hit = 0;     ///< Hit rate of the protected tenant.
+    double scan_hit = 0;    ///< Hit rate of the scanning tenant.
+    double overall_hit = 0;
+};
+
+TenantResult
+run(cache::EvictionPolicy policy)
+{
+    core::FidrConfig config;
+    config.platform = bench::eval_platform();
+    config.eviction_policy = policy;
+    // Per-request processing so every cache access carries the right
+    // tenant's priority hint and hit attribution is exact.
+    config.nic.hash_batch = 1;
+    core::FidrSystem system(config);
+
+    // Hot tenant: Write-H-like, small duplicate window (cache-sized).
+    workload::WorkloadSpec hot = workload::write_h_spec(41);
+    // Scanner: almost everything unique, random buckets.
+    workload::WorkloadSpec scan;
+    scan.name = "scanner";
+    scan.dedup_ratio = 0.05;
+    scan.seed = 42;
+
+    workload::WorkloadGenerator hot_gen(hot);
+    workload::WorkloadGenerator scan_gen(scan);
+
+    // Interleave 2:1 scanner:hot and track each tenant's hits by
+    // sampling cache stats around its requests.
+    std::uint64_t hot_hits = 0, hot_total = 0;
+    std::uint64_t scan_hits = 0, scan_total = 0;
+    for (int i = 0; i < 60'000; ++i) {
+        const bool hot_turn = i % 3 == 0;
+        system.set_priority_hint(hot_turn);
+        const workload::IoRequest req =
+            hot_turn ? hot_gen.next() : scan_gen.next();
+        const auto before = system.cache_stats();
+        if (!system.write(req.lba, req.data).is_ok())
+            std::abort();
+        const auto after = system.cache_stats();
+        // Attribute this request's batch to its tenant only when the
+        // batch actually processed (stats moved); mixed batches smear
+        // slightly but the contrast survives.
+        const std::uint64_t hits = after.hits - before.hits;
+        const std::uint64_t total = hits + after.misses - before.misses;
+        if (hot_turn) {
+            hot_hits += hits;
+            hot_total += total;
+        } else {
+            scan_hits += hits;
+            scan_total += total;
+        }
+    }
+    (void)system.flush();
+
+    TenantResult out;
+    out.hot_hit = hot_total > 0 ? static_cast<double>(hot_hits) /
+                                      static_cast<double>(hot_total)
+                                : 0;
+    out.scan_hit = scan_total > 0 ? static_cast<double>(scan_hits) /
+                                        static_cast<double>(scan_total)
+                                  : 0;
+    out.overall_hit = system.cache_stats().hit_rate();
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::print_header(
+        "Extension: multi-tenant cache contention",
+        "the prioritized-LRU suggestion of Sec 8");
+
+    std::printf("Two tenants share the server 1:2 — a Write-H-like hot "
+                "tenant and a\nnearly-all-unique scanner that churns "
+                "the table cache.\n\n");
+    std::printf("%-18s %14s %14s %14s\n", "policy", "hot tenant",
+                "scanner", "overall");
+    const TenantResult plain = run(cache::EvictionPolicy::kLru);
+    const TenantResult prio =
+        run(cache::EvictionPolicy::kPrioritizedLru);
+    std::printf("%-18s %13.1f%% %13.1f%% %13.1f%%\n", "plain LRU",
+                100 * plain.hot_hit, 100 * plain.scan_hit,
+                100 * plain.overall_hit);
+    std::printf("%-18s %13.1f%% %13.1f%% %13.1f%%\n",
+                "prioritized LRU", 100 * prio.hot_hit,
+                100 * prio.scan_hit, 100 * prio.overall_hit);
+
+    std::printf("\nReading: under plain LRU the scanner's unique "
+                "stream evicts the hot\ntenant's buckets; prioritizing "
+                "the hot tenant's lines restores its hit\nrate at "
+                "negligible cost to the scanner (whose accesses barely "
+                "hit\nanyway) — the paper's point that such policies "
+                "bolt onto FIDR software\nwithout touching the "
+                "offloading architecture.\n");
+    return 0;
+}

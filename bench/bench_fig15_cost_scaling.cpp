@@ -1,0 +1,53 @@
+// Figure 15: storage-cost scalability — cost relative to a
+// no-reduction system across throughput targets (25/50/75 GB/s per
+// socket) and effective capacities (100-500 TB).  Paper: FIDR keeps a
+// 58-67% saving at 500 TB while the baseline, capped near 25 GB/s of
+// reduction per socket, degrades to partial reduction.
+
+#include <cstdio>
+
+#include "fidr/cost/cost_model.h"
+
+using namespace fidr;
+using namespace fidr::cost;
+
+int
+main()
+{
+    std::printf("===================================================="
+                "================\n");
+    std::printf("Cost scalability vs throughput and capacity\n"
+                "  (reproduces Figure 15, Sec 7.8)\n");
+    std::printf("===================================================="
+                "================\n");
+    std::printf("y-axis: total cost / no-reduction cost "
+                "(lower is better).\n\n");
+
+    const double capacities_tb[] = {100, 200, 500};
+    std::printf("%-10s %-10s | %-12s %-12s | %-12s %-12s\n",
+                "capacity", "target", "FIDR rel.", "saving",
+                "baseline rel.", "saving");
+    for (double cap_tb : capacities_tb) {
+        const double cap_gb = cap_tb * 1000;
+        const CostBreakdown none = cost_no_reduction(cap_gb);
+        for (double gbps : {25.0, 50.0, 75.0}) {
+            const CostBreakdown fidr = cost_with_reduction(
+                cap_gb, gb_per_s(gbps), fidr_demand());
+            const CostBreakdown base = cost_with_reduction(
+                cap_gb, gb_per_s(gbps), baseline_demand());
+            std::printf("%7.0f TB %7.0f GBs | %12.3f %10.1f%% | "
+                        "%12.3f %10.1f%%\n",
+                        cap_tb, gbps, fidr.total() / none.total(),
+                        100 * cost_saving(fidr, none),
+                        base.total() / none.total(),
+                        100 * cost_saving(base, none));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("Paper anchors: at 500 TB FIDR saves 67%% at 25 GB/s "
+                "and 58%% at 75 GB/s;\nthe baseline matches FIDR only "
+                "below ~25 GB/s and then falls off a cliff\nbecause it "
+                "must store the un-reduced remainder raw.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 16: cost-effectiveness with per-component breakdown at the
+// 75 GB/s / 500 TB effective-capacity operating point.  Paper: FIDR's
+// remaining cost is dominated by the (already reduced) data SSDs; the
+// baseline must partially reduce and its raw-stored remainder dwarfs
+// every other component.
+
+#include <cstdio>
+
+#include "fidr/cost/cost_model.h"
+
+using namespace fidr;
+using namespace fidr::cost;
+
+namespace {
+
+void
+print_breakdown(const char *name, const CostBreakdown &c,
+                const CostBreakdown &none)
+{
+    std::printf("%-22s %9.0f %9.0f %9.0f %9.0f %9.0f | %10.0f %7.1f%%\n",
+                name, c.data_ssd, c.table_ssd, c.dram, c.cpu, c.fpga,
+                c.total(), 100 * cost_saving(c, none));
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("===================================================="
+                "================\n");
+    std::printf("Cost breakdown at 75 GB/s, 500 TB effective capacity\n"
+                "  (reproduces Figure 16, Sec 7.8)\n");
+    std::printf("===================================================="
+                "================\n");
+    std::printf("Prices: SSD $0.5/GB, DRAM $5.5/GB, $7000 22-core "
+                "CPU, $7000 FPGA (70%%\nusable fabric); 50%% dedup x "
+                "50%% compression.\n\n");
+
+    const double cap_gb = 500'000;
+    const Bandwidth target = gb_per_s(75);
+    const CostBreakdown none = cost_no_reduction(cap_gb);
+    const CostBreakdown fidr =
+        cost_with_reduction(cap_gb, target, fidr_demand());
+    const CostBreakdown base =
+        cost_with_reduction(cap_gb, target, baseline_demand());
+
+    std::printf("%-22s %9s %9s %9s %9s %9s | %10s %8s\n", "system ($)",
+                "data SSD", "tbl SSD", "DRAM", "CPU", "FPGA", "total",
+                "saving");
+    print_breakdown("No reduction", none, none);
+    print_breakdown("Baseline (partial)", base, none);
+    print_breakdown("FIDR", fidr, none);
+
+    std::printf("\nPaper shape checks: FIDR saves ~58%% overall; the "
+                "added CPU+FPGA+DRAM\ncost is a small fraction of the "
+                "SSD savings; the baseline's partial\nreduction "
+                "(~25/75 GB/s of the stream) leaves most data stored "
+                "raw.\n");
+    return 0;
+}

@@ -1,0 +1,225 @@
+// Google-benchmark microbenchmarks of the core primitives: SHA-256,
+// the LZ codec, both tree indexes, the table cache, and the end-to-end
+// write paths of the two systems.  These measure this host's software
+// throughput (the figure benches use the calibrated hardware model
+// instead).
+
+#include <benchmark/benchmark.h>
+
+#include "fidr/btree/bplus_tree.h"
+#include "fidr/cache/indexes.h"
+#include "fidr/chunking/cdc.h"
+#include "fidr/common/rng.h"
+#include "fidr/compress/lz.h"
+#include "fidr/core/baseline_system.h"
+#include "fidr/core/fidr_system.h"
+#include "fidr/hash/sha256.h"
+#include "fidr/hwtree/tree_pipeline.h"
+#include "fidr/nic/protocol.h"
+#include "fidr/tables/journal.h"
+#include "fidr/workload/content.h"
+#include "fidr/workload/generator.h"
+
+namespace {
+
+using namespace fidr;
+
+void
+BM_Sha256_4K(benchmark::State &state)
+{
+    const Buffer chunk = workload::make_chunk_content(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Sha256::hash(chunk));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kChunkSize);
+}
+BENCHMARK(BM_Sha256_4K);
+
+void
+BM_LzCompress_4K(benchmark::State &state)
+{
+    const auto level = static_cast<LzLevel>(state.range(0));
+    const Buffer chunk = workload::make_chunk_content(2, 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lz_compress(chunk, level));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kChunkSize);
+}
+BENCHMARK(BM_LzCompress_4K)
+    ->Arg(static_cast<int>(LzLevel::kFast))
+    ->Arg(static_cast<int>(LzLevel::kDefault));
+
+void
+BM_LzDecompress_4K(benchmark::State &state)
+{
+    const Buffer chunk = workload::make_chunk_content(3, 0.5);
+    const Buffer block = lz_compress(chunk, LzLevel::kFast);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lz_decompress(block));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kChunkSize);
+}
+BENCHMARK(BM_LzDecompress_4K);
+
+void
+BM_BPlusTreeLookup(benchmark::State &state)
+{
+    btree::BPlusTree tree;
+    Rng rng(5);
+    for (int i = 0; i < state.range(0); ++i)
+        tree.insert(rng.next_u64() >> 32, i);
+    Rng probe(6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tree.find(probe.next_u64() >> 32));
+}
+BENCHMARK(BM_BPlusTreeLookup)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_BPlusTreeInsertErase(benchmark::State &state)
+{
+    btree::BPlusTree tree;
+    Rng rng(7);
+    for (int i = 0; i < (1 << 16); ++i)
+        tree.insert(rng.next_u64() >> 32, i);
+    Rng op(8);
+    for (auto _ : state) {
+        const std::uint64_t key = op.next_u64() >> 32;
+        tree.insert(key, 1);
+        tree.erase(key);
+    }
+}
+BENCHMARK(BM_BPlusTreeInsertErase);
+
+void
+BM_HwTreeSearch(benchmark::State &state)
+{
+    hwtree::HwTree tree;
+    Rng rng(9);
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < (1 << 16); ++i) {
+        const std::uint64_t key = rng.next_u64() >> 32;
+        if (tree.insert(key, i).value())
+            keys.push_back(key);
+    }
+    Rng probe(10);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tree.search(keys[probe.next_below(keys.size())]));
+    }
+}
+BENCHMARK(BM_HwTreeSearch);
+
+void
+BM_CdcSplit(benchmark::State &state)
+{
+    chunking::GearCdc cdc;
+    Rng rng(11);
+    Buffer data(1 << 20);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next_u64());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cdc.split(data));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_CdcSplit);
+
+void
+BM_ProtocolEncodeDecode(benchmark::State &state)
+{
+    const Buffer payload = workload::make_chunk_content(4);
+    for (auto _ : state) {
+        const Buffer wire = nic::encode_write(7, payload);
+        std::size_t offset = 0;
+        benchmark::DoNotOptimize(nic::decode(wire, offset));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kChunkSize);
+}
+BENCHMARK(BM_ProtocolEncodeDecode);
+
+void
+BM_JournalAppend(benchmark::State &state)
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 1ull * kGiB;
+    ssd::Ssd ssd(config);
+    tables::MetadataJournal journal(ssd, 0, 512 * kMiB);
+    std::uint64_t lba = 0;
+    for (auto _ : state) {
+        if (!journal.log_map(lba, lba).is_ok()) {
+            journal.reset();
+            continue;
+        }
+        ++lba;
+    }
+}
+BENCHMARK(BM_JournalAppend);
+
+void
+BM_TableCacheAccess(benchmark::State &state)
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 1ull * kGiB;
+    ssd::Ssd ssd(config);
+    tables::HashPbnTable table(ssd, 1 << 15);
+    cache::BTreeCacheIndex index;
+    cache::TableCache tc(table, index, 1024);
+    Rng rng(12);
+    for (auto _ : state) {
+        // ~80% hot / 20% cold mix, like Write-M.
+        const BucketIndex bucket =
+            rng.next_bool(0.8) ? rng.next_below(900)
+                               : rng.next_below(1 << 15);
+        benchmark::DoNotOptimize(tc.access(bucket));
+    }
+}
+BENCHMARK(BM_TableCacheAccess);
+
+void
+BM_BaselineWritePath(benchmark::State &state)
+{
+    core::BaselineConfig config;
+    config.platform.expected_unique_chunks = 200'000;
+    config.platform.cache_fraction = 0.028;
+    config.platform.data_ssd.capacity_bytes = 32ull * kGiB;
+    core::BaselineSystem system(config);
+
+    workload::WorkloadSpec spec;
+    spec.dedup_ratio = 0.5;
+    workload::WorkloadGenerator gen(spec);
+    for (auto _ : state) {
+        const auto req = gen.next();
+        if (!system.write(req.lba, req.data).is_ok())
+            state.SkipWithError("write failed");
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kChunkSize);
+}
+BENCHMARK(BM_BaselineWritePath);
+
+void
+BM_FidrWritePath(benchmark::State &state)
+{
+    core::FidrConfig config;
+    config.platform.expected_unique_chunks = 200'000;
+    config.platform.cache_fraction = 0.028;
+    config.platform.data_ssd.capacity_bytes = 32ull * kGiB;
+    core::FidrSystem system(config);
+
+    workload::WorkloadSpec spec;
+    spec.dedup_ratio = 0.5;
+    workload::WorkloadGenerator gen(spec);
+    for (auto _ : state) {
+        const auto req = gen.next();
+        if (!system.write(req.lba, req.data).is_ok())
+            state.SkipWithError("write failed");
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            kChunkSize);
+}
+BENCHMARK(BM_FidrWritePath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

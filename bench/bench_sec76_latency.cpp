@@ -1,0 +1,146 @@
+// Sec 7.6: request latency.  (a) Write commit latency is unchanged by
+// FIDR — the NIC's non-volatile buffer acknowledges immediately.
+// (b) Server-side read latency (SSDs<->NICs) for a 4 KB read served
+// within a batch of reads: the paper measures 700 us on the baseline
+// and 490 us on FIDR; the ~210 us delta is the two host-memory staging
+// passes (SSD->host->FPGA and FPGA->host->NIC) that FIDR's
+// peer-to-peer path eliminates.
+//
+// Discrete-event model: a batch of reads arrives at the NIC; the host
+// resolves LBA->PBA; compressed chunks are read from the data SSDs
+// (whose flash pipelines serialize batched commands); then the data is
+// either staged through host DRAM (baseline) or moved peer-to-peer
+// (FIDR) into the Decompression Engine and out to the NIC.  Shared
+// resources (host core, per-SSD flash pipeline, decompression engine)
+// queue; PCIe hops are sub-microsecond at these sizes and modelled as
+// pure latency.  Absolute service constants are fitted to the paper's
+// testbed; the baseline-vs-FIDR delta is structural.
+
+#include <cstdio>
+
+#include "fidr/host/calibration.h"
+#include "fidr/sim/event_queue.h"
+#include "fidr/sim/stats.h"
+#include "fidr/ssd/ssd.h"
+
+using namespace fidr;
+
+namespace {
+
+struct LatencyModel {
+    /** Per-IO host software service (NVMe stack + LBA-PBA lookup). */
+    SimTime host_service = 8 * kMicrosecond;
+    /** Flash-channel service per command inside a busy SSD (fitted). */
+    SimTime ssd_service = 20 * kMicrosecond;
+    /** Flash read latency under batch load (fitted to the testbed). */
+    SimTime ssd_base = 430 * kMicrosecond;
+    /** Interrupt + buffer management per pass through host DRAM
+     *  (fitted; the baseline pays it twice per read). */
+    SimTime host_staging = calib::kHostStagingLatency;
+    /** Decompression engine: fixed latency + streaming rate. */
+    SimTime decomp_fixed = 10 * kMicrosecond;
+    Bandwidth decomp_rate = gb_per_s(2.5);
+    /** PCIe DMA: doorbell/descriptor setup + link streaming. */
+    SimTime dma_setup = 1 * kMicrosecond;
+    Bandwidth link_rate = gb_per_s(16);
+    /** Client requests of the batch arrive back to back. */
+    SimTime interarrival = 8 * kMicrosecond;
+};
+
+/** Mean server-side latency over one batch of 4 KB reads. */
+double
+simulate(bool p2p, const LatencyModel &m, unsigned batch)
+{
+    ssd::SsdConfig ssd_config;
+    ssd_config.read_latency = m.ssd_base;
+    // One compressed chunk per ssd_service through the flash pipeline.
+    ssd_config.read_bandwidth =
+        2048.0 * 1e9 / static_cast<double>(m.ssd_service);
+    ssd::Ssd ssds[2] = {ssd::Ssd(ssd_config), ssd::Ssd(ssd_config)};
+
+    sim::BandwidthPipe host_core(1e9);  // 1 "byte" = 1 ns of service.
+    sim::BandwidthPipe decomp_pipe(m.decomp_rate);
+    sim::LatencyStats stats;
+
+    const std::uint64_t compressed = 2048;  // 50% compressed chunk.
+    const auto dma_ns = [&m](std::uint64_t bytes) {
+        return m.dma_setup +
+               static_cast<SimTime>(static_cast<double>(bytes) /
+                                    m.link_rate * 1e9);
+    };
+
+    for (unsigned i = 0; i < batch; ++i) {
+        const SimTime arrive = i * m.interarrival;
+        // Host software slot (serialized on one core).
+        SimTime t = host_core.transfer(arrive, m.host_service);
+        // Data SSD read of the compressed chunk (round-robin).
+        t = ssds[i % 2].io_complete_time(t, IoDir::kRead, compressed);
+
+        if (p2p) {
+            t += dma_ns(compressed);         // SSD -> engine, P2P.
+        } else {
+            t += dma_ns(compressed);         // SSD -> host DRAM.
+            t += m.host_staging;             // Host buffer handling.
+            t += dma_ns(compressed);         // Host -> engine.
+        }
+        // Decompression (engine serializes its stream).
+        t = decomp_pipe.transfer(t + m.decomp_fixed, 4096);
+
+        if (p2p) {
+            t += dma_ns(4096);               // Engine -> NIC, P2P.
+        } else {
+            t += dma_ns(4096);               // Engine -> host DRAM.
+            t += m.host_staging;
+            t += dma_ns(4096);               // Host -> NIC.
+        }
+        stats.record(t - arrive);
+    }
+    return stats.mean_ns() / 1000.0;  // us.
+}
+
+}  // namespace
+
+int
+main()
+{
+    LatencyModel model;
+    std::printf("===================================================="
+                "================\n");
+    std::printf("Request latency\n  (reproduces Sec 7.6)\n");
+    std::printf("===================================================="
+                "================\n");
+
+    std::printf("(a) Write commit latency: FIDR acknowledges from the "
+                "NIC's non-volatile\n    buffer — same commit latency "
+                "as a system with no data reduction\n    (0 added us; "
+                "Sec 7.6.1).\n\n");
+
+    const unsigned batch = calib::kLatencyBatchSize;
+    const double base_us = simulate(false, model, batch);
+    const double fidr_us = simulate(true, model, batch);
+    std::printf("(b) Server-side 4 KB read latency, batch of %u:\n",
+                batch);
+    std::printf("    %-22s %10s %10s\n", "system", "measured", "paper");
+    std::printf("    %-22s %7.0f us %7.0f us\n", "baseline (staged)",
+                base_us, 700.0);
+    std::printf("    %-22s %7.0f us %7.0f us\n", "FIDR (peer-to-peer)",
+                fidr_us, 490.0);
+    std::printf("    %-22s %7.0f us %7.0f us\n", "delta",
+                base_us - fidr_us, 210.0);
+
+    std::printf("\nSensitivity to batch size:\n");
+    std::printf("    %8s %12s %12s %10s\n", "batch", "baseline",
+                "FIDR", "delta");
+    for (unsigned b : {1u, 8u, 16u, 32u, 64u}) {
+        const double bb = simulate(false, model, b);
+        const double ff = simulate(true, model, b);
+        std::printf("    %8u %9.0f us %9.0f us %7.0f us\n", b, bb, ff,
+                    bb - ff);
+    }
+    std::printf("\nShape check: the delta is flat (two host staging "
+                "passes plus the extra\nDMA hops), so FIDR's advantage "
+                "holds at every batch size; absolute\nlatency grows "
+                "mildly with batching as the flash pipelines "
+                "serialize.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+// Table 4: FPGA resource utilization of the FIDR custom NIC, for the
+// write-only sizing (16 SHA-256 cores feeding 64 Gbps) and the mixed
+// sizing (half the hash rate).  The data-reduction additions are small
+// next to the basic NIC + TCP offload.
+
+#include <cstdio>
+
+#include "fidr/fpga/resources.h"
+
+using namespace fidr::fpga;
+
+namespace {
+
+void
+print_row(const char *label, const Resources &r, const Device &dev)
+{
+    const Utilization u = utilization(r, dev);
+    std::printf("  %-26s %6.0fK (%4.1f%%) %6.0fK (%4.1f%%) %6.0f "
+                "(%4.1f%%)\n",
+                label, r.luts / 1000, u.luts_pct, r.flip_flops / 1000,
+                u.flip_flops_pct, r.brams, u.brams_pct);
+}
+
+void
+print_config(const char *title, unsigned sha_cores, const Device &dev)
+{
+    const Resources support = nic_reduction_support(sha_cores);
+    const Resources base = nic_base();
+    std::printf("%s (%u SHA-256 cores):\n", title, sha_cores);
+    std::printf("  %-26s %15s %15s %14s\n", "", "LUTs", "Flip-flops",
+                "BRAMs");
+    print_row("Data reduction support", support, dev);
+    print_row("Basic NIC + TCP offload", base, dev);
+    print_row("Total", base + support, dev);
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("===================================================="
+                "================\n");
+    std::printf("FIDR custom NIC resource utilization\n"
+                "  (reproduces Table 4, Sec 7.7.1)\n");
+    std::printf("===================================================="
+                "================\n");
+    const Device dev = vcu1525();
+    std::printf("Device: %s — %.0fK LUTs, %.0fK FFs, %.0f BRAMs\n\n",
+                dev.name.c_str(), dev.luts / 1000,
+                dev.flip_flops / 1000, dev.brams);
+
+    print_config("Write-only workload", 16, dev);
+    print_config("Mixed workload (50% read, 50% write)", 8, dev);
+
+    std::printf("Paper totals: write-only 290K LUTs (24.5%%), 296K FFs "
+                "(12.5%%), 1119 BRAMs\n(51.8%%); mixed 249K LUTs "
+                "(21.1%%), 255K FFs (10.8%%), 1099 BRAMs (51.0%%).\n");
+    std::printf("\nScaling: SHA core count vs hash throughput "
+                "(64 Gbps NIC target):\n");
+    for (unsigned cores : {4u, 8u, 16u, 32u}) {
+        const Resources total = nic_base() + nic_reduction_support(cores);
+        const Utilization u = utilization(total, dev);
+        // Each pipelined SHA-256 core sustains ~4 Gbps.
+        std::printf("  %2u cores: ~%3u Gbps hashing, %5.1f%% LUTs\n",
+                    cores, cores * 4, u.luts_pct);
+    }
+    return 0;
+}

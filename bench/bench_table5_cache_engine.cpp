@@ -1,0 +1,142 @@
+// Table 5: Cache HW-Engine resource utilization and estimated Write-M
+// throughput for three configurations:
+//  - "All": medium tree (410 MB cache, 8 on-chip levels + DRAM leaf)
+//    with the table-SSD controller, limited to ~10 GB/s by the 2 GB/s
+//    table-SSD budget;
+//  - medium tree without the SSD ceiling: ~80 GB/s;
+//  - large tree (99.6 GB cache, 13 on-chip levels, URAM nodes): ~64
+//    GB/s.
+
+#include <cstdio>
+
+#include "fidr/common/rng.h"
+#include "fidr/fpga/resources.h"
+#include "fidr/host/calibration.h"
+#include "fidr/hwtree/tree_pipeline.h"
+
+using namespace fidr;
+
+namespace {
+
+/** Write-M tree throughput at a given pipeline depth (4 lanes). */
+double
+tree_gbps(unsigned levels)
+{
+    hwtree::HwTree tree;
+    hwtree::PipelineConfig config;
+    config.update_lanes = 4;
+    config.levels = levels;
+    hwtree::TreePipeline pipe(tree, config);
+    Rng rng(29);
+
+    std::vector<std::uint64_t> resident;
+    while (resident.size() < 50'000) {
+        const std::uint64_t key = rng.next_u64() >> 16;
+        if (tree.insert(key, 1).value())
+            resident.push_back(key);
+    }
+    constexpr int kChunks = 30'000;
+    for (int i = 0; i < kChunks; ++i) {
+        if (rng.next_bool(0.19)) {  // Write-M miss profile.
+            const std::uint64_t key = rng.next_u64() >> 16;
+            (void)pipe.search(key);
+            if (!pipe.insert(key, i).is_ok())
+                std::abort();
+            const std::size_t victim = rng.next_below(resident.size());
+            pipe.erase(resident[victim]);
+            resident[victim] = key;
+        } else {
+            (void)pipe.search(resident[rng.next_below(resident.size())]);
+        }
+    }
+    return to_gb_per_s(kChunks * 4096.0 / pipe.busy_seconds());
+}
+
+/** Throughput ceiling from the table SSD budget at Write-M misses. */
+double
+table_ssd_ceiling_gbps(double ssd_gbps, double miss_rate)
+{
+    // Each miss fetches one 4 KB bucket per 4 KB client chunk.
+    return ssd_gbps / miss_rate;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("===================================================="
+                "================\n");
+    std::printf("FIDR Cache HW-Engine resources and throughput\n"
+                "  (reproduces Table 5, Sec 7.7.2)\n");
+    std::printf("===================================================="
+                "================\n");
+    const fpga::Device dev = fpga::vcu1525();
+
+    struct Config {
+        const char *name;
+        const char *cache_size;
+        unsigned onchip_levels;
+        bool ssd_ctrl;
+        bool uram;
+        double ssd_budget_gbps;  ///< 0 => unconstrained.
+        double paper_gbps;
+    };
+    const Config configs[] = {
+        {"All (w/ table SSD access)", "410 MB", 8, true, false, 2.0,
+         10.0},
+        {"Medium tree, no SSD limit", "410 MB", 8, false, false, 0,
+         80.0},
+        {"Large tree, no SSD limit", "99,645 MB", 13, false, true, 0,
+         64.0},
+    };
+
+    std::printf("%-28s %-10s %-7s %10s %8s | %9s %7s\n", "config",
+                "cache", "levels", "tput", "paper", "LUTs", "URAMs");
+    for (const Config &c : configs) {
+        fpga::CacheEngineConfig ec;
+        ec.onchip_levels = c.onchip_levels;
+        ec.table_ssd_controller = c.ssd_ctrl;
+        ec.use_uram = c.uram;
+        const fpga::Resources r = fpga::cache_engine(ec);
+        const fpga::Utilization u = fpga::utilization(r, dev);
+
+        double gbps = tree_gbps(c.onchip_levels + 1);
+        if (c.ssd_budget_gbps > 0) {
+            gbps = std::min(gbps, table_ssd_ceiling_gbps(
+                                      c.ssd_budget_gbps, 0.19));
+        }
+        std::printf("%-28s %-10s %4u+1 %7.1f GBs %4.0f GBs | %8.1f%% "
+                    "%6.1f%%\n",
+                    c.name, c.cache_size, c.onchip_levels, gbps,
+                    c.paper_gbps, u.luts_pct, u.urams_pct);
+    }
+
+    std::printf("\nResource detail (paper values in parentheses):\n");
+    const fpga::Resources all =
+        fpga::cache_engine({8, true, true, false});
+    const fpga::Resources medium =
+        fpga::cache_engine({8, true, false, false});
+    const fpga::Resources large =
+        fpga::cache_engine({13, true, false, true});
+    std::printf("  %-26s %9.0fK (320K) %8.0fK (160K) %6.0f (218)\n",
+                "All: LUT/FF/BRAM", all.luts / 1000,
+                all.flip_flops / 1000, all.brams);
+    std::printf("  %-26s %9.0fK (316K) %8.0fK (154K) %6.0f (202)\n",
+                "Medium: LUT/FF/BRAM", medium.luts / 1000,
+                medium.flip_flops / 1000, medium.brams);
+    std::printf("  %-26s %9.0fK (348K) %8.0fK (137K) %6.0f (390) "
+                "URAM %3.0f (756)\n",
+                "Large: LUT/FF/BRAM", large.luts / 1000,
+                large.flip_flops / 1000, large.brams, large.urams);
+
+    std::printf("\nGeometry check (Sec 6.3): 16-key DRAM leaves let "
+                "%u on-chip levels index\na 410 MB cache and %u levels "
+                "index ~100 GB — exactly the paper's 9- and\n14-level "
+                "trees.\n",
+                hwtree::HwTree::levels_for_entries(410ull * 1000 * 1000 /
+                                                   4096) - 1,
+                hwtree::HwTree::levels_for_entries(99'645ull * 1000 *
+                                                   1000 / 4096) - 1);
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Shared driver for the experiment-reproduction benches: builds the
+ * evaluation platform (Sec 7.1), streams a workload through a system,
+ * and collects the ledgers/projections every figure is printed from.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fidr/core/baseline_system.h"
+#include "fidr/core/fidr_system.h"
+#include "fidr/core/perf_model.h"
+#include "fidr/workload/generator.h"
+#include "fidr/workload/table3.h"
+
+namespace fidr::bench {
+
+/** Requests per experiment run (scaled-down from the paper's 176M). */
+inline constexpr int kRunRequests = 60'000;
+
+/** The evaluation platform of Sec 7.1 at bench scale. */
+inline core::PlatformConfig
+eval_platform()
+{
+    core::PlatformConfig config;
+    config.expected_unique_chunks = workload::kTable3UniqueChunks;
+    config.cache_fraction = workload::kTable3CacheFraction;
+    config.data_ssd.capacity_bytes = 64ull * kGiB;
+    config.table_ssd.capacity_bytes = 4ull * kGiB;
+    // The Fig 11/12/14 platform provisions table SSDs so metadata IO
+    // is not the binding constraint; the Table 5 bench separately
+    // evaluates the paper's 2 GB/s budget.
+    config.table_ssd.read_bandwidth = gb_per_s(16);
+    config.table_ssd.write_bandwidth = gb_per_s(16);
+    return config;
+}
+
+/** Everything a bench prints about one (system, workload) run. */
+struct RunResult {
+    std::string workload;
+    core::Projection projection;
+    core::ReductionStats reduction;
+    cache::CacheStats cache;
+    std::vector<sim::LedgerRow> mem_rows;
+    std::vector<sim::LedgerRow> cpu_rows;
+    double mem_total = 0;        ///< Host DRAM bytes moved.
+    double cpu_core_seconds = 0;
+    double client_bytes = 0;
+    double mem_per_byte = 0;     ///< DRAM traffic per client byte.
+    double tree_crash_rate = 0;  ///< FIDR HW-tree misspeculation rate.
+};
+
+template <typename System>
+RunResult
+drive(System &system, const workload::WorkloadSpec &spec,
+      int requests = kRunRequests)
+{
+    workload::WorkloadGenerator gen(spec);
+    for (int i = 0; i < requests; ++i) {
+        const workload::IoRequest req = gen.next();
+        Status status;
+        if (req.dir == IoDir::kWrite) {
+            status = system.write(req.lba, req.data);
+        } else {
+            Result<Buffer> out = system.read(req.lba);
+            status = out.status();
+        }
+        if (!status.is_ok()) {
+            std::fprintf(stderr, "drive failed: %s\n",
+                         status.to_string().c_str());
+            std::abort();
+        }
+    }
+    const Status flushed = system.flush();
+    if (!flushed.is_ok()) {
+        std::fprintf(stderr, "flush failed: %s\n",
+                     flushed.to_string().c_str());
+        std::abort();
+    }
+
+    RunResult out;
+    out.workload = spec.name;
+    out.projection = core::project(system);
+    out.reduction = system.reduction();
+    out.cache = system.cache_stats();
+    const auto &fabric = system.platform().fabric();
+    out.mem_rows = fabric.host_memory().report();
+    out.cpu_rows = system.platform().cpu().ledger().report();
+    out.mem_total = fabric.host_memory().total();
+    out.cpu_core_seconds = system.platform().cpu().ledger().total();
+    out.client_bytes = out.projection.client_bytes;
+    out.mem_per_byte = out.mem_total / out.client_bytes;
+    if constexpr (std::is_same_v<System, core::FidrSystem>) {
+        if (system.hw_index()) {
+            out.tree_crash_rate =
+                system.hw_index()->pipeline().stats().crash_rate();
+        }
+    }
+    return out;
+}
+
+/** Runs the baseline on a workload spec over the eval platform. */
+inline RunResult
+run_baseline(const workload::WorkloadSpec &spec,
+             int requests = kRunRequests)
+{
+    core::BaselineConfig config;
+    config.platform = eval_platform();
+    core::BaselineSystem system(config);
+    return drive(system, spec, requests);
+}
+
+/** FIDR configurations of Fig 14's ablation. */
+enum class FidrMode {
+    kNicP2pOnly,      ///< Software cache index, NIC offload + P2P.
+    kHwCacheSingle,   ///< + Cache HW-Engine, single-update tree.
+    kHwCacheMulti,    ///< + speculative concurrent updates (4 lanes).
+};
+
+inline const char *
+fidr_mode_name(FidrMode mode)
+{
+    switch (mode) {
+      case FidrMode::kNicP2pOnly: return "FIDR (NIC+P2P)";
+      case FidrMode::kHwCacheSingle: return "FIDR (+HW cache, 1 lane)";
+      case FidrMode::kHwCacheMulti: return "FIDR (full, 4 lanes)";
+    }
+    return "?";
+}
+
+inline RunResult
+run_fidr(const workload::WorkloadSpec &spec,
+         FidrMode mode = FidrMode::kHwCacheMulti,
+         int requests = kRunRequests)
+{
+    core::FidrConfig config;
+    config.platform = eval_platform();
+    config.hw_cache_engine = mode != FidrMode::kNicP2pOnly;
+    config.tree_update_lanes =
+        mode == FidrMode::kHwCacheMulti ? 4 : 1;
+    core::FidrSystem system(config);
+    return drive(system, spec, requests);
+}
+
+/** Header line for a bench report. */
+inline void
+print_header(const char *title, const char *paper_ref)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s\n  (reproduces %s)\n", title, paper_ref);
+    std::printf("==============================================="
+                "=====================\n");
+}
+
+}  // namespace fidr::bench

@@ -1,0 +1,79 @@
+// Capacity planner: a small CLI around the Sec 7.8 cost model.  Given
+// an effective capacity, a throughput target, and expected reduction
+// ratios, it prints the bill of materials for a no-reduction build, a
+// baseline (CIDR-like) build, and a FIDR build — the decision the
+// paper's cost analysis supports.
+//
+//   ./build/examples/capacity_planner [capacity_tb] [gbps] [dedup] [comp]
+//   e.g. ./build/examples/capacity_planner 500 75 0.5 0.5
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fidr/cost/cost_model.h"
+
+using namespace fidr;
+using namespace fidr::cost;
+
+namespace {
+
+void
+print_line(const char *name, const CostBreakdown &c,
+           const CostBreakdown &none)
+{
+    std::printf("  %-22s $%9.0f  (data SSD $%.0f, table SSD $%.0f, "
+                "DRAM $%.0f,\n%26s CPU $%.0f, FPGA $%.0f)  saving "
+                "%.1f%%\n",
+                name, c.total(), c.data_ssd, c.table_ssd, c.dram, "",
+                c.cpu, c.fpga, 100 * cost_saving(c, none));
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double capacity_tb = argc > 1 ? std::atof(argv[1]) : 500;
+    const double gbps = argc > 2 ? std::atof(argv[2]) : 75;
+    CostParams params;
+    if (argc > 3)
+        params.dedup_ratio = std::atof(argv[3]);
+    if (argc > 4)
+        params.comp_ratio = std::atof(argv[4]);
+
+    const double cap_gb = capacity_tb * 1000;
+    std::printf("Capacity plan: %.0f TB effective at %.0f GB/s per "
+                "socket\n", capacity_tb, gbps);
+    std::printf("Assumptions: %.0f%% dedup, %.0f%% compression, SSD "
+                "$%.2f/GB, DRAM $%.1f/GB\n\n",
+                100 * params.dedup_ratio, 100 * params.comp_ratio,
+                params.ssd_per_gb, params.dram_per_gb);
+
+    const CostBreakdown none = cost_no_reduction(cap_gb, params);
+    const CostBreakdown base = cost_with_reduction(
+        cap_gb, gb_per_s(gbps), baseline_demand(), params);
+    const CostBreakdown fidr = cost_with_reduction(
+        cap_gb, gb_per_s(gbps), fidr_demand(), params);
+
+    print_line("No reduction", none, none);
+    print_line("Baseline (CIDR-like)", base, none);
+    print_line("FIDR", fidr, none);
+
+    const SystemDemand bd = baseline_demand();
+    if (gb_per_s(gbps) > bd.max_socket_throughput) {
+        std::printf("\nNote: at %.0f GB/s the baseline saturates its "
+                    "socket near %.0f GB/s and\ncan only reduce %.0f%% "
+                    "of the stream; the rest is stored raw.\n",
+                    gbps, to_gb_per_s(bd.max_socket_throughput),
+                    100 * to_gb_per_s(bd.max_socket_throughput) / gbps);
+    }
+
+    std::printf("\nSweep (FIDR saving vs target throughput):\n");
+    for (double g : {15.0, 25.0, 40.0, 55.0, 75.0}) {
+        const CostBreakdown f = cost_with_reduction(
+            cap_gb, gb_per_s(g), fidr_demand(), params);
+        std::printf("  %5.0f GB/s: save %5.1f%%\n", g,
+                    100 * cost_saving(f, none));
+    }
+    return 0;
+}

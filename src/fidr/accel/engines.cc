@@ -1,0 +1,55 @@
+#include "fidr/accel/engines.h"
+
+namespace fidr::accel {
+
+CompressedChunk
+CompressionEngine::compress(std::span<const std::uint8_t> chunk)
+{
+    CompressedChunk out;
+    out.raw_size = chunk.size();
+    out.data = lz_compress(chunk, level_);
+    ++chunks_;
+    bytes_in_ += chunk.size();
+    bytes_out_ += out.data.size();
+    return out;
+}
+
+std::vector<CompressedChunk>
+CompressionEngine::compress_batch(std::span<const Buffer> chunks)
+{
+    std::vector<CompressedChunk> out;
+    out.reserve(chunks.size());
+    for (const Buffer &chunk : chunks)
+        out.push_back(compress(chunk));
+    return out;
+}
+
+Result<Buffer>
+DecompressionEngine::decompress(std::span<const std::uint8_t> compressed)
+{
+    Result<Buffer> out = lz_decompress(compressed);
+    if (out.is_ok())
+        ++chunks_;
+    return out;
+}
+
+BaselineBatchResult
+BaselineReductionAccelerator::process_batch(
+    std::span<const Buffer> chunks, const std::vector<bool> &predicted_unique)
+{
+    FIDR_CHECK(chunks.size() == predicted_unique.size());
+    BaselineBatchResult result;
+    result.digests.reserve(chunks.size());
+    result.compressed.resize(chunks.size());
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        result.digests.push_back(Sha256::hash(chunks[i]));
+        ++hashes_;
+        // Compression cores run concurrently with the hash cores but
+        // only on the chunks the host predicted unique.
+        if (predicted_unique[i])
+            result.compressed[i] = compressor_.compress(chunks[i]);
+    }
+    return result;
+}
+
+}  // namespace fidr::accel

@@ -1,0 +1,49 @@
+#include "fidr/accel/predictor.h"
+
+#include "fidr/common/status.h"
+#include "fidr/hash/sha256.h"
+
+namespace fidr::accel {
+
+UniqueChunkPredictor::UniqueChunkPredictor(std::size_t window,
+                                           unsigned fingerprint_bits)
+    : window_(window),
+      fingerprint_mask_(fingerprint_bits >= 64
+                            ? ~0ull
+                            : (1ull << fingerprint_bits) - 1)
+{
+    FIDR_CHECK(window_ > 0);
+    FIDR_CHECK(fingerprint_bits >= 1);
+    fifo_.reserve(window_);
+}
+
+bool
+UniqueChunkPredictor::predict_unique(std::span<const std::uint8_t> chunk)
+{
+    ++predictions_;
+    const std::uint64_t fp = fnv1a64(chunk) & fingerprint_mask_;
+    if (set_.contains(fp))
+        return false;  // Seen before: predicted duplicate.
+
+    if (fifo_.size() < window_) {
+        fifo_.push_back(fp);
+    } else {
+        set_.erase(fifo_[fifo_pos_]);
+        fifo_[fifo_pos_] = fp;
+        fifo_pos_ = (fifo_pos_ + 1) % window_;
+    }
+    set_.insert(fp);
+    return true;
+}
+
+std::vector<bool>
+UniqueChunkPredictor::predict_batch(std::span<const Buffer> chunks)
+{
+    std::vector<bool> out;
+    out.reserve(chunks.size());
+    for (const Buffer &chunk : chunks)
+        out.push_back(predict_unique(chunk));
+    return out;
+}
+
+}  // namespace fidr::accel

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unique-chunk predictor: the baseline's host-software module
+ * (paper Sec 2.3, Observation #3).
+ *
+ * CIDR's integrated accelerator needs to know, *before* the batch is
+ * transferred, which chunks its compression cores should work on.  A
+ * host-side predictor therefore scans every buffered chunk and guesses
+ * unique/duplicate from a lightweight in-memory fingerprint set.  The
+ * guess is validated after hashing: a false "duplicate" prediction
+ * (chunk was actually unique) leaves the chunk uncompressed and forces
+ * an expensive second pass.
+ *
+ * This module is exactly the CPU- and memory-bandwidth hotspot FIDR
+ * removes (32.7% of CPU, 23.7% of DRAM bandwidth): the prediction scan
+ * touches every payload byte in host memory.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "fidr/common/types.h"
+
+namespace fidr::accel {
+
+/** Window-limited fingerprint predictor. */
+class UniqueChunkPredictor {
+  public:
+    /**
+     * @param window max fingerprints retained (host DRAM budget).
+     * @param fingerprint_bits fingerprint width; CIDR-style predictors
+     *        trade accuracy for speed/footprint, and narrow
+     *        fingerprints produce the false-duplicate predictions the
+     *        validation pass must repair (Sec 2.3).
+     */
+    explicit UniqueChunkPredictor(std::size_t window = 1 << 20,
+                                  unsigned fingerprint_bits = 64);
+
+    /**
+     * Predicts whether `chunk` is unique (true) or duplicate (false),
+     * and records its fingerprint for future predictions.
+     */
+    bool predict_unique(std::span<const std::uint8_t> chunk);
+
+    /** Batch form; one flag per chunk. */
+    std::vector<bool> predict_batch(std::span<const Buffer> chunks);
+
+    std::uint64_t predictions() const { return predictions_; }
+    std::size_t fingerprints() const { return set_.size(); }
+
+  private:
+    std::size_t window_;
+    std::uint64_t fingerprint_mask_;
+    std::unordered_set<std::uint64_t> set_;
+    std::vector<std::uint64_t> fifo_;  ///< Ring for window eviction.
+    std::size_t fifo_pos_ = 0;
+    std::uint64_t predictions_ = 0;
+};
+
+}  // namespace fidr::accel

@@ -1,0 +1,434 @@
+#include "fidr/btree/bplus_tree.h"
+
+#include <algorithm>
+
+namespace fidr::btree {
+
+struct BPlusTree::Node {
+    bool leaf = true;
+    std::vector<Key> keys;
+    std::vector<Value> values;     ///< Leaf only; parallel to keys.
+    std::vector<Node *> children;  ///< Internal only; keys.size() + 1.
+    Node *next = nullptr;          ///< Leaf chain.
+};
+
+namespace {
+
+/** Index of the child to descend into for `key`. */
+std::size_t
+child_index(const std::vector<BPlusTree::Key> &keys, BPlusTree::Key key)
+{
+    // Number of separators <= key; separator semantics: children[i+1]
+    // holds keys >= keys[i], children[0] holds keys < keys[0].
+    return static_cast<std::size_t>(
+        std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree(unsigned order) : order_(order)
+{
+    FIDR_CHECK(order_ >= 4);
+    root_ = new Node();
+}
+
+BPlusTree::~BPlusTree()
+{
+    destroy(root_);
+}
+
+BPlusTree::BPlusTree(BPlusTree &&other) noexcept
+    : order_(other.order_), root_(other.root_), size_(other.size_)
+{
+    other.root_ = new Node();
+    other.size_ = 0;
+}
+
+BPlusTree &
+BPlusTree::operator=(BPlusTree &&other) noexcept
+{
+    if (this != &other) {
+        destroy(root_);
+        order_ = other.order_;
+        root_ = other.root_;
+        size_ = other.size_;
+        other.root_ = new Node();
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+void
+BPlusTree::destroy(Node *node)
+{
+    if (!node)
+        return;
+    if (!node->leaf) {
+        for (Node *child : node->children)
+            destroy(child);
+    }
+    delete node;
+}
+
+void
+BPlusTree::clear()
+{
+    destroy(root_);
+    root_ = new Node();
+    size_ = 0;
+}
+
+BPlusTree::Node *
+BPlusTree::leaf_for(Key key) const
+{
+    Node *node = root_;
+    while (!node->leaf)
+        node = node->children[child_index(node->keys, key)];
+    return node;
+}
+
+std::optional<BPlusTree::Value>
+BPlusTree::find(Key key) const
+{
+    const Node *leaf = leaf_for(key);
+    const auto it =
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    if (it == leaf->keys.end() || *it != key)
+        return std::nullopt;
+    return leaf->values[static_cast<std::size_t>(it - leaf->keys.begin())];
+}
+
+std::vector<std::optional<BPlusTree::Value>>
+BPlusTree::lookup_batch(std::span<const Key> keys) const
+{
+    std::vector<std::optional<Value>> out;
+    out.reserve(keys.size());
+    for (Key key : keys)
+        out.push_back(find(key));
+    return out;
+}
+
+std::vector<std::pair<BPlusTree::Key, BPlusTree::Value>>
+BPlusTree::range(Key lo, Key hi) const
+{
+    std::vector<std::pair<Key, Value>> out;
+    const Node *leaf = leaf_for(lo);
+    while (leaf) {
+        for (std::size_t i = 0; i < leaf->keys.size(); ++i) {
+            if (leaf->keys[i] < lo)
+                continue;
+            if (leaf->keys[i] > hi)
+                return out;
+            out.emplace_back(leaf->keys[i], leaf->values[i]);
+        }
+        leaf = leaf->next;
+    }
+    return out;
+}
+
+unsigned
+BPlusTree::height() const
+{
+    unsigned h = 1;
+    const Node *node = root_;
+    while (!node->leaf) {
+        node = node->children[0];
+        ++h;
+    }
+    return h;
+}
+
+bool
+BPlusTree::insert(Key key, Value value)
+{
+    // Descend, recording the path for split propagation.
+    std::vector<Node *> path;
+    Node *node = root_;
+    while (!node->leaf) {
+        path.push_back(node);
+        node = node->children[child_index(node->keys, key)];
+    }
+
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    const auto pos = static_cast<std::size_t>(it - node->keys.begin());
+    if (it != node->keys.end() && *it == key) {
+        node->values[pos] = value;
+        return false;
+    }
+    node->keys.insert(it, key);
+    node->values.insert(node->values.begin() + pos, value);
+    ++size_;
+
+    if (node->keys.size() < order_)
+        return true;
+
+    // Split the leaf: right half moves to a new node.
+    const std::size_t mid = node->keys.size() / 2;
+    Node *right = new Node();
+    right->keys.assign(node->keys.begin() + mid, node->keys.end());
+    right->values.assign(node->values.begin() + mid, node->values.end());
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    right->next = node->next;
+    node->next = right;
+    insert_into_parent(path, node, right->keys.front(), right);
+    return true;
+}
+
+void
+BPlusTree::insert_into_parent(std::vector<Node *> &path, Node *left, Key sep,
+                              Node *right)
+{
+    if (path.empty()) {
+        Node *new_root = new Node();
+        new_root->leaf = false;
+        new_root->keys.push_back(sep);
+        new_root->children = {left, right};
+        root_ = new_root;
+        return;
+    }
+    Node *parent = path.back();
+    path.pop_back();
+
+    const auto cit =
+        std::find(parent->children.begin(), parent->children.end(), left);
+    FIDR_CHECK(cit != parent->children.end());
+    const auto idx = static_cast<std::size_t>(cit - parent->children.begin());
+    parent->keys.insert(parent->keys.begin() + idx, sep);
+    parent->children.insert(parent->children.begin() + idx + 1, right);
+
+    if (parent->keys.size() < order_)
+        return;
+
+    // Split the internal node; the middle key is promoted, not kept.
+    const std::size_t mid = parent->keys.size() / 2;
+    const Key promoted = parent->keys[mid];
+    Node *new_right = new Node();
+    new_right->leaf = false;
+    new_right->keys.assign(parent->keys.begin() + mid + 1,
+                           parent->keys.end());
+    new_right->children.assign(parent->children.begin() + mid + 1,
+                               parent->children.end());
+    parent->keys.resize(mid);
+    parent->children.resize(mid + 1);
+    insert_into_parent(path, parent, promoted, new_right);
+}
+
+bool
+BPlusTree::erase(Key key)
+{
+    std::vector<Node *> path;
+    Node *node = root_;
+    while (!node->leaf) {
+        path.push_back(node);
+        node = node->children[child_index(node->keys, key)];
+    }
+
+    const auto it =
+        std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    if (it == node->keys.end() || *it != key)
+        return false;
+    const auto pos = static_cast<std::size_t>(it - node->keys.begin());
+    node->keys.erase(it);
+    node->values.erase(node->values.begin() + pos);
+    --size_;
+
+    rebalance(path, node);
+    return true;
+}
+
+void
+BPlusTree::rebalance(std::vector<Node *> &path, Node *node)
+{
+    // Minimum key counts: leaves keep order/2 entries; internal nodes
+    // keep order/2 children, i.e. order/2 - 1 keys.  The distinction
+    // matters: merging two minimal internal nodes pulls the parent
+    // separator down, so their minimum must leave room for it.
+    const auto min_keys = [this](const Node *n) -> std::size_t {
+        return n->leaf ? order_ / 2 : order_ / 2 - 1;
+    };
+
+    while (true) {
+        if (path.empty()) {
+            // Root: collapse when an internal root has a single child.
+            if (!node->leaf && node->children.size() == 1) {
+                root_ = node->children[0];
+                delete node;
+            }
+            return;
+        }
+        if (node->keys.size() >= min_keys(node))
+            return;
+
+        Node *parent = path.back();
+        path.pop_back();
+        const auto cit = std::find(parent->children.begin(),
+                                   parent->children.end(), node);
+        FIDR_CHECK(cit != parent->children.end());
+        const auto idx =
+            static_cast<std::size_t>(cit - parent->children.begin());
+
+        Node *left = idx > 0 ? parent->children[idx - 1] : nullptr;
+        Node *right = idx + 1 < parent->children.size()
+                          ? parent->children[idx + 1]
+                          : nullptr;
+
+        if (left && left->keys.size() > min_keys(left)) {
+            // Borrow the left sibling's last entry/child.
+            if (node->leaf) {
+                node->keys.insert(node->keys.begin(), left->keys.back());
+                node->values.insert(node->values.begin(),
+                                    left->values.back());
+                left->keys.pop_back();
+                left->values.pop_back();
+                parent->keys[idx - 1] = node->keys.front();
+            } else {
+                node->keys.insert(node->keys.begin(),
+                                  parent->keys[idx - 1]);
+                node->children.insert(node->children.begin(),
+                                      left->children.back());
+                parent->keys[idx - 1] = left->keys.back();
+                left->keys.pop_back();
+                left->children.pop_back();
+            }
+            return;
+        }
+        if (right && right->keys.size() > min_keys(right)) {
+            // Borrow the right sibling's first entry/child.
+            if (node->leaf) {
+                node->keys.push_back(right->keys.front());
+                node->values.push_back(right->values.front());
+                right->keys.erase(right->keys.begin());
+                right->values.erase(right->values.begin());
+                parent->keys[idx] = right->keys.front();
+            } else {
+                node->keys.push_back(parent->keys[idx]);
+                node->children.push_back(right->children.front());
+                parent->keys[idx] = right->keys.front();
+                right->keys.erase(right->keys.begin());
+                right->children.erase(right->children.begin());
+            }
+            return;
+        }
+
+        // Merge with a sibling (prefer left so `node` keeps identity
+        // semantics simple: we always merge right-into-left).
+        Node *into = left ? left : node;
+        Node *from = left ? node : right;
+        const std::size_t sep_idx = left ? idx - 1 : idx;
+        FIDR_CHECK(from != nullptr);
+
+        if (into->leaf) {
+            into->keys.insert(into->keys.end(), from->keys.begin(),
+                              from->keys.end());
+            into->values.insert(into->values.end(), from->values.begin(),
+                                from->values.end());
+            into->next = from->next;
+        } else {
+            into->keys.push_back(parent->keys[sep_idx]);
+            into->keys.insert(into->keys.end(), from->keys.begin(),
+                              from->keys.end());
+            into->children.insert(into->children.end(),
+                                  from->children.begin(),
+                                  from->children.end());
+        }
+        parent->keys.erase(parent->keys.begin() + sep_idx);
+        parent->children.erase(parent->children.begin() + sep_idx + 1);
+        delete from;
+
+        node = parent;
+    }
+}
+
+Status
+BPlusTree::validate() const
+{
+    const std::size_t min_fill = order_ / 2;
+    std::size_t counted = 0;
+
+    // Iterative DFS with per-node (lo, hi] key bounds.
+    struct Frame {
+        const Node *node;
+        bool has_lo;
+        Key lo;
+        bool has_hi;
+        Key hi;
+        unsigned depth;
+    };
+    std::vector<Frame> stack{{root_, false, 0, false, 0, 0}};
+    std::vector<const Node *> leaves_by_dfs;
+    unsigned leaf_depth = 0;
+    bool leaf_depth_set = false;
+
+    while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        const Node *n = f.node;
+
+        if (!std::is_sorted(n->keys.begin(), n->keys.end()))
+            return Status::internal("keys not sorted");
+        if (std::adjacent_find(n->keys.begin(), n->keys.end()) !=
+            n->keys.end())
+            return Status::internal("duplicate key in node");
+        for (Key k : n->keys) {
+            if (f.has_lo && k < f.lo)
+                return Status::internal("key below subtree bound");
+            if (f.has_hi && k >= f.hi)
+                return Status::internal("key above subtree bound");
+        }
+        const std::size_t node_min = n->leaf ? min_fill : min_fill - 1;
+        if (n != root_ && n->keys.size() < node_min)
+            return Status::internal("node underfilled");
+        if (n->keys.size() >= order_)
+            return Status::internal("node overfilled");
+
+        if (n->leaf) {
+            if (n->values.size() != n->keys.size())
+                return Status::internal("leaf keys/values length mismatch");
+            if (!leaf_depth_set) {
+                leaf_depth = f.depth;
+                leaf_depth_set = true;
+            } else if (f.depth != leaf_depth) {
+                return Status::internal("leaves at different depths");
+            }
+            counted += n->keys.size();
+            leaves_by_dfs.push_back(n);
+            continue;
+        }
+
+        if (n->children.size() != n->keys.size() + 1)
+            return Status::internal("child count != keys + 1");
+        // Push children right-to-left so DFS pops them left-to-right.
+        for (std::size_t i = n->children.size(); i-- > 0;) {
+            Frame cf;
+            cf.node = n->children[i];
+            cf.depth = f.depth + 1;
+            cf.has_lo = i > 0 || f.has_lo;
+            cf.lo = i > 0 ? n->keys[i - 1] : f.lo;
+            cf.has_hi = i < n->keys.size() || f.has_hi;
+            cf.hi = i < n->keys.size() ? n->keys[i] : f.hi;
+            stack.push_back(cf);
+        }
+    }
+
+    if (counted != size_)
+        return Status::internal("size counter mismatch");
+
+    // Leaf chain must visit exactly the leaves in DFS (key) order.
+    // leaves_by_dfs was built by popping left-to-right, so it is in
+    // ascending key order already.
+    const Node *chain = root_;
+    while (!chain->leaf)
+        chain = chain->children[0];
+    for (const Node *expect : leaves_by_dfs) {
+        if (chain != expect)
+            return Status::internal("leaf chain out of order");
+        chain = chain->next;
+    }
+    if (chain != nullptr)
+        return Status::internal("leaf chain has trailing nodes");
+
+    return Status::ok();
+}
+
+}  // namespace fidr::btree

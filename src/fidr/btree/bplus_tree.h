@@ -1,0 +1,85 @@
+/**
+ * @file
+ * In-memory B+ tree mapping 64-bit keys to 64-bit values.
+ *
+ * This is the baseline's software table-cache index (paper Sec 7.1
+ * uses an open-source PALM-style B+ tree): it maps a Hash-PBN bucket
+ * index on the table SSD to the cache-line slot holding that bucket in
+ * host DRAM.  The FIDR Cache HW-Engine replaces this structure with
+ * the pipelined hardware tree in fidr/hwtree.
+ *
+ * A PALM-style batch interface (lookup_batch) is provided because the
+ * baseline software processes requests in accelerator-sized batches;
+ * within this software model it simply amortizes nothing but preserves
+ * the call pattern the CPU-cost accounting bills for.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fidr/common/status.h"
+
+namespace fidr::btree {
+
+/** B+ tree with linked leaves; not thread-safe (host software model). */
+class BPlusTree {
+  public:
+    using Key = std::uint64_t;
+    using Value = std::uint64_t;
+
+    /** @param order max children per internal node (>= 4, even). */
+    explicit BPlusTree(unsigned order = 64);
+    ~BPlusTree();
+
+    BPlusTree(const BPlusTree &) = delete;
+    BPlusTree &operator=(const BPlusTree &) = delete;
+    BPlusTree(BPlusTree &&) noexcept;
+    BPlusTree &operator=(BPlusTree &&) noexcept;
+
+    /** Inserts or overwrites; returns true when the key was new. */
+    bool insert(Key key, Value value);
+
+    /** Removes `key`; returns true when it was present. */
+    bool erase(Key key);
+
+    /** Point lookup. */
+    std::optional<Value> find(Key key) const;
+
+    /** PALM-style batch lookup: one result slot per input key. */
+    std::vector<std::optional<Value>> lookup_batch(
+        std::span<const Key> keys) const;
+
+    /** All (key, value) pairs with key in [lo, hi], in key order. */
+    std::vector<std::pair<Key, Value>> range(Key lo, Key hi) const;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    unsigned height() const;
+
+    /**
+     * Structural invariant check (key ordering, fill factors, leaf
+     * chain consistency, size agreement); used by property tests.
+     */
+    Status validate() const;
+
+    void clear();
+
+  private:
+    struct Node;
+
+    Node *leaf_for(Key key) const;
+    void insert_into_parent(std::vector<Node *> &path, Node *left, Key sep,
+                            Node *right);
+    void rebalance(std::vector<Node *> &path, Node *node);
+    static void destroy(Node *node);
+
+    unsigned order_;
+    Node *root_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+}  // namespace fidr::btree

@@ -1,0 +1,63 @@
+#include "fidr/cache/indexes.h"
+
+namespace fidr::cache {
+
+std::optional<std::size_t>
+BTreeCacheIndex::find(BucketIndex bucket)
+{
+    ++stats_.lookups;
+    const auto value = tree_.find(bucket);
+    if (!value)
+        return std::nullopt;
+    return static_cast<std::size_t>(*value);
+}
+
+Status
+BTreeCacheIndex::insert(BucketIndex bucket, std::size_t line)
+{
+    ++stats_.inserts;
+    tree_.insert(bucket, line);
+    return Status::ok();
+}
+
+void
+BTreeCacheIndex::erase(BucketIndex bucket)
+{
+    ++stats_.erases;
+    tree_.erase(bucket);
+}
+
+HwTreeCacheIndex::HwTreeCacheIndex(hwtree::PipelineConfig pipeline,
+                                   hwtree::HwTreeConfig geometry)
+    : tree_(geometry), pipeline_(tree_, pipeline)
+{
+}
+
+std::optional<std::size_t>
+HwTreeCacheIndex::find(BucketIndex bucket)
+{
+    ++stats_.lookups;
+    const auto value = pipeline_.search(bucket);
+    if (!value)
+        return std::nullopt;
+    return static_cast<std::size_t>(*value);
+}
+
+Status
+HwTreeCacheIndex::insert(BucketIndex bucket, std::size_t line)
+{
+    ++stats_.inserts;
+    Result<bool> result = pipeline_.insert(bucket, line);
+    if (!result.is_ok())
+        return result.status();
+    return Status::ok();
+}
+
+void
+HwTreeCacheIndex::erase(BucketIndex bucket)
+{
+    ++stats_.erases;
+    pipeline_.erase(bucket);
+}
+
+}  // namespace fidr::cache

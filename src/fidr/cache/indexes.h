@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The two cache index implementations the paper contrasts:
+ *
+ *  - BTreeCacheIndex: the baseline's host-software B+ tree (PALM-like,
+ *    Sec 7.1) — every lookup/update consumes CPU (Table 2's 43.9%);
+ *  - HwTreeCacheIndex: FIDR's Cache HW-Engine pipelined tree — the
+ *    index work moves to FPGA cycles accounted by TreePipeline, and
+ *    the CPU only sees the resulting cache line numbers (Sec 5.5).
+ *
+ * Both expose operation counters so the system models can bill the
+ * right resource for the same functional behaviour.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "fidr/btree/bplus_tree.h"
+#include "fidr/cache/table_cache.h"
+#include "fidr/hwtree/hw_tree.h"
+#include "fidr/hwtree/tree_pipeline.h"
+
+namespace fidr::cache {
+
+/** Operation counters shared by both index flavours. */
+struct IndexStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t erases = 0;
+};
+
+/** Baseline: software B+ tree index run on host CPU. */
+class BTreeCacheIndex : public CacheIndex {
+  public:
+    explicit BTreeCacheIndex(unsigned order = 64) : tree_(order) {}
+
+    std::optional<std::size_t> find(BucketIndex bucket) override;
+    Status insert(BucketIndex bucket, std::size_t line) override;
+    void erase(BucketIndex bucket) override;
+    std::size_t size() const override { return tree_.size(); }
+
+    const IndexStats &stats() const { return stats_; }
+    const btree::BPlusTree &tree() const { return tree_; }
+
+  private:
+    btree::BPlusTree tree_;
+    IndexStats stats_;
+};
+
+/** FIDR: hardware pipelined tree index in the Cache HW-Engine. */
+class HwTreeCacheIndex : public CacheIndex {
+  public:
+    explicit HwTreeCacheIndex(
+        hwtree::PipelineConfig pipeline = {},
+        hwtree::HwTreeConfig geometry = {});
+
+    std::optional<std::size_t> find(BucketIndex bucket) override;
+    Status insert(BucketIndex bucket, std::size_t line) override;
+    void erase(BucketIndex bucket) override;
+    std::size_t size() const override { return tree_.size(); }
+
+    const IndexStats &stats() const { return stats_; }
+    const hwtree::HwTree &tree() const { return tree_; }
+    const hwtree::TreePipeline &pipeline() const { return pipeline_; }
+    hwtree::TreePipeline &pipeline() { return pipeline_; }
+
+  private:
+    hwtree::HwTree tree_;
+    hwtree::TreePipeline pipeline_;
+    IndexStats stats_;
+};
+
+}  // namespace fidr::cache

@@ -1,0 +1,71 @@
+#include "fidr/chunking/cdc.h"
+
+#include <bit>
+
+#include "fidr/common/rng.h"
+#include "fidr/common/status.h"
+
+namespace fidr::chunking {
+
+GearCdc::GearCdc(CdcParams params) : params_(params)
+{
+    FIDR_CHECK(params_.min_size >= 64);
+    FIDR_CHECK(params_.min_size < params_.avg_size);
+    FIDR_CHECK(params_.avg_size < params_.max_size);
+    FIDR_CHECK(std::has_single_bit(params_.avg_size));
+    // Boundary probability per byte ~ 1/(avg - min): low (avg-min)
+    // rounded to a power of two bits of the hash must be zero.
+    const std::size_t window = params_.avg_size - params_.min_size;
+    mask_ = std::bit_ceil(window) - 1;
+
+    // Fixed-seed gear table: chunking must be deterministic across
+    // runs and machines or dedup against old data breaks.
+    Rng rng(0xC0FFEE);
+    for (auto &entry : gear_)
+        entry = rng.next_u64();
+}
+
+std::vector<ChunkSpan>
+GearCdc::split(std::span<const std::uint8_t> data) const
+{
+    std::vector<ChunkSpan> out;
+    std::size_t start = 0;
+    while (start < data.size()) {
+        const std::size_t remaining = data.size() - start;
+        if (remaining <= params_.min_size) {
+            out.push_back({start, remaining});
+            break;
+        }
+        const std::size_t limit = std::min(remaining, params_.max_size);
+
+        // Skip the minimum region (FastCDC's min-skip optimization),
+        // then roll the gear hash until the low bits hit zero.
+        std::size_t cut = limit;
+        std::uint64_t h = 0;
+        for (std::size_t i = params_.min_size; i < limit; ++i) {
+            h = (h << 1) + gear_[data[start + i]];
+            ++hashed_bytes_;
+            if ((h & mask_) == 0) {
+                cut = i + 1;
+                break;
+            }
+        }
+        out.push_back({start, cut});
+        start += cut;
+    }
+    return out;
+}
+
+std::vector<ChunkSpan>
+split_fixed(std::span<const std::uint8_t> data, std::size_t chunk_size)
+{
+    FIDR_CHECK(chunk_size > 0);
+    std::vector<ChunkSpan> out;
+    for (std::size_t start = 0; start < data.size();
+         start += chunk_size) {
+        out.push_back({start, std::min(chunk_size, data.size() - start)});
+    }
+    return out;
+}
+
+}  // namespace fidr::chunking

@@ -1,0 +1,76 @@
+#include "fidr/common/bytes.h"
+
+#include <algorithm>
+
+#include "fidr/common/status.h"
+
+namespace fidr {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int
+hex_value(char c)
+{
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+std::string
+to_hex(std::span<const std::uint8_t> bytes)
+{
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (std::uint8_t b : bytes) {
+        out.push_back(kHexDigits[b >> 4]);
+        out.push_back(kHexDigits[b & 0xF]);
+    }
+    return out;
+}
+
+Buffer
+from_hex(const std::string &hex)
+{
+    if (hex.size() % 2 != 0)
+        return {};
+    Buffer out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hex_value(hex[i]);
+        const int lo = hex_value(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return {};
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+void
+store_le(std::uint8_t *dst, std::uint64_t value, std::size_t width)
+{
+    FIDR_CHECK(width >= 1 && width <= 8);
+    for (std::size_t i = 0; i < width; ++i)
+        dst[i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+std::uint64_t
+load_le(const std::uint8_t *src, std::size_t width)
+{
+    FIDR_CHECK(width >= 1 && width <= 8);
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < width; ++i)
+        value |= static_cast<std::uint64_t>(src[i]) << (8 * i);
+    return value;
+}
+
+bool
+spans_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b)
+{
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace fidr

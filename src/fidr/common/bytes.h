@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Byte-buffer helpers: hex formatting and little-endian field packing
+ * used by the on-disk table encodings.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "fidr/common/types.h"
+
+namespace fidr {
+
+/** Lowercase hex encoding of a byte span. */
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/** Parses lowercase/uppercase hex; returns empty buffer on bad input. */
+Buffer from_hex(const std::string &hex);
+
+/** Writes `width` (1..8) little-endian bytes of `value` at `dst`. */
+void store_le(std::uint8_t *dst, std::uint64_t value, std::size_t width);
+
+/** Reads `width` (1..8) little-endian bytes from `src`. */
+std::uint64_t load_le(const std::uint8_t *src, std::size_t width);
+
+/** True when two spans have equal length and contents. */
+bool spans_equal(std::span<const std::uint8_t> a,
+                 std::span<const std::uint8_t> b);
+
+}  // namespace fidr

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and tests.
+ *
+ * We use xoshiro256** (Blackman & Vigna): fast, high quality, and with a
+ * tiny state so every workload generator can own an independent stream.
+ * Determinism matters here — every benchmark and property test seeds its
+ * generators explicitly so runs are reproducible.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace fidr {
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng {
+  public:
+    /** Seeds the four 64-bit state words from one seed via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x5DEECE66Dull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next_u64();
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double next_double();
+
+    /** Bernoulli draw with probability p of true. */
+    bool next_bool(double p);
+
+    /**
+     * Geometric-ish skewed index in [0, n): repeatedly halves the range
+     * with probability `skew`, producing the address locality knob used
+     * by the workload generators.
+     */
+    std::uint64_t next_skewed(std::uint64_t n, double skew);
+
+    /** UniformRandomBitGenerator interface for <algorithm> shuffles. */
+    using result_type = std::uint64_t;
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+    result_type operator()() { return next_u64(); }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+}  // namespace fidr

@@ -1,0 +1,41 @@
+#include "fidr/common/status.h"
+
+namespace fidr {
+
+const char *
+status_code_name(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kOutOfSpace: return "OUT_OF_SPACE";
+      case StatusCode::kCorruption: return "CORRUPTION";
+      case StatusCode::kUnavailable: return "UNAVAILABLE";
+      case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Status::to_string() const
+{
+    std::string out = status_code_name(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+namespace detail {
+
+void
+check_failed(const char *file, int line, const char *expr)
+{
+    std::fprintf(stderr, "FIDR_CHECK failed at %s:%d: %s\n", file, line, expr);
+    std::abort();
+}
+
+}  // namespace detail
+}  // namespace fidr

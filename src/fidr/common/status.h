@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Lightweight error handling: Status codes plus a Result<T> carrier.
+ *
+ * FIDR is a library, so fatal conditions caused by callers surface as
+ * Status values rather than aborts; internal invariant violations use
+ * FIDR_CHECK (which aborts, gem5 panic() style).
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fidr {
+
+/** Canonical error codes used across the storage stack. */
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,  ///< Caller passed a malformed request.
+    kNotFound,         ///< Lookup key absent (LBA never written, etc.).
+    kOutOfSpace,       ///< Device or table capacity exhausted.
+    kCorruption,       ///< Stored data failed an integrity check.
+    kUnavailable,      ///< Device busy or queue full; retryable.
+    kInternal,         ///< Invariant violation that was recoverable.
+};
+
+/** Human-readable name of a status code (stable, for logs and tests). */
+const char *status_code_name(StatusCode code);
+
+/**
+ * A status code plus optional context message.  Cheap to copy when OK
+ * (empty message), allocation only on the error path.
+ */
+class Status {
+  public:
+    /** Constructs an OK status. */
+    Status() = default;
+
+    /** Constructs an error status with a context message. */
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message)) {}
+
+    static Status ok() { return Status(); }
+    static Status invalid_argument(std::string msg)
+    { return Status(StatusCode::kInvalidArgument, std::move(msg)); }
+    static Status not_found(std::string msg)
+    { return Status(StatusCode::kNotFound, std::move(msg)); }
+    static Status out_of_space(std::string msg)
+    { return Status(StatusCode::kOutOfSpace, std::move(msg)); }
+    static Status corruption(std::string msg)
+    { return Status(StatusCode::kCorruption, std::move(msg)); }
+    static Status unavailable(std::string msg)
+    { return Status(StatusCode::kUnavailable, std::move(msg)); }
+    static Status internal(std::string msg)
+    { return Status(StatusCode::kInternal, std::move(msg)); }
+
+    bool is_ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** Formats as "CODE: message" for logging and assertions. */
+    std::string to_string() const;
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/**
+ * Value-or-Status carrier.  A Result is either a T (status OK) or an
+ * error Status; accessing value() on an error aborts.
+ */
+template <typename T>
+class Result {
+  public:
+    /** Implicit from a value: success. */
+    Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+    /** Implicit from an error status.  Must not be OK. */
+    Result(Status status) : data_(std::move(status))  // NOLINT
+    {
+        if (std::holds_alternative<Status>(data_) &&
+            std::get<Status>(data_).is_ok()) {
+            std::fprintf(stderr, "Result constructed from OK status\n");
+            std::abort();
+        }
+    }
+
+    bool is_ok() const { return std::holds_alternative<T>(data_); }
+
+    const Status &status() const
+    {
+        static const Status ok_status;
+        return is_ok() ? ok_status : std::get<Status>(data_);
+    }
+
+    /** Returns the contained value; aborts if this holds an error. */
+    const T &
+    value() const
+    {
+        check_ok();
+        return std::get<T>(data_);
+    }
+
+    T &
+    value()
+    {
+        check_ok();
+        return std::get<T>(data_);
+    }
+
+    /** Moves the contained value out; aborts if this holds an error. */
+    T
+    take()
+    {
+        check_ok();
+        return std::move(std::get<T>(data_));
+    }
+
+  private:
+    void
+    check_ok() const
+    {
+        if (!is_ok()) {
+            std::fprintf(stderr, "Result::value() on error: %s\n",
+                         std::get<Status>(data_).to_string().c_str());
+            std::abort();
+        }
+    }
+
+    std::variant<T, Status> data_;
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char *file, int line, const char *expr);
+}  // namespace detail
+
+/**
+ * Internal invariant check: aborts with location info when violated.
+ * Use for programmer errors only, never for caller-triggerable paths.
+ */
+#define FIDR_CHECK(expr)                                                   \
+    do {                                                                   \
+        if (!(expr)) {                                                     \
+            ::fidr::detail::check_failed(__FILE__, __LINE__, #expr);       \
+        }                                                                  \
+    } while (0)
+
+}  // namespace fidr

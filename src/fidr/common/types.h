@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Core value types and sizing constants shared across every FIDR module.
+ *
+ * The paper (Sec 2.1) fixes the data-reduction granularity at 4 KB chunks,
+ * a 38-byte Hash-PBN table entry (32-byte SHA-256 digest + 6-byte physical
+ * block number) and 4 KB table buckets.  Those constants live here so the
+ * tables, cache, and workload modules agree on them.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fidr {
+
+/** Logical block address of a 4 KB chunk as seen by the client. */
+using Lba = std::uint64_t;
+
+/**
+ * Physical block number: index of a unique chunk in the deduplicated
+ * store.  The paper encodes it in 6 bytes (Sec 2.1.3), which bounds a
+ * system to 2^48 unique 4 KB chunks (1 exabyte); we keep it in a
+ * uint64_t but enforce the 6-byte bound when serializing.
+ */
+using Pbn = std::uint64_t;
+
+/** Index of a bucket inside the on-SSD Hash-PBN table. */
+using BucketIndex = std::uint64_t;
+
+/** Raw byte buffer used for chunk payloads throughout the system. */
+using Buffer = std::vector<std::uint8_t>;
+
+/** Data-reduction chunk size: the paper uses fixed 4 KB chunking. */
+inline constexpr std::size_t kChunkSize = 4096;
+
+/** Size of one serialized Hash-PBN table entry (32 B hash + 6 B PBN). */
+inline constexpr std::size_t kTableEntrySize = 38;
+
+/** Hash-PBN table bucket size; also the table-cache line size (Sec 7.1). */
+inline constexpr std::size_t kBucketSize = 4096;
+
+/** Number of Hash-PBN entries that fit in one bucket. */
+inline constexpr std::size_t kEntriesPerBucket = kBucketSize / kTableEntrySize;
+
+/** Largest PBN representable in the 6-byte on-disk encoding. */
+inline constexpr Pbn kMaxPbn = (Pbn{1} << 48) - 1;
+
+/** Sentinel meaning "no physical block assigned". */
+inline constexpr Pbn kInvalidPbn = ~Pbn{0};
+
+/** Sentinel meaning "no logical block". */
+inline constexpr Lba kInvalidLba = ~Lba{0};
+
+/** Outcome of deduplicating a single chunk. */
+enum class ChunkVerdict : std::uint8_t {
+    kUnique,     ///< First occurrence; chunk must be compressed and stored.
+    kDuplicate,  ///< Content already stored; only mapping tables change.
+};
+
+/** IO direction used by device models and workload traces. */
+enum class IoDir : std::uint8_t { kRead, kWrite };
+
+}  // namespace fidr

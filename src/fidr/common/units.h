@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Size, bandwidth, and time units used by the performance models.
+ *
+ * All bandwidths in FIDR are decimal (1 GB/s = 1e9 B/s) to match the
+ * paper's figures (e.g. "170 GB/s theoretical socket bandwidth"); all
+ * capacities are binary (1 GiB = 2^30 B) where they describe memory or
+ * buffer sizes.  Simulated time is kept in nanoseconds as uint64_t.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace fidr {
+
+/** Simulated time in nanoseconds. */
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * 1000;
+inline constexpr SimTime kSecond = 1000ull * 1000 * 1000;
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+inline constexpr std::uint64_t kTiB = 1024 * kGiB;
+
+inline constexpr std::uint64_t kKB = 1000;
+inline constexpr std::uint64_t kMB = 1000 * kKB;
+inline constexpr std::uint64_t kGB = 1000 * kMB;
+inline constexpr std::uint64_t kTB = 1000 * kGB;
+inline constexpr std::uint64_t kPB = 1000 * kTB;
+
+/** Bandwidth in bytes per (real or simulated) second. */
+using Bandwidth = double;
+
+/** Convenience: express a decimal GB/s figure as bytes/second. */
+constexpr Bandwidth gb_per_s(double gb) { return gb * 1e9; }
+
+/** Convenience: express bytes/second as decimal GB/s for reporting. */
+constexpr double to_gb_per_s(Bandwidth bytes_per_s) { return bytes_per_s / 1e9; }
+
+}  // namespace fidr

@@ -1,0 +1,290 @@
+#include "fidr/compress/lz.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "fidr/common/bytes.h"
+
+namespace fidr {
+namespace {
+
+constexpr std::uint8_t kMethodStored = 0;
+constexpr std::uint8_t kMethodLz = 1;
+constexpr std::size_t kHeaderSize = 5;
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr std::size_t kHashBits = 14;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t
+hash4(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+std::size_t
+match_length(const std::uint8_t *a, const std::uint8_t *b,
+             const std::uint8_t *limit)
+{
+    const std::uint8_t *start = b;
+    while (b < limit && *a == *b) {
+        ++a;
+        ++b;
+    }
+    return static_cast<std::size_t>(b - start);
+}
+
+void
+emit_length(Buffer &out, std::size_t extra)
+{
+    // 255-run extension coding shared by literal and match lengths.
+    while (extra >= 255) {
+        out.push_back(255);
+        extra -= 255;
+    }
+    out.push_back(static_cast<std::uint8_t>(extra));
+}
+
+void
+emit_sequence(Buffer &out, const std::uint8_t *lit, std::size_t lit_len,
+              std::size_t offset, std::size_t match_len)
+{
+    const std::size_t lit_code = std::min<std::size_t>(lit_len, 15);
+    std::size_t match_code = 0;
+    if (match_len > 0) {
+        FIDR_CHECK(match_len >= kMinMatch);
+        match_code = std::min<std::size_t>(match_len - kMinMatch, 15);
+    }
+    out.push_back(static_cast<std::uint8_t>((lit_code << 4) | match_code));
+    if (lit_code == 15)
+        emit_length(out, lit_len - 15);
+    out.insert(out.end(), lit, lit + lit_len);
+    if (match_len > 0) {
+        out.push_back(static_cast<std::uint8_t>(offset & 0xFF));
+        out.push_back(static_cast<std::uint8_t>(offset >> 8));
+        if (match_code == 15)
+            emit_length(out, match_len - kMinMatch - 15);
+    }
+}
+
+/** Hash-chain match finder over a 64 KiB window. */
+class MatchFinder {
+  public:
+    MatchFinder(const std::uint8_t *base, std::size_t size, int max_depth)
+        : base_(base), size_(size), max_depth_(max_depth),
+          head_(kHashSize, kNone), prev_(size, kNone)
+    {}
+
+    /** Inserts position `pos` into the hash chains. */
+    void
+    insert(std::size_t pos)
+    {
+        if (pos + 4 > size_)
+            return;
+        const std::uint32_t h = hash4(base_ + pos);
+        prev_[pos] = head_[h];
+        head_[h] = static_cast<std::uint32_t>(pos);
+    }
+
+    /**
+     * Finds the longest match for `pos` within the window.  Returns the
+     * length (0 if below kMinMatch) and sets `offset`.
+     */
+    std::size_t
+    find(std::size_t pos, std::size_t &offset) const
+    {
+        if (pos + kMinMatch > size_)
+            return 0;
+        const std::uint8_t *limit = base_ + size_;
+        std::size_t best_len = 0;
+        std::size_t best_off = 0;
+        std::uint32_t cand = head_[hash4(base_ + pos)];
+        int depth = max_depth_;
+        while (cand != kNone && depth-- > 0) {
+            const std::size_t cpos = cand;
+            if (cpos >= pos || pos - cpos > kMaxOffset)
+                break;
+            const std::size_t len =
+                match_length(base_ + cpos, base_ + pos, limit);
+            if (len > best_len) {
+                best_len = len;
+                best_off = pos - cpos;
+            }
+            cand = prev_[cpos];
+        }
+        if (best_len < kMinMatch)
+            return 0;
+        offset = best_off;
+        return best_len;
+    }
+
+  private:
+    static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+    const std::uint8_t *base_;
+    std::size_t size_;
+    int max_depth_;
+    std::vector<std::uint32_t> head_;
+    std::vector<std::uint32_t> prev_;
+};
+
+Buffer
+make_stored(std::span<const std::uint8_t> input)
+{
+    Buffer out(kHeaderSize + input.size());
+    out[0] = kMethodStored;
+    store_le(out.data() + 1, input.size(), 4);
+    std::memcpy(out.data() + kHeaderSize, input.data(), input.size());
+    return out;
+}
+
+}  // namespace
+
+std::size_t
+lz_max_compressed_size(std::size_t raw_size)
+{
+    return kHeaderSize + raw_size;
+}
+
+Buffer
+lz_compress(std::span<const std::uint8_t> input, LzLevel level)
+{
+    if (input.size() < kMinMatch + 1 || input.size() > 0xFFFFFFFFull)
+        return make_stored(input);
+
+    Buffer out;
+    out.reserve(input.size() / 2 + kHeaderSize);
+    out.push_back(kMethodLz);
+    out.resize(kHeaderSize);
+    store_le(out.data() + 1, input.size(), 4);
+
+    const int depth = level == LzLevel::kFast ? 1 : 32;
+    MatchFinder finder(input.data(), input.size(), depth);
+
+    std::size_t pos = 0;
+    std::size_t lit_start = 0;
+    while (pos < input.size()) {
+        std::size_t offset = 0;
+        const std::size_t len = finder.find(pos, offset);
+        if (len == 0) {
+            finder.insert(pos);
+            ++pos;
+            continue;
+        }
+        emit_sequence(out, input.data() + lit_start, pos - lit_start,
+                      offset, len);
+        // Index every position covered by the match so later data can
+        // reference into it.
+        const std::size_t end = pos + len;
+        while (pos < end) {
+            finder.insert(pos);
+            ++pos;
+        }
+        lit_start = pos;
+        if (out.size() + (input.size() - pos) >= input.size()) {
+            // Already no better than stored; bail out early.
+            return make_stored(input);
+        }
+    }
+    emit_sequence(out, input.data() + lit_start, input.size() - lit_start,
+                  0, 0);
+
+    if (out.size() >= kHeaderSize + input.size())
+        return make_stored(input);
+    return out;
+}
+
+Result<Buffer>
+lz_decompress(std::span<const std::uint8_t> block)
+{
+    if (block.size() < kHeaderSize)
+        return Status::corruption("block shorter than header");
+    const std::uint8_t method = block[0];
+    const std::size_t raw_size = load_le(block.data() + 1, 4);
+
+    if (method == kMethodStored) {
+        if (block.size() != kHeaderSize + raw_size)
+            return Status::corruption("stored block size mismatch");
+        return Buffer(block.begin() + kHeaderSize, block.end());
+    }
+    if (method != kMethodLz)
+        return Status::corruption("unknown method byte");
+
+    Buffer out;
+    out.reserve(raw_size);
+    std::size_t pos = kHeaderSize;
+
+    auto read_ext = [&](std::size_t &len) -> bool {
+        std::uint8_t b;
+        do {
+            if (pos >= block.size())
+                return false;
+            b = block[pos++];
+            len += b;
+        } while (b == 255);
+        return true;
+    };
+
+    while (out.size() < raw_size) {
+        if (pos >= block.size())
+            return Status::corruption("truncated token stream");
+        const std::uint8_t token = block[pos++];
+        std::size_t lit_len = token >> 4;
+        if (lit_len == 15 && !read_ext(lit_len))
+            return Status::corruption("truncated literal length");
+        if (pos + lit_len > block.size())
+            return Status::corruption("truncated literals");
+        out.insert(out.end(), block.begin() + pos,
+                   block.begin() + pos + lit_len);
+        pos += lit_len;
+        if (out.size() >= raw_size)
+            break;
+
+        if (pos + 2 > block.size())
+            return Status::corruption("truncated match offset");
+        const std::size_t offset = load_le(block.data() + pos, 2);
+        pos += 2;
+        std::size_t match_len = (token & 0xF) + kMinMatch;
+        if ((token & 0xF) == 15) {
+            std::size_t extra = 0;
+            if (!read_ext(extra))
+                return Status::corruption("truncated match length");
+            match_len += extra;
+        }
+        if (offset == 0 || offset > out.size())
+            return Status::corruption("match offset out of window");
+        if (out.size() + match_len > raw_size)
+            return Status::corruption("match overruns raw size");
+        // Byte-by-byte copy: overlapping matches (offset < length) are
+        // the RLE case and must replicate the just-written bytes.
+        std::size_t src = out.size() - offset;
+        for (std::size_t i = 0; i < match_len; ++i)
+            out.push_back(out[src + i]);
+    }
+    if (out.size() != raw_size)
+        return Status::corruption("decompressed size mismatch");
+    return out;
+}
+
+std::size_t
+lz_raw_size(std::span<const std::uint8_t> block)
+{
+    if (block.size() < kHeaderSize)
+        return 0;
+    return load_le(block.data() + 1, 4);
+}
+
+double
+lz_reduction_ratio(std::size_t raw_size, std::size_t compressed_size)
+{
+    if (raw_size == 0 || compressed_size >= raw_size)
+        return 0.0;
+    return 1.0 - static_cast<double>(compressed_size) /
+                     static_cast<double>(raw_size);
+}
+
+}  // namespace fidr

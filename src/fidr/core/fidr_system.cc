@@ -1,0 +1,472 @@
+#include "fidr/core/fidr_system.h"
+
+#include "fidr/common/bytes.h"
+#include "fidr/host/calibration.h"
+
+namespace fidr::core {
+
+FidrSystem::FidrSystem(const FidrConfig &config)
+    : config_(config),
+      platform_(config.platform),
+      nic_(config.nic),
+      containers_(platform_.data_ssds(), config.container_bytes),
+      compressor_(LzLevel::kFast)
+{
+    if (config.hw_cache_engine) {
+        hwtree::PipelineConfig pipeline;
+        pipeline.update_lanes = config.tree_update_lanes;
+        auto hw = std::make_unique<cache::HwTreeCacheIndex>(pipeline);
+        hw_index_ = hw.get();
+        index_ = std::move(hw);
+    } else {
+        index_ = std::make_unique<cache::BTreeCacheIndex>();
+    }
+    table_cache_ = std::make_unique<cache::TableCache>(
+        platform_.hash_table(), *index_, platform_.cache_lines(),
+        config.eviction_policy);
+    dedup_ = std::make_unique<DedupIndex>(*table_cache_);
+
+    // Host DRAM holds only the table cache content; payload buffering
+    // moved to NIC DRAM and containers to the Compression Engine.
+    FIDR_CHECK(platform_.memory()
+                   .claim("table cache", table_cache_->capacity_bytes())
+                   .is_ok());
+
+    if (config.journal_metadata) {
+        // Reserve [buckets | snapshot | journal] on the table SSD.
+        snapshot_base_ =
+            (platform_.hash_table().table_bytes() + 4095) / 4096 * 4096;
+        const std::uint64_t journal_base =
+            snapshot_base_ + config.snapshot_bytes;
+        journal_ = std::make_unique<tables::MetadataJournal>(
+            platform_.table_ssd(), journal_base, config.journal_bytes);
+    }
+}
+
+Status
+FidrSystem::journal_append(const tables::JournalRecord &record)
+{
+    if (!journal_)
+        return Status::ok();
+    Status appended = journal_->append(record);
+    if (appended.code() == StatusCode::kOutOfSpace) {
+        // Journal full: checkpoint truncates it, then retry.
+        const Status checkpointed = checkpoint();
+        if (!checkpointed.is_ok())
+            return checkpointed;
+        appended = journal_->append(record);
+    }
+    return appended;
+}
+
+Status
+FidrSystem::write(Lba lba, Buffer data)
+{
+    if (data.size() != kChunkSize)
+        return Status::invalid_argument("writes must be 4 KB chunks");
+
+    // Fig 6a step 1: buffer in the NIC and ack immediately.  The FIDR
+    // device manager's per-request work stays on the host CPU.
+    platform_.cpu().bill_us(cputag::kOrchestration,
+                            calib::kCpuOrchestrationPerChunk);
+    if (nic_.buffered_bytes() + kChunkSize > nic_.config().buffer_capacity) {
+        // Back-pressure: drain the buffered batch before accepting more.
+        const Status drained = process_batch();
+        if (!drained.is_ok())
+            return drained;
+    }
+    const Status buffered = nic_.buffer_write(lba, std::move(data));
+    if (!buffered.is_ok())
+        return buffered;
+    ++stats_.chunks_written;
+    stats_.raw_bytes += kChunkSize;
+
+    if (nic_.batch_ready())
+        return process_batch();
+    return Status::ok();
+}
+
+void
+FidrSystem::bill_container_seals()
+{
+    // Sealed containers move Compression Engine -> data SSD under the
+    // shared switch: peer-to-peer, no host DRAM.  Only the metadata
+    // (sizes, PCIe address, destination) touches the host (step 8-9).
+    while (sealed_billed_ < containers_.sealed_containers()) {
+        const std::size_t ssd =
+            sealed_billed_ % platform_.data_ssd_dev_count();
+        platform_.fabric().dma(platform_.compression_engine(),
+                               platform_.data_ssd_dev(ssd),
+                               config_.container_bytes, memtag::kDataSsd);
+        platform_.fabric().dma(platform_.compression_engine(),
+                               pcie::kHostMemory, 64, memtag::kFpga);
+        ++sealed_billed_;
+    }
+}
+
+Status
+FidrSystem::process_batch()
+{
+    const std::size_t n = nic_.buffered_chunks();
+    if (n == 0)
+        return Status::ok();
+    pcie::Fabric &fabric = platform_.fabric();
+    host::HostCpu &cpu = platform_.cpu();
+
+    // Step 2: in-NIC hashing; only digests cross to the host.
+    const std::vector<Digest> digests = nic_.hash_buffered();
+    fabric.dma(platform_.nic(), pcie::kHostMemory, n * Digest::kSize,
+               memtag::kNicHost);
+
+    // Step 3: bucket indexes to the Cache HW-Engine (8 B per chunk —
+    // the "negligible PCIe bandwidth" of Sec 5.6).
+    fabric.dma(pcie::kHostMemory, platform_.cache_engine(), n * 8,
+               memtag::kTableCache);
+
+    // Steps 4-5: resolve cache lines and scan bucket content on host.
+    std::vector<ChunkVerdict> verdicts(n, ChunkVerdict::kUnique);
+    std::vector<Pbn> pbns(n, kInvalidPbn);
+    for (std::size_t i = 0; i < n; ++i) {
+        Result<DedupLookup> looked = dedup_->lookup_or_insert(
+            digests[i], next_pbn_, high_priority_);
+        if (!looked.is_ok())
+            return looked.status();
+        const DedupLookup &lookup = looked.value();
+
+        if (!config_.hw_cache_engine) {
+            // NIC+P2P-only configuration: the index stays a software
+            // B+ tree, so its CPU cost remains (Fig 14 config b).
+            cpu.bill_us(cputag::kTreeIndex,
+                        lookup.buckets_probed *
+                                calib::kCpuTreeLookupPerChunk +
+                            lookup.cache_misses *
+                                calib::kCpuTreeUpdatePerMiss);
+            cpu.bill_us(cputag::kTableSsd,
+                        lookup.cache_misses * calib::kCpuTableSsdPerMiss);
+        }
+        cpu.bill_us(cputag::kScan, calib::kCpuBucketScanPerChunk);
+        cpu.bill_us(cputag::kLru, calib::kCpuLruPerChunk);
+        cpu.bill_us(cputag::kTableMisc, calib::kCpuTableMiscPerChunk);
+
+        fabric.host_memory().add(
+            memtag::kTableCache,
+            lookup.buckets_probed * calib::kBucketScanFraction *
+                static_cast<double>(kBucketSize));
+        for (unsigned m = 0; m < lookup.cache_misses; ++m) {
+            fabric.dma(platform_.table_ssd_dev(), pcie::kHostMemory,
+                       kBucketSize, memtag::kTableCache);
+        }
+        for (unsigned f = 0; f < lookup.dirty_evictions; ++f) {
+            fabric.dma(pcie::kHostMemory, platform_.table_ssd_dev(),
+                       kBucketSize, memtag::kTableCache);
+        }
+
+        verdicts[i] = lookup.verdict;
+        pbns[i] = lookup.pbn;
+        if (lookup.verdict == ChunkVerdict::kUnique) {
+            ++stats_.unique_chunks;
+            ++next_pbn_;
+        } else {
+            ++stats_.duplicates;
+        }
+    }
+
+    // Step 6: verdicts (and destination metadata) back to the NIC.
+    fabric.dma(pcie::kHostMemory, platform_.nic(), n * 2,
+               memtag::kNicHost);
+
+    // LBA-PBA mappings are pure host metadata updates: duplicates map
+    // to the matched PBN, uniques to their freshly assigned PBN.
+    const std::vector<Lba> lbas = nic_.buffered_lbas();
+    FIDR_CHECK(lbas.size() == n);
+    std::vector<Pbn> unique_pbns;
+    std::vector<Digest> unique_digests;
+    // Overwritten chunks are retired only after the whole batch is
+    // mapped and stored: a later duplicate in the same batch may
+    // re-reference a PBN whose refcount transiently hit zero.
+    std::vector<Pbn> retire_candidates;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto prev = lba_table_.map_lba(lbas[i], pbns[i]);
+        if (journal_) {
+            tables::JournalRecord rec;
+            rec.op = tables::JournalOp::kMapLba;
+            rec.lba = lbas[i];
+            rec.pbn = pbns[i];
+            const Status logged = journal_append(rec);
+            if (!logged.is_ok())
+                return logged;
+        }
+        if (prev && *prev != pbns[i])
+            retire_candidates.push_back(*prev);
+        if (verdicts[i] == ChunkVerdict::kUnique) {
+            unique_pbns.push_back(pbns[i]);
+            unique_digests.push_back(digests[i]);
+        }
+    }
+
+    // Step 7: the compression scheduler ships only unique chunks,
+    // NIC -> Compression Engine peer-to-peer.
+    Result<std::vector<nic::BufferedChunk>> scheduled =
+        nic_.schedule_unique(verdicts);
+    if (!scheduled.is_ok())
+        return scheduled.status();
+    const std::vector<nic::BufferedChunk> unique = scheduled.take();
+    FIDR_CHECK(unique.size() == unique_pbns.size());
+
+    std::uint64_t unique_bytes = 0;
+    for (const nic::BufferedChunk &chunk : unique)
+        unique_bytes += chunk.data.size();
+    if (unique_bytes > 0) {
+        fabric.dma(platform_.nic(), platform_.compression_engine(),
+                   unique_bytes, memtag::kNicHost);
+    }
+
+    // Steps 8-9: compression and container packing in engine memory;
+    // sealed containers DMA straight to the data SSDs.
+    for (std::size_t j = 0; j < unique.size(); ++j) {
+        const accel::CompressedChunk compressed =
+            compressor_.compress(unique[j].data);
+        Result<tables::ChunkLocation> placed =
+            containers_.append(compressed.data);
+        if (!placed.is_ok())
+            return placed.status();
+        stats_.stored_bytes += compressed.data.size();
+        // Step 10: the host updates the metadata for the new chunk.
+        lba_table_.set_location(unique_pbns[j], placed.value());
+        space_.on_store(unique_pbns[j], unique_digests[j],
+                        placed.value());
+        if (journal_) {
+            tables::JournalRecord rec;
+            rec.op = tables::JournalOp::kSetLocation;
+            rec.pbn = unique_pbns[j];
+            rec.location = placed.value();
+            const Status logged = journal_append(rec);
+            if (!logged.is_ok())
+                return logged;
+        }
+        bill_container_seals();
+    }
+
+    for (const Pbn pbn : retire_candidates)
+        retire_if_dead(pbn);
+    return Status::ok();
+}
+
+void
+FidrSystem::retire_if_dead(Pbn pbn)
+{
+    if (lba_table_.refcount(pbn) != 0)
+        return;
+    lba_table_.reclaim(pbn);
+    if (journal_) {
+        tables::JournalRecord rec;
+        rec.op = tables::JournalOp::kRetirePbn;
+        rec.pbn = pbn;
+        FIDR_CHECK(journal_append(rec).is_ok());
+    }
+    if (const auto digest = space_.on_dead(pbn)) {
+        // Drop the Hash-PBN entry so the content, if it recurs, is
+        // stored fresh rather than mapped to a reclaimed chunk.
+        Result<DedupLookup> removed = dedup_->remove(*digest);
+        FIDR_CHECK(removed.is_ok());
+    }
+}
+
+Result<FidrSystem::ScrubReport>
+FidrSystem::scrub()
+{
+    ScrubReport report;
+    for (const auto &[container, space] : space_.containers()) {
+        for (const Pbn pbn : space_.live_pbns(container)) {
+            const auto digest = space_.digest_of(pbn);
+            const auto location = lba_table_.location_of(pbn);
+            FIDR_CHECK(digest.has_value());
+            if (!location) {
+                ++report.mapping_errors;
+                continue;
+            }
+            Result<Buffer> compressed = containers_.read(*location);
+            if (!compressed.is_ok()) {
+                ++report.mapping_errors;
+                continue;
+            }
+            Result<Buffer> raw = decomp_.decompress(compressed.value());
+            ++report.chunks_verified;
+            if (!raw.is_ok() ||
+                Sha256::hash(raw.value()) != *digest) {
+                ++report.digest_mismatches;
+                continue;
+            }
+            // The Hash-PBN table must still resolve this digest to
+            // this physical block.
+            Result<DedupLookup> looked = dedup_->lookup(*digest);
+            if (!looked.is_ok())
+                return looked.status();
+            if (looked.value().verdict != ChunkVerdict::kDuplicate ||
+                looked.value().pbn != pbn) {
+                ++report.mapping_errors;
+            }
+        }
+    }
+    return report;
+}
+
+Status
+FidrSystem::checkpoint()
+{
+    if (!journal_)
+        return Status::invalid_argument("journaling is not enabled");
+    const Buffer image = lba_table_.serialize();
+    if (image.size() + 8 > config_.snapshot_bytes)
+        return Status::out_of_space("snapshot region too small");
+    Buffer framed(8);
+    store_le(framed.data(), image.size(), 8);
+    framed.insert(framed.end(), image.begin(), image.end());
+    const Status written =
+        platform_.table_ssd().write(snapshot_base_, framed);
+    if (!written.is_ok())
+        return written;
+    journal_->reset();
+    return journal_->log_checkpoint();
+}
+
+Status
+FidrSystem::simulate_crash_and_recover()
+{
+    if (!journal_)
+        return Status::invalid_argument("journaling is not enabled");
+
+    // Crash: the in-DRAM mapping state is gone.
+    lba_table_ = tables::LbaPbaTable();
+
+    // Restart: load the snapshot (if one was taken)...
+    Result<Buffer> header = platform_.table_ssd().read(snapshot_base_, 8);
+    if (!header.is_ok())
+        return header.status();
+    const std::uint64_t image_len = load_le(header.value().data(), 8);
+    if (image_len > 0) {
+        Result<Buffer> image = platform_.table_ssd().read(
+            snapshot_base_ + 8, image_len);
+        if (!image.is_ok())
+            return image.status();
+        Result<tables::LbaPbaTable> loaded =
+            tables::LbaPbaTable::deserialize(image.value());
+        if (!loaded.is_ok())
+            return loaded.status();
+        lba_table_ = loaded.take();
+    }
+
+    // ...then replay the journal tail on top.
+    Result<std::vector<tables::JournalRecord>> records =
+        journal_->replay();
+    if (!records.is_ok())
+        return records.status();
+    tables::MetadataJournal::apply(records.value(), lba_table_);
+    return Status::ok();
+}
+
+Result<std::uint64_t>
+FidrSystem::compact(double min_dead_fraction)
+{
+    std::uint64_t reclaimed = 0;
+    for (const std::uint64_t container :
+         space_.candidates(min_dead_fraction)) {
+        if (!containers_.sealed(container))
+            continue;  // The open container compacts on its own seal.
+
+        // Move the survivors: Compression Engine pulls them from the
+        // old container and repacks them into the open one, P2P.
+        for (const Pbn pbn : space_.live_pbns(container)) {
+            const auto location = lba_table_.location_of(pbn);
+            const auto digest = space_.digest_of(pbn);
+            FIDR_CHECK(location.has_value() && digest.has_value());
+            Result<Buffer> data = containers_.read(*location);
+            if (!data.is_ok())
+                return data.status();
+            platform_.fabric().dma(
+                platform_.data_ssd_dev(0),
+                platform_.compression_engine(),
+                data.value().size(), memtag::kDataSsd);
+            Result<tables::ChunkLocation> moved =
+                containers_.append(data.value());
+            if (!moved.is_ok())
+                return moved.status();
+            lba_table_.set_location(pbn, moved.value());
+            space_.on_store(pbn, *digest, moved.value());
+            if (journal_) {
+                tables::JournalRecord rec;
+                rec.op = tables::JournalOp::kSetLocation;
+                rec.pbn = pbn;
+                rec.location = moved.value();
+                const Status logged = journal_append(rec);
+                if (!logged.is_ok())
+                    return logged;
+            }
+            bill_container_seals();
+        }
+
+        Result<std::uint64_t> released = containers_.discard(container);
+        if (!released.is_ok())
+            return released.status();
+        reclaimed += released.value();
+        space_.release_container(container);
+    }
+    return reclaimed;
+}
+
+Status
+FidrSystem::flush()
+{
+    const Status batch = process_batch();
+    if (!batch.is_ok())
+        return batch;
+    const Status sealed = containers_.flush();
+    if (!sealed.is_ok())
+        return sealed;
+    bill_container_seals();
+    return table_cache_->writeback_all();
+}
+
+Result<Buffer>
+FidrSystem::read(Lba lba)
+{
+    ++stats_.chunks_read;
+    pcie::Fabric &fabric = platform_.fabric();
+
+    // Fig 6b step 2: LBA Lookup against the in-NIC write buffer.
+    if (auto buffered = nic_.lookup_buffered(lba)) {
+        ++stats_.nic_read_hits;
+        return std::move(*buffered);
+    }
+
+    // Steps 3-4: LBA to host, LBA-PBA lookup.  With the read-stack
+    // offload extension, the NVMe submission/completion handling and
+    // data forwarding move to the FPGA and only the mapping lookup
+    // stays on the CPU.
+    fabric.dma(platform_.nic(), pcie::kHostMemory, 16, memtag::kNicHost);
+    platform_.cpu().bill_us(cputag::kReadPath,
+                            config_.offload_read_stack
+                                ? calib::kCpuReadOffloadResidual
+                                : calib::kCpuReadPerChunk);
+
+    const auto location = lba_table_.lookup(lba);
+    if (!location)
+        return Status::not_found("LBA never written");
+
+    Result<Buffer> compressed = containers_.read(*location);
+    if (!compressed.is_ok())
+        return compressed.status();
+
+    // Steps 5-7: data SSD -> Decompression Engine -> NIC, both P2P.
+    fabric.dma(platform_.data_ssd_dev(0),
+               platform_.decompression_engine(),
+               compressed.value().size(), memtag::kDataSsd);
+    Result<Buffer> raw = decomp_.decompress(compressed.value());
+    if (!raw.is_ok())
+        return raw.status();
+    fabric.dma(platform_.decompression_engine(), platform_.nic(),
+               raw.value().size(), memtag::kNicHost);
+    return raw;
+}
+
+}  // namespace fidr::core

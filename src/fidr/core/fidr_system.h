@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The FIDR storage system (paper Sec 5, Fig 6).
+ *
+ * Write flow (10 steps, Fig 6a): client chunks buffer *in the NIC*
+ * and are acknowledged immediately; the NIC's SHA-256 engines hash the
+ * batch and send only the 32-byte digests to the host; the host maps
+ * digests to bucket indexes and hands them to the Cache HW-Engine,
+ * whose pipelined tree resolves cache lines (fetching missed buckets
+ * from the table SSD straight into the host-DRAM cache); host software
+ * scans the cached buckets to decide unique/duplicate; the verdicts
+ * return to the NIC, whose compression scheduler ships *only unique
+ * chunks* peer-to-peer to the Compression Engine; sealed ~4 MB
+ * containers move Compression Engine -> data SSD peer-to-peer.  Client
+ * payloads never touch host DRAM.
+ *
+ * Read flow (8 steps, Fig 6b): the NIC's LBA-lookup serves reads that
+ * hit its write buffer; otherwise the host resolves LBA->PBA and
+ * orchestrates data SSD -> Decompression Engine -> NIC peer-to-peer
+ * transfers.
+ *
+ * Three configurations reproduce Fig 14's ablation:
+ *  - hw_cache_engine=false: NIC offload + P2P only (software B+-tree
+ *    cache index stays on the CPU);
+ *  - hw_cache_engine=true, tree_update_lanes=1: single-update HW tree;
+ *  - hw_cache_engine=true, tree_update_lanes=4: the full system with
+ *    speculative concurrent updates.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fidr/accel/engines.h"
+#include "fidr/cache/indexes.h"
+#include "fidr/cache/table_cache.h"
+#include "fidr/core/dedup_index.h"
+#include "fidr/core/platform.h"
+#include "fidr/core/server.h"
+#include "fidr/core/space.h"
+#include "fidr/nic/fidr_nic.h"
+#include "fidr/tables/container.h"
+#include "fidr/tables/journal.h"
+#include "fidr/tables/lba_pba.h"
+
+namespace fidr::core {
+
+/** FIDR system parameters. */
+struct FidrConfig {
+    PlatformConfig platform;
+    nic::FidrNicConfig nic;
+    std::uint64_t container_bytes = 4 * kMiB;
+    bool hw_cache_engine = true;  ///< false => software cache index.
+    unsigned tree_update_lanes = 4;
+    cache::EvictionPolicy eviction_policy = cache::EvictionPolicy::kLru;
+    /**
+     * Extension (the paper's stated future work, Sec 7.5): offload the
+     * read-path NVMe software stack to the FPGA as well, leaving only
+     * the LBA-PBA lookup on the host.  Lifts Read-Mixed's CPU bound.
+     */
+    bool offload_read_stack = false;
+
+    /**
+     * Extension: journal LBA-PBA mutations to a reserved table-SSD
+     * region so the mapping survives a host crash (the paper's NVRAM
+     * buffer covers the *data*; this covers the metadata).
+     */
+    bool journal_metadata = false;
+    std::uint64_t journal_bytes = 64 * kMiB;
+    std::uint64_t snapshot_bytes = 64 * kMiB;
+};
+
+/** The FIDR server. */
+class FidrSystem : public StorageServer {
+  public:
+    explicit FidrSystem(const FidrConfig &config);
+
+    Status write(Lba lba, Buffer data) override;
+    Result<Buffer> read(Lba lba) override;
+    Status flush() override;
+    const ReductionStats &reduction() const override { return stats_; }
+
+    Platform &platform() { return platform_; }
+    const Platform &platform() const { return platform_; }
+    nic::FidrNic &nic_model() { return nic_; }
+    const cache::CacheStats &cache_stats() const
+    { return table_cache_->stats(); }
+    tables::LbaPbaTable &lba_table() { return lba_table_; }
+
+    /** Null when running with the software cache index. */
+    const cache::HwTreeCacheIndex *hw_index() const { return hw_index_; }
+
+    /** Live/dead space accounting (GC extension). */
+    const SpaceTracker &space() const { return space_; }
+
+    /**
+     * Compaction (extension): rewrites the live chunks of every sealed
+     * container whose dead share reaches `min_dead_fraction`, releases
+     * the container's SSD space, and returns the bytes reclaimed.
+     * Mappings are preserved (PBNs keep their identity; only their
+     * physical locations move), so concurrent readers are unaffected.
+     */
+    Result<std::uint64_t> compact(double min_dead_fraction = 0.5);
+
+    /**
+     * Checkpoint (journaling extension): snapshots the LBA-PBA table
+     * to the table SSD and truncates the journal.  Requires
+     * journal_metadata; call after flush().
+     */
+    Status checkpoint();
+
+    /**
+     * Crash test hook (journaling extension): discards the in-DRAM
+     * LBA-PBA table and rebuilds it from the snapshot plus the
+     * journal tail, exactly as a restart would.  Buffered-but-unflushed
+     * writes survive in the NIC's non-volatile buffer and re-enter the
+     * pipeline on the next flush, matching Sec 7.6.1's durability
+     * story.
+     */
+    Status simulate_crash_and_recover();
+
+    /**
+     * Multi-tenant hint (Sec 8 extension): subsequent writes touch
+     * the table cache as a high- or low-priority tenant; only
+     * meaningful under EvictionPolicy::kPrioritizedLru.
+     */
+    void set_priority_hint(bool high) { high_priority_ = high; }
+
+    /** Outcome of an integrity scrub pass. */
+    struct ScrubReport {
+        std::uint64_t chunks_verified = 0;
+        std::uint64_t digest_mismatches = 0;  ///< Payload corruption.
+        std::uint64_t mapping_errors = 0;     ///< Hash-PBN disagreement.
+
+        bool clean() const
+        { return digest_mismatches == 0 && mapping_errors == 0; }
+    };
+
+    /**
+     * Integrity scrub (extension): re-reads every live chunk,
+     * decompresses it, recomputes its SHA-256 and cross-checks both
+     * the recorded digest and the Hash-PBN table's verdict.  A clean
+     * store returns a report with zero errors; flipped bits in the
+     * simulated flash show up as digest mismatches.
+     */
+    Result<ScrubReport> scrub();
+
+    /** Journal occupancy (0 when journaling is disabled). */
+    std::uint64_t journal_records() const
+    { return journal_ ? journal_->records() : 0; }
+
+  private:
+    Status process_batch();
+    void bill_container_seals();
+
+    FidrConfig config_;
+    Platform platform_;
+    nic::FidrNic nic_;
+    std::unique_ptr<cache::CacheIndex> index_;
+    cache::HwTreeCacheIndex *hw_index_ = nullptr;  ///< Owned by index_.
+    std::unique_ptr<cache::TableCache> table_cache_;
+    std::unique_ptr<DedupIndex> dedup_;
+    tables::LbaPbaTable lba_table_;
+    tables::ContainerLog containers_;
+    accel::CompressionEngine compressor_;
+    accel::DecompressionEngine decomp_;
+
+    void retire_if_dead(Pbn pbn);
+    Status journal_append(const tables::JournalRecord &record);
+
+    std::unique_ptr<tables::MetadataJournal> journal_;
+    std::uint64_t snapshot_base_ = 0;
+    SpaceTracker space_;
+    bool high_priority_ = false;
+    Pbn next_pbn_ = 0;
+    std::uint64_t sealed_billed_ = 0;
+    ReductionStats stats_;
+};
+
+}  // namespace fidr::core

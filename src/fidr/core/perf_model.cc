@@ -1,0 +1,89 @@
+#include "fidr/core/perf_model.h"
+
+namespace fidr::core {
+namespace {
+
+constexpr Bandwidth kUnbounded = 1e18;
+
+/** Ceilings common to both systems, from platform ledgers. */
+Projection
+project_platform(const Platform &platform, const ReductionStats &stats,
+                 Bandwidth target)
+{
+    Projection out;
+    out.client_bytes = static_cast<double>(
+        (stats.chunks_written + stats.chunks_read) * kChunkSize);
+    FIDR_CHECK(out.client_bytes > 0);
+    out.pcie_target = target;
+
+    const double mem_total = platform.fabric().host_memory().total();
+    out.mem_required = mem_total / out.client_bytes * target;
+    out.mem_cap =
+        mem_total > 0
+            ? platform.config().memory_bandwidth * out.client_bytes /
+                  mem_total
+            : kUnbounded;
+
+    const double cpu_total = platform.cpu().ledger().total();
+    out.cores_required = cpu_total / out.client_bytes * target;
+    out.cpu_cap = cpu_total > 0 ? platform.config().cpu_cores *
+                                      out.client_bytes / cpu_total
+                                : kUnbounded;
+
+    const auto &table_ssd = platform.config().table_ssd;
+    // Read and write streams use independent channels in the model;
+    // the tighter one limits.
+    const double t_read =
+        static_cast<double>(platform.table_ssd().bytes_read());
+    const double t_write =
+        static_cast<double>(platform.table_ssd().bytes_written());
+    Bandwidth ssd_cap = kUnbounded;
+    if (t_read > 0)
+        ssd_cap = std::min(ssd_cap, table_ssd.read_bandwidth *
+                                        out.client_bytes / t_read);
+    if (t_write > 0)
+        ssd_cap = std::min(ssd_cap, table_ssd.write_bandwidth *
+                                        out.client_bytes / t_write);
+    out.table_ssd_cap = ssd_cap;
+
+    out.tree_cap = kUnbounded;
+    return out;
+}
+
+}  // namespace
+
+const char *
+Projection::bottleneck() const
+{
+    const Bandwidth t = throughput();
+    if (t >= pcie_target)
+        return "PCIe target";
+    if (t == mem_cap)
+        return "host DRAM bandwidth";
+    if (t == cpu_cap)
+        return "CPU cores";
+    if (t == tree_cap)
+        return "Cache HW-Engine";
+    return "table SSD bandwidth";
+}
+
+Projection
+project(const BaselineSystem &system, Bandwidth target)
+{
+    return project_platform(system.platform(), system.reduction(), target);
+}
+
+Projection
+project(const FidrSystem &system, Bandwidth target)
+{
+    Projection out =
+        project_platform(system.platform(), system.reduction(), target);
+    if (const cache::HwTreeCacheIndex *hw = system.hw_index()) {
+        const double busy = hw->pipeline().busy_seconds();
+        if (busy > 0)
+            out.tree_cap = out.client_bytes / busy;
+    }
+    return out;
+}
+
+}  // namespace fidr::core

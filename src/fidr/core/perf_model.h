@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bottleneck projection: the paper's evaluation method (Sec 7.1/7.5).
+ *
+ * The authors measure resource demand at low throughput and project to
+ * the per-socket target with a "basic simulation model based on our
+ * measured CPU utilization, memory bandwidth and the throughput of
+ * FIDR Cache HW-Engine".  We do the same: after driving a workload
+ * through a system, every ledger knows demand-per-client-byte, and the
+ * projected system throughput is the minimum over
+ *
+ *   - the conservative PCIe target (75 GB/s per socket),
+ *   - host DRAM bandwidth / DRAM-traffic-per-byte  (Fig 4),
+ *   - socket cores / core-time-per-byte            (Fig 5),
+ *   - the Cache HW-Engine ceiling                  (Fig 13),
+ *   - table SSD bandwidth / table-IO-per-byte      (Table 5 "All").
+ */
+#pragma once
+
+#include "fidr/common/units.h"
+#include "fidr/core/baseline_system.h"
+#include "fidr/core/fidr_system.h"
+
+namespace fidr::core {
+
+/** Per-resource ceilings and target-rate requirements. */
+struct Projection {
+    double client_bytes = 0;
+
+    Bandwidth pcie_target = 0;      ///< Configured socket target.
+    Bandwidth mem_cap = 0;          ///< DRAM-bandwidth ceiling.
+    Bandwidth cpu_cap = 0;          ///< Core-count ceiling.
+    Bandwidth tree_cap = 0;         ///< Cache HW-Engine ceiling (or inf).
+    Bandwidth table_ssd_cap = 0;    ///< Table SSD bandwidth ceiling.
+
+    Bandwidth mem_required = 0;     ///< DRAM BW needed at pcie_target.
+    double cores_required = 0;      ///< Cores needed at pcie_target.
+
+    /** Projected achievable client throughput. */
+    Bandwidth
+    throughput() const
+    {
+        Bandwidth t = pcie_target;
+        t = std::min(t, mem_cap);
+        t = std::min(t, cpu_cap);
+        t = std::min(t, tree_cap);
+        t = std::min(t, table_ssd_cap);
+        return t;
+    }
+
+    /** Name of the resource that limits throughput(). */
+    const char *bottleneck() const;
+};
+
+/** Projects a driven baseline system to `target` client throughput. */
+Projection project(const BaselineSystem &system,
+                   Bandwidth target = calib::kTargetThroughput);
+
+/** Projects a driven FIDR system to `target` client throughput. */
+Projection project(const FidrSystem &system,
+                   Bandwidth target = calib::kTargetThroughput);
+
+}  // namespace fidr::core

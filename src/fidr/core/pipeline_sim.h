@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Discrete-event simulation of the FIDR write pipeline.
+ *
+ * The analytic projection (perf_model.h) finds the bottleneck from
+ * per-byte resource demands; this simulator complements it by running
+ * chunks through the staged pipeline with explicit queueing:
+ *
+ *   NIC SHA-256 core array -> host verdict processing (core pool) ->
+ *   Cache HW-Engine (pipelined tree) -> [unique only] Compression
+ *   Engine pool -> data SSD writes
+ *
+ * Each stage is a MultiServerQueue (or a rate-derived service time),
+ * so the simulated throughput reflects both the bottleneck *and* the
+ * pipeline's queueing behaviour, and per-stage utilizations show who
+ * is saturated.  The validation bench cross-checks this DES against
+ * the analytic projection on the Table 3 workloads — the paper's
+ * Sec 7.1 "simulation model" rebuilt both ways.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "fidr/common/units.h"
+#include "fidr/host/calibration.h"
+
+namespace fidr::core {
+
+/** Hardware sizing of the simulated write pipeline (one socket). */
+struct PipelineSimConfig {
+    // NIC SHA array: enough 4 Gbps cores across the NIC group for the
+    // socket target (Sec 6.2 scaled to 75 GB/s).
+    unsigned sha_cores = 152;
+    Bandwidth sha_core_rate = gb_per_s(0.5);
+
+    // Host verdict processing (bucket scan + LRU + bookkeeping +
+    // orchestration, the FIDR-resident CPU work).
+    unsigned host_cores = 22;
+    double host_us_per_chunk = calib::kCpuOrchestrationPerChunk +
+                               calib::kCpuBucketScanPerChunk +
+                               calib::kCpuLruPerChunk +
+                               calib::kCpuTableMiscPerChunk;
+
+    // Cache HW-Engine (single pipelined tree).
+    unsigned tree_update_lanes = 4;
+    unsigned tree_levels = calib::kHwTreePipelineLevels;
+    double tree_clock_hz = calib::kHwTreeClockHz;
+
+    // Compression Engine pool.
+    unsigned comp_engines = 4;
+    Bandwidth comp_engine_rate = gb_per_s(20);
+
+    // Data SSD array (compressed stream).
+    unsigned data_ssds = 8;
+    Bandwidth ssd_write_rate = gb_per_s(2.7);
+
+    // Table SSD pool serving 4 KB bucket fetches on cache misses.
+    unsigned table_ssds = 1;
+    Bandwidth table_ssd_rate = gb_per_s(16);
+
+    // Decompression Engine pool (read path).
+    unsigned decomp_engines = 2;
+    Bandwidth decomp_engine_rate = gb_per_s(20);
+    Bandwidth ssd_read_rate = gb_per_s(3.5);
+
+    // Workload statistics.
+    double miss_rate = 0.19;
+    double dedup_ratio = 0.84;
+    double comp_ratio = 0.5;
+    double read_fraction = 0.0;
+    /** Host work per read chunk; drops to the offload residual when
+     *  the Sec 7.5 extension is enabled. */
+    double read_us_per_chunk = calib::kCpuReadPerChunk;
+};
+
+/** Simulation outcome. */
+struct PipelineSimResult {
+    double seconds = 0;          ///< Makespan for the chunk stream.
+    Bandwidth throughput = 0;    ///< Client bytes per second.
+    double sha_utilization = 0;
+    double host_utilization = 0;
+    double tree_utilization = 0;
+    double comp_utilization = 0;
+    double ssd_utilization = 0;
+    double table_ssd_utilization = 0;
+    double decomp_utilization = 0;
+
+    /** Name of the most-utilized stage. */
+    const char *bottleneck() const;
+};
+
+/** Runs `chunks` 4 KB writes through the pipeline. */
+PipelineSimResult simulate_write_pipeline(const PipelineSimConfig &config,
+                                          std::uint64_t chunks,
+                                          std::uint64_t seed = 1);
+
+}  // namespace fidr::core

@@ -1,0 +1,41 @@
+#include "fidr/core/platform.h"
+
+namespace fidr::core {
+
+Platform::Platform(const PlatformConfig &config)
+    : config_(config),
+      fabric_(pcie::FabricConfig{}),
+      cpu_(config.cpu_cores),
+      memory_(config.memory_capacity),
+      data_ssds_(config.data_ssd_count, config.data_ssd),
+      table_ssd_(config.table_ssd),
+      hash_table_(table_ssd_,
+                  tables::HashPbnTable::buckets_for_capacity(
+                      config.expected_unique_chunks))
+{
+    // Switch group 0: the data path (NIC -> Compression Engine -> data
+    // SSDs, and data SSDs -> Decompression Engine -> NIC for reads).
+    const pcie::SwitchId data_switch = fabric_.add_switch("data-path");
+    nic_ = fabric_.add_device("fidr-nic", data_switch);
+    comp_ = fabric_.add_device("compression-engine", data_switch);
+    decomp_ = fabric_.add_device("decompression-engine", data_switch);
+    for (std::size_t i = 0; i < config.data_ssd_count; ++i) {
+        data_ssd_devs_.push_back(fabric_.add_device(
+            "data-ssd-" + std::to_string(i), data_switch));
+    }
+
+    // Switch group 1: the metadata path (Cache HW-Engine + table SSD).
+    const pcie::SwitchId meta_switch = fabric_.add_switch("metadata-path");
+    cache_engine_ = fabric_.add_device("cache-hw-engine", meta_switch);
+    table_ssd_dev_ = fabric_.add_device("table-ssd", meta_switch);
+}
+
+std::size_t
+Platform::cache_lines() const
+{
+    const double lines = static_cast<double>(hash_table_.num_buckets()) *
+                         config_.cache_fraction;
+    return static_cast<std::size_t>(lines) + 1;
+}
+
+}  // namespace fidr::core

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The shared hardware platform both storage systems run on: one CPU
+ * socket, host DRAM, a PCIe fabric with switch-grouped devices, data
+ * SSDs, a table SSD, and the Hash-PBN table living on it.
+ *
+ * Topology (paper Sec 5.6, Fig 6): the NIC, Compression Engine,
+ * Decompression Engine and data SSDs share a PCIe switch so FIDR's
+ * peer-to-peer transfers never cross the root complex; the Cache
+ * HW-Engine and the table SSD share a second switch.  The baseline
+ * uses the same physical topology but stages every transfer through
+ * host memory (it never issues P2P DMA).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fidr/host/calibration.h"
+#include "fidr/host/host.h"
+#include "fidr/pcie/fabric.h"
+#include "fidr/ssd/ssd.h"
+#include "fidr/tables/hash_pbn.h"
+
+namespace fidr::core {
+
+/** Sizing of one experiment platform. */
+struct PlatformConfig {
+    double cpu_cores = calib::kSocketCores;
+    Bandwidth memory_bandwidth = calib::kSocketMemBandwidth;
+    std::uint64_t memory_capacity = 256ull * kGiB;
+
+    std::size_t data_ssd_count = 2;
+    ssd::SsdConfig data_ssd;
+    ssd::SsdConfig table_ssd;
+
+    /** Hash-PBN table sizing: expected unique chunks. */
+    std::uint64_t expected_unique_chunks = 2'000'000;
+
+    /** Table cache size as a fraction of the table (Sec 7.1: 2.8%). */
+    double cache_fraction = 0.028;
+
+    PlatformConfig()
+    {
+        data_ssd.name = "data-ssd";
+        data_ssd.capacity_bytes = 1 * kTB;
+        table_ssd.name = "table-ssd";
+        table_ssd.capacity_bytes = 1 * kTB;
+        // Table SSDs serve small random buckets; the paper's Table 5
+        // budget is 2 GB/s.
+        table_ssd.read_bandwidth = gb_per_s(2.0);
+        table_ssd.write_bandwidth = gb_per_s(2.0);
+    }
+};
+
+/** Instantiated devices + resource ledgers of one server socket. */
+class Platform {
+  public:
+    explicit Platform(const PlatformConfig &config);
+
+    const PlatformConfig &config() const { return config_; }
+
+    pcie::Fabric &fabric() { return fabric_; }
+    const pcie::Fabric &fabric() const { return fabric_; }
+    host::HostCpu &cpu() { return cpu_; }
+    const host::HostCpu &cpu() const { return cpu_; }
+    host::HostMemory &memory() { return memory_; }
+
+    ssd::SsdArray &data_ssds() { return data_ssds_; }
+    const ssd::SsdArray &data_ssds() const { return data_ssds_; }
+    ssd::Ssd &table_ssd() { return table_ssd_; }
+    const ssd::Ssd &table_ssd() const { return table_ssd_; }
+    tables::HashPbnTable &hash_table() { return hash_table_; }
+    const tables::HashPbnTable &hash_table() const { return hash_table_; }
+
+    /** Cache lines implied by config (cache_fraction of the table). */
+    std::size_t cache_lines() const;
+
+    // PCIe endpoints.
+    pcie::DeviceId nic() const { return nic_; }
+    pcie::DeviceId compression_engine() const { return comp_; }
+    pcie::DeviceId decompression_engine() const { return decomp_; }
+    pcie::DeviceId cache_engine() const { return cache_engine_; }
+    pcie::DeviceId table_ssd_dev() const { return table_ssd_dev_; }
+    pcie::DeviceId data_ssd_dev(std::size_t i) const
+    { return data_ssd_devs_.at(i); }
+    std::size_t data_ssd_dev_count() const { return data_ssd_devs_.size(); }
+
+  private:
+    PlatformConfig config_;
+    pcie::Fabric fabric_;
+    host::HostCpu cpu_;
+    host::HostMemory memory_;
+    ssd::SsdArray data_ssds_;
+    ssd::Ssd table_ssd_;
+    tables::HashPbnTable hash_table_;
+
+    pcie::DeviceId nic_;
+    pcie::DeviceId comp_;
+    pcie::DeviceId decomp_;
+    pcie::DeviceId cache_engine_;
+    pcie::DeviceId table_ssd_dev_;
+    std::vector<pcie::DeviceId> data_ssd_devs_;
+};
+
+/** Canonical ledger tags: Table 1 rows (host DRAM traffic). */
+namespace memtag {
+inline const std::string kNicHost = "NIC<->host memory";
+inline const std::string kPrediction = "Host memory (unique prediction)";
+inline const std::string kFpga = "Host memory<->FPGAs";
+inline const std::string kTableCache = "Table cache management";
+inline const std::string kDataSsd = "Host memory<->data SSD";
+}  // namespace memtag
+
+/** Canonical CPU task tags: Fig 5b / Table 2 categories. */
+namespace cputag {
+inline const std::string kPredictor = "unique chunk predictor";
+inline const std::string kOrchestration = "request/IO orchestration";
+inline const std::string kTreeIndex = "table cache tree indexing";
+inline const std::string kTableSsd = "table SSD access";
+inline const std::string kScan = "table cache content access";
+inline const std::string kLru = "table cache replacement";
+inline const std::string kTableMisc = "table cache misc";
+inline const std::string kReadPath = "read path";
+}  // namespace cputag
+
+}  // namespace fidr::core

@@ -1,0 +1,57 @@
+#include "fidr/core/protocol_server.h"
+
+namespace fidr::core {
+
+Buffer
+ProtocolServer::ack_for(const nic::Frame &request)
+{
+    nic::Frame ack;
+    ack.op = nic::Op::kAck;
+    ack.lba = request.lba;
+
+    if (request.op == nic::Op::kWrite) {
+        ++stats_.writes;
+        Buffer payload = request.payload;
+        const Status written =
+            server_.write(request.lba, std::move(payload));
+        if (!written.is_ok())
+            ++stats_.errors;
+        // Write ack carries one status byte (0 = OK).
+        ack.payload.push_back(written.is_ok() ? 0 : 1);
+        return nic::encode(ack);
+    }
+
+    ++stats_.reads;
+    Result<Buffer> data = server_.read(request.lba);
+    if (data.is_ok()) {
+        ack.payload = data.take();
+    } else {
+        ++stats_.errors;  // Empty payload signals the failure.
+    }
+    return nic::encode(ack);
+}
+
+Result<Buffer>
+ProtocolServer::handle(std::span<const std::uint8_t> wire)
+{
+    Buffer out;
+    std::size_t offset = 0;
+    while (offset < wire.size()) {
+        Result<nic::Frame> frame = nic::decode(wire, offset);
+        if (!frame.is_ok()) {
+            ++stats_.errors;
+            return frame.status();
+        }
+        ++stats_.frames_decoded;
+        if (frame.value().op == nic::Op::kAck) {
+            ++stats_.errors;
+            return Status::invalid_argument(
+                "client sent an acknowledgment frame");
+        }
+        const Buffer ack = ack_for(frame.value());
+        out.insert(out.end(), ack.begin(), ack.end());
+    }
+    return out;
+}
+
+}  // namespace fidr::core

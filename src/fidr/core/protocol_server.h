@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Wire-protocol front end: the piece of the NIC that decodes client
+ * frames (Sec 6.2's simplified storage protocol) and drives a
+ * StorageServer, producing acknowledgment frames.
+ *
+ * Flow per the paper: write -> wait -> acknowledgment; read -> wait ->
+ * acknowledgment carrying the data.  Errors are acknowledged with an
+ * empty payload (length 0 where data was expected) so a client can
+ * distinguish a missing LBA from a 4 KB result.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "fidr/core/server.h"
+#include "fidr/nic/protocol.h"
+
+namespace fidr::core {
+
+/** Per-connection protocol statistics. */
+struct ProtocolStats {
+    std::uint64_t frames_decoded = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t errors = 0;  ///< Malformed frames or failed ops.
+};
+
+/** Decodes a client byte stream and applies it to a storage server. */
+class ProtocolServer {
+  public:
+    explicit ProtocolServer(StorageServer &server)
+        : server_(server) {}
+
+    /**
+     * Consumes every complete frame in `wire` and returns the
+     * concatenated acknowledgment frames.  A trailing partial frame
+     * is an error (the NIC's TCP engine delivers whole requests).
+     */
+    Result<Buffer> handle(std::span<const std::uint8_t> wire);
+
+    const ProtocolStats &stats() const { return stats_; }
+
+  private:
+    Buffer ack_for(const nic::Frame &request);
+
+    StorageServer &server_;
+    ProtocolStats stats_;
+};
+
+}  // namespace fidr::core

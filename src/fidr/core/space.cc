@@ -1,0 +1,111 @@
+#include "fidr/core/space.h"
+
+#include <algorithm>
+
+#include "fidr/common/status.h"
+
+namespace fidr::core {
+
+void
+SpaceTracker::on_store(Pbn pbn, const Digest &digest,
+                       const tables::ChunkLocation &location)
+{
+    auto [it, inserted] = chunks_.try_emplace(pbn);
+    if (!inserted) {
+        // Compaction re-store: retire the old placement's accounting.
+        FIDR_CHECK(it->second.live);
+        ContainerSpace &old_space =
+            containers_[it->second.location.container_id];
+        FIDR_CHECK(old_space.live_bytes >=
+                   it->second.location.compressed_size);
+        old_space.live_bytes -= it->second.location.compressed_size;
+        live_bytes_ -= it->second.location.compressed_size;
+    }
+    it->second.digest = digest;
+    it->second.location = location;
+    it->second.live = true;
+
+    ContainerSpace &space = containers_[location.container_id];
+    space.live_bytes += location.compressed_size;
+    space.pbns.push_back(pbn);
+    live_bytes_ += location.compressed_size;
+}
+
+std::optional<Digest>
+SpaceTracker::on_dead(Pbn pbn)
+{
+    const auto it = chunks_.find(pbn);
+    if (it == chunks_.end() || !it->second.live)
+        return std::nullopt;
+    it->second.live = false;
+
+    ContainerSpace &space = containers_[it->second.location.container_id];
+    const std::uint64_t bytes = it->second.location.compressed_size;
+    FIDR_CHECK(space.live_bytes >= bytes);
+    space.live_bytes -= bytes;
+    space.dead_bytes += bytes;
+    live_bytes_ -= bytes;
+    dead_bytes_ += bytes;
+    return it->second.digest;
+}
+
+std::vector<std::uint64_t>
+SpaceTracker::candidates(double min_dead_fraction) const
+{
+    std::vector<std::uint64_t> out;
+    for (const auto &[container, space] : containers_) {
+        if (space.dead_bytes > 0 &&
+            space.dead_fraction() >= min_dead_fraction) {
+            out.push_back(container);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Pbn>
+SpaceTracker::live_pbns(std::uint64_t container) const
+{
+    std::vector<Pbn> out;
+    const auto it = containers_.find(container);
+    if (it == containers_.end())
+        return out;
+    for (Pbn pbn : it->second.pbns) {
+        const auto cit = chunks_.find(pbn);
+        if (cit != chunks_.end() && cit->second.live &&
+            cit->second.location.container_id == container) {
+            out.push_back(pbn);
+        }
+    }
+    return out;
+}
+
+std::optional<Digest>
+SpaceTracker::digest_of(Pbn pbn) const
+{
+    const auto it = chunks_.find(pbn);
+    if (it == chunks_.end() || !it->second.live)
+        return std::nullopt;
+    return it->second.digest;
+}
+
+void
+SpaceTracker::release_container(std::uint64_t container)
+{
+    const auto it = containers_.find(container);
+    if (it == containers_.end())
+        return;
+    // All live chunks must have been moved out already.
+    FIDR_CHECK(it->second.live_bytes == 0);
+    dead_bytes_ -= it->second.dead_bytes;
+    for (Pbn pbn : it->second.pbns) {
+        const auto cit = chunks_.find(pbn);
+        if (cit != chunks_.end() && !cit->second.live &&
+            cit->second.location.container_id == container) {
+            chunks_.erase(cit);
+        }
+    }
+    containers_.erase(it);
+}
+
+}  // namespace fidr::core

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Storage cost model (paper Sec 7.8, Figs 15-16).
+ *
+ * Cost of serving an *effective* (logical) capacity at a target
+ * throughput = remaining data SSDs after reduction + the added
+ * reduction hardware (CPU share, FPGAs scaled by utilization, DRAM
+ * for the table cache, table SSDs).  Prices follow the paper: 0.5
+ * $/GB SSD, 5.5 $/GB DRAM, $7000 for a 22-core Xeon E5-4669v4, $7000
+ * for a VCU9P-class FPGA with 70% of its fabric practically usable.
+ *
+ * The baseline cannot scale past its per-socket bottleneck (~25 GB/s),
+ * so at higher targets it *partially* reduces: only the fraction it
+ * can keep up with is deduplicated/compressed and the remainder is
+ * stored raw — which is what makes its cost explode in Fig 16.
+ */
+#pragma once
+
+#include <string>
+
+#include "fidr/common/units.h"
+
+namespace fidr::cost {
+
+/** Unit prices and reduction assumptions. */
+struct CostParams {
+    double ssd_per_gb = 0.5;
+    double dram_per_gb = 5.5;
+    double cpu_price = 7000;    ///< One 22-core socket.
+    double cpu_cores = 22;
+    double fpga_price = 7000;   ///< One VCU9P-class board.
+    double fpga_usable = 0.7;   ///< Practically usable fabric fraction.
+
+    double dedup_ratio = 0.5;   ///< Fraction of chunks removed.
+    double comp_ratio = 0.5;    ///< Fraction of bytes removed.
+
+    /** Stored bytes per effective byte under full reduction. */
+    double
+    reduction_factor() const
+    {
+        return (1.0 - dedup_ratio) * (1.0 - comp_ratio);
+    }
+};
+
+/** Dollar cost split by component. */
+struct CostBreakdown {
+    double data_ssd = 0;
+    double table_ssd = 0;
+    double dram = 0;
+    double cpu = 0;
+    double fpga = 0;
+
+    double
+    total() const
+    {
+        return data_ssd + table_ssd + dram + cpu + fpga;
+    }
+};
+
+/** Resource demands of one system, per 75 GB/s socket unit. */
+struct SystemDemand {
+    double cores_per_gbps = 0;      ///< CPU cores per GB/s sustained.
+    double fpga_boards = 0;         ///< Utilization-weighted boards
+                                    ///< per 75 GB/s unit.
+    Bandwidth max_socket_throughput = 0;  ///< Reduction ceiling.
+};
+
+/** Calibrated demands of the two systems (from the perf model). */
+SystemDemand baseline_demand();
+SystemDemand fidr_demand();
+
+/** Cost of `effective_gb` with no data reduction at all. */
+CostBreakdown cost_no_reduction(double effective_gb,
+                                const CostParams &params = {});
+
+/**
+ * Cost of serving `effective_gb` at `throughput` with full or (when
+ * the system cannot keep up) partial reduction.
+ */
+CostBreakdown cost_with_reduction(double effective_gb, Bandwidth throughput,
+                                  const SystemDemand &demand,
+                                  const CostParams &params = {});
+
+/** Fractional saving of `reduced` against the no-reduction cost. */
+double cost_saving(const CostBreakdown &reduced,
+                   const CostBreakdown &no_reduction);
+
+}  // namespace fidr::cost

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * FPGA resource accounting for the FIDR hardware modules
+ * (paper Tables 4 and 5).
+ *
+ * The prototype targets the Xilinx VCU1525 board (XCVU9P device).
+ * Module inventories are composed from calibrated per-component
+ * budgets: the NIC is a basic NIC + TCP-offload core plus N SHA-256
+ * cores and buffering/scheduling glue, and the Cache HW-Engine is the
+ * pipelined tree (cost per level) plus free-list and optional table
+ * SSD (NVMe) controllers.  Per-component numbers are fitted to the
+ * paper's reported rows and documented inline.
+ */
+#pragma once
+
+#include <string>
+
+namespace fidr::fpga {
+
+/** Absolute resource counts. */
+struct Resources {
+    double luts = 0;
+    double flip_flops = 0;
+    double brams = 0;   ///< BRAM36 blocks.
+    double urams = 0;
+
+    Resources
+    operator+(const Resources &o) const
+    {
+        return {luts + o.luts, flip_flops + o.flip_flops, brams + o.brams,
+                urams + o.urams};
+    }
+
+    Resources
+    operator*(double k) const
+    {
+        return {luts * k, flip_flops * k, brams * k, urams * k};
+    }
+};
+
+/** A target device's totals. */
+struct Device {
+    std::string name;
+    double luts = 0;
+    double flip_flops = 0;
+    double brams = 0;
+    double urams = 0;
+};
+
+/** XCVU9P (VCU1525 board): the prototype's device. */
+Device vcu1525();
+
+/** Utilization percentages of `used` on `device`. */
+struct Utilization {
+    double luts_pct = 0;
+    double flip_flops_pct = 0;
+    double brams_pct = 0;
+    double urams_pct = 0;
+};
+Utilization utilization(const Resources &used, const Device &device);
+
+// --- FIDR NIC components (Table 4) ---------------------------------
+
+/** Ethernet + TCP offload + protocol engine (the "basic NIC"). */
+Resources nic_base();
+
+/** One SHA-256 core (opencores-derived, Sec 6.2). */
+Resources sha256_core();
+
+/** Buffer/DDR controllers + compression scheduler glue. */
+Resources nic_reduction_glue();
+
+/**
+ * Full data-reduction support block with `sha_cores` hash cores
+ * (write-only sizing uses 16 cores for 64 Gbps; the mixed workload
+ * needs half the hash rate, 8 cores).
+ */
+Resources nic_reduction_support(unsigned sha_cores);
+
+// --- Cache HW-Engine components (Table 5) --------------------------
+
+/** Cache HW-Engine configuration mirroring Table 5's columns. */
+struct CacheEngineConfig {
+    unsigned onchip_levels = 8;   ///< Non-leaf pipeline stages on chip.
+    bool leaf_in_dram = true;     ///< 16-key leaf level in board DRAM.
+    bool table_ssd_controller = true;  ///< NVMe queues in the engine.
+    bool use_uram = false;        ///< Deep trees keep nodes in URAM.
+};
+
+/** Composed engine resources for a configuration. */
+Resources cache_engine(const CacheEngineConfig &config);
+
+}  // namespace fidr::fpga

@@ -1,0 +1,19 @@
+#include "fidr/hash/digest.h"
+
+#include "fidr/common/bytes.h"
+
+namespace fidr {
+
+std::uint64_t
+Digest::prefix64() const
+{
+    return load_le(bytes_.data(), 8);
+}
+
+std::string
+Digest::to_hex() const
+{
+    return fidr::to_hex(std::span<const std::uint8_t>(bytes_));
+}
+
+}  // namespace fidr

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * 256-bit chunk signature value type.
+ *
+ * Deduplication compares digests instead of raw chunk bytes (paper Sec
+ * 2.1.2); with SHA-256 the collision probability across petabytes of 4 KB
+ * chunks is negligible, so digest equality is treated as content equality
+ * throughout the system.
+ */
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace fidr {
+
+/** A 32-byte digest with value semantics and cheap comparisons. */
+class Digest {
+  public:
+    static constexpr std::size_t kSize = 32;
+
+    /** Zero digest (never produced by SHA-256 in practice). */
+    Digest() : bytes_{} {}
+
+    explicit Digest(const std::array<std::uint8_t, kSize> &bytes)
+        : bytes_(bytes) {}
+
+    const std::array<std::uint8_t, kSize> &bytes() const { return bytes_; }
+    std::array<std::uint8_t, kSize> &bytes() { return bytes_; }
+
+    /** First 8 bytes as a little-endian integer; used for bucket hashing. */
+    std::uint64_t prefix64() const;
+
+    /** Lowercase hex string (64 chars). */
+    std::string to_hex() const;
+
+    auto operator<=>(const Digest &) const = default;
+
+  private:
+    std::array<std::uint8_t, kSize> bytes_;
+};
+
+}  // namespace fidr
+
+/** std::hash support so digests can key unordered containers. */
+template <>
+struct std::hash<fidr::Digest> {
+    std::size_t
+    operator()(const fidr::Digest &d) const noexcept
+    {
+        return static_cast<std::size_t>(d.prefix64());
+    }
+};

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Calibration constants for the performance model.
+ *
+ * The reproduction's data flows are mechanistic (every DMA, buffer
+ * copy, bucket scan and tree update debits a ledger), but the paper's
+ * testbed fixes the absolute per-event costs.  Every constant here is
+ * derived from a number the paper reports and carries its provenance.
+ *
+ * Reference profiling point: a write-only workload at the Write-M
+ * operating point of Table 3 (84% dedup, 50% compression, 81%
+ * table-cache hit rate); the baseline then needs 67 Xeon cores and
+ * ~317 GB/s of DRAM bandwidth at 75 GB/s of client throughput
+ * (Figs 4-5).  Sec 3.2 nominally sets the profiling dedup ratio to
+ * 50%, but the paper's own Table 1 shares are only consistent with
+ * this Write-M point (see EXPERIMENTS.md), so we calibrate here.
+ *
+ * CPU costs are core-microseconds per 4 KB chunk.  The total at the
+ * reference point is 67 cores / 75 GB/s = 0.893 core-s per GB =
+ * 3.659 core-us per chunk, split using Fig 5b (predictor 32.7%, table
+ * cache management 52.4%, rest 14.9%) and Table 2 (within table cache
+ * management: tree indexing 43.9%, table SSD access 24.7%, content
+ * access 6.3%, replacement 1.0%, remainder "other").
+ */
+#pragma once
+
+#include "fidr/common/units.h"
+
+namespace fidr::calib {
+
+// ---------------------------------------------------------------------
+// Socket envelope (paper Sec 3.2, 7.5).
+// ---------------------------------------------------------------------
+
+/** Cores in the high-end socket used for projection (Xeon E5-4669 v4). */
+inline constexpr double kSocketCores = 22.0;
+
+/** Theoretical socket DRAM bandwidth: 8 channels (Sec 3.2.1). */
+inline constexpr Bandwidth kSocketMemBandwidth = gb_per_s(170);
+
+/** Theoretical per-socket PCIe bandwidth (1 Tbps, Sec 1). */
+inline constexpr Bandwidth kSocketPcieBandwidth = gb_per_s(128);
+
+/** Conservative client-throughput target: 60% of PCIe (Sec 3.2). */
+inline constexpr Bandwidth kTargetThroughput = gb_per_s(75);
+
+// ---------------------------------------------------------------------
+// Reference operating point used to derive per-event costs.
+// ---------------------------------------------------------------------
+
+/** Table-cache miss rate at the profiling point (Write-M, Table 3). */
+inline constexpr double kRefMissRate = 0.19;
+
+/** Cores the baseline needs at 75 GB/s write-only (Fig 5a). */
+inline constexpr double kRefBaselineCores = 67.0;
+
+/** Core-us per 4 KB chunk for the baseline at the reference point. */
+inline constexpr double kRefBaselineUsPerChunk =
+    kRefBaselineCores / (75e9 / 4096.0) * 1e6;  // = 3.659 us
+
+// ---------------------------------------------------------------------
+// CPU cost per task, core-microseconds per 4 KB chunk (or per event).
+// Shares: Fig 5b and Table 2, applied to kRefBaselineUsPerChunk.
+// ---------------------------------------------------------------------
+
+/** Unique-chunk predictor (baseline only): 32.7% of CPU (Fig 5b). */
+inline constexpr double kCpuPredictorPerChunk = 1.196;
+
+/**
+ * Request handling, batch scheduling, DMA management and the data-SSD
+ * NVMe stack on the write path: the 14.9% of Fig 5b that is neither
+ * predictor nor table caching.
+ */
+inline constexpr double kCpuOrchestrationPerChunk = 0.545;
+
+/** Software tree lookup per chunk (part of Table 2's 43.9%). */
+inline constexpr double kCpuTreeLookupPerChunk = 0.40;
+
+/**
+ * Software tree update work per cache miss (insert of the fetched
+ * bucket plus delete of the victim).  Chosen so lookup + miss-rate
+ * scaled updates reproduce Table 2's 43.9% share at 19% miss rate:
+ * 0.40 + 0.19 * 2.33 = 0.843 us = 43.9% of the 1.917 us table share.
+ */
+inline constexpr double kCpuTreeUpdatePerMiss = 2.33;
+
+/**
+ * Table-SSD software stack per cache miss (submit/poll for the bucket
+ * fetch and any dirty flush): Table 2's 24.7% share / 19% miss rate.
+ */
+inline constexpr double kCpuTableSsdPerMiss = 2.49;
+
+/** Scanning the cached bucket content per chunk: Table 2's 6.3%. */
+inline constexpr double kCpuBucketScanPerChunk = 0.121;
+
+/** LRU list maintenance per chunk: Table 2's 1.0%. */
+inline constexpr double kCpuLruPerChunk = 0.019;
+
+/**
+ * Residual table-cache-management work (allocation, locking, cache
+ * bookkeeping) that stays on the host in both systems: the unlisted
+ * remainder of Table 2 (~24% of the table-caching share).
+ */
+inline constexpr double kCpuTableMiscPerChunk = 0.462;
+
+/**
+ * Read-path host work per chunk (LBA-PBA lookup, data-SSD NVMe stack,
+ * decompression orchestration, data forwarding).  Derived from the
+ * mixed-workload constraint of Fig 5b: with reads costing 2.478 us the
+ * memory-management share of mixed CPU lands at 50.8%.
+ */
+inline constexpr double kCpuReadPerChunk = 2.478;
+
+/**
+ * Read-path host work remaining when the NVMe software stack is
+ * offloaded to the FPGA (the paper's future-work extension, Sec 7.5):
+ * only the LBA-PBA lookup and completion notification stay on the CPU.
+ */
+inline constexpr double kCpuReadOffloadResidual = 0.5;
+
+// ---------------------------------------------------------------------
+// Host-DRAM traffic factors (bytes of DRAM traffic per byte involved).
+// These make the mechanistic flows land on Table 1's shares.
+// ---------------------------------------------------------------------
+
+/**
+ * Fraction of a 4 KB bucket the duplicate-detection scan actually
+ * touches on average (entries are scanned until a match/mismatch is
+ * resolved).  Calibrated so the table-caching share of DRAM traffic
+ * matches Table 1's 25.7% at the reference point.
+ */
+inline constexpr double kBucketScanFraction = 0.8;
+
+/** Fraction of evicted table-cache lines that are dirty (need flush). */
+inline constexpr double kDirtyEvictFraction = 0.5;
+
+// ---------------------------------------------------------------------
+// FIDR Cache HW-Engine pipeline model (Fig 13, Table 5).
+// ---------------------------------------------------------------------
+
+/** Engine clock; VCU1525 designs of this size close around 250 MHz. */
+inline constexpr double kHwTreeClockHz = 250e6;
+
+/**
+ * Effective engine cycles per chunk lookup, dominated by streaming the
+ * 16-key leaf node (608 B) over the 512-bit FPGA DRAM bus (~10 bus
+ * beats).  Fitted together with kHwTreeUpdateCyclesPerLevel to Fig
+ * 13's two Write-M endpoints (27.1 GB/s at 1 update lane, 63.8 GB/s
+ * at 4 lanes, 19% miss rate).
+ */
+inline constexpr double kHwTreeSearchCycles = 8.8;
+
+/**
+ * Engine cycles per tree update *per pipeline level* in single-update
+ * mode: an update traverses the search pipeline and then the update
+ * pipeline in reverse (Sec 5.5.1), so its cost scales with tree depth.
+ * With L update lanes the effective cost divides by L.  14 levels x
+ * 5.44 = 76.2 cycles reproduces Fig 13's Write-M endpoints; 9 levels
+ * reproduces Table 5's 80 GB/s medium-tree estimate.
+ */
+inline constexpr double kHwTreeUpdateCyclesPerLevel = 5.44;
+
+/** Tree updates per table-cache miss (insert fetched + delete victim). */
+inline constexpr double kHwTreeUpdatesPerMiss = 2.0;
+
+/** Pipeline depth emulated in the Fig 13 experiments (PB-scale tree). */
+inline constexpr unsigned kHwTreePipelineLevels = 14;
+
+/** FPGA-board DRAM bandwidth serving leaf nodes (one DDR4 channel). */
+inline constexpr Bandwidth kHwTreeDramBandwidth = gb_per_s(19.2);
+
+/** Leaf node size: 16 keys x 38 B entries (Sec 6.3). */
+inline constexpr double kHwTreeLeafBytes = 16 * 38.0;
+
+/** Observed misspeculation (crash/replay) rate bound (Sec 5.5.1). */
+inline constexpr double kHwTreeCrashRateBound = 0.001;
+
+// ---------------------------------------------------------------------
+// Latency model anchors (Sec 7.6: 700 us baseline vs 490 us FIDR
+// server-side latency for a batched 4 KB read).
+// ---------------------------------------------------------------------
+
+/** Host software stack latency added per staged hop in the baseline. */
+inline constexpr SimTime kHostStagingLatency = 100 * kMicrosecond;
+
+/** Batch size (4 KB reads) used in the Sec 7.6 measurement. */
+inline constexpr unsigned kLatencyBatchSize = 32;
+
+}  // namespace fidr::calib

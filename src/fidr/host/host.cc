@@ -1,0 +1,41 @@
+#include "fidr/host/host.h"
+
+namespace fidr::host {
+
+Status
+HostMemory::claim(const std::string &component, std::uint64_t bytes)
+{
+    if (used_ + bytes > capacity_) {
+        return Status::out_of_space("host memory: " + component +
+                                    " claim exceeds capacity");
+    }
+    claims_[component] += bytes;
+    used_ += bytes;
+    return Status::ok();
+}
+
+void
+HostMemory::release(const std::string &component, std::uint64_t bytes)
+{
+    auto it = claims_.find(component);
+    FIDR_CHECK(it != claims_.end() && it->second >= bytes);
+    it->second -= bytes;
+    used_ -= bytes;
+    if (it->second == 0)
+        claims_.erase(it);
+}
+
+std::uint64_t
+HostMemory::used_by(const std::string &component) const
+{
+    const auto it = claims_.find(component);
+    return it == claims_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+HostMemory::breakdown() const
+{
+    return {claims_.begin(), claims_.end()};
+}
+
+}  // namespace fidr::host

@@ -1,0 +1,420 @@
+#include "fidr/hwtree/hw_tree.h"
+
+#include <algorithm>
+
+namespace fidr::hwtree {
+
+struct HwTree::Node {
+    NodeId id = 0;
+    bool leaf = true;
+    std::vector<Key> keys;
+    std::vector<Value> values;     ///< Leaf only.
+    std::vector<Node *> children;  ///< Internal only.
+};
+
+namespace {
+
+std::size_t
+child_index(const std::vector<HwTree::Key> &keys, HwTree::Key key)
+{
+    return static_cast<std::size_t>(
+        std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+}  // namespace
+
+HwTree::HwTree(HwTreeConfig config) : config_(config)
+{
+    FIDR_CHECK(config_.leaf_capacity >= 4);
+    FIDR_CHECK(config_.internal_fanout >= 3);
+    FIDR_CHECK(config_.max_levels >= 2);
+    root_ = make_node(true);
+}
+
+HwTree::~HwTree()
+{
+    destroy(root_);
+}
+
+HwTree::Node *
+HwTree::make_node(bool leaf)
+{
+    Node *n = new Node();
+    n->id = next_id_++;
+    n->leaf = leaf;
+    return n;
+}
+
+void
+HwTree::destroy(Node *node)
+{
+    if (!node)
+        return;
+    if (!node->leaf) {
+        for (Node *child : node->children)
+            destroy(child);
+    }
+    delete node;
+}
+
+void
+HwTree::touch(std::vector<NodeId> *touched, const Node *node) const
+{
+    if (touched)
+        touched->push_back(node->id);
+}
+
+unsigned
+HwTree::levels() const
+{
+    unsigned h = 1;
+    const Node *node = root_;
+    while (!node->leaf) {
+        node = node->children[0];
+        ++h;
+    }
+    return h;
+}
+
+unsigned
+HwTree::levels_for_entries(std::uint64_t entries, const HwTreeConfig &config)
+{
+    // One leaf level absorbs leaf_capacity keys per node; every level
+    // above multiplies addressable leaves by the internal fanout.
+    std::uint64_t leaves =
+        (entries + config.leaf_capacity - 1) / config.leaf_capacity;
+    if (leaves <= 1)
+        return 1;
+    unsigned levels = 1;
+    std::uint64_t reach = 1;
+    while (reach < leaves) {
+        reach *= config.internal_fanout;
+        ++levels;
+    }
+    return levels;
+}
+
+std::optional<HwTree::Value>
+HwTree::search(Key key, std::vector<NodeId> *path) const
+{
+    const Node *node = root_;
+    while (true) {
+        if (path)
+            path->push_back(node->id);
+        if (node->leaf)
+            break;
+        node = node->children[child_index(node->keys, key)];
+    }
+    const auto it =
+        std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    if (it == node->keys.end() || *it != key)
+        return std::nullopt;
+    return node->values[static_cast<std::size_t>(it - node->keys.begin())];
+}
+
+Result<bool>
+HwTree::insert(Key key, Value value, std::vector<NodeId> *touched)
+{
+    // Conservative depth guard: if the pipeline is already at its
+    // maximum depth and the root is full, a cascading split could need
+    // a new level the hardware does not have.
+    if (levels() == config_.max_levels && !root_->leaf &&
+        root_->keys.size() + 1 >= config_.internal_fanout) {
+        return Status::out_of_space("hw tree at pipeline depth limit");
+    }
+
+    std::vector<Node *> path;
+    Node *node = root_;
+    while (!node->leaf) {
+        path.push_back(node);
+        node = node->children[child_index(node->keys, key)];
+    }
+
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    const auto pos = static_cast<std::size_t>(it - node->keys.begin());
+    if (it != node->keys.end() && *it == key) {
+        node->values[pos] = value;
+        touch(touched, node);
+        return false;
+    }
+    node->keys.insert(it, key);
+    node->values.insert(node->values.begin() + pos, value);
+    ++size_;
+    touch(touched, node);
+
+    if (node->keys.size() <= config_.leaf_capacity)
+        return true;
+
+    const std::size_t mid = node->keys.size() / 2;
+    Node *right = make_node(true);
+    right->keys.assign(node->keys.begin() + mid, node->keys.end());
+    right->values.assign(node->values.begin() + mid, node->values.end());
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    touch(touched, right);
+    insert_into_parent(path, node, right->keys.front(), right, touched);
+    return true;
+}
+
+void
+HwTree::insert_into_parent(std::vector<Node *> &path, Node *left, Key sep,
+                           Node *right, std::vector<NodeId> *touched)
+{
+    if (path.empty()) {
+        Node *new_root = make_node(false);
+        new_root->keys.push_back(sep);
+        new_root->children = {left, right};
+        root_ = new_root;
+        touch(touched, new_root);
+        return;
+    }
+    Node *parent = path.back();
+    path.pop_back();
+
+    const auto cit =
+        std::find(parent->children.begin(), parent->children.end(), left);
+    FIDR_CHECK(cit != parent->children.end());
+    const auto idx = static_cast<std::size_t>(cit - parent->children.begin());
+    parent->keys.insert(parent->keys.begin() + idx, sep);
+    parent->children.insert(parent->children.begin() + idx + 1, right);
+    touch(touched, parent);
+
+    if (parent->keys.size() < config_.internal_fanout)
+        return;
+
+    const std::size_t mid = parent->keys.size() / 2;
+    const Key promoted = parent->keys[mid];
+    Node *new_right = make_node(false);
+    new_right->keys.assign(parent->keys.begin() + mid + 1,
+                           parent->keys.end());
+    new_right->children.assign(parent->children.begin() + mid + 1,
+                               parent->children.end());
+    parent->keys.resize(mid);
+    parent->children.resize(mid + 1);
+    touch(touched, new_right);
+    insert_into_parent(path, parent, promoted, new_right, touched);
+}
+
+bool
+HwTree::erase(Key key, std::vector<NodeId> *touched)
+{
+    std::vector<Node *> path;
+    Node *node = root_;
+    while (!node->leaf) {
+        path.push_back(node);
+        node = node->children[child_index(node->keys, key)];
+    }
+
+    const auto it =
+        std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    if (it == node->keys.end() || *it != key)
+        return false;
+    const auto pos = static_cast<std::size_t>(it - node->keys.begin());
+    node->keys.erase(it);
+    node->values.erase(node->values.begin() + pos);
+    --size_;
+    touch(touched, node);
+
+    rebalance(path, node, touched);
+    return true;
+}
+
+void
+HwTree::rebalance(std::vector<Node *> &path, Node *node,
+                  std::vector<NodeId> *touched)
+{
+    const auto min_keys = [this](const Node *n) -> std::size_t {
+        if (n->leaf)
+            return config_.leaf_capacity / 2;
+        return (config_.internal_fanout - 1) / 2;
+    };
+
+    while (true) {
+        if (path.empty()) {
+            if (!node->leaf && node->children.size() == 1) {
+                root_ = node->children[0];
+                delete node;
+            }
+            return;
+        }
+        if (node->keys.size() >= min_keys(node))
+            return;
+
+        Node *parent = path.back();
+        path.pop_back();
+        const auto cit = std::find(parent->children.begin(),
+                                   parent->children.end(), node);
+        FIDR_CHECK(cit != parent->children.end());
+        const auto idx =
+            static_cast<std::size_t>(cit - parent->children.begin());
+        Node *left = idx > 0 ? parent->children[idx - 1] : nullptr;
+        Node *right = idx + 1 < parent->children.size()
+                          ? parent->children[idx + 1]
+                          : nullptr;
+
+        if (left && left->keys.size() > min_keys(left)) {
+            if (node->leaf) {
+                node->keys.insert(node->keys.begin(), left->keys.back());
+                node->values.insert(node->values.begin(),
+                                    left->values.back());
+                left->keys.pop_back();
+                left->values.pop_back();
+                parent->keys[idx - 1] = node->keys.front();
+            } else {
+                node->keys.insert(node->keys.begin(),
+                                  parent->keys[idx - 1]);
+                node->children.insert(node->children.begin(),
+                                      left->children.back());
+                parent->keys[idx - 1] = left->keys.back();
+                left->keys.pop_back();
+                left->children.pop_back();
+            }
+            touch(touched, node);
+            touch(touched, left);
+            touch(touched, parent);
+            return;
+        }
+        if (right && right->keys.size() > min_keys(right)) {
+            if (node->leaf) {
+                node->keys.push_back(right->keys.front());
+                node->values.push_back(right->values.front());
+                right->keys.erase(right->keys.begin());
+                right->values.erase(right->values.begin());
+                parent->keys[idx] = right->keys.front();
+            } else {
+                node->keys.push_back(parent->keys[idx]);
+                node->children.push_back(right->children.front());
+                parent->keys[idx] = right->keys.front();
+                right->keys.erase(right->keys.begin());
+                right->children.erase(right->children.begin());
+            }
+            touch(touched, node);
+            touch(touched, right);
+            touch(touched, parent);
+            return;
+        }
+
+        Node *into = left ? left : node;
+        Node *from = left ? node : right;
+        const std::size_t sep_idx = left ? idx - 1 : idx;
+        FIDR_CHECK(from != nullptr);
+
+        if (into->leaf) {
+            into->keys.insert(into->keys.end(), from->keys.begin(),
+                              from->keys.end());
+            into->values.insert(into->values.end(), from->values.begin(),
+                                from->values.end());
+        } else {
+            into->keys.push_back(parent->keys[sep_idx]);
+            into->keys.insert(into->keys.end(), from->keys.begin(),
+                              from->keys.end());
+            into->children.insert(into->children.end(),
+                                  from->children.begin(),
+                                  from->children.end());
+        }
+        parent->keys.erase(parent->keys.begin() + sep_idx);
+        parent->children.erase(parent->children.begin() + sep_idx + 1);
+        touch(touched, into);
+        touch(touched, parent);
+        delete from;
+
+        node = parent;
+    }
+}
+
+std::vector<std::pair<HwTree::Key, HwTree::Value>>
+HwTree::items() const
+{
+    std::vector<std::pair<Key, Value>> out;
+    out.reserve(size_);
+    // DFS left-to-right: leaves emit entries in key order.
+    std::vector<const Node *> stack{root_};
+    while (!stack.empty()) {
+        const Node *n = stack.back();
+        stack.pop_back();
+        if (n->leaf) {
+            for (std::size_t i = 0; i < n->keys.size(); ++i)
+                out.emplace_back(n->keys[i], n->values[i]);
+            continue;
+        }
+        for (std::size_t i = n->children.size(); i-- > 0;)
+            stack.push_back(n->children[i]);
+    }
+    return out;
+}
+
+Status
+HwTree::validate() const
+{
+    struct Frame {
+        const Node *node;
+        bool has_lo;
+        Key lo;
+        bool has_hi;
+        Key hi;
+        unsigned depth;
+    };
+    std::vector<Frame> stack{{root_, false, 0, false, 0, 1}};
+    std::size_t counted = 0;
+    unsigned leaf_depth = 0;
+    bool leaf_depth_set = false;
+
+    while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        const Node *n = f.node;
+
+        if (!std::is_sorted(n->keys.begin(), n->keys.end()) ||
+            std::adjacent_find(n->keys.begin(), n->keys.end()) !=
+                n->keys.end()) {
+            return Status::internal("keys not strictly sorted");
+        }
+        for (Key k : n->keys) {
+            if ((f.has_lo && k < f.lo) || (f.has_hi && k >= f.hi))
+                return Status::internal("key outside subtree bounds");
+        }
+
+        if (n->leaf) {
+            if (n->values.size() != n->keys.size())
+                return Status::internal("leaf keys/values mismatch");
+            if (n->keys.size() > config_.leaf_capacity)
+                return Status::internal("leaf overfilled");
+            if (n != root_ && n->keys.size() < config_.leaf_capacity / 2)
+                return Status::internal("leaf underfilled");
+            if (!leaf_depth_set) {
+                leaf_depth = f.depth;
+                leaf_depth_set = true;
+            } else if (f.depth != leaf_depth) {
+                return Status::internal("leaves at different depths");
+            }
+            counted += n->keys.size();
+            continue;
+        }
+
+        if (n->children.size() != n->keys.size() + 1)
+            return Status::internal("child count != keys + 1");
+        if (n->children.size() > config_.internal_fanout)
+            return Status::internal("internal node overfilled");
+        if (n != root_ && n->keys.size() < (config_.internal_fanout - 1) / 2)
+            return Status::internal("internal node underfilled");
+        if (f.depth >= config_.max_levels)
+            return Status::internal("tree deeper than pipeline budget");
+
+        for (std::size_t i = n->children.size(); i-- > 0;) {
+            Frame cf;
+            cf.node = n->children[i];
+            cf.depth = f.depth + 1;
+            cf.has_lo = i > 0 || f.has_lo;
+            cf.lo = i > 0 ? n->keys[i - 1] : f.lo;
+            cf.has_hi = i < n->keys.size() || f.has_hi;
+            cf.hi = i < n->keys.size() ? n->keys[i] : f.hi;
+            stack.push_back(cf);
+        }
+    }
+
+    if (counted != size_)
+        return Status::internal("size counter mismatch");
+    return Status::ok();
+}
+
+}  // namespace fidr::hwtree

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Functional model of the FIDR Cache HW-Engine's pipelined tree
+ * (paper Sec 5.5, 6.3).
+ *
+ * The hardware structure is a balanced search tree where each level is
+ * a pipeline stage (after Yang & Prasanna [48]) with two FIDR
+ * modifications:
+ *  - non-leaf nodes keep at most 2 keys (fanout 3) so every non-leaf
+ *    level fits in single-cycle on-chip memory, while the *leaf* level
+ *    holds 16 keys per node and lives in FPGA-board DRAM — this is
+ *    what lets a 13+1-level tree index a ~100 GB table cache;
+ *  - updates (insert/delete) are issued speculatively and recovered
+ *    via a crash/replay controller (Algorithms 1-2), modelled in
+ *    TreePipeline (tree_pipeline.h).
+ *
+ * This class is the functional tree: a (bucket index -> cache line)
+ * map with stable node identifiers so the pipeline model can compute
+ * write-sets for conflict detection.  Property tests check it against
+ * std::map and its structural invariants after arbitrary op sequences.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fidr/common/status.h"
+
+namespace fidr::hwtree {
+
+/** Geometry of the hardware tree. */
+struct HwTreeConfig {
+    unsigned leaf_capacity = 16;  ///< Keys per leaf node (FPGA DRAM).
+    unsigned internal_fanout = 3; ///< Children per non-leaf node (on-chip).
+    unsigned max_levels = 14;     ///< Pipeline depth budget of the FPGA.
+};
+
+/** Stable identifier of a tree node, used for conflict detection. */
+using NodeId = std::uint64_t;
+
+/** Fixed-geometry balanced tree with modified-node reporting. */
+class HwTree {
+  public:
+    using Key = std::uint64_t;
+    using Value = std::uint64_t;
+
+    explicit HwTree(HwTreeConfig config = {});
+    ~HwTree();
+
+    HwTree(const HwTree &) = delete;
+    HwTree &operator=(const HwTree &) = delete;
+
+    /**
+     * Inserts or overwrites.  Returns kOutOfSpace if the insert would
+     * grow the tree beyond max_levels (the FPGA pipeline depth).
+     * Appends the ids of every node modified (including split products
+     * and touched siblings) to `touched` when non-null.
+     */
+    Result<bool> insert(Key key, Value value,
+                        std::vector<NodeId> *touched = nullptr);
+
+    /** Removes `key`; reports modified nodes like insert(). */
+    bool erase(Key key, std::vector<NodeId> *touched = nullptr);
+
+    /** Point lookup; records the traversed path when requested. */
+    std::optional<Value> search(Key key,
+                                std::vector<NodeId> *path = nullptr) const;
+
+    std::size_t size() const { return size_; }
+    unsigned levels() const;
+    const HwTreeConfig &config() const { return config_; }
+
+    /** Structural invariants; used by property tests. */
+    Status validate() const;
+
+    /** All (key, value) pairs in key order (test support). */
+    std::vector<std::pair<Key, Value>> items() const;
+
+    /**
+     * Pipeline levels needed to index `entries` keys with this
+     * geometry: one leaf level of `leaf_capacity` keys plus enough
+     * fanout-`internal_fanout` levels above it.  Reproduces the
+     * paper's 9 levels for a 410 MB cache and 14 for ~100 GB
+     * (Table 5).
+     */
+    static unsigned levels_for_entries(std::uint64_t entries,
+                                       const HwTreeConfig &config = {});
+
+  private:
+    struct Node;
+
+    Node *make_node(bool leaf);
+    static void destroy(Node *node);
+    void touch(std::vector<NodeId> *touched, const Node *node) const;
+    void insert_into_parent(std::vector<Node *> &path, Node *left, Key sep,
+                            Node *right, std::vector<NodeId> *touched);
+    void rebalance(std::vector<Node *> &path, Node *node,
+                   std::vector<NodeId> *touched);
+
+    HwTreeConfig config_;
+    Node *root_ = nullptr;
+    std::size_t size_ = 0;
+    NodeId next_id_ = 1;
+};
+
+}  // namespace fidr::hwtree

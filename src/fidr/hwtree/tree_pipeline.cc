@@ -1,0 +1,117 @@
+#include "fidr/hwtree/tree_pipeline.h"
+
+#include <algorithm>
+
+namespace fidr::hwtree {
+
+TreePipeline::TreePipeline(HwTree &tree, PipelineConfig config)
+    : tree_(tree), config_(config)
+{
+    FIDR_CHECK(config_.update_lanes >= 1);
+    FIDR_CHECK(config_.levels >= 2);
+}
+
+std::optional<HwTree::Value>
+TreePipeline::search(HwTree::Key key)
+{
+    ++stats_.searches;
+    stats_.cycles += config_.search_cycles;
+    stats_.dram_bytes += config_.leaf_bytes;  // One leaf-node read.
+    return tree_.search(key);
+}
+
+void
+TreePipeline::account_update(const std::vector<NodeId> &touched)
+{
+    // An update rides the search pipeline slot of the lookup that
+    // triggered it (the batch interface issues lookup+update fused),
+    // so it only adds the reverse-traversal/update cost plus one leaf
+    // write to FPGA DRAM.
+    ++stats_.updates;
+    stats_.dram_bytes += config_.leaf_bytes;
+
+    // Crash detection (Algorithm 1/2): the request crashes when its
+    // write-set intersects any write-set still in the speculation
+    // window.  With L lanes, up to L-1 earlier updates are in flight.
+    bool crash = false;
+    if (config_.update_lanes > 1) {
+        for (const auto &ws : window_) {
+            for (NodeId id : touched) {
+                if (std::find(ws.begin(), ws.end(), id) != ws.end()) {
+                    crash = true;
+                    break;
+                }
+            }
+            if (crash)
+                break;
+        }
+    }
+
+    if (crash) {
+        // Replay: the postponed changes are dropped and the request
+        // re-executes serially after the window drains.
+        ++stats_.crashes;
+        ++stats_.replays;
+        stats_.cycles += serial_update_cycles() / config_.update_lanes +
+                         serial_update_cycles();
+        stats_.dram_bytes += config_.leaf_bytes;
+        window_.clear();
+    } else {
+        stats_.cycles += serial_update_cycles() / config_.update_lanes;
+        if (config_.update_lanes > 1) {
+            window_.push_back(touched);
+            while (window_.size() >= config_.update_lanes)
+                window_.pop_front();
+        }
+    }
+}
+
+Result<bool>
+TreePipeline::insert(HwTree::Key key, HwTree::Value value)
+{
+    std::vector<NodeId> touched;
+    Result<bool> result = tree_.insert(key, value, &touched);
+    if (result.is_ok())
+        account_update(touched);
+    return result;
+}
+
+bool
+TreePipeline::erase(HwTree::Key key)
+{
+    std::vector<NodeId> touched;
+    const bool erased = tree_.erase(key, &touched);
+    // A miss still traverses both pipelines before discovering there
+    // is nothing to delete.
+    account_update(touched);
+    return erased;
+}
+
+Bandwidth
+TreePipeline::throughput(std::size_t bytes_per_op) const
+{
+    if (stats_.ops() == 0)
+        return 0;
+    const double ops = static_cast<double>(stats_.ops());
+    const double pipe_ops_per_s = config_.clock_hz / (stats_.cycles / ops);
+    const double dram_ops_per_s =
+        config_.dram_bandwidth / (stats_.dram_bytes / ops);
+    return std::min(pipe_ops_per_s, dram_ops_per_s) *
+           static_cast<double>(bytes_per_op);
+}
+
+double
+TreePipeline::busy_seconds() const
+{
+    return std::max(stats_.cycles / config_.clock_hz,
+                    stats_.dram_bytes / config_.dram_bandwidth);
+}
+
+void
+TreePipeline::reset_stats()
+{
+    stats_ = PipelineStats{};
+    window_.clear();
+}
+
+}  // namespace fidr::hwtree

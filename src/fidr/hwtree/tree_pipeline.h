@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Cycle-approximate model of the Cache HW-Engine's pipelined tree with
+ * speculative concurrent updates (paper Sec 5.5.1, Algorithms 1-2).
+ *
+ * The hardware issues update requests into the search pipeline without
+ * waiting for earlier updates to commit.  A request records the nodes
+ * it modifies; at commit time the crash/replay controller checks
+ * whether an earlier in-flight request speculatively updated any of
+ * the same nodes — if so the request "crashes": its postponed changes
+ * are dropped and it is re-inserted into the request queue (replay).
+ * Because hash-derived keys spread uniformly over a deep tree, crashes
+ * are rare (< 0.1%) and the L update lanes scale almost linearly
+ * (Fig 13).
+ *
+ * This model executes the real operations on the functional HwTree (so
+ * results are always correct — exactly the property Algorithm 2
+ * guarantees) while simulating the speculation window to count
+ * crashes/replays and to account cycles:
+ *
+ *   cycles = ops * search_cycles
+ *          + updates * (update_cycles(levels) / lanes)
+ *          + replays * update_cycles(levels)
+ *
+ * plus an FPGA-DRAM bandwidth ceiling of one leaf-node read per op and
+ * one leaf write per update.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "fidr/common/status.h"
+#include "fidr/common/units.h"
+#include "fidr/host/calibration.h"
+#include "fidr/hwtree/hw_tree.h"
+
+namespace fidr::hwtree {
+
+/** Pipeline parameters; defaults are the paper-calibrated values. */
+struct PipelineConfig {
+    unsigned update_lanes = 1;          ///< 1 = single-update baseline tree.
+    unsigned levels = calib::kHwTreePipelineLevels;
+    double clock_hz = calib::kHwTreeClockHz;
+    double search_cycles = calib::kHwTreeSearchCycles;
+    double update_cycles_per_level = calib::kHwTreeUpdateCyclesPerLevel;
+    Bandwidth dram_bandwidth = calib::kHwTreeDramBandwidth;
+    double leaf_bytes = calib::kHwTreeLeafBytes;
+};
+
+/** Counters accumulated while driving ops through the pipeline. */
+struct PipelineStats {
+    std::uint64_t searches = 0;  ///< Pure lookups.
+    std::uint64_t updates = 0;   ///< Inserts + erases (committed).
+    std::uint64_t crashes = 0;   ///< Misspeculations detected at commit.
+    std::uint64_t replays = 0;   ///< Requests re-run after a crash.
+    double cycles = 0;           ///< Engine cycles consumed.
+    double dram_bytes = 0;       ///< FPGA-board DRAM traffic.
+
+    std::uint64_t ops() const { return searches + updates; }
+
+    /** Observed crash rate among update requests. */
+    double
+    crash_rate() const
+    {
+        return updates > 0
+                   ? static_cast<double>(crashes) /
+                         static_cast<double>(updates)
+                   : 0.0;
+    }
+};
+
+/** Drives a HwTree through the speculative pipeline model. */
+class TreePipeline {
+  public:
+    TreePipeline(HwTree &tree, PipelineConfig config);
+
+    /** Lookup through the search pipeline. */
+    std::optional<HwTree::Value> search(HwTree::Key key);
+
+    /** Insert through the speculative update path. */
+    Result<bool> insert(HwTree::Key key, HwTree::Value value);
+
+    /** Erase through the speculative update path. */
+    bool erase(HwTree::Key key);
+
+    const PipelineStats &stats() const { return stats_; }
+    const PipelineConfig &config() const { return config_; }
+
+    /** Cycles one update costs when fully serialized. */
+    double
+    serial_update_cycles() const
+    {
+        return config_.update_cycles_per_level * config_.levels;
+    }
+
+    /**
+     * Engine throughput implied by the accumulated stats when each op
+     * carries `bytes_per_op` of client data (4 KB chunks): the lesser
+     * of the pipeline rate and the FPGA-DRAM ceiling.
+     */
+    Bandwidth throughput(std::size_t bytes_per_op = 4096) const;
+
+    /**
+     * Wall time the engine needs for the accumulated work: the larger
+     * of pipeline cycles at the clock and DRAM transfer time.  Used by
+     * the bottleneck projection (client_bytes / busy_seconds is the
+     * engine's client-throughput ceiling).
+     */
+    double busy_seconds() const;
+
+    void reset_stats();
+
+  private:
+    void account_update(const std::vector<NodeId> &touched);
+
+    HwTree &tree_;
+    PipelineConfig config_;
+    PipelineStats stats_;
+    /** Write-sets of the updates still in the speculation window. */
+    std::deque<std::vector<NodeId>> window_;
+};
+
+}  // namespace fidr::hwtree

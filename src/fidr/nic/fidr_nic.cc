@@ -1,0 +1,76 @@
+#include "fidr/nic/fidr_nic.h"
+
+namespace fidr::nic {
+
+FidrNic::FidrNic(FidrNicConfig config) : config_(config)
+{
+    FIDR_CHECK(config_.buffer_capacity >= kChunkSize);
+    FIDR_CHECK(config_.hash_batch >= 1);
+}
+
+Status
+FidrNic::buffer_write(Lba lba, Buffer data)
+{
+    if (data.size() != kChunkSize)
+        return Status::invalid_argument("write chunk must be 4 KB");
+    if (buffered_bytes() + kChunkSize > config_.buffer_capacity)
+        return Status::unavailable("NIC buffer full");
+    newest_[lba] = chunks_.size();
+    chunks_.push_back(BufferedChunk{lba, std::move(data), Digest{}, false});
+    ++total_buffered_;
+    return Status::ok();
+}
+
+std::vector<Digest>
+FidrNic::hash_buffered()
+{
+    std::vector<Digest> digests;
+    digests.reserve(chunks_.size());
+    for (BufferedChunk &chunk : chunks_) {
+        if (!chunk.hashed) {
+            chunk.digest = Sha256::hash(chunk.data);
+            chunk.hashed = true;
+            ++hashes_computed_;
+        }
+        digests.push_back(chunk.digest);
+    }
+    return digests;
+}
+
+std::vector<Lba>
+FidrNic::buffered_lbas() const
+{
+    std::vector<Lba> out;
+    out.reserve(chunks_.size());
+    for (const BufferedChunk &chunk : chunks_)
+        out.push_back(chunk.lba);
+    return out;
+}
+
+std::optional<Buffer>
+FidrNic::lookup_buffered(Lba lba) const
+{
+    const auto it = newest_.find(lba);
+    if (it == newest_.end())
+        return std::nullopt;
+    return chunks_[it->second].data;
+}
+
+Result<std::vector<BufferedChunk>>
+FidrNic::schedule_unique(std::span<const ChunkVerdict> verdicts)
+{
+    if (verdicts.size() != chunks_.size()) {
+        return Status::invalid_argument(
+            "verdict count does not match buffered batch");
+    }
+    std::vector<BufferedChunk> unique;
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+        if (verdicts[i] == ChunkVerdict::kUnique)
+            unique.push_back(std::move(chunks_[i]));
+    }
+    chunks_.clear();
+    newest_.clear();
+    return unique;
+}
+
+}  // namespace fidr::nic

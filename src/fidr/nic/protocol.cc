@@ -1,0 +1,74 @@
+#include "fidr/nic/protocol.h"
+
+#include <cstring>
+
+#include "fidr/common/bytes.h"
+
+namespace fidr::nic {
+namespace {
+
+/** Reads that declare a length only; the payload rides on the ack. */
+Buffer
+encode_header(Op op, Lba lba, std::uint32_t length)
+{
+    Buffer out(kFrameHeaderSize);
+    out[0] = static_cast<std::uint8_t>(op);
+    store_le(out.data() + 1, lba, 8);
+    store_le(out.data() + 9, length, 4);
+    return out;
+}
+
+}  // namespace
+
+Buffer
+encode(const Frame &frame)
+{
+    Buffer out = encode_header(frame.op, frame.lba,
+                               static_cast<std::uint32_t>(
+                                   frame.payload.size()));
+    out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+    return out;
+}
+
+Buffer
+encode_write(Lba lba, std::span<const std::uint8_t> data)
+{
+    Buffer out =
+        encode_header(Op::kWrite, lba,
+                      static_cast<std::uint32_t>(data.size()));
+    out.insert(out.end(), data.begin(), data.end());
+    return out;
+}
+
+Buffer
+encode_read(Lba lba, std::uint32_t length)
+{
+    return encode_header(Op::kRead, lba, length);
+}
+
+Result<Frame>
+decode(std::span<const std::uint8_t> wire, std::size_t &offset)
+{
+    if (offset + kFrameHeaderSize > wire.size())
+        return Status::corruption("truncated frame header");
+    Frame frame;
+    const std::uint8_t op = wire[offset];
+    if (op > static_cast<std::uint8_t>(Op::kAck))
+        return Status::corruption("unknown protocol op");
+    frame.op = static_cast<Op>(op);
+    frame.lba = load_le(wire.data() + offset + 1, 8);
+    const std::uint64_t length = load_le(wire.data() + offset + 9, 4);
+    offset += kFrameHeaderSize;
+
+    // Read requests declare a length but carry no payload bytes.
+    if (frame.op == Op::kRead)
+        return frame;
+    if (offset + length > wire.size())
+        return Status::corruption("truncated frame payload");
+    frame.payload.assign(wire.begin() + static_cast<long>(offset),
+                         wire.begin() + static_cast<long>(offset + length));
+    offset += length;
+    return frame;
+}
+
+}  // namespace fidr::nic

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Simplified block-storage wire protocol (paper Sec 6.2).
+ *
+ * The prototype replaces iSCSI with a minimal request/acknowledgment
+ * protocol: each frame carries an operation type, the LBA, a length,
+ * and (for writes and read acknowledgments) the data.  Layout:
+ *
+ *   frame := op:u8 lba:u64le length:u32le payload[length]
+ *
+ * The NIC's protocol engine decodes client frames after its TCP
+ * offload engine reassembles the stream; here the codec is exercised
+ * directly by the NIC models and the examples.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "fidr/common/status.h"
+#include "fidr/common/types.h"
+
+namespace fidr::nic {
+
+/** Protocol operation codes. */
+enum class Op : std::uint8_t {
+    kRead = 0,   ///< Client requests `length` bytes at `lba`.
+    kWrite = 1,  ///< Client writes payload at `lba`.
+    kAck = 2,    ///< Server acknowledgment (payload for reads).
+};
+
+/** Decoded protocol frame. */
+struct Frame {
+    Op op = Op::kRead;
+    Lba lba = 0;
+    Buffer payload;  ///< Empty for reads and write-acks.
+};
+
+/** Fixed header size in bytes. */
+inline constexpr std::size_t kFrameHeaderSize = 1 + 8 + 4;
+
+/** Encodes a frame to wire format. */
+Buffer encode(const Frame &frame);
+
+/** Encodes a write request. */
+Buffer encode_write(Lba lba, std::span<const std::uint8_t> data);
+
+/** Encodes a read request for `length` bytes. */
+Buffer encode_read(Lba lba, std::uint32_t length);
+
+/**
+ * Decodes one frame from `wire` starting at `offset`, advancing
+ * `offset` past it.  kCorruption on truncated/malformed input.
+ */
+Result<Frame> decode(std::span<const std::uint8_t> wire,
+                     std::size_t &offset);
+
+}  // namespace fidr::nic

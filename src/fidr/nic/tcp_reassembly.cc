@@ -1,0 +1,84 @@
+#include "fidr/nic/tcp_reassembly.h"
+
+namespace fidr::nic {
+
+Status
+TcpReassembler::receive(Segment segment)
+{
+    ++stats_.segments;
+    if (segment.payload.empty())
+        return Status::ok();
+
+    std::uint64_t seq = segment.seq;
+    Buffer payload = std::move(segment.payload);
+
+    // Trim the part we already delivered (retransmission overlap).
+    if (seq < next_seq_) {
+        const std::uint64_t overlap =
+            std::min<std::uint64_t>(next_seq_ - seq, payload.size());
+        stats_.duplicate_bytes += overlap;
+        if (overlap == payload.size())
+            return Status::ok();  // Pure duplicate.
+        payload.erase(payload.begin(),
+                      payload.begin() + static_cast<long>(overlap));
+        seq = next_seq_;
+    }
+
+    if (seq == next_seq_) {
+        ++stats_.in_order;
+        next_seq_ += payload.size();
+        ready_.insert(ready_.end(), payload.begin(), payload.end());
+        drain_parked();
+        return Status::ok();
+    }
+
+    // Out of order: park it, bounded by the reassembly window.
+    if (parked_bytes_ + payload.size() > window_) {
+        return Status::unavailable(
+            "reassembly window full; segment dropped");
+    }
+    ++stats_.out_of_order;
+    // Overlapping parked segments: keep the first arrival, trim this
+    // one against an existing segment at the same offset.
+    auto [it, inserted] = parked_.try_emplace(seq, std::move(payload));
+    if (!inserted) {
+        stats_.duplicate_bytes += it->second.size();
+        return Status::ok();
+    }
+    parked_bytes_ += it->second.size();
+    return Status::ok();
+}
+
+void
+TcpReassembler::drain_parked()
+{
+    auto it = parked_.begin();
+    while (it != parked_.end() && it->first <= next_seq_) {
+        const std::uint64_t seq = it->first;
+        Buffer payload = std::move(it->second);
+        parked_bytes_ -= payload.size();
+        it = parked_.erase(it);
+
+        if (seq + payload.size() <= next_seq_) {
+            stats_.duplicate_bytes += payload.size();
+            continue;  // Entirely behind the edge already.
+        }
+        const std::uint64_t overlap = next_seq_ - seq;
+        stats_.duplicate_bytes += overlap;
+        ready_.insert(ready_.end(),
+                      payload.begin() + static_cast<long>(overlap),
+                      payload.end());
+        next_seq_ += payload.size() - overlap;
+    }
+}
+
+Buffer
+TcpReassembler::take_ready()
+{
+    stats_.delivered_bytes += ready_.size();
+    Buffer out = std::move(ready_);
+    ready_ = Buffer{};
+    return out;
+}
+
+}  // namespace fidr::nic

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * TCP offload engine: in-NIC stream reassembly.
+ *
+ * The FIDR NIC terminates TCP in hardware (two 32 Gbps offload
+ * instances, Sec 6.2) so the protocol engine sees an in-order byte
+ * stream even when segments arrive out of order or duplicated.  This
+ * model implements the reassembly half of that engine: segments carry
+ * a stream offset (the simplified protocol does not need 32-bit
+ * sequence wraparound), out-of-order payloads wait in a bounded
+ * buffer, retransmissions and overlaps are trimmed, and take_ready()
+ * drains the contiguous prefix for the protocol decoder.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "fidr/common/status.h"
+#include "fidr/common/types.h"
+
+namespace fidr::nic {
+
+/** One received segment. */
+struct Segment {
+    std::uint64_t seq = 0;  ///< Stream offset of payload[0].
+    Buffer payload;
+};
+
+/** Reassembly statistics. */
+struct ReassemblyStats {
+    std::uint64_t segments = 0;
+    std::uint64_t in_order = 0;
+    std::uint64_t out_of_order = 0;   ///< Parked for later.
+    std::uint64_t duplicate_bytes = 0;  ///< Trimmed overlap.
+    std::uint64_t delivered_bytes = 0;
+};
+
+/** Bounded out-of-order reassembler. */
+class TcpReassembler {
+  public:
+    /** @param window max bytes parked beyond the contiguous edge. */
+    explicit TcpReassembler(std::size_t window = 1 << 20)
+        : window_(window) {}
+
+    /**
+     * Accepts one segment.  kUnavailable when parking it would exceed
+     * the reassembly window (sender must retransmit later, exactly
+     * like a closed TCP receive window).
+     */
+    Status receive(Segment segment);
+
+    /** Moves the ready (contiguous) byte stream out. */
+    Buffer take_ready();
+
+    /** Next stream offset the engine is waiting for. */
+    std::uint64_t next_seq() const { return next_seq_; }
+
+    /** Bytes currently parked out of order. */
+    std::size_t parked_bytes() const { return parked_bytes_; }
+
+    const ReassemblyStats &stats() const { return stats_; }
+
+  private:
+    void drain_parked();
+
+    std::size_t window_;
+    std::uint64_t next_seq_ = 0;
+    Buffer ready_;
+    std::map<std::uint64_t, Buffer> parked_;  ///< seq -> payload.
+    std::size_t parked_bytes_ = 0;
+    ReassemblyStats stats_;
+};
+
+}  // namespace fidr::nic

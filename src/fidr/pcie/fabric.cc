@@ -1,0 +1,109 @@
+#include "fidr/pcie/fabric.h"
+
+#include <algorithm>
+
+namespace fidr::pcie {
+
+Fabric::Fabric(FabricConfig config)
+    : config_(config), root_pipe_(config.root_complex_bandwidth)
+{
+}
+
+SwitchId
+Fabric::add_switch(const std::string &name)
+{
+    switches_.push_back(name);
+    return SwitchId{switches_.size() - 1};
+}
+
+DeviceId
+Fabric::add_device(const std::string &name, SwitchId parent,
+                   Bandwidth link_bandwidth)
+{
+    FIDR_CHECK(!parent.valid() || parent.index < switches_.size());
+    devices_.push_back(DeviceState{
+        DeviceInfo{name, parent, link_bandwidth},
+        sim::BandwidthPipe(link_bandwidth),
+        0,
+    });
+    return DeviceId{devices_.size() - 1};
+}
+
+Fabric::DeviceState &
+Fabric::state(DeviceId id)
+{
+    FIDR_CHECK(id.valid() && id.index < devices_.size());
+    return devices_[id.index];
+}
+
+const Fabric::DeviceState &
+Fabric::state(DeviceId id) const
+{
+    FIDR_CHECK(id.valid() && id.index < devices_.size());
+    return devices_[id.index];
+}
+
+const DeviceInfo &
+Fabric::info(DeviceId id) const
+{
+    return state(id).info;
+}
+
+DmaPath
+Fabric::dma(DeviceId src, DeviceId dst, std::uint64_t bytes,
+            const std::string &tag)
+{
+    FIDR_CHECK(!(src == kHostMemory && dst == kHostMemory));
+
+    if (src == kHostMemory || dst == kHostMemory) {
+        DeviceState &dev = state(src == kHostMemory ? dst : src);
+        dev.bytes += bytes;
+        root_complex_bytes_ += bytes;
+        host_memory_.add(tag, static_cast<double>(bytes));
+        return DmaPath::kHostEndpoint;
+    }
+
+    DeviceState &s = state(src);
+    DeviceState &d = state(dst);
+    s.bytes += bytes;
+    d.bytes += bytes;
+
+    const bool same_switch = s.info.parent.valid() &&
+                             s.info.parent == d.info.parent;
+    if (config_.allow_p2p && same_switch) {
+        p2p_bytes_ += bytes;
+        return DmaPath::kPeerToPeer;
+    }
+
+    // Staged through host DRAM: DMA write into memory then DMA read out,
+    // both crossing the root complex.
+    root_complex_bytes_ += 2 * bytes;
+    host_memory_.add(tag, 2.0 * static_cast<double>(bytes));
+    return DmaPath::kThroughHost;
+}
+
+SimTime
+Fabric::dma_complete_time(SimTime now, DeviceId src, DeviceId dst,
+                          std::uint64_t bytes)
+{
+    // Cut-through model: both endpoint links (and the root complex
+    // when host memory is involved) stream concurrently, so the DMA
+    // finishes when the slowest/busiest pipe drains.
+    const SimTime start = now + config_.dma_setup_latency;
+    SimTime done = start;
+    if (src != kHostMemory)
+        done = std::max(done, state(src).pipe.transfer(start, bytes));
+    if (dst != kHostMemory)
+        done = std::max(done, state(dst).pipe.transfer(start, bytes));
+    if (src == kHostMemory || dst == kHostMemory)
+        done = std::max(done, root_pipe_.transfer(start, bytes));
+    return done;
+}
+
+std::uint64_t
+Fabric::link_bytes(DeviceId id) const
+{
+    return state(id).bytes;
+}
+
+}  // namespace fidr::pcie

@@ -1,0 +1,87 @@
+#include "fidr/sim/event_queue.h"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+#include <utility>
+
+#include "fidr/common/status.h"
+
+namespace fidr::sim {
+
+void
+EventQueue::schedule(SimTime delay, EventFn fn)
+{
+    schedule_at(now_ + delay, std::move(fn));
+}
+
+void
+EventQueue::schedule_at(SimTime when, EventFn fn)
+{
+    FIDR_CHECK(when >= now_);
+    events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+SimTime
+EventQueue::run()
+{
+    while (!events_.empty()) {
+        // Copying the handle out before pop keeps the queue reentrant:
+        // the callback may schedule new events.
+        Event ev = events_.top();
+        events_.pop();
+        now_ = ev.when;
+        ev.fn();
+    }
+    return now_;
+}
+
+SimTime
+EventQueue::run_until(SimTime deadline)
+{
+    while (!events_.empty() && events_.top().when <= deadline) {
+        Event ev = events_.top();
+        events_.pop();
+        now_ = ev.when;
+        ev.fn();
+    }
+    now_ = std::max(now_, deadline);
+    return now_;
+}
+
+BandwidthPipe::BandwidthPipe(Bandwidth bandwidth) : bandwidth_(bandwidth)
+{
+    FIDR_CHECK(bandwidth > 0);
+}
+
+MultiServerQueue::MultiServerQueue(unsigned servers)
+{
+    FIDR_CHECK(servers >= 1);
+    free_.assign(servers, 0);
+    std::make_heap(free_.begin(), free_.end(), std::greater<>());
+}
+
+SimTime
+MultiServerQueue::serve(SimTime arrival, SimTime service)
+{
+    std::pop_heap(free_.begin(), free_.end(), std::greater<>());
+    const SimTime start = std::max(arrival, free_.back());
+    const SimTime done = start + service;
+    free_.back() = done;
+    std::push_heap(free_.begin(), free_.end(), std::greater<>());
+    busy_ns_ += static_cast<double>(service);
+    return done;
+}
+
+SimTime
+BandwidthPipe::transfer(SimTime start, std::uint64_t bytes)
+{
+    const SimTime begin = std::max(start, busy_until_);
+    const auto duration = static_cast<SimTime>(
+        std::llround(static_cast<double>(bytes) / bandwidth_ * 1e9));
+    busy_until_ = begin + duration;
+    bytes_ += bytes;
+    return busy_until_;
+}
+
+}  // namespace fidr::sim

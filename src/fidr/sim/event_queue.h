@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Minimal discrete-event simulation core.
+ *
+ * The latency experiments (paper Sec 7.6) need request-level timing
+ * through NIC, PCIe, engines and SSD queues.  EventQueue provides the
+ * usual schedule/run loop with deterministic FIFO ordering among events
+ * scheduled for the same tick.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "fidr/common/units.h"
+
+namespace fidr::sim {
+
+/** Callback invoked when its event fires. */
+using EventFn = std::function<void()>;
+
+/** Time-ordered event queue with a monotonically advancing clock. */
+class EventQueue {
+  public:
+    /** Current simulated time in nanoseconds. */
+    SimTime now() const { return now_; }
+
+    /** Schedules `fn` to run `delay` ns from now. */
+    void schedule(SimTime delay, EventFn fn);
+
+    /** Schedules `fn` at absolute time `when` (must be >= now). */
+    void schedule_at(SimTime when, EventFn fn);
+
+    /** Runs events until the queue drains; returns final time. */
+    SimTime run();
+
+    /** Runs events with firing time <= deadline; clock ends at deadline. */
+    SimTime run_until(SimTime deadline);
+
+    bool empty() const { return events_.empty(); }
+    std::size_t pending() const { return events_.size(); }
+
+  private:
+    struct Event {
+        SimTime when;
+        std::uint64_t seq;  ///< Tie-breaker: FIFO among same-tick events.
+        EventFn fn;
+    };
+    struct Later {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    SimTime now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+/**
+ * A shared link/port that serializes transfers at a fixed bandwidth.
+ * busy_until() models head-of-line occupancy: a transfer issued at time
+ * t completes at max(t, busy_until) + size/bandwidth, which is the
+ * standard store-and-forward pipe model.
+ */
+class BandwidthPipe {
+  public:
+    /** @param bandwidth bytes per second; must be positive. */
+    explicit BandwidthPipe(Bandwidth bandwidth);
+
+    /**
+     * Reserves the pipe for `bytes` starting no earlier than `start`;
+     * returns the completion time.
+     */
+    SimTime transfer(SimTime start, std::uint64_t bytes);
+
+    SimTime busy_until() const { return busy_until_; }
+    Bandwidth bandwidth() const { return bandwidth_; }
+
+    /** Total bytes ever pushed through the pipe. */
+    std::uint64_t bytes_transferred() const { return bytes_; }
+
+  private:
+    Bandwidth bandwidth_;
+    SimTime busy_until_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+/**
+ * A bank of identical servers with a shared FIFO discipline: each
+ * job grabs the earliest-available server no sooner than its arrival.
+ * Models multi-core host stages, SHA-core arrays, and compression
+ * engine pools in the pipeline simulator.
+ */
+class MultiServerQueue {
+  public:
+    explicit MultiServerQueue(unsigned servers);
+
+    /**
+     * Serves a job arriving at `arrival` for `service` ns; returns its
+     * completion time.
+     */
+    SimTime serve(SimTime arrival, SimTime service);
+
+    unsigned servers() const { return static_cast<unsigned>(free_.size()); }
+
+    /** Total service time delivered (for utilization reports). */
+    double busy_seconds() const { return busy_ns_ * 1e-9; }
+
+    /** Utilization over a horizon of `seconds`. */
+    double
+    utilization(double seconds) const
+    {
+        return seconds > 0
+                   ? busy_seconds() /
+                         (seconds * static_cast<double>(free_.size()))
+                   : 0.0;
+    }
+
+  private:
+    std::vector<SimTime> free_;  ///< Min-heap of server-free times.
+    double busy_ns_ = 0;
+};
+
+}  // namespace fidr::sim

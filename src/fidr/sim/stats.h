@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Simple named counters and a latency histogram for device models.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fidr/common/units.h"
+
+namespace fidr::sim {
+
+/** Registry of named monotonically increasing counters. */
+class StatRegistry {
+  public:
+    void inc(const std::string &name, std::uint64_t by = 1);
+    std::uint64_t get(const std::string &name) const;
+
+    /** All counters, sorted by name. */
+    std::vector<std::pair<std::string, std::uint64_t>> all() const;
+
+    void reset();
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/**
+ * Streaming latency statistics: count, mean, min/max, and percentiles
+ * via a log-spaced histogram (2% relative error, enough for the 700 us
+ * vs 490 us comparison in Sec 7.6).
+ */
+class LatencyStats {
+  public:
+    LatencyStats();
+
+    void record(SimTime latency_ns);
+
+    std::uint64_t count() const { return count_; }
+    double mean_ns() const;
+    SimTime min_ns() const { return min_; }
+    SimTime max_ns() const { return max_; }
+
+    /** Latency below which `q` (in [0,1]) of samples fall. */
+    SimTime percentile_ns(double q) const;
+
+    void reset();
+
+  private:
+    std::size_t bucket_of(SimTime ns) const;
+
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    SimTime min_ = 0;
+    SimTime max_ = 0;
+    std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace fidr::sim

@@ -1,0 +1,161 @@
+#include "fidr/ssd/ssd.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace fidr::ssd {
+
+Ssd::Ssd(SsdConfig config)
+    : config_(std::move(config)),
+      read_pipe_(config_.read_bandwidth),
+      write_pipe_(config_.write_bandwidth)
+{
+}
+
+Buffer &
+Ssd::page_for_write(std::uint64_t page_no)
+{
+    auto [it, inserted] = pages_.try_emplace(page_no);
+    if (inserted)
+        it->second.assign(kPageSize, 0);
+    return it->second;
+}
+
+Status
+Ssd::write(std::uint64_t addr, std::span<const std::uint8_t> data)
+{
+    if (addr + data.size() > config_.capacity_bytes)
+        return Status::out_of_space(config_.name + ": write past capacity");
+    std::uint64_t off = 0;
+    while (off < data.size()) {
+        const std::uint64_t page_no = (addr + off) / kPageSize;
+        const std::uint64_t in_page = (addr + off) % kPageSize;
+        const std::uint64_t take =
+            std::min<std::uint64_t>(kPageSize - in_page, data.size() - off);
+        Buffer &page = page_for_write(page_no);
+        std::memcpy(page.data() + in_page, data.data() + off, take);
+        off += take;
+    }
+    bytes_written_ += data.size();
+    ++write_ios_;
+    return Status::ok();
+}
+
+Result<Buffer>
+Ssd::read(std::uint64_t addr, std::uint64_t len) const
+{
+    if (addr + len > config_.capacity_bytes)
+        return Status::invalid_argument(config_.name + ": read past capacity");
+    Buffer out(len, 0);
+    std::uint64_t off = 0;
+    while (off < len) {
+        const std::uint64_t page_no = (addr + off) / kPageSize;
+        const std::uint64_t in_page = (addr + off) % kPageSize;
+        const std::uint64_t take =
+            std::min<std::uint64_t>(kPageSize - in_page, len - off);
+        const auto it = pages_.find(page_no);
+        if (it != pages_.end())
+            std::memcpy(out.data() + off, it->second.data() + in_page, take);
+        off += take;
+    }
+    // Mutable statistics on a logically-const read: stats are not part
+    // of the observable storage state.
+    auto *self = const_cast<Ssd *>(this);
+    self->bytes_read_ += len;
+    ++self->read_ios_;
+    return out;
+}
+
+void
+Ssd::trim(std::uint64_t addr, std::uint64_t len)
+{
+    const std::uint64_t first_page = (addr + kPageSize - 1) / kPageSize;
+    const std::uint64_t end_page = (addr + len) / kPageSize;
+    for (std::uint64_t p = first_page; p < end_page; ++p)
+        pages_.erase(p);
+}
+
+SimTime
+Ssd::io_complete_time(SimTime now, IoDir dir, std::uint64_t bytes)
+{
+    if (dir == IoDir::kRead)
+        return config_.read_latency + read_pipe_.transfer(now, bytes);
+    return config_.write_latency + write_pipe_.transfer(now, bytes);
+}
+
+std::uint64_t
+Ssd::bytes_stored() const
+{
+    return pages_.size() * kPageSize;
+}
+
+NvmeQueuePair::NvmeQueuePair(Ssd &ssd, sim::EventQueue &events, unsigned depth)
+    : ssd_(ssd), events_(events), depth_(depth)
+{
+    FIDR_CHECK(depth_ > 0);
+}
+
+Status
+NvmeQueuePair::submit(NvmeCommand command)
+{
+    if (inflight_ >= depth_)
+        return Status::unavailable("NVMe submission queue full");
+    ++inflight_;
+    const SimTime done =
+        ssd_.io_complete_time(events_.now(), command.dir, command.bytes);
+    events_.schedule_at(done,
+                        [this, cb = std::move(command.on_complete)]() {
+                            --inflight_;
+                            ++completed_;
+                            if (cb)
+                                cb(events_.now());
+                        });
+    return Status::ok();
+}
+
+SsdArray::SsdArray(std::size_t count, const SsdConfig &config)
+{
+    FIDR_CHECK(count > 0);
+    ssds_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        SsdConfig member = config;
+        member.name = config.name + "[" + std::to_string(i) + "]";
+        ssds_.push_back(std::make_unique<Ssd>(std::move(member)));
+    }
+    next_free_.assign(count, 0);
+}
+
+Result<std::pair<std::size_t, std::uint64_t>>
+SsdArray::allocate(std::uint64_t bytes)
+{
+    for (std::size_t attempt = 0; attempt < ssds_.size(); ++attempt) {
+        const std::size_t idx = next_ssd_;
+        next_ssd_ = (next_ssd_ + 1) % ssds_.size();
+        if (next_free_[idx] + bytes <= ssds_[idx]->config().capacity_bytes) {
+            const std::uint64_t addr = next_free_[idx];
+            next_free_[idx] += bytes;
+            return std::make_pair(idx, addr);
+        }
+    }
+    return Status::out_of_space("SSD array full");
+}
+
+std::uint64_t
+SsdArray::total_bytes_written() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ssd : ssds_)
+        total += ssd->bytes_written();
+    return total;
+}
+
+std::uint64_t
+SsdArray::total_bytes_stored() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ssd : ssds_)
+        total += ssd->bytes_stored();
+    return total;
+}
+
+}  // namespace fidr::ssd

@@ -1,0 +1,125 @@
+#include "fidr/tables/container.h"
+
+#include <cstring>
+
+namespace fidr::tables {
+
+ContainerLog::ContainerLog(ssd::SsdArray &data_ssds,
+                           std::uint64_t container_bytes)
+    : data_ssds_(data_ssds), container_bytes_(container_bytes)
+{
+    FIDR_CHECK(container_bytes_ >= kChunkSize);
+    // The 2-byte offset in kOffsetUnit steps must span the container.
+    FIDR_CHECK(container_bytes_ <= 65536ull * kOffsetUnit);
+    open_new();
+}
+
+void
+ContainerLog::open_new()
+{
+    infos_.push_back(ContainerInfo{});
+    open_buffer_.clear();
+    open_buffer_.reserve(container_bytes_);
+}
+
+Result<ChunkLocation>
+ContainerLog::append(std::span<const std::uint8_t> compressed)
+{
+    if (compressed.empty() || compressed.size() > 0xFFFF)
+        return Status::invalid_argument("compressed chunk size out of range");
+
+    // 64-byte alignment keeps offsets representable in 2 bytes.
+    const std::uint64_t padded =
+        (compressed.size() + kOffsetUnit - 1) / kOffsetUnit * kOffsetUnit;
+    if (open_buffer_.size() + padded > container_bytes_) {
+        const Status sealed = flush();
+        if (!sealed.is_ok())
+            return sealed;
+    }
+
+    ChunkLocation location;
+    location.container_id = open_id();
+    location.offset_units =
+        static_cast<std::uint16_t>(open_buffer_.size() / kOffsetUnit);
+    location.compressed_size = static_cast<std::uint16_t>(compressed.size());
+
+    open_buffer_.insert(open_buffer_.end(), compressed.begin(),
+                        compressed.end());
+    open_buffer_.resize(open_buffer_.size() + (padded - compressed.size()),
+                        0);
+    payload_bytes_ += compressed.size();
+    return location;
+}
+
+Status
+ContainerLog::flush()
+{
+    if (open_buffer_.empty())
+        return Status::ok();
+
+    auto placement = data_ssds_.allocate(open_buffer_.size());
+    if (!placement.is_ok())
+        return placement.status();
+    const auto [ssd_index, base_addr] = placement.value();
+
+    const Status written =
+        data_ssds_.at(ssd_index).write(base_addr, open_buffer_);
+    if (!written.is_ok())
+        return written;
+
+    ContainerInfo &info = infos_.back();
+    info.ssd_index = ssd_index;
+    info.base_addr = base_addr;
+    info.bytes = open_buffer_.size();
+    info.sealed = true;
+    ++sealed_;
+    open_new();
+    return Status::ok();
+}
+
+bool
+ContainerLog::sealed(std::uint64_t container_id) const
+{
+    return container_id < infos_.size() &&
+           infos_[container_id].sealed &&
+           !infos_[container_id].discarded;
+}
+
+Result<std::uint64_t>
+ContainerLog::discard(std::uint64_t container_id)
+{
+    if (!sealed(container_id))
+        return Status::invalid_argument(
+            "only sealed, undiscarded containers can be released");
+    ContainerInfo &info = infos_[container_id];
+    data_ssds_.at(info.ssd_index).trim(info.base_addr, info.bytes);
+    info.discarded = true;
+    return info.bytes;
+}
+
+Result<Buffer>
+ContainerLog::read(const ChunkLocation &location) const
+{
+    if (location.container_id >= infos_.size())
+        return Status::not_found("unknown container");
+    const ContainerInfo &info = infos_[location.container_id];
+    if (info.discarded)
+        return Status::not_found("container was reclaimed");
+    const std::uint64_t offset = location.offset_bytes();
+    const std::uint64_t len = location.compressed_size;
+
+    if (!info.sealed) {
+        // Still buffered: only the open (last) container can be unsealed.
+        if (location.container_id != open_id() ||
+            offset + len > open_buffer_.size()) {
+            return Status::not_found("chunk not in open container");
+        }
+        return Buffer(open_buffer_.begin() + static_cast<long>(offset),
+                      open_buffer_.begin() + static_cast<long>(offset + len));
+    }
+    if (offset + len > info.bytes)
+        return Status::corruption("chunk location past container end");
+    return data_ssds_.at(info.ssd_index).read(info.base_addr + offset, len);
+}
+
+}  // namespace fidr::tables

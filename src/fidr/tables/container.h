@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Container log: packs variable-size compressed chunks into large
+ * fixed-size containers written sequentially to the data SSDs.
+ *
+ * The paper's server "makes a large container of compressed chunks
+ * and stores them as a single large block" (Sec 2.1.4); the FIDR
+ * Compression Engine seals a container once ~4 MB of compressed data
+ * accumulates (Sec 5.3 step 8).  Chunks are 64-byte aligned inside a
+ * container so their offsets fit the 2-byte offset field of the
+ * LBA-PBA table.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fidr/common/status.h"
+#include "fidr/common/types.h"
+#include "fidr/ssd/ssd.h"
+#include "fidr/tables/lba_pba.h"
+
+namespace fidr::tables {
+
+/** Where a sealed container landed. */
+struct ContainerInfo {
+    std::size_t ssd_index = 0;
+    std::uint64_t base_addr = 0;
+    std::uint64_t bytes = 0;
+    bool sealed = false;
+    bool discarded = false;  ///< Space reclaimed by compaction.
+};
+
+/** Append-only packer of compressed chunks into SSD containers. */
+class ContainerLog {
+  public:
+    /**
+     * @param data_ssds array the sealed containers are written to.
+     * @param container_bytes container capacity; must be addressable
+     *        by the 2-byte/64-B offset encoding (<= 4 MiB).
+     */
+    explicit ContainerLog(ssd::SsdArray &data_ssds,
+                          std::uint64_t container_bytes = 4 * kMiB);
+
+    /**
+     * Appends one compressed chunk (64-B aligned) and returns its
+     * location.  Seals the open container to a data SSD first when the
+     * chunk would not fit.
+     */
+    Result<ChunkLocation> append(std::span<const std::uint8_t> compressed);
+
+    /** Reads a chunk back, from the open buffer or from the SSDs. */
+    Result<Buffer> read(const ChunkLocation &location) const;
+
+    /** Seals the open container (no-op when empty). */
+    Status flush();
+
+    /** True once `container_id` has been written out to an SSD. */
+    bool sealed(std::uint64_t container_id) const;
+
+    /**
+     * Releases a sealed container's SSD space after compaction moved
+     * its live chunks elsewhere; subsequent reads of locations inside
+     * it fail with kNotFound.  Returns the bytes released.
+     */
+    Result<std::uint64_t> discard(std::uint64_t container_id);
+
+    /** Number of containers ever opened (sealed + the open one). */
+    std::uint64_t containers() const { return infos_.size(); }
+    std::uint64_t sealed_containers() const { return sealed_; }
+
+    /** Total compressed payload bytes appended (without padding). */
+    std::uint64_t payload_bytes() const { return payload_bytes_; }
+
+    std::uint64_t container_bytes() const { return container_bytes_; }
+
+  private:
+    std::uint64_t open_id() const { return infos_.size() - 1; }
+    void open_new();
+
+    ssd::SsdArray &data_ssds_;
+    std::uint64_t container_bytes_;
+    std::vector<ContainerInfo> infos_;
+    Buffer open_buffer_;
+    std::uint64_t sealed_ = 0;
+    std::uint64_t payload_bytes_ = 0;
+};
+
+}  // namespace fidr::tables

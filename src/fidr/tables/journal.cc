@@ -1,0 +1,176 @@
+#include "fidr/tables/journal.h"
+
+#include "fidr/common/bytes.h"
+#include "fidr/hash/sha256.h"
+
+namespace fidr::tables {
+namespace {
+
+Buffer
+serialize(const JournalRecord &r)
+{
+    Buffer out(kJournalRecordSize, 0);
+    out[0] = static_cast<std::uint8_t>(r.op);
+    store_le(out.data() + 1, r.lba, 8);
+    store_le(out.data() + 9, r.pbn, 8);
+    store_le(out.data() + 17, r.location.container_id, 8);
+    store_le(out.data() + 25, r.location.offset_units, 2);
+    store_le(out.data() + 27, r.location.compressed_size, 2);
+    // FNV-based check byte: position-sensitive, so multi-byte
+    // corruption cannot cancel out the way XOR parity can.  The 0xA5
+    // offset keeps an all-zero slot recognizably torn.
+    const std::uint64_t h = fnv1a64(
+        std::span<const std::uint8_t>(out.data(), out.size() - 1));
+    out.back() = static_cast<std::uint8_t>(h) ^ 0xA5;
+    return out;
+}
+
+bool
+deserialize(const std::uint8_t *raw, JournalRecord &out)
+{
+    const std::uint64_t h = fnv1a64(
+        std::span<const std::uint8_t>(raw, kJournalRecordSize - 1));
+    if ((static_cast<std::uint8_t>(h) ^ 0xA5) !=
+        raw[kJournalRecordSize - 1])
+        return false;
+    const std::uint8_t op = raw[0];
+    if (op < 1 || op > 4)
+        return false;
+    out.op = static_cast<JournalOp>(op);
+    out.lba = load_le(raw + 1, 8);
+    out.pbn = load_le(raw + 9, 8);
+    out.location.container_id = load_le(raw + 17, 8);
+    out.location.offset_units =
+        static_cast<std::uint16_t>(load_le(raw + 25, 2));
+    out.location.compressed_size =
+        static_cast<std::uint16_t>(load_le(raw + 27, 2));
+    return true;
+}
+
+}  // namespace
+
+MetadataJournal::MetadataJournal(ssd::Ssd &ssd, std::uint64_t base,
+                                 std::uint64_t capacity)
+    : ssd_(ssd), base_(base), capacity_(capacity)
+{
+    FIDR_CHECK(capacity_ >= kJournalRecordSize);
+    FIDR_CHECK(base_ + capacity_ <= ssd.config().capacity_bytes);
+}
+
+Status
+MetadataJournal::append(const JournalRecord &record)
+{
+    if (head_ + kJournalRecordSize > capacity_)
+        return Status::out_of_space("journal full; checkpoint required");
+    const Status written = ssd_.write(base_ + head_, serialize(record));
+    if (!written.is_ok())
+        return written;
+    head_ += kJournalRecordSize;
+    ++records_;
+    // Tombstone the next slot so replay cannot run into stale records
+    // from an earlier journal epoch (pre-reset contents).
+    if (head_ + kJournalRecordSize <= capacity_) {
+        const Buffer zero(kJournalRecordSize, 0);
+        const Status fenced = ssd_.write(base_ + head_, zero);
+        if (!fenced.is_ok())
+            return fenced;
+    }
+    return Status::ok();
+}
+
+Status
+MetadataJournal::log_map(Lba lba, Pbn pbn)
+{
+    JournalRecord r;
+    r.op = JournalOp::kMapLba;
+    r.lba = lba;
+    r.pbn = pbn;
+    return append(r);
+}
+
+Status
+MetadataJournal::log_location(Pbn pbn, const ChunkLocation &location)
+{
+    JournalRecord r;
+    r.op = JournalOp::kSetLocation;
+    r.pbn = pbn;
+    r.location = location;
+    return append(r);
+}
+
+Status
+MetadataJournal::log_retire(Pbn pbn)
+{
+    JournalRecord r;
+    r.op = JournalOp::kRetirePbn;
+    r.pbn = pbn;
+    return append(r);
+}
+
+Status
+MetadataJournal::log_checkpoint()
+{
+    JournalRecord r;
+    r.op = JournalOp::kCheckpoint;
+    return append(r);
+}
+
+void
+MetadataJournal::reset()
+{
+    // Invalidate the on-SSD region so stale records cannot replay.
+    ssd_.trim(base_, head_ + kJournalRecordSize);
+    Buffer zero(kJournalRecordSize, 0);
+    (void)ssd_.write(base_, zero);
+    head_ = 0;
+    records_ = 0;
+}
+
+Result<std::vector<JournalRecord>>
+MetadataJournal::replay() const
+{
+    std::vector<JournalRecord> out;
+    for (std::uint64_t off = 0; off + kJournalRecordSize <= capacity_;
+         off += kJournalRecordSize) {
+        Result<Buffer> raw =
+            ssd_.read(base_ + off, kJournalRecordSize);
+        if (!raw.is_ok())
+            return raw.status();
+        JournalRecord record;
+        if (!deserialize(raw.value().data(), record))
+            break;  // Torn/blank tail: end of intact journal.
+        out.push_back(record);
+    }
+    return out;
+}
+
+void
+MetadataJournal::apply(const std::vector<JournalRecord> &records,
+                       LbaPbaTable &table)
+{
+    for (const JournalRecord &r : records) {
+        switch (r.op) {
+          case JournalOp::kMapLba:
+            table.map_lba(r.lba, r.pbn);
+            break;
+          case JournalOp::kSetLocation:
+            table.set_location(r.pbn, r.location);
+            break;
+          case JournalOp::kRetirePbn:
+            table.reclaim(r.pbn);
+            break;
+          case JournalOp::kCheckpoint:
+            break;
+        }
+    }
+}
+
+LbaPbaTable
+MetadataJournal::rebuild(const std::vector<JournalRecord> &records)
+{
+    LbaPbaTable table;
+    apply(records, table);
+    return table;
+}
+
+}  // namespace fidr::tables

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Metadata write-ahead journal and crash recovery.
+ *
+ * The paper hides *data* durability behind the NIC's battery-backed
+ * buffer (Sec 7.6.1) but a deployable server also needs its mapping
+ * metadata to survive a host crash: the LBA-PBA table lives in DRAM.
+ * This module provides the standard solution — an append-only journal
+ * of mapping mutations, written (in the model) to a reserved region of
+ * a table SSD, plus a replayer that rebuilds the LBA-PBA table after a
+ * crash.  The Hash-PBN table itself is already write-back persisted
+ * through the table cache, so recovery only needs the journal and a
+ * final cache writeback barrier.
+ *
+ * Record format (little endian, 30 bytes fixed):
+ *   type:u8  lba:u64  pbn:u64  container:u64  offset_units:u16
+ *   csize:u16  check:u8 (FNV-derived check byte).
+ * A torn tail (partial final record or bad check byte) is truncated
+ * at replay, matching standard journal semantics.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fidr/common/status.h"
+#include "fidr/common/types.h"
+#include "fidr/ssd/ssd.h"
+#include "fidr/tables/lba_pba.h"
+
+namespace fidr::tables {
+
+/** Journal record types. */
+enum class JournalOp : std::uint8_t {
+    kMapLba = 1,       ///< lba -> pbn mapping (re)assigned.
+    kSetLocation = 2,  ///< pbn's physical location (re)assigned.
+    kRetirePbn = 3,    ///< pbn reclaimed (refcount reached zero).
+    kCheckpoint = 4,   ///< All prior records are reflected on-SSD.
+};
+
+/** One journal record. */
+struct JournalRecord {
+    JournalOp op = JournalOp::kMapLba;
+    Lba lba = 0;
+    Pbn pbn = 0;
+    ChunkLocation location;
+
+    bool operator==(const JournalRecord &) const = default;
+};
+
+/** Size of one serialized record (incl. checksum byte). */
+inline constexpr std::size_t kJournalRecordSize = 1 + 8 + 8 + 8 + 2 + 2 + 1;
+
+/** Append-only metadata journal on a reserved SSD region. */
+class MetadataJournal {
+  public:
+    /**
+     * @param ssd      device holding the journal.
+     * @param base     byte offset of the reserved region.
+     * @param capacity region size; appends fail with kOutOfSpace when
+     *                 full (callers checkpoint + reset to truncate).
+     */
+    MetadataJournal(ssd::Ssd &ssd, std::uint64_t base,
+                    std::uint64_t capacity);
+
+    /** Appends one record durably. */
+    Status append(const JournalRecord &record);
+
+    /** Convenience appenders. */
+    Status log_map(Lba lba, Pbn pbn);
+    Status log_location(Pbn pbn, const ChunkLocation &location);
+    Status log_retire(Pbn pbn);
+    Status log_checkpoint();
+
+    /** Bytes currently used / available. */
+    std::uint64_t used_bytes() const { return head_; }
+    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t records() const { return records_; }
+
+    /** Truncates the journal (after a checkpoint made it redundant). */
+    void reset();
+
+    /**
+     * Reads every intact record back from the device, stopping at the
+     * first torn or blank record (crash-truncated tail).
+     */
+    Result<std::vector<JournalRecord>> replay() const;
+
+    /**
+     * Rebuilds an LBA-PBA table from a replayed record stream: maps,
+     * locations, and retirements are applied in order.
+     */
+    static LbaPbaTable rebuild(const std::vector<JournalRecord> &records);
+
+    /** Applies a replayed record stream on top of `table` (recovery
+     *  from a checkpoint snapshot plus the journal tail). */
+    static void apply(const std::vector<JournalRecord> &records,
+                      LbaPbaTable &table);
+
+  private:
+    ssd::Ssd &ssd_;
+    std::uint64_t base_;
+    std::uint64_t capacity_;
+    std::uint64_t head_ = 0;
+    std::uint64_t records_ = 0;
+};
+
+}  // namespace fidr::tables

@@ -1,0 +1,170 @@
+#include "fidr/tables/lba_pba.h"
+
+#include "fidr/common/bytes.h"
+
+namespace fidr::tables {
+namespace {
+
+/** Checkpoint image magic ("FLPB" + version 1). */
+constexpr std::uint64_t kSnapshotMagic = 0x01425045'4C444946ull;
+
+}  // namespace
+
+std::optional<Pbn>
+LbaPbaTable::map_lba(Lba lba, Pbn pbn)
+{
+    FIDR_CHECK(pbn <= kMaxPbn);
+    std::optional<Pbn> previous;
+    const auto it = lba_to_pbn_.find(lba);
+    if (it != lba_to_pbn_.end()) {
+        previous = it->second;
+        auto pit = pbn_info_.find(it->second);
+        FIDR_CHECK(pit != pbn_info_.end() && pit->second.refcount > 0);
+        --pit->second.refcount;
+    }
+    lba_to_pbn_[lba] = pbn;
+    ++pbn_info_[pbn].refcount;
+    return previous;
+}
+
+std::optional<Pbn>
+LbaPbaTable::pbn_of(Lba lba) const
+{
+    const auto it = lba_to_pbn_.find(lba);
+    if (it == lba_to_pbn_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+LbaPbaTable::set_location(Pbn pbn, const ChunkLocation &location)
+{
+    PbnInfo &info = pbn_info_[pbn];
+    info.location = location;
+    info.has_location = true;
+}
+
+std::optional<ChunkLocation>
+LbaPbaTable::location_of(Pbn pbn) const
+{
+    const auto it = pbn_info_.find(pbn);
+    if (it == pbn_info_.end() || !it->second.has_location)
+        return std::nullopt;
+    return it->second.location;
+}
+
+std::optional<ChunkLocation>
+LbaPbaTable::lookup(Lba lba) const
+{
+    const auto pbn = pbn_of(lba);
+    if (!pbn)
+        return std::nullopt;
+    return location_of(*pbn);
+}
+
+std::uint32_t
+LbaPbaTable::refcount(Pbn pbn) const
+{
+    const auto it = pbn_info_.find(pbn);
+    return it == pbn_info_.end() ? 0 : it->second.refcount;
+}
+
+bool
+LbaPbaTable::reclaim(Pbn pbn)
+{
+    const auto it = pbn_info_.find(pbn);
+    if (it == pbn_info_.end() || it->second.refcount != 0)
+        return false;
+    pbn_info_.erase(it);
+    return true;
+}
+
+Buffer
+LbaPbaTable::serialize() const
+{
+    // Header: magic, #locations, #mappings.
+    Buffer out(24);
+    store_le(out.data(), kSnapshotMagic, 8);
+    std::uint64_t locations = 0;
+    for (const auto &[pbn, info] : pbn_info_) {
+        if (info.has_location)
+            ++locations;
+    }
+    store_le(out.data() + 8, locations, 8);
+    store_le(out.data() + 16, lba_to_pbn_.size(), 8);
+
+    // PBN location records: pbn:8 container:8 offset:2 csize:2.
+    for (const auto &[pbn, info] : pbn_info_) {
+        if (!info.has_location)
+            continue;
+        const std::size_t off = out.size();
+        out.resize(off + 20);
+        store_le(out.data() + off, pbn, 8);
+        store_le(out.data() + off + 8, info.location.container_id, 8);
+        store_le(out.data() + off + 16, info.location.offset_units, 2);
+        store_le(out.data() + off + 18, info.location.compressed_size,
+                 2);
+    }
+    // LBA mappings: lba:8 pbn:8.
+    for (const auto &[lba, pbn] : lba_to_pbn_) {
+        const std::size_t off = out.size();
+        out.resize(off + 16);
+        store_le(out.data() + off, lba, 8);
+        store_le(out.data() + off + 8, pbn, 8);
+    }
+    return out;
+}
+
+Result<LbaPbaTable>
+LbaPbaTable::deserialize(const Buffer &raw)
+{
+    if (raw.size() < 24 || load_le(raw.data(), 8) != kSnapshotMagic)
+        return Status::corruption("bad LBA-PBA snapshot header");
+    const std::uint64_t locations = load_le(raw.data() + 8, 8);
+    const std::uint64_t mappings = load_le(raw.data() + 16, 8);
+    if (raw.size() != 24 + locations * 20 + mappings * 16)
+        return Status::corruption("LBA-PBA snapshot size mismatch");
+
+    LbaPbaTable table;
+    std::size_t off = 24;
+    for (std::uint64_t i = 0; i < locations; ++i, off += 20) {
+        ChunkLocation loc;
+        const Pbn pbn = load_le(raw.data() + off, 8);
+        if (pbn > kMaxPbn)
+            return Status::corruption("snapshot PBN out of range");
+        loc.container_id = load_le(raw.data() + off + 8, 8);
+        loc.offset_units =
+            static_cast<std::uint16_t>(load_le(raw.data() + off + 16, 2));
+        loc.compressed_size =
+            static_cast<std::uint16_t>(load_le(raw.data() + off + 18, 2));
+        table.set_location(pbn, loc);
+    }
+    for (std::uint64_t i = 0; i < mappings; ++i, off += 16) {
+        const Lba lba = load_le(raw.data() + off, 8);
+        const Pbn pbn = load_le(raw.data() + off + 8, 8);
+        if (pbn > kMaxPbn)
+            return Status::corruption("snapshot PBN out of range");
+        table.map_lba(lba, pbn);
+    }
+    return table;
+}
+
+Status
+LbaPbaTable::validate() const
+{
+    std::unordered_map<Pbn, std::uint32_t> counted;
+    for (const auto &[lba, pbn] : lba_to_pbn_) {
+        if (pbn_info_.find(pbn) == pbn_info_.end())
+            return Status::internal("LBA points at unknown PBN");
+        ++counted[pbn];
+    }
+    for (const auto &[pbn, info] : pbn_info_) {
+        const auto it = counted.find(pbn);
+        const std::uint32_t expect = it == counted.end() ? 0 : it->second;
+        if (info.refcount != expect)
+            return Status::internal("PBN refcount mismatch");
+    }
+    return Status::ok();
+}
+
+}  // namespace fidr::tables

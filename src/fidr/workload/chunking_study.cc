@@ -1,0 +1,99 @@
+#include "fidr/workload/chunking_study.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "fidr/common/status.h"
+
+namespace fidr::workload {
+namespace {
+
+/** FNV-1a over a content-id tuple: the chunk's dedup signature. */
+std::uint64_t
+tuple_signature(const std::vector<std::uint64_t> &ids)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint64_t id : ids) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= static_cast<std::uint8_t>(id >> (8 * b));
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+}  // namespace
+
+ChunkingResult
+simulate_chunking(const ChunkingConfig &config,
+                  std::span<const IoRequest> requests)
+{
+    FIDR_CHECK(config.chunk_bytes % kChunkSize == 0);
+    const std::size_t blocks_per_chunk = config.chunk_bytes / kChunkSize;
+    const std::size_t buffer_requests =
+        std::max<std::size_t>(1, config.buffer_bytes / kChunkSize);
+
+    ChunkingResult result;
+    std::unordered_map<Lba, std::uint64_t> stored;  ///< block -> content.
+    std::unordered_set<std::uint64_t> signatures;   ///< dedup store.
+    // Buffered writes of the current window: block -> content (latest
+    // write wins within the buffer, like the paper's request buffer).
+    std::unordered_map<Lba, std::uint64_t> buffered;
+
+    auto process_buffer = [&]() {
+        if (buffered.empty())
+            return;
+        // Group dirty blocks by enclosing large chunk.
+        std::unordered_map<std::uint64_t, std::vector<Lba>> by_chunk;
+        for (const auto &[lba, content] : buffered)
+            by_chunk[lba / blocks_per_chunk].push_back(lba);
+
+        for (const auto &[chunk_no, dirty_blocks] : by_chunk) {
+            ++result.chunks_formed;
+            const Lba base = chunk_no * blocks_per_chunk;
+            std::vector<std::uint64_t> ids(blocks_per_chunk, 0);
+            for (std::size_t b = 0; b < blocks_per_chunk; ++b) {
+                const Lba lba = base + b;
+                const auto bit = buffered.find(lba);
+                if (bit != buffered.end()) {
+                    ids[b] = bit->second + 1;  // +1: 0 is "never written".
+                    continue;
+                }
+                const auto sit = stored.find(lba);
+                if (sit != stored.end()) {
+                    // Read-modify-write: fetch the missing block.
+                    result.ssd_read_bytes += kChunkSize;
+                    ids[b] = sit->second + 1;
+                }
+            }
+
+            const std::uint64_t sig = tuple_signature(ids);
+            if (signatures.contains(sig)) {
+                ++result.chunks_duplicate;
+            } else {
+                signatures.insert(sig);
+                result.ssd_write_bytes += config.chunk_bytes;
+            }
+            // Mapping tables now point this range at the chunk image.
+            for (std::size_t b = 0; b < blocks_per_chunk; ++b) {
+                if (ids[b] != 0)
+                    stored[base + b] = ids[b] - 1;
+            }
+        }
+        buffered.clear();
+    };
+
+    for (const IoRequest &req : requests) {
+        if (req.dir != IoDir::kWrite)
+            continue;
+        result.client_bytes += kChunkSize;
+        buffered[req.lba] = req.content_id;
+        if (buffered.size() >= buffer_requests)
+            process_buffer();
+    }
+    process_buffer();
+    return result;
+}
+
+}  // namespace fidr::workload

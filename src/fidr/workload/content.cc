@@ -1,0 +1,45 @@
+#include "fidr/workload/content.h"
+
+#include <algorithm>
+
+#include "fidr/common/rng.h"
+#include "fidr/common/status.h"
+
+namespace fidr::workload {
+
+Buffer
+make_chunk_content(std::uint64_t content_id, double comp_ratio,
+                   std::size_t size)
+{
+    FIDR_CHECK(comp_ratio >= 0.0 && comp_ratio < 1.0);
+    Buffer out(size);
+
+    // Incompressible prefix: high-entropy PRNG bytes seeded purely by
+    // the content id, so equal ids always yield equal bytes.
+    const auto random_len =
+        static_cast<std::size_t>(static_cast<double>(size) *
+                                 (1.0 - comp_ratio));
+    Rng rng(content_id * 0x9E3779B97F4A7C15ull + 0x1234567ull);
+    std::size_t i = 0;
+    while (i < random_len) {
+        const std::uint64_t word = rng.next_u64();
+        for (int b = 0; b < 8 && i < random_len; ++b, ++i)
+            out[i] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+
+    // Compressible tail: a short repeating phrase an LZ pass collapses
+    // to almost nothing, still keyed by the content id so different
+    // contents never alias.
+    const std::uint8_t phrase[8] = {
+        static_cast<std::uint8_t>(content_id),
+        static_cast<std::uint8_t>(content_id >> 8),
+        static_cast<std::uint8_t>(content_id >> 16),
+        static_cast<std::uint8_t>(content_id >> 24),
+        'F', 'I', 'D', 'R',
+    };
+    for (; i < size; ++i)
+        out[i] = phrase[i % sizeof(phrase)];
+    return out;
+}
+
+}  // namespace fidr::workload

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Deterministic chunk-content synthesis with controlled compressibility.
+ *
+ * No public IO traces carry real data content (paper Sec 7.1 footnote),
+ * so the paper synthesizes content: trace extracts are replicated with
+ * systematic modifications and every request is padded to a 50%
+ * compressible payload.  We mirror that: a chunk's bytes are a pure
+ * function of its content id, composed of an incompressible prefix
+ * (seeded PRNG bytes) and a compressible filler tail, sized so an LZ
+ * pass removes approximately `comp_ratio` of the chunk.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "fidr/common/types.h"
+
+namespace fidr::workload {
+
+/**
+ * Synthesizes the 4 KB payload for `content_id`.
+ *
+ * @param comp_ratio fraction of the chunk compression should remove
+ *        (0.5 reproduces the paper's "50% compressible" convention).
+ */
+Buffer make_chunk_content(std::uint64_t content_id, double comp_ratio = 0.5,
+                          std::size_t size = kChunkSize);
+
+}  // namespace fidr::workload

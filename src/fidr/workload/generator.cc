@@ -1,0 +1,84 @@
+#include "fidr/workload/generator.h"
+
+#include "fidr/common/status.h"
+#include "fidr/workload/content.h"
+
+namespace fidr::workload {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.seed)
+{
+    FIDR_CHECK(spec_.dedup_ratio >= 0.0 && spec_.dedup_ratio <= 1.0);
+    FIDR_CHECK(spec_.read_fraction >= 0.0 && spec_.read_fraction <= 1.0);
+    FIDR_CHECK(spec_.dup_working_set > 0);
+    FIDR_CHECK(spec_.address_space_chunks > 0);
+    window_.reserve(spec_.dup_working_set);
+}
+
+Lba
+WorkloadGenerator::next_lba()
+{
+    if (spec_.pattern == AddressPattern::kUniform)
+        return rng_.next_below(spec_.address_space_chunks);
+
+    if (run_left_ == 0) {
+        run_base_ = rng_.next_below(spec_.address_space_chunks);
+        run_left_ = spec_.run_length;
+    }
+    const Lba lba =
+        (run_base_ + (spec_.run_length - run_left_)) %
+        spec_.address_space_chunks;
+    --run_left_;
+    return lba;
+}
+
+std::uint64_t
+WorkloadGenerator::pick_content()
+{
+    // Duplicate: revisit a content id from the sliding window.
+    if (!window_.empty() && rng_.next_bool(spec_.dedup_ratio))
+        return window_[rng_.next_below(window_.size())];
+
+    // Unique: mint a fresh id and enter it into the window ring.
+    const std::uint64_t id = next_content_id_++;
+    if (window_.size() < spec_.dup_working_set) {
+        window_.push_back(id);
+    } else {
+        window_[window_pos_] = id;
+        window_pos_ = (window_pos_ + 1) % window_.size();
+    }
+    return id;
+}
+
+IoRequest
+WorkloadGenerator::next()
+{
+    IoRequest req;
+    const bool is_read = !written_lbas_.empty() &&
+                         rng_.next_bool(spec_.read_fraction);
+    if (is_read) {
+        req.dir = IoDir::kRead;
+        req.lba = written_lbas_[rng_.next_below(written_lbas_.size())];
+        return req;
+    }
+
+    req.dir = IoDir::kWrite;
+    req.lba = next_lba();
+    req.content_id = pick_content();
+    if (spec_.materialize_data)
+        req.data = make_chunk_content(req.content_id, spec_.comp_ratio);
+    written_lbas_.push_back(req.lba);
+    return req;
+}
+
+std::vector<IoRequest>
+WorkloadGenerator::batch(std::size_t n)
+{
+    std::vector<IoRequest> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(next());
+    return out;
+}
+
+}  // namespace fidr::workload

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Synthetic IO workload generator (paper Sec 7.1, Table 3).
+ *
+ * The paper builds its workloads from FIU trace extracts, replicated
+ * and perturbed to hit five targets: table-cache hit rate, total size,
+ * deduplication ratio, compression ratio (50%), and table sizing.  The
+ * traces themselves are not redistributable with content, so this
+ * generator synthesizes request streams with the same controlled
+ * statistics:
+ *
+ *  - dedup_ratio: probability a write chunk repeats earlier content.
+ *    Duplicates draw from a sliding window of the most recent unique
+ *    contents (`dup_working_set`), which is also the table-cache
+ *    hit-rate knob — duplicates of recent content hash to recently
+ *    accessed (thus cached) Hash-PBN buckets, while fresh content
+ *    lands on uniformly random buckets.  A window that exceeds the
+ *    cache pushes the hit rate below the dedup ratio.
+ *  - comp_ratio: payload compressibility (content.h).
+ *  - address pattern: uniform random (Mail-like) or sequential runs
+ *    (WebVM-like) over `address_space_chunks` LBAs.
+ *  - read_fraction: reads target uniformly random *valid* (previously
+ *    written) LBAs, as in the paper's Read-Mixed.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fidr/common/rng.h"
+#include "fidr/workload/io.h"
+
+namespace fidr::workload {
+
+/** Client LBA access pattern. */
+enum class AddressPattern {
+    kUniform,         ///< Independent uniform LBAs (Mail-like).
+    kSequentialRuns,  ///< Runs of consecutive LBAs (WebVM-like).
+};
+
+/** All the knobs of one synthetic workload. */
+struct WorkloadSpec {
+    std::string name = "workload";
+    double dedup_ratio = 0.5;
+    double comp_ratio = 0.5;
+    std::uint64_t dup_working_set = 4096;
+    std::uint64_t address_space_chunks = 1 << 20;
+    double read_fraction = 0.0;
+    AddressPattern pattern = AddressPattern::kUniform;
+    unsigned run_length = 8;  ///< For kSequentialRuns.
+    std::uint64_t seed = 42;
+    bool materialize_data = true;  ///< Fill IoRequest::data for writes.
+};
+
+/** Streaming generator; deterministic for a given spec. */
+class WorkloadGenerator {
+  public:
+    explicit WorkloadGenerator(WorkloadSpec spec);
+
+    /** Produces the next request. */
+    IoRequest next();
+
+    /** Produces `n` requests. */
+    std::vector<IoRequest> batch(std::size_t n);
+
+    const WorkloadSpec &spec() const { return spec_; }
+
+    /** Unique contents issued so far (denominator for dedup checks). */
+    std::uint64_t unique_contents() const { return next_content_id_; }
+
+  private:
+    Lba next_lba();
+    std::uint64_t pick_content();
+
+    WorkloadSpec spec_;
+    Rng rng_;
+    std::vector<std::uint64_t> window_;  ///< Ring of recent content ids.
+    std::size_t window_pos_ = 0;
+    std::uint64_t next_content_id_ = 0;
+    std::vector<Lba> written_lbas_;      ///< For read targeting.
+    Lba run_base_ = 0;
+    unsigned run_left_ = 0;
+};
+
+}  // namespace fidr::workload

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * IO request types shared by the workload generators and the storage
+ * servers.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "fidr/common/types.h"
+
+namespace fidr::workload {
+
+/**
+ * One client request at data-reduction granularity: a 4 KB chunk write
+ * (with payload) or a 4 KB read.  `content_id` identifies the logical
+ * content of a write (two writes with equal content_id carry identical
+ * bytes); it exists so simulations can reason about duplicates without
+ * hashing, and is never consulted by the storage systems themselves.
+ */
+struct IoRequest {
+    IoDir dir = IoDir::kWrite;
+    Lba lba = 0;
+    std::uint64_t content_id = 0;  ///< Meaningful for writes only.
+    Buffer data;                   ///< 4 KB payload for writes.
+};
+
+}  // namespace fidr::workload

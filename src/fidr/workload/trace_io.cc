@@ -1,0 +1,101 @@
+#include "fidr/workload/trace_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "fidr/common/bytes.h"
+#include "fidr/workload/content.h"
+
+namespace fidr::workload {
+namespace {
+
+constexpr std::uint64_t kTraceMagic = 0x45434152'54444946ull;  // FIDTRACE.
+constexpr std::uint32_t kTraceVersion = 1;
+constexpr std::size_t kRecordSize = 1 + 8 + 8;
+
+struct FileCloser {
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status
+save_trace(const std::string &path,
+           const std::vector<IoRequest> &requests, double comp_ratio)
+{
+    FilePtr file(std::fopen(path.c_str(), "wb"));
+    if (!file)
+        return Status::unavailable("cannot open trace file for writing");
+
+    Buffer header(24);
+    store_le(header.data(), kTraceMagic, 8);
+    store_le(header.data() + 8, kTraceVersion, 4);
+    store_le(header.data() + 12,
+             static_cast<std::uint32_t>(comp_ratio * 1000), 4);
+    store_le(header.data() + 16, requests.size(), 8);
+    if (std::fwrite(header.data(), 1, header.size(), file.get()) !=
+        header.size()) {
+        return Status::unavailable("trace header write failed");
+    }
+
+    Buffer record(kRecordSize);
+    for (const IoRequest &req : requests) {
+        record[0] = static_cast<std::uint8_t>(req.dir);
+        store_le(record.data() + 1, req.lba, 8);
+        store_le(record.data() + 9, req.content_id, 8);
+        if (std::fwrite(record.data(), 1, record.size(), file.get()) !=
+            record.size()) {
+            return Status::unavailable("trace record write failed");
+        }
+    }
+    return Status::ok();
+}
+
+Result<std::vector<IoRequest>>
+load_trace(const std::string &path, bool materialize)
+{
+    FilePtr file(std::fopen(path.c_str(), "rb"));
+    if (!file)
+        return Status::not_found("cannot open trace file");
+
+    Buffer header(24);
+    if (std::fread(header.data(), 1, header.size(), file.get()) !=
+        header.size()) {
+        return Status::corruption("trace header truncated");
+    }
+    if (load_le(header.data(), 8) != kTraceMagic)
+        return Status::corruption("bad trace magic");
+    if (load_le(header.data() + 8, 4) != kTraceVersion)
+        return Status::corruption("unsupported trace version");
+    const double comp_ratio =
+        static_cast<double>(load_le(header.data() + 12, 4)) / 1000.0;
+    const std::uint64_t count = load_le(header.data() + 16, 8);
+
+    std::vector<IoRequest> out;
+    out.reserve(count);
+    Buffer record(kRecordSize);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (std::fread(record.data(), 1, record.size(), file.get()) !=
+            record.size()) {
+            return Status::corruption("trace record truncated");
+        }
+        IoRequest req;
+        if (record[0] > 1)
+            return Status::corruption("bad trace op");
+        req.dir = static_cast<IoDir>(record[0]);
+        req.lba = load_le(record.data() + 1, 8);
+        req.content_id = load_le(record.data() + 9, 8);
+        if (materialize && req.dir == IoDir::kWrite)
+            req.data = make_chunk_content(req.content_id, comp_ratio);
+        out.push_back(std::move(req));
+    }
+    return out;
+}
+
+}  // namespace fidr::workload

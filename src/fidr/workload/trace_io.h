@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Binary trace files: persist and replay workload request streams.
+ *
+ * The paper builds its workloads from FIU trace extracts that cannot
+ * be redistributed with content (Sec 7.1 footnote).  This module
+ * defines a compact interchange format for our synthetic equivalent —
+ * each record stores the operation, LBA, and the content id; payload
+ * bytes are re-synthesized deterministically on load, which keeps
+ * traces small (17 B/record) while preserving exact dedup and
+ * compression behaviour.
+ *
+ *   file   := magic:u64 version:u32 comp_pct:u32 count:u64 record*
+ *   record := dir:u8 lba:u64 content_id:u64
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fidr/common/status.h"
+#include "fidr/workload/io.h"
+
+namespace fidr::workload {
+
+/** Serializes `requests` to `path` (payloads are not stored). */
+Status save_trace(const std::string &path,
+                  const std::vector<IoRequest> &requests,
+                  double comp_ratio = 0.5);
+
+/**
+ * Loads a trace; when `materialize` is set, write payloads are
+ * re-synthesized from their content ids at the stored comp ratio.
+ */
+Result<std::vector<IoRequest>> load_trace(const std::string &path,
+                                          bool materialize = true);
+
+}  // namespace fidr::workload

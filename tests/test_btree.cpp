@@ -1,0 +1,165 @@
+// Property and unit tests for the software B+ tree (baseline index).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "fidr/btree/bplus_tree.h"
+#include "fidr/common/rng.h"
+
+namespace fidr::btree {
+namespace {
+
+TEST(BPlusTree, EmptyTree)
+{
+    BPlusTree tree;
+    EXPECT_TRUE(tree.empty());
+    EXPECT_EQ(tree.size(), 0u);
+    EXPECT_EQ(tree.height(), 1u);
+    EXPECT_FALSE(tree.find(7).has_value());
+    EXPECT_FALSE(tree.erase(7));
+    EXPECT_TRUE(tree.validate().is_ok());
+}
+
+TEST(BPlusTree, InsertFindOverwrite)
+{
+    BPlusTree tree;
+    EXPECT_TRUE(tree.insert(10, 100));
+    EXPECT_FALSE(tree.insert(10, 200));  // Overwrite, not new.
+    EXPECT_EQ(tree.size(), 1u);
+    EXPECT_EQ(tree.find(10), std::optional<std::uint64_t>(200));
+}
+
+TEST(BPlusTree, GrowsAndShrinksHeight)
+{
+    BPlusTree tree(4);  // Small order forces deep trees quickly.
+    for (std::uint64_t k = 0; k < 200; ++k)
+        tree.insert(k, k);
+    EXPECT_GT(tree.height(), 2u);
+    ASSERT_TRUE(tree.validate().is_ok()) << tree.validate().to_string();
+    for (std::uint64_t k = 0; k < 200; ++k)
+        ASSERT_TRUE(tree.erase(k)) << "key " << k;
+    EXPECT_EQ(tree.height(), 1u);
+    EXPECT_TRUE(tree.empty());
+    EXPECT_TRUE(tree.validate().is_ok());
+}
+
+TEST(BPlusTree, RangeQuery)
+{
+    BPlusTree tree(8);
+    for (std::uint64_t k = 0; k < 100; k += 2)
+        tree.insert(k, k * 10);
+    const auto out = tree.range(10, 20);
+    ASSERT_EQ(out.size(), 6u);
+    EXPECT_EQ(out.front(), (std::pair<std::uint64_t, std::uint64_t>{10,
+                                                                    100}));
+    EXPECT_EQ(out.back(), (std::pair<std::uint64_t, std::uint64_t>{20,
+                                                                   200}));
+}
+
+TEST(BPlusTree, BatchLookup)
+{
+    BPlusTree tree;
+    tree.insert(1, 11);
+    tree.insert(3, 33);
+    const std::uint64_t keys[] = {1, 2, 3};
+    const auto out = tree.lookup_batch(keys);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], std::optional<std::uint64_t>(11));
+    EXPECT_FALSE(out[1].has_value());
+    EXPECT_EQ(out[2], std::optional<std::uint64_t>(33));
+}
+
+TEST(BPlusTree, MoveSemantics)
+{
+    BPlusTree a(8);
+    a.insert(1, 2);
+    BPlusTree b = std::move(a);
+    EXPECT_EQ(b.find(1), std::optional<std::uint64_t>(2));
+    EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): spec'd.
+    a.insert(5, 6);
+    EXPECT_EQ(a.find(5), std::optional<std::uint64_t>(6));
+}
+
+TEST(BPlusTree, ClearResets)
+{
+    BPlusTree tree(8);
+    for (std::uint64_t k = 0; k < 64; ++k)
+        tree.insert(k, k);
+    tree.clear();
+    EXPECT_TRUE(tree.empty());
+    EXPECT_TRUE(tree.validate().is_ok());
+    tree.insert(1, 1);
+    EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTree, DescendingInsertAscendingErase)
+{
+    BPlusTree tree(4);
+    for (std::uint64_t k = 500; k-- > 0;)
+        tree.insert(k, k);
+    ASSERT_TRUE(tree.validate().is_ok());
+    for (std::uint64_t k = 0; k < 500; ++k)
+        ASSERT_TRUE(tree.erase(k));
+    EXPECT_TRUE(tree.validate().is_ok());
+}
+
+// Property test: the tree must match std::map under arbitrary
+// interleavings of insert/erase/find, across orders and seeds.
+class BTreeProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, int>> {};
+
+TEST_P(BTreeProperty, MatchesStdMap)
+{
+    const auto [order, seed] = GetParam();
+    BPlusTree tree(order);
+    std::map<std::uint64_t, std::uint64_t> model;
+    Rng rng(static_cast<std::uint64_t>(seed) * 997 + 3);
+
+    for (int step = 0; step < 4000; ++step) {
+        const std::uint64_t key = rng.next_below(300);
+        const int op = static_cast<int>(rng.next_below(3));
+        if (op == 0) {
+            const std::uint64_t value = rng.next_u64();
+            const bool fresh = tree.insert(key, value);
+            EXPECT_EQ(fresh, model.find(key) == model.end());
+            model[key] = value;
+        } else if (op == 1) {
+            EXPECT_EQ(tree.erase(key), model.erase(key) == 1);
+        } else {
+            const auto got = tree.find(key);
+            const auto it = model.find(key);
+            if (it == model.end()) {
+                EXPECT_FALSE(got.has_value());
+            } else {
+                ASSERT_TRUE(got.has_value());
+                EXPECT_EQ(*got, it->second);
+            }
+        }
+        if (step % 500 == 0) {
+            ASSERT_TRUE(tree.validate().is_ok())
+                << tree.validate().to_string();
+        }
+        EXPECT_EQ(tree.size(), model.size());
+    }
+    ASSERT_TRUE(tree.validate().is_ok()) << tree.validate().to_string();
+
+    // Final sweep: full content equality via range query.
+    const auto all = tree.range(0, ~0ull);
+    ASSERT_EQ(all.size(), model.size());
+    auto mit = model.begin();
+    for (const auto &[k, v] : all) {
+        EXPECT_EQ(k, mit->first);
+        EXPECT_EQ(v, mit->second);
+        ++mit;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersAndSeeds, BTreeProperty,
+    ::testing::Combine(::testing::Values(4u, 6u, 16u, 64u),
+                       ::testing::Range(0, 4)));
+
+}  // namespace
+}  // namespace fidr::btree

@@ -1,0 +1,152 @@
+// Tests for content-defined chunking vs fixed chunking.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "fidr/chunking/cdc.h"
+#include "fidr/common/rng.h"
+#include "fidr/hash/sha256.h"
+
+namespace fidr::chunking {
+namespace {
+
+Buffer
+random_bytes(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Buffer out(n);
+    for (auto &b : out)
+        b = static_cast<std::uint8_t>(rng.next_u64());
+    return out;
+}
+
+bool
+covers_exactly(const std::vector<ChunkSpan> &spans, std::size_t total)
+{
+    std::size_t expect = 0;
+    for (const ChunkSpan &s : spans) {
+        if (s.offset != expect)
+            return false;
+        expect += s.length;
+    }
+    return expect == total;
+}
+
+TEST(FixedChunking, ExactCoverage)
+{
+    const Buffer data = random_bytes(10000, 1);
+    const auto spans = split_fixed(data, 4096);
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_TRUE(covers_exactly(spans, data.size()));
+    EXPECT_EQ(spans[2].length, 10000u - 8192u);
+}
+
+TEST(FixedChunking, EmptyInput)
+{
+    EXPECT_TRUE(split_fixed(Buffer{}, 4096).empty());
+}
+
+TEST(Cdc, CoversAndRespectsBounds)
+{
+    GearCdc cdc;
+    const Buffer data = random_bytes(1 << 20, 2);
+    const auto spans = cdc.split(data);
+    ASSERT_FALSE(spans.empty());
+    EXPECT_TRUE(covers_exactly(spans, data.size()));
+    for (std::size_t i = 0; i + 1 < spans.size(); ++i) {
+        EXPECT_GE(spans[i].length, cdc.params().min_size);
+        EXPECT_LE(spans[i].length, cdc.params().max_size);
+    }
+}
+
+TEST(Cdc, AverageNearTarget)
+{
+    GearCdc cdc;
+    const Buffer data = random_bytes(4 << 20, 3);
+    const auto spans = cdc.split(data);
+    const double avg =
+        static_cast<double>(data.size()) /
+        static_cast<double>(spans.size());
+    // Gear CDC with min-skip lands near min+window; generous band.
+    EXPECT_GT(avg, 2500);
+    EXPECT_LT(avg, 8000);
+}
+
+TEST(Cdc, Deterministic)
+{
+    GearCdc a, b;
+    const Buffer data = random_bytes(200000, 4);
+    const auto sa = a.split(data);
+    const auto sb = b.split(data);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+        EXPECT_EQ(sa[i].offset, sb[i].offset);
+        EXPECT_EQ(sa[i].length, sb[i].length);
+    }
+}
+
+TEST(Cdc, ShiftResilient)
+{
+    // Insert 100 bytes at the front: CDC must re-find most of the old
+    // chunk boundaries, fixed chunking none of its content alignment.
+    GearCdc cdc;
+    const Buffer original = random_bytes(1 << 20, 5);
+    Buffer shifted = random_bytes(100, 6);
+    shifted.insert(shifted.end(), original.begin(), original.end());
+
+    const auto digest_set = [&cdc](const Buffer &data) {
+        std::unordered_set<Digest> out;
+        for (const ChunkSpan &s : cdc.split(data)) {
+            out.insert(Sha256::hash(std::span<const std::uint8_t>(
+                data.data() + s.offset, s.length)));
+        }
+        return out;
+    };
+
+    const auto a = digest_set(original);
+    const auto b = digest_set(shifted);
+    std::size_t shared = 0;
+    for (const Digest &d : b)
+        shared += a.contains(d);
+    EXPECT_GT(static_cast<double>(shared) /
+                  static_cast<double>(b.size()),
+              0.9);
+
+    // Fixed chunking shares (nearly) nothing after the shift.
+    std::unordered_set<Digest> fixed_a, fixed_b;
+    for (const ChunkSpan &s : split_fixed(original))
+        fixed_a.insert(Sha256::hash(std::span<const std::uint8_t>(
+            original.data() + s.offset, s.length)));
+    for (const ChunkSpan &s : split_fixed(shifted))
+        fixed_b.insert(Sha256::hash(std::span<const std::uint8_t>(
+            shifted.data() + s.offset, s.length)));
+    std::size_t fixed_shared = 0;
+    for (const Digest &d : fixed_b)
+        fixed_shared += fixed_a.contains(d);
+    EXPECT_LE(fixed_shared, 1u);
+}
+
+TEST(Cdc, ShortInputsSingleChunk)
+{
+    GearCdc cdc;
+    const Buffer data = random_bytes(1000, 7);
+    const auto spans = cdc.split(data);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].length, 1000u);
+    EXPECT_TRUE(cdc.split(Buffer{}).empty());
+}
+
+TEST(Cdc, HashedBytesAccountsWork)
+{
+    GearCdc cdc;
+    const Buffer data = random_bytes(1 << 20, 8);
+    (void)cdc.split(data);
+    // Min-skip means strictly less than every byte, but most of them.
+    EXPECT_GT(cdc.hashed_bytes(), data.size() / 4);
+    EXPECT_LT(cdc.hashed_bytes(), data.size());
+}
+
+}  // namespace
+}  // namespace fidr::chunking

@@ -1,0 +1,196 @@
+// Unit tests for fidr/common: status, results, RNG, byte utilities.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "fidr/common/bytes.h"
+#include "fidr/common/rng.h"
+#include "fidr/common/status.h"
+#include "fidr/common/types.h"
+#include "fidr/common/units.h"
+
+namespace fidr {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.is_ok());
+    EXPECT_EQ(s.code(), StatusCode::kOk);
+    EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage)
+{
+    Status s = Status::not_found("missing lba");
+    EXPECT_FALSE(s.is_ok());
+    EXPECT_EQ(s.code(), StatusCode::kNotFound);
+    EXPECT_EQ(s.to_string(), "NOT_FOUND: missing lba");
+}
+
+TEST(Status, AllCodesHaveNames)
+{
+    for (StatusCode code :
+         {StatusCode::kOk, StatusCode::kInvalidArgument,
+          StatusCode::kNotFound, StatusCode::kOutOfSpace,
+          StatusCode::kCorruption, StatusCode::kUnavailable,
+          StatusCode::kInternal}) {
+        EXPECT_STRNE(status_code_name(code), "UNKNOWN");
+    }
+}
+
+TEST(Result, HoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError)
+{
+    Result<int> r(Status::corruption("bad block"));
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(Result, TakeMovesValue)
+{
+    Result<Buffer> r(Buffer{1, 2, 3});
+    Buffer b = r.take();
+    EXPECT_EQ(b, (Buffer{1, 2, 3}));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr int kBuckets = 16;
+    constexpr int kSamples = 160000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[rng.next_below(kBuckets)];
+    for (int c : counts) {
+        EXPECT_NEAR(c, kSamples / kBuckets,
+                    5 * std::sqrt(kSamples / kBuckets));
+    }
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.next_double();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(9);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.next_bool(0.3);
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, SkewedStaysInRange)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.next_skewed(100, 0.5), 100u);
+}
+
+TEST(Bytes, HexRoundTrip)
+{
+    const Buffer data{0x00, 0x01, 0xAB, 0xFF, 0x7E};
+    const std::string hex = to_hex(data);
+    EXPECT_EQ(hex, "0001abff7e");
+    EXPECT_EQ(from_hex(hex), data);
+}
+
+TEST(Bytes, FromHexRejectsBadInput)
+{
+    EXPECT_TRUE(from_hex("abc").empty());   // Odd length.
+    EXPECT_TRUE(from_hex("zz").empty());    // Non-hex digit.
+    EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, LittleEndianRoundTrip)
+{
+    std::uint8_t buf[8];
+    for (std::size_t width = 1; width <= 8; ++width) {
+        const std::uint64_t value =
+            0x1122334455667788ull & ((width == 8)
+                                         ? ~0ull
+                                         : ((1ull << (8 * width)) - 1));
+        store_le(buf, value, width);
+        EXPECT_EQ(load_le(buf, width), value) << "width " << width;
+    }
+}
+
+TEST(Bytes, StoreLeTruncatesHighBytes)
+{
+    std::uint8_t buf[2];
+    store_le(buf, 0x123456, 2);
+    EXPECT_EQ(load_le(buf, 2), 0x3456u);
+}
+
+TEST(Bytes, SpansEqual)
+{
+    const Buffer a{1, 2, 3};
+    const Buffer b{1, 2, 3};
+    const Buffer c{1, 2, 4};
+    const Buffer d{1, 2};
+    EXPECT_TRUE(spans_equal(a, b));
+    EXPECT_FALSE(spans_equal(a, c));
+    EXPECT_FALSE(spans_equal(a, d));
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(gb_per_s(75), 75e9);
+    EXPECT_DOUBLE_EQ(to_gb_per_s(gb_per_s(170)), 170.0);
+    EXPECT_EQ(kChunkSize, 4096u);
+    EXPECT_EQ(kEntriesPerBucket, 107u);  // (4096-2)/38 entries fit.
+}
+
+TEST(Types, PbnBounds)
+{
+    EXPECT_EQ(kMaxPbn, (1ull << 48) - 1);
+    EXPECT_GT(kInvalidPbn, kMaxPbn);
+}
+
+}  // namespace
+}  // namespace fidr

@@ -1,0 +1,100 @@
+// Tests for the Sec 7.8 cost model.
+
+#include <gtest/gtest.h>
+
+#include "fidr/cost/cost_model.h"
+
+namespace fidr::cost {
+namespace {
+
+TEST(CostModel, NoReductionIsPureSsd)
+{
+    const CostBreakdown c = cost_no_reduction(500'000);  // 500 TB.
+    EXPECT_DOUBLE_EQ(c.data_ssd, 250'000);
+    EXPECT_DOUBLE_EQ(c.total(), 250'000);
+    EXPECT_DOUBLE_EQ(c.cpu + c.fpga + c.dram + c.table_ssd, 0);
+}
+
+TEST(CostModel, ReductionFactorArithmetic)
+{
+    CostParams params;
+    EXPECT_DOUBLE_EQ(params.reduction_factor(), 0.25);
+    params.dedup_ratio = 0.8;
+    EXPECT_DOUBLE_EQ(params.reduction_factor(), 0.1);
+}
+
+TEST(CostModel, FidrSavesSubstantially)
+{
+    // Fig 16's operating point: 500 TB effective, 75 GB/s.
+    const CostBreakdown none = cost_no_reduction(500'000);
+    const CostBreakdown fidr =
+        cost_with_reduction(500'000, gb_per_s(75), fidr_demand());
+    const double saving = cost_saving(fidr, none);
+    // Paper: 58% saving at 75 GB/s; allow model tolerance.
+    EXPECT_GT(saving, 0.50);
+    EXPECT_LT(saving, 0.80);
+    // Data SSDs dominate the remaining cost.
+    EXPECT_GT(fidr.data_ssd, fidr.cpu + fidr.fpga);
+}
+
+TEST(CostModel, BaselinePartialReductionCostsMore)
+{
+    const CostBreakdown none = cost_no_reduction(500'000);
+    const CostBreakdown fidr =
+        cost_with_reduction(500'000, gb_per_s(75), fidr_demand());
+    const CostBreakdown base =
+        cost_with_reduction(500'000, gb_per_s(75), baseline_demand());
+    // The baseline saturates near 25 GB/s, reduces only a third of
+    // the stream, and stores the rest raw (Fig 16).
+    EXPECT_GT(base.data_ssd, 2.0 * fidr.data_ssd);
+    EXPECT_GT(cost_saving(fidr, none), cost_saving(base, none) + 0.2);
+}
+
+TEST(CostModel, SystemsComparableAtLowThroughput)
+{
+    // Below the baseline's ceiling both fully reduce; costs converge
+    // (Fig 15's low-throughput end).
+    const CostBreakdown fidr =
+        cost_with_reduction(100'000, gb_per_s(20), fidr_demand());
+    const CostBreakdown base =
+        cost_with_reduction(100'000, gb_per_s(20), baseline_demand());
+    EXPECT_DOUBLE_EQ(fidr.data_ssd, base.data_ssd);
+    EXPECT_NEAR(fidr.total() / base.total(), 1.0, 0.15);
+}
+
+TEST(CostModel, SavingShrinksWithThroughputButStaysPositive)
+{
+    // Fig 15: FIDR saving drops from ~67% at 25 GB/s to ~58% at
+    // 75 GB/s for 500 TB.
+    const CostBreakdown none = cost_no_reduction(500'000);
+    const double s25 = cost_saving(
+        cost_with_reduction(500'000, gb_per_s(25), fidr_demand()), none);
+    const double s75 = cost_saving(
+        cost_with_reduction(500'000, gb_per_s(75), fidr_demand()), none);
+    EXPECT_GT(s25, s75);
+    EXPECT_GT(s75, 0.5);
+    EXPECT_NEAR(s25, 0.67, 0.08);
+}
+
+TEST(CostModel, LargerCapacityAbsorbsOverheads)
+{
+    const double small_saving = cost_saving(
+        cost_with_reduction(100'000, gb_per_s(75), fidr_demand()),
+        cost_no_reduction(100'000));
+    const double large_saving = cost_saving(
+        cost_with_reduction(1'000'000, gb_per_s(75), fidr_demand()),
+        cost_no_reduction(1'000'000));
+    EXPECT_GT(large_saving, small_saving);
+}
+
+TEST(CostModel, DemandSanity)
+{
+    const SystemDemand base = baseline_demand();
+    const SystemDemand fidr = fidr_demand();
+    EXPECT_GT(base.cores_per_gbps, 2.5 * fidr.cores_per_gbps);
+    EXPECT_LT(to_gb_per_s(base.max_socket_throughput), 30.0);
+    EXPECT_NEAR(to_gb_per_s(fidr.max_socket_throughput), 75.0, 1.0);
+}
+
+}  // namespace
+}  // namespace fidr::cost

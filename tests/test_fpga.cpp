@@ -1,0 +1,115 @@
+// Tests for the FPGA resource estimation model (Tables 4-5).
+
+#include <gtest/gtest.h>
+
+#include "fidr/fpga/resources.h"
+
+namespace fidr::fpga {
+namespace {
+
+TEST(Fpga, DeviceTotalsMatchXcvu9p)
+{
+    const Device dev = vcu1525();
+    EXPECT_NEAR(dev.luts, 1'182'240, 1);
+    EXPECT_NEAR(dev.brams, 2160, 1);
+    EXPECT_NEAR(dev.urams, 960, 1);
+}
+
+TEST(Fpga, ResourceArithmetic)
+{
+    const Resources a{10, 20, 2, 1};
+    const Resources b{1, 2, 3, 4};
+    const Resources sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.luts, 11);
+    EXPECT_DOUBLE_EQ(sum.urams, 5);
+    const Resources scaled = a * 3;
+    EXPECT_DOUBLE_EQ(scaled.flip_flops, 60);
+}
+
+TEST(Fpga, NicWriteOnlyReproducesTable4)
+{
+    // Write-only row: reduction support 125K LUTs (10.7%), total with
+    // the basic NIC 290K LUTs (24.5%), 1119 BRAMs (51.8%).
+    const Resources support = nic_reduction_support(16);
+    EXPECT_NEAR(support.luts, 125'000, 1500);
+    EXPECT_NEAR(support.flip_flops, 128'000, 1500);
+    EXPECT_NEAR(support.brams, 95, 2);
+
+    const Resources total = nic_base() + support;
+    const Utilization u = utilization(total, vcu1525());
+    EXPECT_NEAR(u.luts_pct, 24.5, 0.5);
+    EXPECT_NEAR(u.flip_flops_pct, 12.5, 0.5);
+    EXPECT_NEAR(u.brams_pct, 51.8, 0.5);
+}
+
+TEST(Fpga, NicMixedReproducesTable4)
+{
+    // Mixed row: half the hash rate (8 cores) -> 84K LUTs (7.1%),
+    // total 249K (21.1%), 1099 BRAM (51.0%).
+    const Resources support = nic_reduction_support(8);
+    EXPECT_NEAR(support.luts, 84'000, 1500);
+    const Utilization u =
+        utilization(nic_base() + support, vcu1525());
+    EXPECT_NEAR(u.luts_pct, 21.1, 0.5);
+    EXPECT_NEAR(u.brams_pct, 51.0, 0.5);
+}
+
+TEST(Fpga, CacheEngineMediumTreeReproducesTable5)
+{
+    CacheEngineConfig config;
+    config.onchip_levels = 8;
+    config.table_ssd_controller = false;
+    const Resources r = cache_engine(config);
+    EXPECT_NEAR(r.luts, 316'000, 2000);       // 26.7%.
+    EXPECT_NEAR(r.flip_flops, 154'000, 2000); // 6.5%.
+    EXPECT_NEAR(r.brams, 202, 3);             // 9.3%.
+    EXPECT_DOUBLE_EQ(r.urams, 0);
+
+    const Utilization u = utilization(r, vcu1525());
+    EXPECT_NEAR(u.luts_pct, 26.7, 0.3);
+    EXPECT_NEAR(u.brams_pct, 9.3, 0.3);
+}
+
+TEST(Fpga, CacheEngineAllReproducesTable5)
+{
+    CacheEngineConfig config;
+    config.onchip_levels = 8;
+    config.table_ssd_controller = true;
+    const Resources r = cache_engine(config);
+    EXPECT_NEAR(r.luts, 320'000, 2000);  // 27.1%.
+    EXPECT_NEAR(r.brams, 218, 3);        // 10.1%.
+}
+
+TEST(Fpga, CacheEngineLargeTreeReproducesTable5)
+{
+    CacheEngineConfig config;
+    config.onchip_levels = 13;
+    config.table_ssd_controller = false;
+    config.use_uram = true;
+    const Resources r = cache_engine(config);
+    EXPECT_NEAR(r.luts, 348'000, 2000);   // 29.4%.
+    EXPECT_NEAR(r.flip_flops, 137'000, 2000);
+    EXPECT_NEAR(r.brams, 390, 5);         // 18.1%.
+    EXPECT_NEAR(r.urams, 756, 5);         // 78.8%.
+
+    const Utilization u = utilization(r, vcu1525());
+    EXPECT_NEAR(u.urams_pct, 78.8, 0.5);
+}
+
+TEST(Fpga, EverythingFitsTheDevice)
+{
+    // Each of the three FIDR boards must fit within ~70% usable fabric.
+    const Device dev = vcu1525();
+    const Resources nic = nic_base() + nic_reduction_support(16);
+    const Resources engine = cache_engine(CacheEngineConfig{13, true,
+                                                            true, true});
+    for (const Resources &r : {nic, engine}) {
+        const Utilization u = utilization(r, dev);
+        EXPECT_LT(u.luts_pct, 70);
+        EXPECT_LT(u.brams_pct, 70);
+        EXPECT_LT(u.urams_pct, 85);
+    }
+}
+
+}  // namespace
+}  // namespace fidr::fpga

@@ -1,0 +1,167 @@
+// Unit tests for fidr/hash: SHA-256 against FIPS 180-4 test vectors,
+// incremental hashing, digest semantics, FNV-1a.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "fidr/common/rng.h"
+#include "fidr/common/types.h"
+#include "fidr/hash/digest.h"
+#include "fidr/hash/sha256.h"
+
+namespace fidr {
+namespace {
+
+Buffer
+bytes_of(const std::string &s)
+{
+    return Buffer(s.begin(), s.end());
+}
+
+std::string
+sha256_hex(const std::string &s)
+{
+    return Sha256::hash(bytes_of(s)).to_hex();
+}
+
+// NIST / well-known SHA-256 vectors.
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(sha256_hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(sha256_hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijk"
+                         "ijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 ctx;
+    const Buffer block(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        ctx.update(block);
+    EXPECT_EQ(ctx.finish().to_hex(),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary)
+{
+    // 55/56/64-byte messages exercise the padding corner cases.
+    for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 128u}) {
+        const std::string msg(len, 'x');
+        Sha256 whole;
+        whole.update(bytes_of(msg));
+        Sha256 split;
+        split.update(bytes_of(msg.substr(0, len / 2)));
+        split.update(bytes_of(msg.substr(len / 2)));
+        EXPECT_EQ(whole.finish().to_hex(), split.finish().to_hex())
+            << "len " << len;
+    }
+}
+
+TEST(Sha256, IncrementalMatchesOneShotOnRandomSplits)
+{
+    Rng rng(77);
+    Buffer data(5000);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next_u64());
+    const Digest expect = Sha256::hash(data);
+
+    for (int trial = 0; trial < 20; ++trial) {
+        Sha256 ctx;
+        std::size_t pos = 0;
+        while (pos < data.size()) {
+            const std::size_t take = std::min<std::size_t>(
+                1 + rng.next_below(257), data.size() - pos);
+            ctx.update(std::span<const std::uint8_t>(data.data() + pos,
+                                                     take));
+            pos += take;
+        }
+        EXPECT_EQ(ctx.finish(), expect);
+    }
+}
+
+TEST(Sha256, ContextReusableAfterReset)
+{
+    Sha256 ctx;
+    ctx.update(bytes_of("abc"));
+    (void)ctx.finish();
+    ctx.reset();
+    ctx.update(bytes_of("abc"));
+    EXPECT_EQ(ctx.finish().to_hex(),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests)
+{
+    std::set<std::string> seen;
+    for (int i = 0; i < 1000; ++i) {
+        Buffer data(64);
+        data[0] = static_cast<std::uint8_t>(i);
+        data[1] = static_cast<std::uint8_t>(i >> 8);
+        seen.insert(Sha256::hash(data).to_hex());
+    }
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Digest, DefaultIsZero)
+{
+    Digest d;
+    EXPECT_EQ(d.prefix64(), 0u);
+    EXPECT_EQ(d.to_hex(), std::string(64, '0'));
+}
+
+TEST(Digest, ComparisonAndHash)
+{
+    const Digest a = Sha256::hash(bytes_of("a"));
+    const Digest b = Sha256::hash(bytes_of("b"));
+    EXPECT_EQ(a, a);
+    EXPECT_NE(a, b);
+    EXPECT_NE(std::hash<Digest>{}(a), std::hash<Digest>{}(b));
+}
+
+TEST(Digest, Prefix64IsLittleEndianOfFirstBytes)
+{
+    Digest d;
+    for (std::size_t i = 0; i < 8; ++i)
+        d.bytes()[i] = static_cast<std::uint8_t>(i + 1);
+    EXPECT_EQ(d.prefix64(), 0x0807060504030201ull);
+}
+
+TEST(Fnv1a64, KnownValues)
+{
+    EXPECT_EQ(fnv1a64(Buffer{}), 0xcbf29ce484222325ull);
+    const Buffer a{'a'};
+    EXPECT_EQ(fnv1a64(a), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(Fnv1a64, SensitiveToEveryByte)
+{
+    Buffer data(32, 0);
+    const std::uint64_t base = fnv1a64(data);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = 1;
+        EXPECT_NE(fnv1a64(data), base) << "byte " << i;
+        data[i] = 0;
+    }
+}
+
+}  // namespace
+}  // namespace fidr

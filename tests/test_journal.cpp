@@ -1,0 +1,249 @@
+// Tests for the metadata journal and crash recovery (extension).
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "fidr/core/fidr_system.h"
+#include "fidr/tables/journal.h"
+#include "fidr/workload/content.h"
+#include "fidr/workload/generator.h"
+
+namespace fidr::tables {
+namespace {
+
+ssd::SsdConfig
+journal_ssd()
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 64 * kMiB;
+    return config;
+}
+
+TEST(Journal, AppendReplayRoundTrip)
+{
+    ssd::Ssd ssd(journal_ssd());
+    MetadataJournal journal(ssd, 0, 1 * kMiB);
+
+    ASSERT_TRUE(journal.log_map(10, 100).is_ok());
+    ASSERT_TRUE(journal
+                    .log_location(100, ChunkLocation{7, 3, 2048})
+                    .is_ok());
+    ASSERT_TRUE(journal.log_retire(55).is_ok());
+    ASSERT_TRUE(journal.log_checkpoint().is_ok());
+    EXPECT_EQ(journal.records(), 4u);
+
+    Result<std::vector<JournalRecord>> replayed = journal.replay();
+    ASSERT_TRUE(replayed.is_ok());
+    ASSERT_EQ(replayed.value().size(), 4u);
+    EXPECT_EQ(replayed.value()[0].op, JournalOp::kMapLba);
+    EXPECT_EQ(replayed.value()[0].lba, 10u);
+    EXPECT_EQ(replayed.value()[0].pbn, 100u);
+    EXPECT_EQ(replayed.value()[1].location,
+              (ChunkLocation{7, 3, 2048}));
+    EXPECT_EQ(replayed.value()[2].op, JournalOp::kRetirePbn);
+    EXPECT_EQ(replayed.value()[3].op, JournalOp::kCheckpoint);
+}
+
+TEST(Journal, TornTailTruncatedAtReplay)
+{
+    ssd::Ssd ssd(journal_ssd());
+    MetadataJournal journal(ssd, 0, 1 * kMiB);
+    ASSERT_TRUE(journal.log_map(1, 1).is_ok());
+    ASSERT_TRUE(journal.log_map(2, 2).is_ok());
+
+    // Corrupt the second record (torn write at crash time).
+    Buffer garbage(4, 0xFF);
+    ASSERT_TRUE(ssd.write(kJournalRecordSize + 2, garbage).is_ok());
+
+    Result<std::vector<JournalRecord>> replayed = journal.replay();
+    ASSERT_TRUE(replayed.is_ok());
+    ASSERT_EQ(replayed.value().size(), 1u);
+    EXPECT_EQ(replayed.value()[0].lba, 1u);
+}
+
+TEST(Journal, ResetPreventsStaleEpochReplay)
+{
+    ssd::Ssd ssd(journal_ssd());
+    MetadataJournal journal(ssd, 0, 1 * kMiB);
+    for (Lba lba = 0; lba < 10; ++lba)
+        ASSERT_TRUE(journal.log_map(lba, lba).is_ok());
+    journal.reset();
+    EXPECT_EQ(journal.records(), 0u);
+
+    // New epoch writes fewer records than the old one held.
+    ASSERT_TRUE(journal.log_map(77, 88).is_ok());
+    Result<std::vector<JournalRecord>> replayed = journal.replay();
+    ASSERT_TRUE(replayed.is_ok());
+    ASSERT_EQ(replayed.value().size(), 1u);  // No stale tail.
+    EXPECT_EQ(replayed.value()[0].lba, 77u);
+}
+
+TEST(Journal, FullJournalReportsOutOfSpace)
+{
+    ssd::Ssd ssd(journal_ssd());
+    MetadataJournal journal(ssd, 0, 4 * kJournalRecordSize);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(journal.log_map(i, i).is_ok());
+    EXPECT_EQ(journal.log_map(9, 9).code(), StatusCode::kOutOfSpace);
+}
+
+TEST(Journal, RebuildAppliesAllOps)
+{
+    std::vector<JournalRecord> records;
+    JournalRecord map;
+    map.op = JournalOp::kMapLba;
+    map.lba = 4;
+    map.pbn = 40;
+    records.push_back(map);
+    JournalRecord loc;
+    loc.op = JournalOp::kSetLocation;
+    loc.pbn = 40;
+    loc.location = ChunkLocation{1, 2, 512};
+    records.push_back(loc);
+    // Remap LBA 4 away; PBN 40 dies and is retired.
+    JournalRecord remap = map;
+    remap.pbn = 41;
+    records.push_back(remap);
+    JournalRecord retire;
+    retire.op = JournalOp::kRetirePbn;
+    retire.pbn = 40;
+    records.push_back(retire);
+
+    const LbaPbaTable table = MetadataJournal::rebuild(records);
+    EXPECT_EQ(table.pbn_of(4), std::optional<Pbn>(41));
+    EXPECT_EQ(table.refcount(40), 0u);
+    EXPECT_FALSE(table.location_of(40).has_value());
+    EXPECT_TRUE(table.validate().is_ok());
+}
+
+TEST(LbaPbaSnapshot, SerializeDeserializeRoundTrip)
+{
+    LbaPbaTable table;
+    table.map_lba(1, 10);
+    table.map_lba(2, 10);  // Shared PBN.
+    table.map_lba(3, 30);
+    table.set_location(10, ChunkLocation{5, 6, 1111});
+    table.set_location(30, ChunkLocation{7, 8, 2222});
+
+    Result<LbaPbaTable> copy =
+        LbaPbaTable::deserialize(table.serialize());
+    ASSERT_TRUE(copy.is_ok());
+    EXPECT_EQ(copy.value().pbn_of(2), std::optional<Pbn>(10));
+    EXPECT_EQ(copy.value().refcount(10), 2u);
+    EXPECT_EQ(copy.value().lookup(3),
+              std::optional<ChunkLocation>(ChunkLocation{7, 8, 2222}));
+    EXPECT_TRUE(copy.value().validate().is_ok());
+}
+
+TEST(LbaPbaSnapshot, RejectsGarbage)
+{
+    EXPECT_FALSE(LbaPbaTable::deserialize(Buffer(10, 0)).is_ok());
+    LbaPbaTable table;
+    table.map_lba(1, 1);
+    Buffer image = table.serialize();
+    image.pop_back();
+    EXPECT_FALSE(LbaPbaTable::deserialize(image).is_ok());
+}
+
+}  // namespace
+}  // namespace fidr::tables
+
+namespace fidr::core {
+namespace {
+
+FidrConfig
+journaled_fidr()
+{
+    FidrConfig config;
+    config.platform.expected_unique_chunks = 20000;
+    config.platform.cache_fraction = 0.1;
+    config.platform.data_ssd.capacity_bytes = 4ull * kGiB;
+    config.platform.table_ssd.capacity_bytes = 1ull * kGiB;
+    config.journal_metadata = true;
+    config.nic.hash_batch = 64;
+    return config;
+}
+
+TEST(Recovery, MappingsSurviveACrash)
+{
+    FidrSystem system(journaled_fidr());
+    workload::WorkloadSpec spec;
+    spec.dedup_ratio = 0.5;
+    workload::WorkloadGenerator gen(spec);
+
+    std::unordered_map<Lba, Buffer> model;
+    for (int i = 0; i < 500; ++i) {
+        const auto req = gen.next();
+        model[req.lba] = req.data;
+        ASSERT_TRUE(system.write(req.lba, req.data).is_ok());
+    }
+    ASSERT_TRUE(system.flush().is_ok());
+    EXPECT_GT(system.journal_records(), 0u);
+
+    ASSERT_TRUE(system.simulate_crash_and_recover().is_ok());
+    for (const auto &[lba, data] : model)
+        ASSERT_EQ(system.read(lba).value(), data) << lba;
+    EXPECT_TRUE(system.lba_table().validate().is_ok());
+}
+
+TEST(Recovery, CheckpointTruncatesJournalAndStillRecovers)
+{
+    FidrSystem system(journaled_fidr());
+    for (Lba lba = 0; lba < 200; ++lba) {
+        ASSERT_TRUE(
+            system.write(lba, workload::make_chunk_content(lba))
+                .is_ok());
+    }
+    ASSERT_TRUE(system.flush().is_ok());
+    ASSERT_TRUE(system.checkpoint().is_ok());
+    EXPECT_LE(system.journal_records(), 1u);  // Checkpoint marker only.
+
+    // More writes after the checkpoint land in the journal tail.
+    for (Lba lba = 200; lba < 260; ++lba) {
+        ASSERT_TRUE(
+            system.write(lba, workload::make_chunk_content(lba))
+                .is_ok());
+    }
+    ASSERT_TRUE(system.flush().is_ok());
+
+    ASSERT_TRUE(system.simulate_crash_and_recover().is_ok());
+    for (Lba lba = 0; lba < 260; ++lba) {
+        ASSERT_EQ(system.read(lba).value(),
+                  workload::make_chunk_content(lba))
+            << lba;
+    }
+}
+
+TEST(Recovery, JournalOverflowAutoCheckpoints)
+{
+    FidrConfig config = journaled_fidr();
+    // Tiny journal: a few hundred records force mid-run checkpoints.
+    config.journal_bytes = 300 * tables::kJournalRecordSize;
+    FidrSystem system(config);
+
+    for (Lba lba = 0; lba < 500; ++lba) {
+        ASSERT_TRUE(
+            system.write(lba, workload::make_chunk_content(lba % 100))
+                .is_ok());
+    }
+    ASSERT_TRUE(system.flush().is_ok());
+    ASSERT_TRUE(system.simulate_crash_and_recover().is_ok());
+    for (Lba lba = 0; lba < 500; ++lba) {
+        ASSERT_EQ(system.read(lba).value(),
+                  workload::make_chunk_content(lba % 100));
+    }
+}
+
+TEST(Recovery, DisabledJournalRejectsRecoveryCalls)
+{
+    FidrConfig config = journaled_fidr();
+    config.journal_metadata = false;
+    FidrSystem system(config);
+    EXPECT_FALSE(system.checkpoint().is_ok());
+    EXPECT_FALSE(system.simulate_crash_and_recover().is_ok());
+    EXPECT_EQ(system.journal_records(), 0u);
+}
+
+}  // namespace
+}  // namespace fidr::core

@@ -1,0 +1,136 @@
+// Tests for the platform wiring, host resource models, and the
+// analytic projection plumbing.
+
+#include <gtest/gtest.h>
+
+#include "fidr/core/baseline_system.h"
+#include "fidr/core/perf_model.h"
+#include "fidr/core/platform.h"
+#include "fidr/host/host.h"
+#include "fidr/workload/content.h"
+
+namespace fidr::core {
+namespace {
+
+PlatformConfig
+tiny_platform()
+{
+    PlatformConfig config;
+    config.expected_unique_chunks = 20000;
+    config.cache_fraction = 0.1;
+    config.data_ssd.capacity_bytes = 1ull * kGiB;
+    config.table_ssd.capacity_bytes = 64 * kMiB;
+    return config;
+}
+
+TEST(Platform, DeviceTopologyGroupsDataPathUnderOneSwitch)
+{
+    Platform platform(tiny_platform());
+    const pcie::Fabric &fabric = platform.fabric();
+    // NIC, engines and data SSDs share the data-path switch => P2P.
+    const auto nic_parent = fabric.info(platform.nic()).parent;
+    EXPECT_TRUE(fabric.info(platform.compression_engine()).parent ==
+                nic_parent);
+    EXPECT_TRUE(fabric.info(platform.decompression_engine()).parent ==
+                nic_parent);
+    for (std::size_t i = 0; i < platform.data_ssd_dev_count(); ++i) {
+        EXPECT_TRUE(fabric.info(platform.data_ssd_dev(i)).parent ==
+                    nic_parent);
+    }
+    // The metadata path lives under a different switch.
+    EXPECT_FALSE(fabric.info(platform.cache_engine()).parent ==
+                 nic_parent);
+    EXPECT_TRUE(fabric.info(platform.table_ssd_dev()).parent ==
+                fabric.info(platform.cache_engine()).parent);
+}
+
+TEST(Platform, CacheLinesFollowFraction)
+{
+    PlatformConfig config = tiny_platform();
+    Platform platform(config);
+    const double expect = static_cast<double>(
+                              platform.hash_table().num_buckets()) *
+                          config.cache_fraction;
+    EXPECT_NEAR(static_cast<double>(platform.cache_lines()), expect, 2);
+}
+
+TEST(Platform, TableFitsOnTableSsd)
+{
+    Platform platform(tiny_platform());
+    EXPECT_LE(platform.hash_table().table_bytes(),
+              platform.table_ssd().config().capacity_bytes);
+}
+
+TEST(HostCpu, SaturationThroughputInvertsDemand)
+{
+    host::HostCpu cpu(22);
+    // 22 core-seconds consumed for 1 GB of client data: sustaining
+    // 1 GB/s needs all 22 cores, so the socket saturates at 1 GB/s.
+    cpu.bill_us("task", 22e6);
+    EXPECT_NEAR(cpu.required_cores(1e9, gb_per_s(1)), 22.0, 1e-9);
+    EXPECT_NEAR(to_gb_per_s(cpu.saturation_throughput(1e9)), 1.0,
+                1e-9);
+}
+
+TEST(HostMemory, ClaimReleaseAccounting)
+{
+    host::HostMemory memory(1000);
+    ASSERT_TRUE(memory.claim("cache", 600).is_ok());
+    ASSERT_TRUE(memory.claim("buffers", 300).is_ok());
+    EXPECT_EQ(memory.used(), 900u);
+    EXPECT_EQ(memory.used_by("cache"), 600u);
+    // Over-capacity claims fail without side effects.
+    EXPECT_EQ(memory.claim("more", 200).code(),
+              StatusCode::kOutOfSpace);
+    EXPECT_EQ(memory.used(), 900u);
+    memory.release("buffers", 300);
+    EXPECT_EQ(memory.used(), 600u);
+    EXPECT_EQ(memory.breakdown().size(), 1u);
+}
+
+TEST(Projection, RequiredScalesLinearlyWithTarget)
+{
+    BaselineConfig config;
+    config.platform = tiny_platform();
+    BaselineSystem system(config);
+    for (Lba lba = 0; lba < 300; ++lba) {
+        ASSERT_TRUE(
+            system.write(lba, workload::make_chunk_content(lba))
+                .is_ok());
+    }
+    ASSERT_TRUE(system.flush().is_ok());
+
+    const Projection at25 = project(system, gb_per_s(25));
+    const Projection at75 = project(system, gb_per_s(75));
+    EXPECT_NEAR(at75.mem_required, 3.0 * at25.mem_required, 1e-3);
+    EXPECT_NEAR(at75.cores_required, 3.0 * at25.cores_required, 1e-9);
+    // Capacity ceilings are independent of the target.
+    EXPECT_DOUBLE_EQ(at25.mem_cap, at75.mem_cap);
+    EXPECT_DOUBLE_EQ(at25.cpu_cap, at75.cpu_cap);
+    // Throughput can never exceed the configured target.
+    EXPECT_LE(at25.throughput(), gb_per_s(25) + 1);
+}
+
+TEST(Projection, ThroughputIsMinOfCeilings)
+{
+    Projection p;
+    p.pcie_target = gb_per_s(75);
+    p.mem_cap = gb_per_s(40);
+    p.cpu_cap = gb_per_s(25);
+    p.tree_cap = gb_per_s(60);
+    p.table_ssd_cap = gb_per_s(90);
+    EXPECT_DOUBLE_EQ(p.throughput(), gb_per_s(25));
+    EXPECT_STREQ(p.bottleneck(), "CPU cores");
+    p.cpu_cap = gb_per_s(200);
+    EXPECT_STREQ(p.bottleneck(), "host DRAM bandwidth");
+    p.mem_cap = gb_per_s(300);
+    EXPECT_STREQ(p.bottleneck(), "Cache HW-Engine");
+    p.tree_cap = gb_per_s(400);
+    p.table_ssd_cap = gb_per_s(50);
+    EXPECT_STREQ(p.bottleneck(), "table SSD bandwidth");
+    p.table_ssd_cap = gb_per_s(500);
+    EXPECT_STREQ(p.bottleneck(), "PCIe target");
+}
+
+}  // namespace
+}  // namespace fidr::core

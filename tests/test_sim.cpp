@@ -1,0 +1,168 @@
+// Unit tests for the simulation core: event queue, bandwidth pipes,
+// ledgers, latency stats.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fidr/sim/event_queue.h"
+#include "fidr/sim/ledger.h"
+#include "fidr/sim/stats.h"
+
+namespace fidr::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(q.run(), 30u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongSameTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(42, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksCanSchedule)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.schedule(1, [&] { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 2u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(100, [&] { ++fired; });
+    EXPECT_EQ(q.run_until(50), 50u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(BandwidthPipe, SerializesTransfers)
+{
+    BandwidthPipe pipe(1e9);  // 1 GB/s => 1 byte per ns.
+    EXPECT_EQ(pipe.transfer(0, 1000), 1000u);
+    // Second transfer queues behind the first.
+    EXPECT_EQ(pipe.transfer(0, 500), 1500u);
+    // A transfer issued after the pipe idles starts immediately.
+    EXPECT_EQ(pipe.transfer(10000, 100), 10100u);
+    EXPECT_EQ(pipe.bytes_transferred(), 1600u);
+}
+
+TEST(BandwidthLedger, TracksSharesAndTotals)
+{
+    BandwidthLedger ledger;
+    ledger.add("a", 300);
+    ledger.add("b", 100);
+    ledger.add("a", 100);
+    EXPECT_DOUBLE_EQ(ledger.total(), 500);
+    EXPECT_DOUBLE_EQ(ledger.bytes("a"), 400);
+    EXPECT_DOUBLE_EQ(ledger.share("a"), 0.8);
+    EXPECT_DOUBLE_EQ(ledger.share("missing"), 0.0);
+}
+
+TEST(BandwidthLedger, RequiredBandwidthProjection)
+{
+    // 2 bytes of DRAM traffic per client byte at 75 GB/s needs
+    // 150 GB/s of DRAM bandwidth — the Fig 4 projection method.
+    BandwidthLedger ledger;
+    ledger.add("traffic", 2000);
+    EXPECT_DOUBLE_EQ(ledger.required_bandwidth(1000, gb_per_s(75)),
+                     gb_per_s(150));
+}
+
+TEST(BandwidthLedger, ReportSortedByValue)
+{
+    BandwidthLedger ledger;
+    ledger.add("small", 1);
+    ledger.add("large", 10);
+    const auto rows = ledger.report();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].tag, "large");
+    EXPECT_NEAR(rows[0].share, 10.0 / 11.0, 1e-12);
+}
+
+TEST(WorkLedger, RequiredCores)
+{
+    WorkLedger ledger;
+    // 1 core-second per GB of client data.
+    ledger.add("task", 1.0);
+    EXPECT_NEAR(ledger.required_cores(1e9, gb_per_s(75)), 75.0, 1e-9);
+}
+
+TEST(WorkLedger, ResetClears)
+{
+    WorkLedger ledger;
+    ledger.add("x", 5);
+    ledger.reset();
+    EXPECT_DOUBLE_EQ(ledger.total(), 0);
+    EXPECT_TRUE(ledger.report().empty());
+}
+
+TEST(StatRegistry, IncrementAndList)
+{
+    StatRegistry stats;
+    stats.inc("reads");
+    stats.inc("reads", 4);
+    stats.inc("writes", 2);
+    EXPECT_EQ(stats.get("reads"), 5u);
+    EXPECT_EQ(stats.get("absent"), 0u);
+    EXPECT_EQ(stats.all().size(), 2u);
+}
+
+TEST(LatencyStats, BasicMoments)
+{
+    LatencyStats stats;
+    stats.record(100);
+    stats.record(200);
+    stats.record(300);
+    EXPECT_EQ(stats.count(), 3u);
+    EXPECT_DOUBLE_EQ(stats.mean_ns(), 200);
+    EXPECT_EQ(stats.min_ns(), 100u);
+    EXPECT_EQ(stats.max_ns(), 300u);
+}
+
+TEST(LatencyStats, PercentilesApproximate)
+{
+    LatencyStats stats;
+    for (SimTime v = 1; v <= 1000; ++v)
+        stats.record(v * 1000);
+    // 2% log-bucket error allowed.
+    EXPECT_NEAR(static_cast<double>(stats.percentile_ns(0.5)), 500e3,
+                0.05 * 500e3);
+    EXPECT_NEAR(static_cast<double>(stats.percentile_ns(0.99)), 990e3,
+                0.05 * 990e3);
+}
+
+TEST(LatencyStats, ResetClears)
+{
+    LatencyStats stats;
+    stats.record(5);
+    stats.reset();
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_EQ(stats.percentile_ns(0.5), 0u);
+}
+
+}  // namespace
+}  // namespace fidr::sim

@@ -1,0 +1,174 @@
+// Unit tests for the NVMe SSD model.
+
+#include <gtest/gtest.h>
+
+#include "fidr/common/rng.h"
+#include "fidr/sim/event_queue.h"
+#include "fidr/ssd/ssd.h"
+
+namespace fidr::ssd {
+namespace {
+
+SsdConfig
+small_ssd()
+{
+    SsdConfig config;
+    config.name = "test-ssd";
+    config.capacity_bytes = 16 * kMiB;
+    return config;
+}
+
+TEST(Ssd, ReadBackWrittenBytes)
+{
+    Ssd ssd(small_ssd());
+    const Buffer data{1, 2, 3, 4, 5};
+    ASSERT_TRUE(ssd.write(100, data).is_ok());
+    Result<Buffer> out = ssd.read(100, data.size());
+    ASSERT_TRUE(out.is_ok());
+    EXPECT_EQ(out.value(), data);
+}
+
+TEST(Ssd, UnwrittenReadsAsZero)
+{
+    Ssd ssd(small_ssd());
+    Result<Buffer> out = ssd.read(4096, 16);
+    ASSERT_TRUE(out.is_ok());
+    EXPECT_EQ(out.value(), Buffer(16, 0));
+}
+
+TEST(Ssd, CrossPageExtents)
+{
+    Ssd ssd(small_ssd());
+    Rng rng(4);
+    Buffer data(10000);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next_u64());
+    // Deliberately unaligned start spanning three pages.
+    ASSERT_TRUE(ssd.write(4000, data).is_ok());
+    Result<Buffer> out = ssd.read(4000, data.size());
+    ASSERT_TRUE(out.is_ok());
+    EXPECT_EQ(out.value(), data);
+
+    // Partial overlapping read.
+    Result<Buffer> mid = ssd.read(4100, 50);
+    ASSERT_TRUE(mid.is_ok());
+    EXPECT_EQ(mid.value(), Buffer(data.begin() + 100,
+                                  data.begin() + 150));
+}
+
+TEST(Ssd, OverwriteReplaces)
+{
+    Ssd ssd(small_ssd());
+    ASSERT_TRUE(ssd.write(0, Buffer(100, 0xAA)).is_ok());
+    ASSERT_TRUE(ssd.write(50, Buffer(10, 0xBB)).is_ok());
+    const Buffer out = ssd.read(45, 20).take();
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(out[i], 0xAA);
+    for (int i = 5; i < 15; ++i)
+        EXPECT_EQ(out[i], 0xBB);
+}
+
+TEST(Ssd, CapacityEnforced)
+{
+    Ssd ssd(small_ssd());
+    EXPECT_FALSE(ssd.write(16 * kMiB - 2, Buffer(4, 0)).is_ok());
+    EXPECT_FALSE(ssd.read(16 * kMiB, 1).is_ok());
+}
+
+TEST(Ssd, WearAndIoCounters)
+{
+    Ssd ssd(small_ssd());
+    ASSERT_TRUE(ssd.write(0, Buffer(4096, 1)).is_ok());
+    ASSERT_TRUE(ssd.write(4096, Buffer(4096, 2)).is_ok());
+    (void)ssd.read(0, 4096);
+    EXPECT_EQ(ssd.bytes_written(), 8192u);
+    EXPECT_EQ(ssd.bytes_read(), 4096u);
+    EXPECT_EQ(ssd.write_ios(), 2u);
+    EXPECT_EQ(ssd.read_ios(), 1u);
+}
+
+TEST(Ssd, TrimDropsWholePages)
+{
+    Ssd ssd(small_ssd());
+    ASSERT_TRUE(ssd.write(0, Buffer(8192, 0xCC)).is_ok());
+    EXPECT_EQ(ssd.bytes_stored(), 8192u);
+    ssd.trim(0, 4096);
+    EXPECT_EQ(ssd.bytes_stored(), 4096u);
+    // Trimmed range reads back as zeros.
+    EXPECT_EQ(ssd.read(0, 1).take()[0], 0);
+    EXPECT_EQ(ssd.read(4096, 1).take()[0], 0xCC);
+}
+
+TEST(Ssd, TimingModelAddsLatencyAndBandwidth)
+{
+    SsdConfig config = small_ssd();
+    config.read_latency = 90 * kMicrosecond;
+    config.read_bandwidth = gb_per_s(1);  // 1 byte/ns.
+    Ssd ssd(config);
+    // 4 KB read at t=0: 90 us + ~4.1 us transfer.
+    const SimTime done = ssd.io_complete_time(0, IoDir::kRead, 4096);
+    EXPECT_EQ(done, 90 * kMicrosecond + 4096);
+    // Back-to-back read queues behind the first transfer.
+    const SimTime done2 = ssd.io_complete_time(0, IoDir::kRead, 4096);
+    EXPECT_EQ(done2, 90 * kMicrosecond + 8192);
+}
+
+TEST(NvmeQueuePair, CompletesThroughEventQueue)
+{
+    sim::EventQueue events;
+    Ssd ssd(small_ssd());
+    NvmeQueuePair qp(ssd, events, 4);
+
+    int completions = 0;
+    SimTime last = 0;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(qp.submit(NvmeCommand{IoDir::kRead, 0, 4096,
+                                          [&](SimTime t) {
+                                              ++completions;
+                                              last = t;
+                                          }})
+                        .is_ok());
+    }
+    EXPECT_EQ(qp.inflight(), 4u);
+    // Fifth submission exceeds queue depth.
+    EXPECT_FALSE(qp.submit(NvmeCommand{IoDir::kRead, 0, 4096, {}}).is_ok());
+
+    events.run();
+    EXPECT_EQ(completions, 4);
+    EXPECT_EQ(qp.inflight(), 0u);
+    EXPECT_EQ(qp.completed(), 4u);
+    EXPECT_GT(last, 90u * kMicrosecond);
+}
+
+TEST(SsdArray, RoundRobinAllocation)
+{
+    SsdArray array(2, small_ssd());
+    const auto a = array.allocate(1024).take();
+    const auto b = array.allocate(1024).take();
+    const auto c = array.allocate(1024).take();
+    EXPECT_NE(a.first, b.first);         // Alternate SSDs.
+    EXPECT_EQ(a.first, c.first);
+    EXPECT_EQ(c.second, 1024u);          // Bump allocation per SSD.
+}
+
+TEST(SsdArray, OutOfSpace)
+{
+    SsdConfig tiny = small_ssd();
+    tiny.capacity_bytes = 4096;
+    SsdArray array(2, tiny);
+    EXPECT_TRUE(array.allocate(4096).is_ok());
+    EXPECT_TRUE(array.allocate(4096).is_ok());
+    EXPECT_FALSE(array.allocate(1).is_ok());
+}
+
+TEST(SsdArray, AggregateCounters)
+{
+    SsdArray array(2, small_ssd());
+    ASSERT_TRUE(array.at(0).write(0, Buffer(4096, 1)).is_ok());
+    ASSERT_TRUE(array.at(1).write(0, Buffer(4096, 2)).is_ok());
+    EXPECT_EQ(array.total_bytes_written(), 8192u);
+    EXPECT_EQ(array.total_bytes_stored(), 8192u);
+}
+
+}  // namespace
+}  // namespace fidr::ssd

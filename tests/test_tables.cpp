@@ -1,0 +1,253 @@
+// Tests for the metadata tables: Hash-PBN buckets, LBA-PBA mapping,
+// container log.
+
+#include <gtest/gtest.h>
+
+#include "fidr/common/bytes.h"
+#include "fidr/common/rng.h"
+#include "fidr/hash/sha256.h"
+#include "fidr/tables/container.h"
+#include "fidr/tables/hash_pbn.h"
+#include "fidr/tables/lba_pba.h"
+
+namespace fidr::tables {
+namespace {
+
+Digest
+digest_of(std::uint64_t n)
+{
+    Buffer b(8);
+    store_le(b.data(), n, 8);
+    return Sha256::hash(b);
+}
+
+TEST(Bucket, InsertLookupRemove)
+{
+    Bucket bucket;
+    const Digest d = digest_of(1);
+    EXPECT_FALSE(bucket.lookup(d).has_value());
+    ASSERT_TRUE(bucket.insert(d, 42).is_ok());
+    EXPECT_EQ(bucket.lookup(d), std::optional<Pbn>(42));
+    ASSERT_TRUE(bucket.insert(d, 43).is_ok());  // Overwrite in place.
+    EXPECT_EQ(bucket.size(), 1u);
+    EXPECT_EQ(bucket.lookup(d), std::optional<Pbn>(43));
+    EXPECT_TRUE(bucket.remove(d));
+    EXPECT_FALSE(bucket.remove(d));
+}
+
+TEST(Bucket, CapacityIs107)
+{
+    Bucket bucket;
+    for (std::uint64_t i = 0; i < Bucket::kCapacity; ++i)
+        ASSERT_TRUE(bucket.insert(digest_of(i), i).is_ok());
+    EXPECT_TRUE(bucket.full());
+    EXPECT_EQ(Bucket::kCapacity, 107u);
+    EXPECT_EQ(bucket.insert(digest_of(9999), 1).code(),
+              StatusCode::kOutOfSpace);
+}
+
+TEST(Bucket, ScanCountReported)
+{
+    Bucket bucket;
+    for (std::uint64_t i = 0; i < 10; ++i)
+        ASSERT_TRUE(bucket.insert(digest_of(i), i).is_ok());
+    std::size_t scanned = 0;
+    (void)bucket.lookup(digest_of(4), &scanned);
+    EXPECT_EQ(scanned, 5u);  // Fifth entry matches.
+    (void)bucket.lookup(digest_of(999), &scanned);
+    EXPECT_EQ(scanned, 10u);  // Full scan on miss.
+}
+
+TEST(Bucket, SerializeDeserializeRoundTrip)
+{
+    Bucket bucket;
+    for (std::uint64_t i = 0; i < 37; ++i)
+        ASSERT_TRUE(bucket.insert(digest_of(i), i * 7).is_ok());
+    const Buffer raw = bucket.serialize();
+    ASSERT_EQ(raw.size(), kBucketSize);
+
+    Result<Bucket> parsed = Bucket::deserialize(raw);
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_EQ(parsed.value().size(), 37u);
+    for (std::uint64_t i = 0; i < 37; ++i)
+        EXPECT_EQ(parsed.value().lookup(digest_of(i)),
+                  std::optional<Pbn>(i * 7));
+}
+
+TEST(Bucket, DeserializeRejectsGarbage)
+{
+    EXPECT_FALSE(Bucket::deserialize(Buffer(10, 0)).is_ok());
+    Buffer bad(kBucketSize, 0);
+    bad[0] = 0xFF;  // Entry count 255 > capacity.
+    bad[1] = 0x00;
+    EXPECT_FALSE(Bucket::deserialize(bad).is_ok());
+}
+
+TEST(Bucket, PbnSixByteBound)
+{
+    Bucket bucket;
+    ASSERT_TRUE(bucket.insert(digest_of(1), kMaxPbn).is_ok());
+    const Buffer raw = bucket.serialize();
+    EXPECT_EQ(Bucket::deserialize(raw).value().lookup(digest_of(1)),
+              std::optional<Pbn>(kMaxPbn));
+}
+
+TEST(HashPbnTable, BucketIoRoundTrip)
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 64 * kMiB;
+    ssd::Ssd ssd(config);
+    HashPbnTable table(ssd, 512);
+
+    Bucket bucket;
+    ASSERT_TRUE(bucket.insert(digest_of(5), 55).is_ok());
+    ASSERT_TRUE(table.write_bucket(17, bucket).is_ok());
+
+    Result<Bucket> read = table.read_bucket(17);
+    ASSERT_TRUE(read.is_ok());
+    EXPECT_EQ(read.value().lookup(digest_of(5)), std::optional<Pbn>(55));
+
+    // Never-written buckets parse as empty (zero-filled pages).
+    EXPECT_EQ(table.read_bucket(100).value().size(), 0u);
+}
+
+TEST(HashPbnTable, BucketForIsStableAndInRange)
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 64 * kMiB;
+    ssd::Ssd ssd(config);
+    HashPbnTable table(ssd, 1000);
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        const BucketIndex b = table.bucket_for(digest_of(i));
+        EXPECT_LT(b, 1000u);
+        EXPECT_EQ(b, table.bucket_for(digest_of(i)));
+    }
+}
+
+TEST(HashPbnTable, SizingArithmetic)
+{
+    // 1 PB of unique 4 KB chunks => ~9.5 TB table (paper Sec 2.1.3).
+    const std::uint64_t pb_chunks = kPB / kChunkSize;
+    const std::uint64_t buckets =
+        HashPbnTable::buckets_for_capacity(pb_chunks, 1.0);
+    const double table_tb =
+        static_cast<double>(buckets) * kBucketSize / 1e12;
+    EXPECT_NEAR(table_tb, 9.5, 0.5);
+}
+
+TEST(LbaPba, MapAndLookup)
+{
+    LbaPbaTable table;
+    EXPECT_FALSE(table.map_lba(10, 1).has_value());
+    table.set_location(1, ChunkLocation{3, 5, 2048});
+    const auto loc = table.lookup(10);
+    ASSERT_TRUE(loc.has_value());
+    EXPECT_EQ(loc->container_id, 3u);
+    EXPECT_EQ(loc->offset_bytes(), 5u * 64);
+    EXPECT_EQ(loc->compressed_size, 2048u);
+    EXPECT_TRUE(table.validate().is_ok());
+}
+
+TEST(LbaPba, RefcountsAcrossSharingAndOverwrite)
+{
+    LbaPbaTable table;
+    table.map_lba(1, 100);
+    table.map_lba(2, 100);  // Dedup: two LBAs share PBN 100.
+    EXPECT_EQ(table.refcount(100), 2u);
+
+    // Overwrite LBA 1 with new content.
+    const auto prev = table.map_lba(1, 200);
+    EXPECT_EQ(prev, std::optional<Pbn>(100));
+    EXPECT_EQ(table.refcount(100), 1u);
+    EXPECT_EQ(table.refcount(200), 1u);
+
+    // Last reference dropped: PBN becomes reclaimable.
+    table.map_lba(2, 200);
+    EXPECT_EQ(table.refcount(100), 0u);
+    EXPECT_TRUE(table.reclaim(100));
+    EXPECT_FALSE(table.reclaim(200));  // Still referenced.
+    EXPECT_TRUE(table.validate().is_ok());
+}
+
+TEST(LbaPba, LookupMissesAreNull)
+{
+    LbaPbaTable table;
+    EXPECT_FALSE(table.pbn_of(1).has_value());
+    EXPECT_FALSE(table.lookup(1).has_value());
+    EXPECT_FALSE(table.location_of(5).has_value());
+}
+
+TEST(ContainerLog, AppendReadRoundTrip)
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 64 * kMiB;
+    ssd::SsdArray array(2, config);
+    ContainerLog log(array, 64 * 1024);
+
+    Rng rng(8);
+    std::vector<std::pair<ChunkLocation, Buffer>> stored;
+    for (int i = 0; i < 100; ++i) {
+        Buffer data(500 + rng.next_below(3000));
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.next_u64());
+        Result<ChunkLocation> loc = log.append(data);
+        ASSERT_TRUE(loc.is_ok());
+        stored.emplace_back(loc.value(), std::move(data));
+    }
+    // Some containers sealed mid-way; read back both sealed and open.
+    EXPECT_GT(log.sealed_containers(), 0u);
+    for (const auto &[loc, data] : stored) {
+        Result<Buffer> out = log.read(loc);
+        ASSERT_TRUE(out.is_ok());
+        EXPECT_EQ(out.value(), data);
+    }
+    ASSERT_TRUE(log.flush().is_ok());
+    for (const auto &[loc, data] : stored)
+        EXPECT_EQ(log.read(loc).value(), data);
+}
+
+TEST(ContainerLog, OffsetsAre64ByteAligned)
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 64 * kMiB;
+    ssd::SsdArray array(1, config);
+    ContainerLog log(array, 4 * kMiB);
+    const auto a = log.append(Buffer(100, 1)).take();
+    const auto b = log.append(Buffer(100, 2)).take();
+    EXPECT_EQ(a.offset_bytes() % 64, 0u);
+    EXPECT_EQ(b.offset_bytes(), 128u);  // 100 rounded up to 128.
+}
+
+TEST(ContainerLog, RejectsOversizeAndEmpty)
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 64 * kMiB;
+    ssd::SsdArray array(1, config);
+    ContainerLog log(array, 4 * kMiB);
+    EXPECT_FALSE(log.append(Buffer{}).is_ok());
+    EXPECT_FALSE(log.append(Buffer(70000, 0)).is_ok());
+}
+
+TEST(ContainerLog, ReadRejectsBadLocation)
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 64 * kMiB;
+    ssd::SsdArray array(1, config);
+    ContainerLog log(array, 64 * 1024);
+    ChunkLocation bogus{99, 0, 100};
+    EXPECT_FALSE(log.read(bogus).is_ok());
+}
+
+TEST(ContainerLog, PayloadAccounting)
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 64 * kMiB;
+    ssd::SsdArray array(1, config);
+    ContainerLog log(array, 64 * 1024);
+    ASSERT_TRUE(log.append(Buffer(1000, 1)).is_ok());
+    ASSERT_TRUE(log.append(Buffer(500, 2)).is_ok());
+    EXPECT_EQ(log.payload_bytes(), 1500u);
+}
+
+}  // namespace
+}  // namespace fidr::tables

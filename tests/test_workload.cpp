@@ -1,0 +1,239 @@
+// Tests for the workload generators: content synthesis, controlled
+// dedup/compression ratios, Table 3 presets, and the Fig 3 chunking
+// simulation.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fidr/compress/lz.h"
+#include "fidr/workload/chunking_study.h"
+#include "fidr/workload/content.h"
+#include "fidr/workload/generator.h"
+#include "fidr/workload/table3.h"
+
+namespace fidr::workload {
+namespace {
+
+TEST(Content, DeterministicPerContentId)
+{
+    EXPECT_EQ(make_chunk_content(7), make_chunk_content(7));
+    EXPECT_NE(make_chunk_content(7), make_chunk_content(8));
+    EXPECT_EQ(make_chunk_content(7).size(), kChunkSize);
+}
+
+TEST(Content, CompressibilityTracksTarget)
+{
+    for (double ratio : {0.0, 0.3, 0.5, 0.8}) {
+        double in = 0, out = 0;
+        for (std::uint64_t id = 100; id < 140; ++id) {
+            const Buffer chunk = make_chunk_content(id, ratio);
+            in += static_cast<double>(chunk.size());
+            out += static_cast<double>(lz_compress(chunk).size());
+        }
+        EXPECT_NEAR(1.0 - out / in, ratio, 0.08) << "ratio " << ratio;
+    }
+}
+
+TEST(Generator, Deterministic)
+{
+    WorkloadSpec spec;
+    spec.seed = 123;
+    WorkloadGenerator a(spec), b(spec);
+    for (int i = 0; i < 100; ++i) {
+        const IoRequest ra = a.next();
+        const IoRequest rb = b.next();
+        EXPECT_EQ(ra.lba, rb.lba);
+        EXPECT_EQ(ra.content_id, rb.content_id);
+        EXPECT_EQ(ra.data, rb.data);
+    }
+}
+
+TEST(Generator, DedupRatioHonored)
+{
+    for (double target : {0.2, 0.5, 0.88}) {
+        WorkloadSpec spec;
+        spec.dedup_ratio = target;
+        spec.materialize_data = false;
+        WorkloadGenerator gen(spec);
+        std::unordered_set<std::uint64_t> seen;
+        int duplicates = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i) {
+            const IoRequest req = gen.next();
+            if (!seen.insert(req.content_id).second)
+                ++duplicates;
+        }
+        EXPECT_NEAR(static_cast<double>(duplicates) / n, target, 0.03)
+            << "target " << target;
+    }
+}
+
+TEST(Generator, ReadFractionHonoredAndTargetsValidLbas)
+{
+    WorkloadSpec spec;
+    spec.read_fraction = 0.5;
+    spec.materialize_data = false;
+    WorkloadGenerator gen(spec);
+    std::unordered_set<Lba> written;
+    int reads = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const IoRequest req = gen.next();
+        if (req.dir == IoDir::kRead) {
+            ++reads;
+            EXPECT_TRUE(written.contains(req.lba));
+        } else {
+            written.insert(req.lba);
+        }
+    }
+    EXPECT_NEAR(reads / static_cast<double>(n), 0.5, 0.03);
+}
+
+TEST(Generator, SequentialRunsPattern)
+{
+    WorkloadSpec spec;
+    spec.pattern = AddressPattern::kSequentialRuns;
+    spec.run_length = 8;
+    spec.dedup_ratio = 0;
+    spec.materialize_data = false;
+    WorkloadGenerator gen(spec);
+    int sequential_steps = 0;
+    Lba prev = gen.next().lba;
+    const int n = 4000;
+    for (int i = 1; i < n; ++i) {
+        const Lba cur = gen.next().lba;
+        if (cur == prev + 1)
+            ++sequential_steps;
+        prev = cur;
+    }
+    // 7 of every 8 steps are sequential.
+    EXPECT_NEAR(sequential_steps / static_cast<double>(n), 7.0 / 8.0,
+                0.05);
+}
+
+TEST(Generator, UniformPatternIsNotSequential)
+{
+    WorkloadSpec spec;
+    spec.materialize_data = false;
+    spec.dedup_ratio = 0;
+    WorkloadGenerator gen(spec);
+    int sequential_steps = 0;
+    Lba prev = gen.next().lba;
+    for (int i = 1; i < 4000; ++i) {
+        const Lba cur = gen.next().lba;
+        if (cur == prev + 1)
+            ++sequential_steps;
+        prev = cur;
+    }
+    EXPECT_LT(sequential_steps, 40);
+}
+
+TEST(Generator, DuplicateContentCarriesIdenticalBytes)
+{
+    WorkloadSpec spec;
+    spec.dedup_ratio = 0.9;
+    spec.dup_working_set = 16;
+    WorkloadGenerator gen(spec);
+    std::unordered_map<std::uint64_t, Buffer> by_content;
+    for (int i = 0; i < 500; ++i) {
+        const IoRequest req = gen.next();
+        const auto it = by_content.find(req.content_id);
+        if (it != by_content.end())
+            EXPECT_EQ(it->second, req.data);
+        else
+            by_content.emplace(req.content_id, req.data);
+    }
+    EXPECT_LT(by_content.size(), 120u);  // Heavy duplication.
+}
+
+TEST(Table3, SpecsMatchPaperColumns)
+{
+    const auto specs = table3_specs();
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0].name, "Write-H");
+    EXPECT_DOUBLE_EQ(specs[0].dedup_ratio, 0.88);
+    EXPECT_EQ(specs[1].name, "Write-M");
+    EXPECT_DOUBLE_EQ(specs[1].dedup_ratio, 0.84);
+    EXPECT_EQ(specs[2].name, "Write-L");
+    EXPECT_DOUBLE_EQ(specs[2].dedup_ratio, 0.431);
+    EXPECT_EQ(specs[2].pattern, AddressPattern::kSequentialRuns);
+    EXPECT_EQ(specs[3].name, "Read-Mixed");
+    EXPECT_DOUBLE_EQ(specs[3].read_fraction, 0.5);
+    for (const auto &spec : specs)
+        EXPECT_DOUBLE_EQ(spec.comp_ratio, 0.5);
+}
+
+TEST(ChunkingStudy, FourKbChunkingHasNoReadModifyWrite)
+{
+    WorkloadSpec spec;
+    spec.dedup_ratio = 0.5;
+    spec.materialize_data = false;
+    WorkloadGenerator gen(spec);
+    const auto requests = gen.batch(20000);
+
+    ChunkingConfig config;
+    config.chunk_bytes = 4096;
+    const ChunkingResult r = simulate_chunking(config, requests);
+    EXPECT_EQ(r.ssd_read_bytes, 0u);
+    // Unique chunks only are written: amplification ~ 1 - dedup.
+    EXPECT_NEAR(r.io_amplification(), 0.5, 0.05);
+    EXPECT_NEAR(r.dedup_rate(), 0.5, 0.05);
+}
+
+TEST(ChunkingStudy, LargeChunkingAmplifiesRandomWrites)
+{
+    // Mail-like random 4 KB writes against 32 KB chunking: most
+    // chunks have one dirty block, 7 fetched blocks, and a full 32 KB
+    // writeback — the Fig 3 pathology (up to 17.5x).
+    WorkloadSpec spec;
+    spec.dedup_ratio = 0.5;
+    spec.materialize_data = false;
+    spec.address_space_chunks = 1 << 18;
+    WorkloadGenerator gen(spec);
+    // Prime storage so missing blocks actually exist to be fetched.
+    const auto warm = gen.batch(60000);
+    const auto measured = gen.batch(30000);
+    std::vector<IoRequest> all(warm);
+    all.insert(all.end(), measured.begin(), measured.end());
+
+    ChunkingConfig config;
+    config.chunk_bytes = 32 * 1024;
+    const ChunkingResult big = simulate_chunking(config, all);
+
+    ChunkingConfig small;
+    small.chunk_bytes = 4096;
+    const ChunkingResult base = simulate_chunking(small, all);
+
+    EXPECT_GT(big.ssd_read_bytes, 0u);
+    EXPECT_GT(big.io_amplification(), 4 * base.io_amplification());
+    // Dedup detection degrades at coarse granularity.
+    EXPECT_LT(big.dedup_rate(), base.dedup_rate());
+}
+
+TEST(ChunkingStudy, SequentialWritesAmplifyLess)
+{
+    WorkloadSpec random_spec;
+    random_spec.dedup_ratio = 0;
+    random_spec.materialize_data = false;
+    random_spec.address_space_chunks = 1 << 16;
+
+    WorkloadSpec seq_spec = random_spec;
+    seq_spec.pattern = AddressPattern::kSequentialRuns;
+    seq_spec.run_length = 8;
+
+    ChunkingConfig config;
+    config.chunk_bytes = 32 * 1024;
+
+    WorkloadGenerator random_gen(random_spec);
+    WorkloadGenerator seq_gen(seq_spec);
+    const ChunkingResult random_r =
+        simulate_chunking(config, random_gen.batch(40000));
+    const ChunkingResult seq_r =
+        simulate_chunking(config, seq_gen.batch(40000));
+    EXPECT_LT(seq_r.io_amplification(), random_r.io_amplification());
+}
+
+}  // namespace
+}  // namespace fidr::workload
