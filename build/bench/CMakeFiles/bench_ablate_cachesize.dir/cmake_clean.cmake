@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_cachesize.dir/bench_ablate_cachesize.cpp.o"
+  "CMakeFiles/bench_ablate_cachesize.dir/bench_ablate_cachesize.cpp.o.d"
+  "bench_ablate_cachesize"
+  "bench_ablate_cachesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_cachesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

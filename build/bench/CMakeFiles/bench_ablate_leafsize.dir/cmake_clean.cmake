@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_leafsize.dir/bench_ablate_leafsize.cpp.o"
+  "CMakeFiles/bench_ablate_leafsize.dir/bench_ablate_leafsize.cpp.o.d"
+  "bench_ablate_leafsize"
+  "bench_ablate_leafsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_leafsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_replacement.dir/bench_ablate_replacement.cpp.o"
+  "CMakeFiles/bench_ablate_replacement.dir/bench_ablate_replacement.cpp.o.d"
+  "bench_ablate_replacement"
+  "bench_ablate_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

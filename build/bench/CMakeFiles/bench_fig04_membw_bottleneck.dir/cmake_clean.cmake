@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_membw_bottleneck.dir/bench_fig04_membw_bottleneck.cpp.o"
+  "CMakeFiles/bench_fig04_membw_bottleneck.dir/bench_fig04_membw_bottleneck.cpp.o.d"
+  "bench_fig04_membw_bottleneck"
+  "bench_fig04_membw_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_membw_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_overall_throughput.dir/bench_fig14_overall_throughput.cpp.o"
+  "CMakeFiles/bench_fig14_overall_throughput.dir/bench_fig14_overall_throughput.cpp.o.d"
+  "bench_fig14_overall_throughput"
+  "bench_fig14_overall_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_overall_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

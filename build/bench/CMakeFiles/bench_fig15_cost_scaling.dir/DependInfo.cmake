@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15_cost_scaling.cpp" "bench/CMakeFiles/bench_fig15_cost_scaling.dir/bench_fig15_cost_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_fig15_cost_scaling.dir/bench_fig15_cost_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fidr/common/CMakeFiles/fidr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/hash/CMakeFiles/fidr_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/compress/CMakeFiles/fidr_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/chunking/CMakeFiles/fidr_chunking.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/sim/CMakeFiles/fidr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/ssd/CMakeFiles/fidr_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/pcie/CMakeFiles/fidr_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/host/CMakeFiles/fidr_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/btree/CMakeFiles/fidr_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/hwtree/CMakeFiles/fidr_hwtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/tables/CMakeFiles/fidr_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/cache/CMakeFiles/fidr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/nic/CMakeFiles/fidr_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/accel/CMakeFiles/fidr_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/workload/CMakeFiles/fidr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/core/CMakeFiles/fidr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/cost/CMakeFiles/fidr_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/fpga/CMakeFiles/fidr_fpga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_cache_engine.dir/bench_table5_cache_engine.cpp.o"
+  "CMakeFiles/bench_table5_cache_engine.dir/bench_table5_cache_engine.cpp.o.d"
+  "bench_table5_cache_engine"
+  "bench_table5_cache_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_cache_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validate_pipeline.dir/bench_validate_pipeline.cpp.o"
+  "CMakeFiles/bench_validate_pipeline.dir/bench_validate_pipeline.cpp.o.d"
+  "bench_validate_pipeline"
+  "bench_validate_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validate_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

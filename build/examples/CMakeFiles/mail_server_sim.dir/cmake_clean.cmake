@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_server_sim.dir/mail_server_sim.cpp.o"
+  "CMakeFiles/mail_server_sim.dir/mail_server_sim.cpp.o.d"
+  "mail_server_sim"
+  "mail_server_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_server_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_to_flash.dir/wire_to_flash.cpp.o"
+  "CMakeFiles/wire_to_flash.dir/wire_to_flash.cpp.o.d"
+  "wire_to_flash"
+  "wire_to_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_to_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("fidr/common")
+subdirs("fidr/hash")
+subdirs("fidr/compress")
+subdirs("fidr/chunking")
+subdirs("fidr/sim")
+subdirs("fidr/ssd")
+subdirs("fidr/pcie")
+subdirs("fidr/host")
+subdirs("fidr/btree")
+subdirs("fidr/hwtree")
+subdirs("fidr/tables")
+subdirs("fidr/cache")
+subdirs("fidr/nic")
+subdirs("fidr/accel")
+subdirs("fidr/workload")
+subdirs("fidr/core")
+subdirs("fidr/cost")
+subdirs("fidr/fpga")

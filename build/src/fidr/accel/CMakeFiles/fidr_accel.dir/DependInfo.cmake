@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fidr/accel/engines.cc" "src/fidr/accel/CMakeFiles/fidr_accel.dir/engines.cc.o" "gcc" "src/fidr/accel/CMakeFiles/fidr_accel.dir/engines.cc.o.d"
+  "/root/repo/src/fidr/accel/predictor.cc" "src/fidr/accel/CMakeFiles/fidr_accel.dir/predictor.cc.o" "gcc" "src/fidr/accel/CMakeFiles/fidr_accel.dir/predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fidr/common/CMakeFiles/fidr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/hash/CMakeFiles/fidr_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/compress/CMakeFiles/fidr_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

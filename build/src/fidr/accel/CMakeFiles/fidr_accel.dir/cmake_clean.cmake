@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_accel.dir/engines.cc.o"
+  "CMakeFiles/fidr_accel.dir/engines.cc.o.d"
+  "CMakeFiles/fidr_accel.dir/predictor.cc.o"
+  "CMakeFiles/fidr_accel.dir/predictor.cc.o.d"
+  "libfidr_accel.a"
+  "libfidr_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_btree.dir/bplus_tree.cc.o"
+  "CMakeFiles/fidr_btree.dir/bplus_tree.cc.o.d"
+  "libfidr_btree.a"
+  "libfidr_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

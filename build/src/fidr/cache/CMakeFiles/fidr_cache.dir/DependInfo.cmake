@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fidr/cache/indexes.cc" "src/fidr/cache/CMakeFiles/fidr_cache.dir/indexes.cc.o" "gcc" "src/fidr/cache/CMakeFiles/fidr_cache.dir/indexes.cc.o.d"
+  "/root/repo/src/fidr/cache/table_cache.cc" "src/fidr/cache/CMakeFiles/fidr_cache.dir/table_cache.cc.o" "gcc" "src/fidr/cache/CMakeFiles/fidr_cache.dir/table_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fidr/common/CMakeFiles/fidr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/tables/CMakeFiles/fidr_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/btree/CMakeFiles/fidr_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/hwtree/CMakeFiles/fidr_hwtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/hash/CMakeFiles/fidr_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/ssd/CMakeFiles/fidr_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/host/CMakeFiles/fidr_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/sim/CMakeFiles/fidr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

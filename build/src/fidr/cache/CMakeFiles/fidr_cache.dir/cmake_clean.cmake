@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_cache.dir/indexes.cc.o"
+  "CMakeFiles/fidr_cache.dir/indexes.cc.o.d"
+  "CMakeFiles/fidr_cache.dir/table_cache.cc.o"
+  "CMakeFiles/fidr_cache.dir/table_cache.cc.o.d"
+  "libfidr_cache.a"
+  "libfidr_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_chunking.dir/cdc.cc.o"
+  "CMakeFiles/fidr_chunking.dir/cdc.cc.o.d"
+  "libfidr_chunking.a"
+  "libfidr_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_common.dir/bytes.cc.o"
+  "CMakeFiles/fidr_common.dir/bytes.cc.o.d"
+  "CMakeFiles/fidr_common.dir/rng.cc.o"
+  "CMakeFiles/fidr_common.dir/rng.cc.o.d"
+  "CMakeFiles/fidr_common.dir/status.cc.o"
+  "CMakeFiles/fidr_common.dir/status.cc.o.d"
+  "libfidr_common.a"
+  "libfidr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_compress.dir/lz.cc.o"
+  "CMakeFiles/fidr_compress.dir/lz.cc.o.d"
+  "libfidr_compress.a"
+  "libfidr_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

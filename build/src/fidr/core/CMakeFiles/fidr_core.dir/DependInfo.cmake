@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fidr/core/baseline_system.cc" "src/fidr/core/CMakeFiles/fidr_core.dir/baseline_system.cc.o" "gcc" "src/fidr/core/CMakeFiles/fidr_core.dir/baseline_system.cc.o.d"
+  "/root/repo/src/fidr/core/dedup_index.cc" "src/fidr/core/CMakeFiles/fidr_core.dir/dedup_index.cc.o" "gcc" "src/fidr/core/CMakeFiles/fidr_core.dir/dedup_index.cc.o.d"
+  "/root/repo/src/fidr/core/fidr_system.cc" "src/fidr/core/CMakeFiles/fidr_core.dir/fidr_system.cc.o" "gcc" "src/fidr/core/CMakeFiles/fidr_core.dir/fidr_system.cc.o.d"
+  "/root/repo/src/fidr/core/perf_model.cc" "src/fidr/core/CMakeFiles/fidr_core.dir/perf_model.cc.o" "gcc" "src/fidr/core/CMakeFiles/fidr_core.dir/perf_model.cc.o.d"
+  "/root/repo/src/fidr/core/pipeline_sim.cc" "src/fidr/core/CMakeFiles/fidr_core.dir/pipeline_sim.cc.o" "gcc" "src/fidr/core/CMakeFiles/fidr_core.dir/pipeline_sim.cc.o.d"
+  "/root/repo/src/fidr/core/platform.cc" "src/fidr/core/CMakeFiles/fidr_core.dir/platform.cc.o" "gcc" "src/fidr/core/CMakeFiles/fidr_core.dir/platform.cc.o.d"
+  "/root/repo/src/fidr/core/protocol_server.cc" "src/fidr/core/CMakeFiles/fidr_core.dir/protocol_server.cc.o" "gcc" "src/fidr/core/CMakeFiles/fidr_core.dir/protocol_server.cc.o.d"
+  "/root/repo/src/fidr/core/space.cc" "src/fidr/core/CMakeFiles/fidr_core.dir/space.cc.o" "gcc" "src/fidr/core/CMakeFiles/fidr_core.dir/space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fidr/common/CMakeFiles/fidr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/hash/CMakeFiles/fidr_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/compress/CMakeFiles/fidr_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/sim/CMakeFiles/fidr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/ssd/CMakeFiles/fidr_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/pcie/CMakeFiles/fidr_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/host/CMakeFiles/fidr_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/btree/CMakeFiles/fidr_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/hwtree/CMakeFiles/fidr_hwtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/tables/CMakeFiles/fidr_tables.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/cache/CMakeFiles/fidr_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/nic/CMakeFiles/fidr_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/accel/CMakeFiles/fidr_accel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_core.dir/baseline_system.cc.o"
+  "CMakeFiles/fidr_core.dir/baseline_system.cc.o.d"
+  "CMakeFiles/fidr_core.dir/dedup_index.cc.o"
+  "CMakeFiles/fidr_core.dir/dedup_index.cc.o.d"
+  "CMakeFiles/fidr_core.dir/fidr_system.cc.o"
+  "CMakeFiles/fidr_core.dir/fidr_system.cc.o.d"
+  "CMakeFiles/fidr_core.dir/perf_model.cc.o"
+  "CMakeFiles/fidr_core.dir/perf_model.cc.o.d"
+  "CMakeFiles/fidr_core.dir/pipeline_sim.cc.o"
+  "CMakeFiles/fidr_core.dir/pipeline_sim.cc.o.d"
+  "CMakeFiles/fidr_core.dir/platform.cc.o"
+  "CMakeFiles/fidr_core.dir/platform.cc.o.d"
+  "CMakeFiles/fidr_core.dir/protocol_server.cc.o"
+  "CMakeFiles/fidr_core.dir/protocol_server.cc.o.d"
+  "CMakeFiles/fidr_core.dir/space.cc.o"
+  "CMakeFiles/fidr_core.dir/space.cc.o.d"
+  "libfidr_core.a"
+  "libfidr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_cost.dir/cost_model.cc.o"
+  "CMakeFiles/fidr_cost.dir/cost_model.cc.o.d"
+  "libfidr_cost.a"
+  "libfidr_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

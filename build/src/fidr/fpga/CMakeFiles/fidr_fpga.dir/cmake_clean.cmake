@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_fpga.dir/resources.cc.o"
+  "CMakeFiles/fidr_fpga.dir/resources.cc.o.d"
+  "libfidr_fpga.a"
+  "libfidr_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

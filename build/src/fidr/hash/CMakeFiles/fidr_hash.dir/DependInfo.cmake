@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fidr/hash/digest.cc" "src/fidr/hash/CMakeFiles/fidr_hash.dir/digest.cc.o" "gcc" "src/fidr/hash/CMakeFiles/fidr_hash.dir/digest.cc.o.d"
+  "/root/repo/src/fidr/hash/sha256.cc" "src/fidr/hash/CMakeFiles/fidr_hash.dir/sha256.cc.o" "gcc" "src/fidr/hash/CMakeFiles/fidr_hash.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fidr/common/CMakeFiles/fidr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

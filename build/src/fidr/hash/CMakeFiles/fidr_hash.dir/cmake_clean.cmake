@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_hash.dir/digest.cc.o"
+  "CMakeFiles/fidr_hash.dir/digest.cc.o.d"
+  "CMakeFiles/fidr_hash.dir/sha256.cc.o"
+  "CMakeFiles/fidr_hash.dir/sha256.cc.o.d"
+  "libfidr_hash.a"
+  "libfidr_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfidr_hash.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_host.dir/host.cc.o"
+  "CMakeFiles/fidr_host.dir/host.cc.o.d"
+  "libfidr_host.a"
+  "libfidr_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_hwtree.dir/hw_tree.cc.o"
+  "CMakeFiles/fidr_hwtree.dir/hw_tree.cc.o.d"
+  "CMakeFiles/fidr_hwtree.dir/tree_pipeline.cc.o"
+  "CMakeFiles/fidr_hwtree.dir/tree_pipeline.cc.o.d"
+  "libfidr_hwtree.a"
+  "libfidr_hwtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_hwtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fidr/nic/fidr_nic.cc" "src/fidr/nic/CMakeFiles/fidr_nic.dir/fidr_nic.cc.o" "gcc" "src/fidr/nic/CMakeFiles/fidr_nic.dir/fidr_nic.cc.o.d"
+  "/root/repo/src/fidr/nic/protocol.cc" "src/fidr/nic/CMakeFiles/fidr_nic.dir/protocol.cc.o" "gcc" "src/fidr/nic/CMakeFiles/fidr_nic.dir/protocol.cc.o.d"
+  "/root/repo/src/fidr/nic/tcp_reassembly.cc" "src/fidr/nic/CMakeFiles/fidr_nic.dir/tcp_reassembly.cc.o" "gcc" "src/fidr/nic/CMakeFiles/fidr_nic.dir/tcp_reassembly.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fidr/common/CMakeFiles/fidr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/hash/CMakeFiles/fidr_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_nic.dir/fidr_nic.cc.o"
+  "CMakeFiles/fidr_nic.dir/fidr_nic.cc.o.d"
+  "CMakeFiles/fidr_nic.dir/protocol.cc.o"
+  "CMakeFiles/fidr_nic.dir/protocol.cc.o.d"
+  "CMakeFiles/fidr_nic.dir/tcp_reassembly.cc.o"
+  "CMakeFiles/fidr_nic.dir/tcp_reassembly.cc.o.d"
+  "libfidr_nic.a"
+  "libfidr_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_pcie.dir/fabric.cc.o"
+  "CMakeFiles/fidr_pcie.dir/fabric.cc.o.d"
+  "libfidr_pcie.a"
+  "libfidr_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_sim.dir/event_queue.cc.o"
+  "CMakeFiles/fidr_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/fidr_sim.dir/ledger.cc.o"
+  "CMakeFiles/fidr_sim.dir/ledger.cc.o.d"
+  "CMakeFiles/fidr_sim.dir/stats.cc.o"
+  "CMakeFiles/fidr_sim.dir/stats.cc.o.d"
+  "libfidr_sim.a"
+  "libfidr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_ssd.dir/ssd.cc.o"
+  "CMakeFiles/fidr_ssd.dir/ssd.cc.o.d"
+  "libfidr_ssd.a"
+  "libfidr_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fidr/tables/container.cc" "src/fidr/tables/CMakeFiles/fidr_tables.dir/container.cc.o" "gcc" "src/fidr/tables/CMakeFiles/fidr_tables.dir/container.cc.o.d"
+  "/root/repo/src/fidr/tables/hash_pbn.cc" "src/fidr/tables/CMakeFiles/fidr_tables.dir/hash_pbn.cc.o" "gcc" "src/fidr/tables/CMakeFiles/fidr_tables.dir/hash_pbn.cc.o.d"
+  "/root/repo/src/fidr/tables/journal.cc" "src/fidr/tables/CMakeFiles/fidr_tables.dir/journal.cc.o" "gcc" "src/fidr/tables/CMakeFiles/fidr_tables.dir/journal.cc.o.d"
+  "/root/repo/src/fidr/tables/lba_pba.cc" "src/fidr/tables/CMakeFiles/fidr_tables.dir/lba_pba.cc.o" "gcc" "src/fidr/tables/CMakeFiles/fidr_tables.dir/lba_pba.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fidr/common/CMakeFiles/fidr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/hash/CMakeFiles/fidr_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/ssd/CMakeFiles/fidr_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/fidr/sim/CMakeFiles/fidr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_tables.dir/container.cc.o"
+  "CMakeFiles/fidr_tables.dir/container.cc.o.d"
+  "CMakeFiles/fidr_tables.dir/hash_pbn.cc.o"
+  "CMakeFiles/fidr_tables.dir/hash_pbn.cc.o.d"
+  "CMakeFiles/fidr_tables.dir/journal.cc.o"
+  "CMakeFiles/fidr_tables.dir/journal.cc.o.d"
+  "CMakeFiles/fidr_tables.dir/lba_pba.cc.o"
+  "CMakeFiles/fidr_tables.dir/lba_pba.cc.o.d"
+  "libfidr_tables.a"
+  "libfidr_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fidr/workload/chunking_study.cc" "src/fidr/workload/CMakeFiles/fidr_workload.dir/chunking_study.cc.o" "gcc" "src/fidr/workload/CMakeFiles/fidr_workload.dir/chunking_study.cc.o.d"
+  "/root/repo/src/fidr/workload/content.cc" "src/fidr/workload/CMakeFiles/fidr_workload.dir/content.cc.o" "gcc" "src/fidr/workload/CMakeFiles/fidr_workload.dir/content.cc.o.d"
+  "/root/repo/src/fidr/workload/generator.cc" "src/fidr/workload/CMakeFiles/fidr_workload.dir/generator.cc.o" "gcc" "src/fidr/workload/CMakeFiles/fidr_workload.dir/generator.cc.o.d"
+  "/root/repo/src/fidr/workload/table3.cc" "src/fidr/workload/CMakeFiles/fidr_workload.dir/table3.cc.o" "gcc" "src/fidr/workload/CMakeFiles/fidr_workload.dir/table3.cc.o.d"
+  "/root/repo/src/fidr/workload/trace_io.cc" "src/fidr/workload/CMakeFiles/fidr_workload.dir/trace_io.cc.o" "gcc" "src/fidr/workload/CMakeFiles/fidr_workload.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fidr/common/CMakeFiles/fidr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidr_workload.dir/chunking_study.cc.o"
+  "CMakeFiles/fidr_workload.dir/chunking_study.cc.o.d"
+  "CMakeFiles/fidr_workload.dir/content.cc.o"
+  "CMakeFiles/fidr_workload.dir/content.cc.o.d"
+  "CMakeFiles/fidr_workload.dir/generator.cc.o"
+  "CMakeFiles/fidr_workload.dir/generator.cc.o.d"
+  "CMakeFiles/fidr_workload.dir/table3.cc.o"
+  "CMakeFiles/fidr_workload.dir/table3.cc.o.d"
+  "CMakeFiles/fidr_workload.dir/trace_io.cc.o"
+  "CMakeFiles/fidr_workload.dir/trace_io.cc.o.d"
+  "libfidr_workload.a"
+  "libfidr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

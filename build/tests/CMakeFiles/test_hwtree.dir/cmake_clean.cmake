@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwtree.dir/test_hwtree.cpp.o"
+  "CMakeFiles/test_hwtree.dir/test_hwtree.cpp.o.d"
+  "test_hwtree"
+  "test_hwtree.pdb"
+  "test_hwtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

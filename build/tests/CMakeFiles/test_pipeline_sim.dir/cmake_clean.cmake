@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_sim.dir/test_pipeline_sim.cpp.o"
+  "CMakeFiles/test_pipeline_sim.dir/test_pipeline_sim.cpp.o.d"
+  "test_pipeline_sim"
+  "test_pipeline_sim.pdb"
+  "test_pipeline_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_reassembly.dir/test_tcp_reassembly.cpp.o"
+  "CMakeFiles/test_tcp_reassembly.dir/test_tcp_reassembly.cpp.o.d"
+  "test_tcp_reassembly"
+  "test_tcp_reassembly.pdb"
+  "test_tcp_reassembly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_reassembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
