@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + ctest, then the parallel data
+# plane's thread-pool and determinism tests again under TSan
+# (FIDR_SANITIZE=thread).  Run from the repo root:
+#
+#   scripts/tier1.sh [build-dir] [tsan-build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${2:-build-tsan}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: build + full test suite =="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== tier-1: thread-pool + determinism tests under TSan =="
+cmake -B "$TSAN_DIR" -S . -DFIDR_SANITIZE=thread \
+    -DFIDR_BUILD_BENCHES=OFF -DFIDR_BUILD_EXAMPLES=OFF
+cmake --build "$TSAN_DIR" -j "$JOBS" \
+    --target test_thread_pool test_parallel_determinism
+"$TSAN_DIR"/tests/test_thread_pool
+"$TSAN_DIR"/tests/test_parallel_determinism
+
+echo "tier-1 OK"

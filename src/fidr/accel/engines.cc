@@ -5,13 +5,27 @@ namespace fidr::accel {
 CompressedChunk
 CompressionEngine::compress(std::span<const std::uint8_t> chunk)
 {
+    CompressedChunk out = compress_stateless(chunk);
+    record(out);
+    return out;
+}
+
+CompressedChunk
+CompressionEngine::compress_stateless(
+    std::span<const std::uint8_t> chunk) const
+{
     CompressedChunk out;
     out.raw_size = chunk.size();
     out.data = lz_compress(chunk, level_);
-    ++chunks_;
-    bytes_in_ += chunk.size();
-    bytes_out_ += out.data.size();
     return out;
+}
+
+void
+CompressionEngine::record(const CompressedChunk &chunk)
+{
+    ++chunks_;
+    bytes_in_ += chunk.raw_size;
+    bytes_out_ += chunk.data.size();
 }
 
 std::vector<CompressedChunk>

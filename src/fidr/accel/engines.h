@@ -43,6 +43,17 @@ class CompressionEngine {
     /** Compresses one chunk. */
     CompressedChunk compress(std::span<const std::uint8_t> chunk);
 
+    /**
+     * Pure compression kernel: no engine counters touched, so
+     * concurrent lanes may call it on disjoint chunks.  Pair each
+     * result with one record() call on the orchestrating thread.
+     */
+    CompressedChunk compress_stateless(
+        std::span<const std::uint8_t> chunk) const;
+
+    /** Accounts one compress_stateless() result in the counters. */
+    void record(const CompressedChunk &chunk);
+
     /** Compresses a batch, preserving order. */
     std::vector<CompressedChunk> compress_batch(
         std::span<const Buffer> chunks);

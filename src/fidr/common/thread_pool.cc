@@ -1,0 +1,130 @@
+#include "fidr/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "fidr/common/status.h"
+
+namespace fidr {
+namespace {
+
+/** Join state shared by the shards of one parallel_for call. */
+struct ForkJoin {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pending = 0;
+    std::exception_ptr error;
+
+    void
+    finish(std::exception_ptr e)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (e && !error)
+            error = std::move(e);
+        if (--pending == 0)
+            done.notify_all();
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        done.wait(lock, [this] { return pending == 0; });
+    }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    workers = std::max<std::size_t>(workers, 1);
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            // Graceful shutdown: drain what was queued before stopping.
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    const std::size_t shards = std::min(n, workers());
+    if (shards <= 1) {
+        body(0, n);
+        return;
+    }
+
+    // Contiguous shards: shard s covers [s*q + min(s,r), ...) where
+    // q = n/shards, r = n%shards — the first r shards get one extra
+    // index.  Purely a function of (n, shards), so deterministic.
+    const std::size_t q = n / shards;
+    const std::size_t r = n % shards;
+
+    ForkJoin join;
+    join.pending = shards;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        FIDR_CHECK(!stopping_);
+        std::size_t begin = 0;
+        for (std::size_t s = 0; s < shards; ++s) {
+            const std::size_t len = q + (s < r ? 1 : 0);
+            const std::size_t end = begin + len;
+            queue_.push_back([&body, &join, begin, end] {
+                std::exception_ptr error;
+                try {
+                    body(begin, end);
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                join.finish(std::move(error));
+            });
+            begin = end;
+        }
+        FIDR_CHECK(begin == n);
+    }
+    work_ready_.notify_all();
+    join.wait();
+    if (join.error)
+        std::rethrow_exception(join.error);
+}
+
+std::size_t
+ThreadPool::hardware_lanes()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+}  // namespace fidr

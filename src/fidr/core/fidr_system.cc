@@ -12,6 +12,11 @@ FidrSystem::FidrSystem(const FidrConfig &config)
       containers_(platform_.data_ssds(), config.container_bytes),
       compressor_(LzLevel::kFast)
 {
+    const std::size_t compress_lanes =
+        config_.compress_lanes == 0 ? ThreadPool::hardware_lanes()
+                                    : config_.compress_lanes;
+    if (compress_lanes > 1)
+        compress_pool_ = std::make_unique<ThreadPool>(compress_lanes);
     if (config.hw_cache_engine) {
         hwtree::PipelineConfig pipeline;
         pipeline.update_lanes = config.tree_update_lanes;
@@ -222,10 +227,26 @@ FidrSystem::process_batch()
     }
 
     // Steps 8-9: compression and container packing in engine memory;
-    // sealed containers DMA straight to the data SSDs.
+    // sealed containers DMA straight to the data SSDs.  The engine's
+    // LZ cores compress disjoint chunks concurrently; container
+    // appends, engine counters, ledgers and journaling stay on this
+    // thread after the join so accounting is lane-count-invariant.
+    std::vector<accel::CompressedChunk> compressed_batch(unique.size());
+    const auto compress_range = [this, &unique, &compressed_batch](
+                                    std::size_t begin, std::size_t end) {
+        for (std::size_t j = begin; j < end; ++j) {
+            compressed_batch[j] =
+                compressor_.compress_stateless(unique[j].data);
+        }
+    };
+    if (compress_pool_)
+        compress_pool_->parallel_for(unique.size(), compress_range);
+    else
+        compress_range(0, unique.size());
+
     for (std::size_t j = 0; j < unique.size(); ++j) {
-        const accel::CompressedChunk compressed =
-            compressor_.compress(unique[j].data);
+        const accel::CompressedChunk &compressed = compressed_batch[j];
+        compressor_.record(compressed);
         Result<tables::ChunkLocation> placed =
             containers_.append(compressed.data);
         if (!placed.is_ok())
@@ -384,7 +405,8 @@ FidrSystem::compact(double min_dead_fraction)
             if (!data.is_ok())
                 return data.status();
             platform_.fabric().dma(
-                platform_.data_ssd_dev(0),
+                platform_.data_ssd_dev(
+                    containers_.ssd_index_of(location->container_id)),
                 platform_.compression_engine(),
                 data.value().size(), memtag::kDataSsd);
             Result<tables::ChunkLocation> moved =
@@ -458,7 +480,10 @@ FidrSystem::read(Lba lba)
         return compressed.status();
 
     // Steps 5-7: data SSD -> Decompression Engine -> NIC, both P2P.
-    fabric.dma(platform_.data_ssd_dev(0),
+    // The source device is the SSD the chunk's container landed on
+    // (same rotation bill_container_seals used when sealing it).
+    fabric.dma(platform_.data_ssd_dev(
+                   containers_.ssd_index_of(location->container_id)),
                platform_.decompression_engine(),
                compressed.value().size(), memtag::kDataSsd);
     Result<Buffer> raw = decomp_.decompress(compressed.value());

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "fidr/accel/engines.h"
+#include "fidr/common/thread_pool.h"
 #include "fidr/cache/indexes.h"
 #include "fidr/cache/table_cache.h"
 #include "fidr/core/dedup_index.h"
@@ -53,6 +54,13 @@ struct FidrConfig {
     std::uint64_t container_bytes = 4 * kMiB;
     bool hw_cache_engine = true;  ///< false => software cache index.
     unsigned tree_update_lanes = 4;
+    /**
+     * LZ cores in the Compression Engine working concurrently on
+     * disjoint unique chunks of a batch.  0 = one lane per hardware
+     * thread; 1 = serial compression on the calling thread.  Output
+     * and accounting are bit-identical across lane counts.
+     */
+    std::size_t compress_lanes = 0;
     cache::EvictionPolicy eviction_policy = cache::EvictionPolicy::kLru;
     /**
      * Extension (the paper's stated future work, Sec 7.5): offload the
@@ -165,6 +173,8 @@ class FidrSystem : public StorageServer {
     tables::ContainerLog containers_;
     accel::CompressionEngine compressor_;
     accel::DecompressionEngine decomp_;
+    /** Compression lanes; null when compress_lanes resolves to 1. */
+    std::unique_ptr<ThreadPool> compress_pool_;
 
     void retire_if_dead(Pbn pbn);
     Status journal_append(const tables::JournalRecord &record);

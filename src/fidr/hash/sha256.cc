@@ -38,6 +38,28 @@ rotr(std::uint32_t x, int k)
     return (x >> k) | (x << (32 - k));
 }
 
+std::uint32_t
+load_be32(const std::uint8_t *p)
+{
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) |
+           static_cast<std::uint32_t>(p[3]);
+}
+
+// Message-schedule sigmas (FIPS 180-4 Sec 4.1.2).
+std::uint32_t
+sig0(std::uint32_t x)
+{
+    return rotr(x, 7) ^ rotr(x, 18) ^ (x >> 3);
+}
+
+std::uint32_t
+sig1(std::uint32_t x)
+{
+    return rotr(x, 17) ^ rotr(x, 19) ^ (x >> 10);
+}
+
 }  // namespace
 
 void
@@ -48,47 +70,101 @@ Sha256::reset()
     total_len_ = 0;
 }
 
+// One round with rotated register assignment: callers permute the
+// a..h arguments instead of the loop shuffling eight registers, and
+// the schedule is a rolling 16-word window instead of a 64-word
+// expansion pass (the same structure hand-tuned scalar SHA cores and
+// the FPGA pipeline use).
+#define FIDR_SHA_ROUND(a, b, c, d, e, f, g, h, k, wv)                       \
+    do {                                                                    \
+        const std::uint32_t t1 = (h) +                                      \
+            (rotr((e), 6) ^ rotr((e), 11) ^ rotr((e), 25)) +                \
+            (((e) & (f)) ^ (~(e) & (g))) + (k) + (wv);                      \
+        const std::uint32_t t2 =                                            \
+            (rotr((a), 2) ^ rotr((a), 13) ^ rotr((a), 22)) +                \
+            (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));                      \
+        (d) += t1;                                                          \
+        (h) = t1 + t2;                                                      \
+    } while (0)
+
+// w[j] (mod-16 ring) advanced 16 rounds: w[i] = w[i-16] + s0(w[i-15])
+// + w[i-7] + s1(w[i-2]), with i-16 == j, i-15 == j+1, i-7 == j+9 and
+// i-2 == j+14 modulo 16.
+#define FIDR_SHA_SCHED(j)                                                   \
+    (w[(j) & 15] += sig0(w[((j) + 1) & 15]) + w[((j) + 9) & 15] +           \
+                    sig1(w[((j) + 14) & 15]))
+
 void
 Sha256::compress_block(const std::uint8_t *block)
 {
-    std::uint32_t w[64];
-    for (int i = 0; i < 16; ++i) {
-        w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-               (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-               (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-               static_cast<std::uint32_t>(block[4 * i + 3]);
-    }
-    for (int i = 16; i < 64; ++i) {
-        const std::uint32_t s0 =
-            rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-        const std::uint32_t s1 =
-            rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-    }
+    std::uint32_t w[16];
+    for (int i = 0; i < 16; ++i)
+        w[i] = load_be32(block + 4 * i);
 
     std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
     std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
 
-    for (int i = 0; i < 64; ++i) {
-        const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-        const std::uint32_t ch = (e & f) ^ (~e & g);
-        const std::uint32_t temp1 = h + s1 + ch + kRound[i] + w[i];
-        const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-        const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-        const std::uint32_t temp2 = s0 + maj;
-        h = g;
-        g = f;
-        f = e;
-        e = d + temp1;
-        d = c;
-        c = b;
-        b = a;
-        a = temp1 + temp2;
+    FIDR_SHA_ROUND(a, b, c, d, e, f, g, h, kRound[0], w[0]);
+    FIDR_SHA_ROUND(h, a, b, c, d, e, f, g, kRound[1], w[1]);
+    FIDR_SHA_ROUND(g, h, a, b, c, d, e, f, kRound[2], w[2]);
+    FIDR_SHA_ROUND(f, g, h, a, b, c, d, e, kRound[3], w[3]);
+    FIDR_SHA_ROUND(e, f, g, h, a, b, c, d, kRound[4], w[4]);
+    FIDR_SHA_ROUND(d, e, f, g, h, a, b, c, kRound[5], w[5]);
+    FIDR_SHA_ROUND(c, d, e, f, g, h, a, b, kRound[6], w[6]);
+    FIDR_SHA_ROUND(b, c, d, e, f, g, h, a, kRound[7], w[7]);
+    FIDR_SHA_ROUND(a, b, c, d, e, f, g, h, kRound[8], w[8]);
+    FIDR_SHA_ROUND(h, a, b, c, d, e, f, g, kRound[9], w[9]);
+    FIDR_SHA_ROUND(g, h, a, b, c, d, e, f, kRound[10], w[10]);
+    FIDR_SHA_ROUND(f, g, h, a, b, c, d, e, kRound[11], w[11]);
+    FIDR_SHA_ROUND(e, f, g, h, a, b, c, d, kRound[12], w[12]);
+    FIDR_SHA_ROUND(d, e, f, g, h, a, b, c, kRound[13], w[13]);
+    FIDR_SHA_ROUND(c, d, e, f, g, h, a, b, kRound[14], w[14]);
+    FIDR_SHA_ROUND(b, c, d, e, f, g, h, a, kRound[15], w[15]);
+
+    // 16 rounds per iteration keeps every w[] index a compile-time
+    // constant ((i + k) & 15 == k when i is a multiple of 16), so the
+    // whole 16-word window stays in registers.
+    for (int i = 16; i < 64; i += 16) {
+        FIDR_SHA_ROUND(a, b, c, d, e, f, g, h, kRound[i + 0],
+                       FIDR_SHA_SCHED(0));
+        FIDR_SHA_ROUND(h, a, b, c, d, e, f, g, kRound[i + 1],
+                       FIDR_SHA_SCHED(1));
+        FIDR_SHA_ROUND(g, h, a, b, c, d, e, f, kRound[i + 2],
+                       FIDR_SHA_SCHED(2));
+        FIDR_SHA_ROUND(f, g, h, a, b, c, d, e, kRound[i + 3],
+                       FIDR_SHA_SCHED(3));
+        FIDR_SHA_ROUND(e, f, g, h, a, b, c, d, kRound[i + 4],
+                       FIDR_SHA_SCHED(4));
+        FIDR_SHA_ROUND(d, e, f, g, h, a, b, c, kRound[i + 5],
+                       FIDR_SHA_SCHED(5));
+        FIDR_SHA_ROUND(c, d, e, f, g, h, a, b, kRound[i + 6],
+                       FIDR_SHA_SCHED(6));
+        FIDR_SHA_ROUND(b, c, d, e, f, g, h, a, kRound[i + 7],
+                       FIDR_SHA_SCHED(7));
+        FIDR_SHA_ROUND(a, b, c, d, e, f, g, h, kRound[i + 8],
+                       FIDR_SHA_SCHED(8));
+        FIDR_SHA_ROUND(h, a, b, c, d, e, f, g, kRound[i + 9],
+                       FIDR_SHA_SCHED(9));
+        FIDR_SHA_ROUND(g, h, a, b, c, d, e, f, kRound[i + 10],
+                       FIDR_SHA_SCHED(10));
+        FIDR_SHA_ROUND(f, g, h, a, b, c, d, e, kRound[i + 11],
+                       FIDR_SHA_SCHED(11));
+        FIDR_SHA_ROUND(e, f, g, h, a, b, c, d, kRound[i + 12],
+                       FIDR_SHA_SCHED(12));
+        FIDR_SHA_ROUND(d, e, f, g, h, a, b, c, kRound[i + 13],
+                       FIDR_SHA_SCHED(13));
+        FIDR_SHA_ROUND(c, d, e, f, g, h, a, b, kRound[i + 14],
+                       FIDR_SHA_SCHED(14));
+        FIDR_SHA_ROUND(b, c, d, e, f, g, h, a, kRound[i + 15],
+                       FIDR_SHA_SCHED(15));
     }
 
     state_[0] += a; state_[1] += b; state_[2] += c; state_[3] += d;
     state_[4] += e; state_[5] += f; state_[6] += g; state_[7] += h;
 }
+
+#undef FIDR_SHA_ROUND
+#undef FIDR_SHA_SCHED
 
 void
 Sha256::update(std::span<const std::uint8_t> data)

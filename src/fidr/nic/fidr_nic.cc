@@ -6,6 +6,10 @@ FidrNic::FidrNic(FidrNicConfig config) : config_(config)
 {
     FIDR_CHECK(config_.buffer_capacity >= kChunkSize);
     FIDR_CHECK(config_.hash_batch >= 1);
+    lanes_ = config_.hash_lanes == 0 ? ThreadPool::hardware_lanes()
+                                     : config_.hash_lanes;
+    if (lanes_ > 1)
+        pool_ = std::make_unique<ThreadPool>(lanes_);
 }
 
 Status
@@ -24,16 +28,31 @@ FidrNic::buffer_write(Lba lba, Buffer data)
 std::vector<Digest>
 FidrNic::hash_buffered()
 {
-    std::vector<Digest> digests;
-    digests.reserve(chunks_.size());
-    for (BufferedChunk &chunk : chunks_) {
-        if (!chunk.hashed) {
-            chunk.digest = Sha256::hash(chunk.data);
-            chunk.hashed = true;
-            ++hashes_computed_;
+    // Count the work serially first: lifetime counters must not be
+    // touched inside the parallel region (determinism contract).
+    std::size_t unhashed = 0;
+    for (const BufferedChunk &chunk : chunks_)
+        unhashed += chunk.hashed ? 0 : 1;
+
+    std::vector<Digest> digests(chunks_.size());
+    const auto hash_range = [this, &digests](std::size_t begin,
+                                             std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            BufferedChunk &chunk = chunks_[i];
+            if (!chunk.hashed) {
+                chunk.digest = Sha256::hash(chunk.data);
+                chunk.hashed = true;
+            }
+            digests[i] = chunk.digest;
         }
-        digests.push_back(chunk.digest);
-    }
+    };
+    // Each lane owns a contiguous shard of the batch, like the paper's
+    // independent SHA cores draining disjoint slices of NIC DRAM.
+    if (pool_)
+        pool_->parallel_for(chunks_.size(), hash_range);
+    else
+        hash_range(0, chunks_.size());
+    hashes_computed_ += unhashed;
     return digests;
 }
 

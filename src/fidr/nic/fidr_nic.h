@@ -24,12 +24,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "fidr/common/status.h"
+#include "fidr/common/thread_pool.h"
 #include "fidr/common/types.h"
 #include "fidr/hash/digest.h"
 #include "fidr/hash/sha256.h"
@@ -40,6 +42,14 @@ namespace fidr::nic {
 struct FidrNicConfig {
     std::uint64_t buffer_capacity = 64 * 1024 * 1024;  ///< NIC DRAM bytes.
     std::size_t hash_batch = 256;  ///< Chunks hashed per batch.
+    /**
+     * SHA-256 lanes, mirroring the multiple hash cores the paper
+     * instantiates per NIC (Table 4).  0 = one lane per hardware
+     * thread; 1 = serial hashing on the calling thread (the
+     * pre-parallel behaviour).  Digests are bit-identical for every
+     * lane count; only wall-clock changes.
+     */
+    std::size_t hash_lanes = 0;
 };
 
 /** One buffered write chunk awaiting the reduction pipeline. */
@@ -99,8 +109,14 @@ class FidrNic {
 
     const FidrNicConfig &config() const { return config_; }
 
+    /** Resolved lane count (config.hash_lanes with 0 = hardware). */
+    std::size_t hash_lanes() const { return lanes_; }
+
   private:
     FidrNicConfig config_;
+    std::size_t lanes_ = 1;
+    /** Hash lanes; null when lanes_ == 1 (serial path). */
+    std::unique_ptr<ThreadPool> pool_;
     std::deque<BufferedChunk> chunks_;
     /** lba -> index of newest buffered write, for the LBA Lookup. */
     std::unordered_map<Lba, std::size_t> newest_;

@@ -77,6 +77,14 @@ ContainerLog::flush()
     return Status::ok();
 }
 
+std::size_t
+ContainerLog::ssd_index_of(std::uint64_t container_id) const
+{
+    if (container_id < infos_.size() && infos_[container_id].sealed)
+        return infos_[container_id].ssd_index;
+    return static_cast<std::size_t>(container_id % data_ssds_.size());
+}
+
 bool
 ContainerLog::sealed(std::uint64_t container_id) const
 {

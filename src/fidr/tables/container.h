@@ -60,6 +60,14 @@ class ContainerLog {
     bool sealed(std::uint64_t container_id) const;
 
     /**
+     * Data SSD a container lives on (or will land on): the recorded
+     * placement for sealed containers, the array's round-robin
+     * rotation (container_id % ssd count) for the still-open one.
+     * Lets callers bill per-device transfers to the right ledger.
+     */
+    std::size_t ssd_index_of(std::uint64_t container_id) const;
+
+    /**
      * Releases a sealed container's SSD space after compaction moved
      * its live chunks elsewhere; subsequent reads of locations inside
      * it fail with kNotFound.  Returns the bytes released.
