@@ -18,6 +18,7 @@
 
 #include <cstdio>
 
+#include "harness.h"
 #include "fidr/host/calibration.h"
 #include "fidr/sim/event_queue.h"
 #include "fidr/sim/stats.h"
@@ -128,6 +129,19 @@ main()
     std::printf("    %-22s %7.0f us %7.0f us\n", "delta",
                 base_us - fidr_us, 210.0);
 
+    bench::JsonReport report("sec76_latency");
+    report.config("batch", static_cast<std::uint64_t>(batch))
+        .config("paper_baseline_us", 700.0)
+        .config("paper_fidr_us", 490.0);
+    {
+        obs::JsonWriter &json = report.begin_entry("read_latency");
+        json.kv("batch", static_cast<std::uint64_t>(batch));
+        json.kv("baseline_us", base_us);
+        json.kv("fidr_us", fidr_us);
+        json.kv("delta_us", base_us - fidr_us);
+        report.end_entry();
+    }
+
     std::printf("\nSensitivity to batch size:\n");
     std::printf("    %8s %12s %12s %10s\n", "batch", "baseline",
                 "FIDR", "delta");
@@ -136,7 +150,14 @@ main()
         const double ff = simulate(true, model, b);
         std::printf("    %8u %9.0f us %9.0f us %7.0f us\n", b, bb, ff,
                     bb - ff);
+        obs::JsonWriter &json = report.begin_entry("batch_sensitivity");
+        json.kv("batch", static_cast<std::uint64_t>(b));
+        json.kv("baseline_us", bb);
+        json.kv("fidr_us", ff);
+        json.kv("delta_us", bb - ff);
+        report.end_entry();
     }
+    FIDR_CHECK(report.write_file("BENCH_sec76_latency.json").is_ok());
     std::printf("\nShape check: the delta is flat (two host staging "
                 "passes plus the extra\nDMA hops), so FIDR's advantage "
                 "holds at every batch size; absolute\nlatency grows "

@@ -6,11 +6,11 @@
 // multi-core SHA fan-out (paper Table 4 instantiates multiple SHA
 // cores per NIC).
 //
-// Emits BENCH_throughput.json (in the working directory) so the
-// numbers seed the repo's performance trajectory.  Digests, stats and
-// space accounting are lane-count-invariant; the bench asserts the
-// reduction stats match across lane counts as a cheap determinism
-// guard on every run.
+// Emits BENCH_throughput.json (in the working directory, via the
+// harness's uniform JsonReport schema) so the numbers seed the repo's
+// performance trajectory.  Digests, stats and space accounting are
+// lane-count-invariant; the bench asserts the reduction stats match
+// across lane counts as a cheap determinism guard on every run.
 
 #include <algorithm>
 #include <chrono>
@@ -136,19 +136,19 @@ print_runs(const char *title, const std::vector<LaneRun> &runs)
 }
 
 void
-json_runs(std::FILE *f, const std::vector<LaneRun> &runs)
+json_runs(obs::JsonWriter &json, const std::vector<LaneRun> &runs)
 {
-    std::fprintf(f, "[");
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-        std::fprintf(f,
-                     "%s\n      {\"lanes\": %zu, \"seconds\": %.6f, "
-                     "\"chunks_per_s\": %.1f, \"gb_per_s\": %.4f, "
-                     "\"speedup_vs_1_lane\": %.3f}",
-                     i ? "," : "", runs[i].lanes, runs[i].seconds,
-                     runs[i].chunks_per_s, runs[i].gb_per_s,
-                     runs[0].seconds / runs[i].seconds);
+    json.key("runs").begin_array();
+    for (const LaneRun &run : runs) {
+        json.begin_object();
+        json.kv("lanes", static_cast<std::uint64_t>(run.lanes));
+        json.kv("seconds", run.seconds);
+        json.kv("chunks_per_s", run.chunks_per_s);
+        json.kv("gb_per_s", run.gb_per_s);
+        json.kv("speedup_vs_1_lane", runs[0].seconds / run.seconds);
+        json.end_object();
     }
-    std::fprintf(f, "\n    ]");
+    json.end_array();
 }
 
 }  // namespace
@@ -167,13 +167,11 @@ main(int argc, char **argv)
 
     const std::vector<std::size_t> lanes = lane_counts();
 
-    std::FILE *json = std::fopen("BENCH_throughput.json", "w");
-    FIDR_CHECK(json != nullptr);
-    std::fprintf(json, "{\n  \"hardware_lanes\": %zu,\n",
-                 ThreadPool::hardware_lanes());
-    std::fprintf(json, "  \"requests_per_run\": %d,\n", requests);
-    std::fprintf(json, "  \"chunk_bytes\": %llu,\n",
-                 static_cast<unsigned long long>(kChunkSize));
+    bench::JsonReport report("throughput");
+    report.config("hardware_lanes", ThreadPool::hardware_lanes())
+        .config("requests_per_run", requests)
+        .config("chunk_bytes",
+                static_cast<std::uint64_t>(kChunkSize));
 
     // NIC hash stage in isolation, on the mail (Write-H) content mix.
     {
@@ -186,16 +184,13 @@ main(int argc, char **argv)
             runs.push_back(run_nic_hash(n, reqs));
         print_runs("NIC SHA-256 hash stage (Write-H payload)", runs);
         std::printf("\n");
-        std::fprintf(json, "  \"nic_hash_stage\": {\n"
-                           "    \"workload\": \"Write-H\",\n"
-                           "    \"runs\": ");
+        obs::JsonWriter &json = report.begin_entry("nic_hash_stage");
+        json.kv("workload", "Write-H");
         json_runs(json, runs);
-        std::fprintf(json, "\n  },\n");
+        report.end_entry();
     }
 
     // Full write path per Table 3 workload.
-    std::fprintf(json, "  \"write_path\": [");
-    bool first_workload = true;
     for (const workload::WorkloadSpec &spec0 :
          workload::table3_specs()) {
         if (spec0.read_fraction > 0)
@@ -226,15 +221,11 @@ main(int argc, char **argv)
         print_runs(("Full write path: " + spec.name).c_str(), runs);
         std::printf("\n");
 
-        std::fprintf(json, "%s\n  {\n    \"workload\": \"%s\",\n"
-                           "    \"runs\": ",
-                     first_workload ? "" : ",", spec.name.c_str());
+        obs::JsonWriter &json = report.begin_entry("write_path");
+        json.kv("workload", spec.name);
         json_runs(json, runs);
-        std::fprintf(json, "\n  }");
-        first_workload = false;
+        report.end_entry();
     }
-    std::fprintf(json, "\n  ]\n}\n");
-    std::fclose(json);
-    std::printf("wrote BENCH_throughput.json\n");
+    FIDR_CHECK(report.write_file("BENCH_throughput.json").is_ok());
     return 0;
 }

@@ -7,16 +7,112 @@
 #pragma once
 
 #include <cstdio>
+#include <ctime>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "fidr/core/baseline_system.h"
 #include "fidr/core/fidr_system.h"
 #include "fidr/core/perf_model.h"
+#include "fidr/obs/json.h"
 #include "fidr/workload/generator.h"
 #include "fidr/workload/table3.h"
 
+/** Stamped by bench/CMakeLists.txt at configure time. */
+#ifndef FIDR_GIT_SHA
+#define FIDR_GIT_SHA "unknown"
+#endif
+
 namespace fidr::bench {
+
+/**
+ * Uniform bench JSON emission: every bench that persists numbers
+ * writes the same document shape,
+ *
+ *   {"bench": ..., "config": {...}, "series": [...],
+ *    "meta": {"git_sha": ..., "date": ...}}
+ *
+ * The writer streams, so add config scalars before the first series
+ * entry.  Each series entry is an object opened by begin_entry()
+ * (which presets "name"), filled through the returned JsonWriter, and
+ * closed by end_entry().
+ */
+class JsonReport {
+  public:
+    explicit JsonReport(std::string_view bench)
+    {
+        json_.begin_object();
+        json_.kv("bench", bench);
+        json_.key("config").begin_object();
+    }
+
+    /** Flat config scalar; only valid before the first entry. */
+    template <typename T>
+    JsonReport &
+    config(std::string_view key, T &&value)
+    {
+        FIDR_CHECK(!in_series_);
+        json_.kv(key, std::forward<T>(value));
+        return *this;
+    }
+
+    obs::JsonWriter &
+    begin_entry(std::string_view name)
+    {
+        if (!in_series_) {
+            json_.end_object();  // config
+            json_.key("series").begin_array();
+            in_series_ = true;
+        }
+        json_.begin_object();
+        json_.kv("name", name);
+        return json_;
+    }
+
+    void end_entry() { json_.end_object(); }
+
+    /** Closes the document (stamping meta) and writes it to `path`. */
+    Status
+    write_file(const std::string &path)
+    {
+        if (!in_series_) {
+            json_.end_object();
+            json_.key("series").begin_array();
+            in_series_ = true;
+        }
+        json_.end_array();
+        json_.key("meta").begin_object();
+        json_.kv("git_sha", FIDR_GIT_SHA);
+        json_.kv("date", today());
+        json_.end_object();
+        json_.end_object();
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr)
+            return Status::unavailable("cannot write " + path);
+        std::fputs(json_.str().c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+        return Status::ok();
+    }
+
+  private:
+    static std::string
+    today()
+    {
+        const std::time_t now = std::time(nullptr);
+        std::tm tm_utc{};
+        gmtime_r(&now, &tm_utc);
+        char buffer[32];
+        std::strftime(buffer, sizeof(buffer), "%Y-%m-%d", &tm_utc);
+        return buffer;
+    }
+
+    obs::JsonWriter json_;
+    bool in_series_ = false;
+};
 
 /** Requests per experiment run (scaled-down from the paper's 176M). */
 inline constexpr int kRunRequests = 60'000;

@@ -1,26 +1,63 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + ctest, then the parallel data
-# plane's thread-pool and determinism tests again under TSan
-# (FIDR_SANITIZE=thread).  Run from the repo root:
+# Tier-1 verification:
+#   1. full build + ctest with tracepoints compiled in (FIDR_TRACE=ON);
+#   2. the same with -DFIDR_TRACE=OFF, proving the no-op build;
+#   3. the parallel data plane and obs registries under TSan;
+#   4. overhead smoke check: the traced build (tracer disabled, the
+#      production default) stays within 15% of the untraced build on
+#      the FIDR write-path micro bench.
+# Run from the repo root:
 #
-#   scripts/tier1.sh [build-dir] [tsan-build-dir]
+#   scripts/tier1.sh [build-dir] [notrace-build-dir] [tsan-build-dir]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-TSAN_DIR="${2:-build-tsan}"
+NOTRACE_DIR="${2:-build-notrace}"
+TSAN_DIR="${3:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== tier-1: build + full test suite =="
-cmake -B "$BUILD_DIR" -S .
+echo "== tier-1: build (FIDR_TRACE=ON) + full test suite =="
+cmake -B "$BUILD_DIR" -S . -DFIDR_TRACE=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== tier-1: thread-pool + determinism tests under TSan =="
+echo "== tier-1: build (FIDR_TRACE=OFF) + full test suite =="
+cmake -B "$NOTRACE_DIR" -S . -DFIDR_TRACE=OFF
+cmake --build "$NOTRACE_DIR" -j "$JOBS"
+ctest --test-dir "$NOTRACE_DIR" --output-on-failure -j "$JOBS"
+
+echo "== tier-1: thread-pool/determinism/obs tests under TSan =="
 cmake -B "$TSAN_DIR" -S . -DFIDR_SANITIZE=thread \
-    -DFIDR_BUILD_BENCHES=OFF -DFIDR_BUILD_EXAMPLES=OFF
+    -DFIDR_BUILD_BENCHES=OFF -DFIDR_BUILD_EXAMPLES=OFF \
+    -DFIDR_BUILD_TOOLS=OFF
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target test_thread_pool test_parallel_determinism
+    --target test_thread_pool test_parallel_determinism test_obs
 "$TSAN_DIR"/tests/test_thread_pool
 "$TSAN_DIR"/tests/test_parallel_determinism
+"$TSAN_DIR"/tests/test_obs
+
+echo "== tier-1: tracepoint overhead smoke (traced <= 1.15x untraced) =="
+run_write_path() {
+    "$1"/bench/bench_micro_primitives \
+        --benchmark_filter='BM_FidrWritePath$' \
+        --benchmark_min_time=0.2 \
+        --benchmark_format=json 2>/dev/null |
+        python3 -c 'import json, sys
+print([b["real_time"] for b in json.load(sys.stdin)["benchmarks"]][0])'
+}
+T1="$(run_write_path "$BUILD_DIR")"
+T2="$(run_write_path "$BUILD_DIR")"
+U1="$(run_write_path "$NOTRACE_DIR")"
+U2="$(run_write_path "$NOTRACE_DIR")"
+python3 - "$T1" "$T2" "$U1" "$U2" <<'EOF'
+import sys
+traced = min(float(sys.argv[1]), float(sys.argv[2]))
+untraced = min(float(sys.argv[3]), float(sys.argv[4]))
+ratio = traced / untraced
+print(f"traced best {traced:.0f} ns, untraced best {untraced:.0f} ns "
+      f"-> {ratio:.3f}x")
+if ratio > 1.15:
+    sys.exit("FAIL: tracepoint overhead exceeds 15%")
+EOF
 
 echo "tier-1 OK"

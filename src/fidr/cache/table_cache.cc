@@ -1,5 +1,7 @@
 #include "fidr/cache/table_cache.h"
 
+#include "fidr/obs/trace.h"
+
 namespace fidr::cache {
 
 FreeList::FreeList(std::size_t capacity) : ring_(capacity + 1, 0) {}
@@ -151,6 +153,8 @@ TableCache::evict_one()
     ++stats_.evictions;
     if (line.dirty) {
         ++stats_.dirty_evictions;
+        FIDR_TPOINT(obs::Tpoint::kCacheWriteback, line.owner,
+                    kBucketSize);
         const Status flushed = table_.write_bucket(line.owner, line.bucket);
         if (!flushed.is_ok())
             return flushed;
@@ -202,6 +206,7 @@ TableCache::access(BucketIndex bucket_index, bool high_priority)
     const auto slot = free_.pop();
     FIDR_CHECK(slot.has_value());
 
+    FIDR_TPOINT(obs::Tpoint::kCacheFetch, bucket_index, kBucketSize);
     Result<tables::Bucket> fetched = table_.read_bucket(bucket_index);
     if (!fetched.is_ok())
         return fetched.status();

@@ -2,6 +2,7 @@
 
 #include "fidr/common/bytes.h"
 #include "fidr/host/calibration.h"
+#include "fidr/obs/trace.h"
 
 namespace fidr::core {
 
@@ -46,6 +47,25 @@ FidrSystem::FidrSystem(const FidrConfig &config)
         journal_ = std::make_unique<tables::MetadataJournal>(
             platform_.table_ssd(), journal_base, config.journal_bytes);
     }
+
+    // Resolve stage-histogram handles once; eager creation also makes
+    // every Fig 6 stage show up in obs_snapshot() from the start.
+    hist_.nic_buffer = &metrics_.histogram("write.nic_buffer");
+    hist_.batch = &metrics_.histogram("write.batch");
+    hist_.hash = &metrics_.histogram("write.hash");
+    hist_.digest_xfer = &metrics_.histogram("write.digest_xfer");
+    hist_.bucket_index = &metrics_.histogram("write.bucket_index");
+    hist_.dedup_resolve = &metrics_.histogram("write.dedup_resolve");
+    hist_.verdict_xfer = &metrics_.histogram("write.verdict_xfer");
+    hist_.map_update = &metrics_.histogram("write.map_update");
+    hist_.compress = &metrics_.histogram("write.compress");
+    hist_.container_append = &metrics_.histogram("write.container_append");
+    hist_.journal = &metrics_.histogram("write.journal");
+    hist_.read_total = &metrics_.histogram("read.total");
+    hist_.read_resolve = &metrics_.histogram("read.lba_resolve");
+    hist_.read_fetch = &metrics_.histogram("read.ssd_fetch");
+    hist_.read_decompress = &metrics_.histogram("read.decompress");
+    hist_.read_return = &metrics_.histogram("read.nic_return");
 }
 
 Status
@@ -53,6 +73,8 @@ FidrSystem::journal_append(const tables::JournalRecord &record)
 {
     if (!journal_)
         return Status::ok();
+    const obs::StageTimer timer;
+    FIDR_TPOINT(obs::Tpoint::kWriteJournal, record.pbn, record.lba);
     Status appended = journal_->append(record);
     if (appended.code() == StatusCode::kOutOfSpace) {
         // Journal full: checkpoint truncates it, then retry.
@@ -61,6 +83,7 @@ FidrSystem::journal_append(const tables::JournalRecord &record)
             return checkpointed;
         appended = journal_->append(record);
     }
+    hist_.journal->record(timer.elapsed_ns());
     return appended;
 }
 
@@ -80,7 +103,14 @@ FidrSystem::write(Lba lba, Buffer data)
         if (!drained.is_ok())
             return drained;
     }
-    const Status buffered = nic_.buffer_write(lba, std::move(data));
+    Status buffered = Status::ok();
+    {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteNicBuffer, lba,
+                        kChunkSize);
+        buffered = nic_.buffer_write(lba, std::move(data));
+        hist_.nic_buffer->record(timer.elapsed_ns());
+    }
     if (!buffered.is_ok())
         return buffered;
     ++stats_.chunks_written;
@@ -118,67 +148,103 @@ FidrSystem::process_batch()
     pcie::Fabric &fabric = platform_.fabric();
     host::HostCpu &cpu = platform_.cpu();
 
+    const std::uint64_t batch_id = ++batch_seq_;
+    const obs::StageTimer batch_timer;
+    FIDR_TRACE_SPAN(batch_span, obs::Tpoint::kWriteBatch, batch_id, n);
+
     // Step 2: in-NIC hashing; only digests cross to the host.
-    const std::vector<Digest> digests = nic_.hash_buffered();
-    fabric.dma(platform_.nic(), pcie::kHostMemory, n * Digest::kSize,
-               memtag::kNicHost);
+    std::vector<Digest> digests;
+    {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteHash, batch_id, n);
+        digests = nic_.hash_buffered();
+        hist_.hash->record(timer.elapsed_ns());
+    }
+    {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteDigestXfer, batch_id,
+                        n * Digest::kSize);
+        fabric.dma(platform_.nic(), pcie::kHostMemory, n * Digest::kSize,
+                   memtag::kNicHost);
+        hist_.digest_xfer->record(timer.elapsed_ns());
+    }
 
     // Step 3: bucket indexes to the Cache HW-Engine (8 B per chunk —
     // the "negligible PCIe bandwidth" of Sec 5.6).
-    fabric.dma(pcie::kHostMemory, platform_.cache_engine(), n * 8,
-               memtag::kTableCache);
+    {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteBucketIndex, batch_id,
+                        n * 8);
+        fabric.dma(pcie::kHostMemory, platform_.cache_engine(), n * 8,
+                   memtag::kTableCache);
+        hist_.bucket_index->record(timer.elapsed_ns());
+    }
 
     // Steps 4-5: resolve cache lines and scan bucket content on host.
     std::vector<ChunkVerdict> verdicts(n, ChunkVerdict::kUnique);
     std::vector<Pbn> pbns(n, kInvalidPbn);
-    for (std::size_t i = 0; i < n; ++i) {
-        Result<DedupLookup> looked = dedup_->lookup_or_insert(
-            digests[i], next_pbn_, high_priority_);
-        if (!looked.is_ok())
-            return looked.status();
-        const DedupLookup &lookup = looked.value();
+    {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteDedupResolve, batch_id,
+                        n);
+        for (std::size_t i = 0; i < n; ++i) {
+            Result<DedupLookup> looked = dedup_->lookup_or_insert(
+                digests[i], next_pbn_, high_priority_);
+            if (!looked.is_ok())
+                return looked.status();
+            const DedupLookup &lookup = looked.value();
 
-        if (!config_.hw_cache_engine) {
-            // NIC+P2P-only configuration: the index stays a software
-            // B+ tree, so its CPU cost remains (Fig 14 config b).
-            cpu.bill_us(cputag::kTreeIndex,
-                        lookup.buckets_probed *
-                                calib::kCpuTreeLookupPerChunk +
+            if (!config_.hw_cache_engine) {
+                // NIC+P2P-only configuration: the index stays a
+                // software B+ tree, so its CPU cost remains (Fig 14
+                // config b).
+                cpu.bill_us(cputag::kTreeIndex,
+                            lookup.buckets_probed *
+                                    calib::kCpuTreeLookupPerChunk +
+                                lookup.cache_misses *
+                                    calib::kCpuTreeUpdatePerMiss);
+                cpu.bill_us(cputag::kTableSsd,
                             lookup.cache_misses *
-                                calib::kCpuTreeUpdatePerMiss);
-            cpu.bill_us(cputag::kTableSsd,
-                        lookup.cache_misses * calib::kCpuTableSsdPerMiss);
-        }
-        cpu.bill_us(cputag::kScan, calib::kCpuBucketScanPerChunk);
-        cpu.bill_us(cputag::kLru, calib::kCpuLruPerChunk);
-        cpu.bill_us(cputag::kTableMisc, calib::kCpuTableMiscPerChunk);
+                                calib::kCpuTableSsdPerMiss);
+            }
+            cpu.bill_us(cputag::kScan, calib::kCpuBucketScanPerChunk);
+            cpu.bill_us(cputag::kLru, calib::kCpuLruPerChunk);
+            cpu.bill_us(cputag::kTableMisc, calib::kCpuTableMiscPerChunk);
 
-        fabric.host_memory().add(
-            memtag::kTableCache,
-            lookup.buckets_probed * calib::kBucketScanFraction *
-                static_cast<double>(kBucketSize));
-        for (unsigned m = 0; m < lookup.cache_misses; ++m) {
-            fabric.dma(platform_.table_ssd_dev(), pcie::kHostMemory,
-                       kBucketSize, memtag::kTableCache);
-        }
-        for (unsigned f = 0; f < lookup.dirty_evictions; ++f) {
-            fabric.dma(pcie::kHostMemory, platform_.table_ssd_dev(),
-                       kBucketSize, memtag::kTableCache);
-        }
+            fabric.host_memory().add(
+                memtag::kTableCache,
+                lookup.buckets_probed * calib::kBucketScanFraction *
+                    static_cast<double>(kBucketSize));
+            for (unsigned m = 0; m < lookup.cache_misses; ++m) {
+                fabric.dma(platform_.table_ssd_dev(), pcie::kHostMemory,
+                           kBucketSize, memtag::kTableCache);
+            }
+            for (unsigned f = 0; f < lookup.dirty_evictions; ++f) {
+                fabric.dma(pcie::kHostMemory, platform_.table_ssd_dev(),
+                           kBucketSize, memtag::kTableCache);
+            }
 
-        verdicts[i] = lookup.verdict;
-        pbns[i] = lookup.pbn;
-        if (lookup.verdict == ChunkVerdict::kUnique) {
-            ++stats_.unique_chunks;
-            ++next_pbn_;
-        } else {
-            ++stats_.duplicates;
+            verdicts[i] = lookup.verdict;
+            pbns[i] = lookup.pbn;
+            if (lookup.verdict == ChunkVerdict::kUnique) {
+                ++stats_.unique_chunks;
+                ++next_pbn_;
+            } else {
+                ++stats_.duplicates;
+            }
         }
+        hist_.dedup_resolve->record(timer.elapsed_ns());
     }
 
     // Step 6: verdicts (and destination metadata) back to the NIC.
-    fabric.dma(pcie::kHostMemory, platform_.nic(), n * 2,
-               memtag::kNicHost);
+    {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteVerdictXfer, batch_id,
+                        n * 2);
+        fabric.dma(pcie::kHostMemory, platform_.nic(), n * 2,
+                   memtag::kNicHost);
+        hist_.verdict_xfer->record(timer.elapsed_ns());
+    }
 
     // LBA-PBA mappings are pure host metadata updates: duplicates map
     // to the matched PBN, uniques to their freshly assigned PBN.
@@ -190,23 +256,28 @@ FidrSystem::process_batch()
     // mapped and stored: a later duplicate in the same batch may
     // re-reference a PBN whose refcount transiently hit zero.
     std::vector<Pbn> retire_candidates;
-    for (std::size_t i = 0; i < n; ++i) {
-        const auto prev = lba_table_.map_lba(lbas[i], pbns[i]);
-        if (journal_) {
-            tables::JournalRecord rec;
-            rec.op = tables::JournalOp::kMapLba;
-            rec.lba = lbas[i];
-            rec.pbn = pbns[i];
-            const Status logged = journal_append(rec);
-            if (!logged.is_ok())
-                return logged;
+    {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteMapUpdate, batch_id, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto prev = lba_table_.map_lba(lbas[i], pbns[i]);
+            if (journal_) {
+                tables::JournalRecord rec;
+                rec.op = tables::JournalOp::kMapLba;
+                rec.lba = lbas[i];
+                rec.pbn = pbns[i];
+                const Status logged = journal_append(rec);
+                if (!logged.is_ok())
+                    return logged;
+            }
+            if (prev && *prev != pbns[i])
+                retire_candidates.push_back(*prev);
+            if (verdicts[i] == ChunkVerdict::kUnique) {
+                unique_pbns.push_back(pbns[i]);
+                unique_digests.push_back(digests[i]);
+            }
         }
-        if (prev && *prev != pbns[i])
-            retire_candidates.push_back(*prev);
-        if (verdicts[i] == ChunkVerdict::kUnique) {
-            unique_pbns.push_back(pbns[i]);
-            unique_digests.push_back(digests[i]);
-        }
+        hist_.map_update->record(timer.elapsed_ns());
     }
 
     // Step 7: the compression scheduler ships only unique chunks,
@@ -234,42 +305,58 @@ FidrSystem::process_batch()
     std::vector<accel::CompressedChunk> compressed_batch(unique.size());
     const auto compress_range = [this, &unique, &compressed_batch](
                                     std::size_t begin, std::size_t end) {
+        // One span per LZ lane shard (worker-thread trace ring).
+        FIDR_TRACE_SPAN(lane_span, obs::Tpoint::kWriteCompressLane,
+                        begin, end - begin);
         for (std::size_t j = begin; j < end; ++j) {
             compressed_batch[j] =
                 compressor_.compress_stateless(unique[j].data);
         }
     };
-    if (compress_pool_)
-        compress_pool_->parallel_for(unique.size(), compress_range);
-    else
-        compress_range(0, unique.size());
+    {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteCompress, batch_id,
+                        unique_bytes);
+        if (compress_pool_)
+            compress_pool_->parallel_for(unique.size(), compress_range);
+        else
+            compress_range(0, unique.size());
+        hist_.compress->record(timer.elapsed_ns());
+    }
 
-    for (std::size_t j = 0; j < unique.size(); ++j) {
-        const accel::CompressedChunk &compressed = compressed_batch[j];
-        compressor_.record(compressed);
-        Result<tables::ChunkLocation> placed =
-            containers_.append(compressed.data);
-        if (!placed.is_ok())
-            return placed.status();
-        stats_.stored_bytes += compressed.data.size();
-        // Step 10: the host updates the metadata for the new chunk.
-        lba_table_.set_location(unique_pbns[j], placed.value());
-        space_.on_store(unique_pbns[j], unique_digests[j],
-                        placed.value());
-        if (journal_) {
-            tables::JournalRecord rec;
-            rec.op = tables::JournalOp::kSetLocation;
-            rec.pbn = unique_pbns[j];
-            rec.location = placed.value();
-            const Status logged = journal_append(rec);
-            if (!logged.is_ok())
-                return logged;
+    {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteContainerAppend,
+                        batch_id, unique.size());
+        for (std::size_t j = 0; j < unique.size(); ++j) {
+            const accel::CompressedChunk &compressed = compressed_batch[j];
+            compressor_.record(compressed);
+            Result<tables::ChunkLocation> placed =
+                containers_.append(compressed.data);
+            if (!placed.is_ok())
+                return placed.status();
+            stats_.stored_bytes += compressed.data.size();
+            // Step 10: the host updates the metadata for the new chunk.
+            lba_table_.set_location(unique_pbns[j], placed.value());
+            space_.on_store(unique_pbns[j], unique_digests[j],
+                            placed.value());
+            if (journal_) {
+                tables::JournalRecord rec;
+                rec.op = tables::JournalOp::kSetLocation;
+                rec.pbn = unique_pbns[j];
+                rec.location = placed.value();
+                const Status logged = journal_append(rec);
+                if (!logged.is_ok())
+                    return logged;
+            }
+            bill_container_seals();
         }
-        bill_container_seals();
+        hist_.container_append->record(timer.elapsed_ns());
     }
 
     for (const Pbn pbn : retire_candidates)
         retire_if_dead(pbn);
+    hist_.batch->record(batch_timer.elapsed_ns());
     return Status::ok();
 }
 
@@ -454,44 +541,144 @@ FidrSystem::read(Lba lba)
 {
     ++stats_.chunks_read;
     pcie::Fabric &fabric = platform_.fabric();
+    const obs::StageTimer read_timer;
+    FIDR_TRACE_SPAN(read_span, obs::Tpoint::kReadRequest, lba,
+                    kChunkSize);
 
     // Fig 6b step 2: LBA Lookup against the in-NIC write buffer.
     if (auto buffered = nic_.lookup_buffered(lba)) {
+        FIDR_TPOINT(obs::Tpoint::kReadNicLookup, lba, 1);
         ++stats_.nic_read_hits;
+        hist_.read_total->record(read_timer.elapsed_ns());
         return std::move(*buffered);
     }
+    FIDR_TPOINT(obs::Tpoint::kReadNicLookup, lba, 0);
 
     // Steps 3-4: LBA to host, LBA-PBA lookup.  With the read-stack
     // offload extension, the NVMe submission/completion handling and
     // data forwarding move to the FPGA and only the mapping lookup
     // stays on the CPU.
-    fabric.dma(platform_.nic(), pcie::kHostMemory, 16, memtag::kNicHost);
-    platform_.cpu().bill_us(cputag::kReadPath,
-                            config_.offload_read_stack
-                                ? calib::kCpuReadOffloadResidual
-                                : calib::kCpuReadPerChunk);
-
-    const auto location = lba_table_.lookup(lba);
+    const auto location = [&] {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kReadLbaResolve, lba, 0);
+        fabric.dma(platform_.nic(), pcie::kHostMemory, 16,
+                   memtag::kNicHost);
+        platform_.cpu().bill_us(cputag::kReadPath,
+                                config_.offload_read_stack
+                                    ? calib::kCpuReadOffloadResidual
+                                    : calib::kCpuReadPerChunk);
+        const auto found = lba_table_.lookup(lba);
+        hist_.read_resolve->record(timer.elapsed_ns());
+        return found;
+    }();
     if (!location)
         return Status::not_found("LBA never written");
-
-    Result<Buffer> compressed = containers_.read(*location);
-    if (!compressed.is_ok())
-        return compressed.status();
 
     // Steps 5-7: data SSD -> Decompression Engine -> NIC, both P2P.
     // The source device is the SSD the chunk's container landed on
     // (same rotation bill_container_seals used when sealing it).
-    fabric.dma(platform_.data_ssd_dev(
-                   containers_.ssd_index_of(location->container_id)),
-               platform_.decompression_engine(),
-               compressed.value().size(), memtag::kDataSsd);
-    Result<Buffer> raw = decomp_.decompress(compressed.value());
+    Result<Buffer> compressed = [&]() -> Result<Buffer> {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kReadSsdFetch, lba,
+                        location->container_id);
+        Result<Buffer> data = containers_.read(*location);
+        if (data.is_ok()) {
+            fabric.dma(
+                platform_.data_ssd_dev(
+                    containers_.ssd_index_of(location->container_id)),
+                platform_.decompression_engine(), data.value().size(),
+                memtag::kDataSsd);
+        }
+        hist_.read_fetch->record(timer.elapsed_ns());
+        return data;
+    }();
+    if (!compressed.is_ok())
+        return compressed.status();
+
+    Result<Buffer> raw = [&]() -> Result<Buffer> {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kReadDecompress, lba,
+                        compressed.value().size());
+        Result<Buffer> out = decomp_.decompress(compressed.value());
+        hist_.read_decompress->record(timer.elapsed_ns());
+        return out;
+    }();
     if (!raw.is_ok())
         return raw.status();
-    fabric.dma(platform_.decompression_engine(), platform_.nic(),
-               raw.value().size(), memtag::kNicHost);
+
+    {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kReadNicReturn, lba,
+                        raw.value().size());
+        fabric.dma(platform_.decompression_engine(), platform_.nic(),
+                   raw.value().size(), memtag::kNicHost);
+        hist_.read_return->record(timer.elapsed_ns());
+    }
+    hist_.read_total->record(read_timer.elapsed_ns());
     return raw;
+}
+
+obs::ObsSnapshot
+FidrSystem::obs_snapshot() const
+{
+    obs::ObsSnapshot snap = metrics_.snapshot();
+
+    // Flow counters: reduction accounting plus cache and tree state.
+    snap.counters["write.chunks"] = stats_.chunks_written;
+    snap.counters["write.unique_chunks"] = stats_.unique_chunks;
+    snap.counters["write.duplicate_chunks"] = stats_.duplicates;
+    snap.counters["write.raw_bytes"] = stats_.raw_bytes;
+    snap.counters["write.stored_bytes"] = stats_.stored_bytes;
+    snap.counters["read.chunks"] = stats_.chunks_read;
+    snap.counters["read.nic_buffer_hits"] = stats_.nic_read_hits;
+    snap.counters["journal.records"] = journal_records();
+
+    const cache::CacheStats &cache = table_cache_->stats();
+    snap.counters["cache.hits"] = cache.hits;
+    snap.counters["cache.misses"] = cache.misses;
+    snap.counters["cache.evictions"] = cache.evictions;
+    snap.counters["cache.dirty_evictions"] = cache.dirty_evictions;
+    snap.gauges["cache.hit_rate"] = cache.hit_rate();
+
+    snap.gauges["write.dedup_rate"] = stats_.dedup_rate();
+    snap.gauges["write.reduction_ratio"] =
+        stats_.stored_bytes > 0
+            ? static_cast<double>(stats_.raw_bytes) /
+                  static_cast<double>(stats_.stored_bytes)
+            : 0.0;
+
+    if (hw_index_) {
+        const hwtree::PipelineStats &tree = hw_index_->pipeline().stats();
+        snap.counters["tree.searches"] = tree.searches;
+        snap.counters["tree.updates"] = tree.updates;
+        snap.counters["tree.crashes"] = tree.crashes;
+        snap.counters["tree.replays"] = tree.replays;
+        snap.gauges["tree.crash_rate"] = tree.crash_rate();
+    }
+
+    const auto ledger_rows = [](const std::vector<sim::LedgerRow> &rows) {
+        std::vector<obs::SnapshotRow> out;
+        out.reserve(rows.size());
+        for (const sim::LedgerRow &row : rows)
+            out.push_back({row.tag, row.value, row.share});
+        return out;
+    };
+    snap.sections["host_dram_bandwidth_bytes"] =
+        ledger_rows(platform_.fabric().host_memory().report());
+    snap.sections["cpu_core_seconds"] =
+        ledger_rows(platform_.cpu().ledger().report());
+
+    std::vector<obs::SnapshotRow> capacity;
+    const host::HostMemory &memory = platform_.memory();
+    for (const auto &[component, bytes] : memory.breakdown()) {
+        capacity.push_back(
+            {component, static_cast<double>(bytes),
+             memory.used() > 0 ? static_cast<double>(bytes) /
+                                     static_cast<double>(memory.used())
+                               : 0.0});
+    }
+    snap.sections["host_dram_capacity_bytes"] = std::move(capacity);
+    return snap;
 }
 
 }  // namespace fidr::core

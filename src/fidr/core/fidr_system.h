@@ -41,6 +41,7 @@
 #include "fidr/core/server.h"
 #include "fidr/core/space.h"
 #include "fidr/nic/fidr_nic.h"
+#include "fidr/obs/metrics.h"
 #include "fidr/tables/container.h"
 #include "fidr/tables/journal.h"
 #include "fidr/tables/lba_pba.h"
@@ -158,7 +159,46 @@ class FidrSystem : public StorageServer {
     std::uint64_t journal_records() const
     { return journal_ ? journal_->records() : 0; }
 
+    /** Live metric registry (per-stage histograms, flow counters). */
+    obs::MetricRegistry &metrics() { return metrics_; }
+    const obs::MetricRegistry &metrics() const { return metrics_; }
+
+    /**
+     * Unified observability snapshot: every stage histogram and
+     * counter from the registry, plus reduction/cache/tree/journal
+     * counters, derived gauges (hit rate, crash rate, reduction
+     * ratio) and the host DRAM-bandwidth / CPU-core / DRAM-capacity
+     * ledgers as report sections.  Quiescent read: snapshot after
+     * flush(), not while lanes are running.
+     */
+    obs::ObsSnapshot obs_snapshot() const;
+
   private:
+    /**
+     * Cached histogram handles for the Fig 6 flow stages, resolved
+     * once in the constructor so the hot path never does a name
+     * lookup.  Write stages mirror the step numbering of Fig 6a;
+     * read stages mirror Fig 6b.
+     */
+    struct StageHistograms {
+        obs::Histogram *nic_buffer = nullptr;       ///< 6a step 1.
+        obs::Histogram *batch = nullptr;            ///< Whole batch.
+        obs::Histogram *hash = nullptr;             ///< 6a step 2.
+        obs::Histogram *digest_xfer = nullptr;      ///< 6a step 2b.
+        obs::Histogram *bucket_index = nullptr;     ///< 6a step 3.
+        obs::Histogram *dedup_resolve = nullptr;    ///< 6a steps 4-5.
+        obs::Histogram *verdict_xfer = nullptr;     ///< 6a step 6.
+        obs::Histogram *map_update = nullptr;       ///< LBA-PBA maps.
+        obs::Histogram *compress = nullptr;         ///< 6a steps 7-8.
+        obs::Histogram *container_append = nullptr; ///< 6a steps 9-10.
+        obs::Histogram *journal = nullptr;          ///< Metadata log.
+        obs::Histogram *read_total = nullptr;       ///< Whole read.
+        obs::Histogram *read_resolve = nullptr;     ///< 6b steps 3-4.
+        obs::Histogram *read_fetch = nullptr;       ///< 6b step 5.
+        obs::Histogram *read_decompress = nullptr;  ///< 6b step 6.
+        obs::Histogram *read_return = nullptr;      ///< 6b step 7.
+    };
+
     Status process_batch();
     void bill_container_seals();
 
@@ -186,6 +226,9 @@ class FidrSystem : public StorageServer {
     Pbn next_pbn_ = 0;
     std::uint64_t sealed_billed_ = 0;
     ReductionStats stats_;
+    obs::MetricRegistry metrics_;
+    StageHistograms hist_;
+    std::uint64_t batch_seq_ = 0;  ///< Trace span id per batch.
 };
 
 }  // namespace fidr::core

@@ -66,6 +66,7 @@ class Platform {
     host::HostCpu &cpu() { return cpu_; }
     const host::HostCpu &cpu() const { return cpu_; }
     host::HostMemory &memory() { return memory_; }
+    const host::HostMemory &memory() const { return memory_; }
 
     ssd::SsdArray &data_ssds() { return data_ssds_; }
     const ssd::SsdArray &data_ssds() const { return data_ssds_; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fidr/obs/trace.h"
+
 namespace fidr::hwtree {
 
 TreePipeline::TreePipeline(HwTree &tree, PipelineConfig config)
@@ -52,6 +54,9 @@ TreePipeline::account_update(const std::vector<NodeId> &touched)
         // re-executes serially after the window drains.
         ++stats_.crashes;
         ++stats_.replays;
+        FIDR_TPOINT(obs::Tpoint::kTreeCrash,
+                    touched.empty() ? 0 : touched.front(),
+                    window_.size());
         stats_.cycles += serial_update_cycles() / config_.update_lanes +
                          serial_update_cycles();
         stats_.dram_bytes += config_.leaf_bytes;

@@ -1,5 +1,7 @@
 #include "fidr/nic/fidr_nic.h"
 
+#include "fidr/obs/trace.h"
+
 namespace fidr::nic {
 
 FidrNic::FidrNic(FidrNicConfig config) : config_(config)
@@ -37,6 +39,11 @@ FidrNic::hash_buffered()
     std::vector<Digest> digests(chunks_.size());
     const auto hash_range = [this, &digests](std::size_t begin,
                                              std::size_t end) {
+        // One span per SHA lane shard; worker threads record into
+        // their own trace rings, so lanes show as separate Perfetto
+        // tracks.  Object id = first chunk index of the shard.
+        FIDR_TRACE_SPAN(lane_span, obs::Tpoint::kWriteHashLane, begin,
+                        end - begin);
         for (std::size_t i = begin; i < end; ++i) {
             BufferedChunk &chunk = chunks_[i];
             if (!chunk.hashed) {

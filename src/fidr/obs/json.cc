@@ -1,0 +1,420 @@
+#include "fidr/obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fidr::obs {
+
+namespace {
+
+constexpr int kIndentWidth = 2;
+
+}  // namespace
+
+std::string
+JsonWriter::escape(std::string_view raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::newline_indent()
+{
+    out_ += '\n';
+    out_.append(stack_.size() * kIndentWidth, ' ');
+}
+
+void
+JsonWriter::prefix(bool is_key)
+{
+    (void)is_key;
+    if (after_key_) {
+        // Value directly after "key": stays on the same line.
+        after_key_ = false;
+        return;
+    }
+    if (stack_.empty())
+        return;  // Document root.
+    if (!first_in_container_)
+        out_ += ',';
+    newline_indent();
+    first_in_container_ = false;
+}
+
+JsonWriter &
+JsonWriter::begin_object()
+{
+    prefix(false);
+    out_ += '{';
+    stack_.push_back(true);
+    first_in_container_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_object()
+{
+    FIDR_CHECK(!stack_.empty() && stack_.back());
+    const bool was_empty = first_in_container_;
+    stack_.pop_back();
+    if (!was_empty)
+        newline_indent();
+    out_ += '}';
+    first_in_container_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::begin_array()
+{
+    prefix(false);
+    out_ += '[';
+    stack_.push_back(false);
+    first_in_container_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_array()
+{
+    FIDR_CHECK(!stack_.empty() && !stack_.back());
+    const bool was_empty = first_in_container_;
+    stack_.pop_back();
+    if (!was_empty)
+        newline_indent();
+    out_ += ']';
+    first_in_container_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    FIDR_CHECK(!stack_.empty() && stack_.back());
+    prefix(true);
+    out_ += '"';
+    out_ += escape(name);
+    out_ += "\": ";
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    prefix(false);
+    out_ += '"';
+    out_ += escape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    prefix(false);
+    if (!std::isfinite(number)) {
+        out_ += "null";  // JSON has no inf/nan.
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", number);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    prefix(false);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(number));
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    prefix(false);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(number));
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    prefix(false);
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    prefix(false);
+    out_ += "null";
+    return *this;
+}
+
+// ---------------------------------------------------------------- parser
+
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Result<JsonValue>
+    parse_document()
+    {
+        Result<JsonValue> value = parse_value();
+        if (!value.is_ok())
+            return value;
+        skip_ws();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return value;
+    }
+
+  private:
+    Status
+    fail(const std::string &what) const
+    {
+        return Status::invalid_argument(
+            "JSON parse error at offset " + std::to_string(pos_) + ": " +
+            what);
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Result<JsonValue>
+    parse_value()
+    {
+        skip_ws();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parse_object();
+        if (c == '[')
+            return parse_array();
+        if (c == '"')
+            return parse_string_value();
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parse_number();
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            JsonValue v;
+            v.type = JsonValue::Type::kBool;
+            v.boolean = true;
+            return v;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            JsonValue v;
+            v.type = JsonValue::Type::kBool;
+            v.boolean = false;
+            return v;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return JsonValue{};
+        }
+        return fail("unexpected character");
+    }
+
+    Result<std::string>
+    parse_string_raw()
+    {
+        if (!consume('"'))
+            return Status::invalid_argument("expected string");
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("unterminated escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    const unsigned code = static_cast<unsigned>(std::strtoul(
+                        std::string(text_.substr(pos_, 4)).c_str(),
+                        nullptr, 16));
+                    pos_ += 4;
+                    // ASCII-range escapes only (all this repo emits).
+                    out += static_cast<char>(code & 0x7F);
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    Result<JsonValue>
+    parse_string_value()
+    {
+        Result<std::string> raw = parse_string_raw();
+        if (!raw.is_ok())
+            return raw.status();
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.string = raw.take();
+        return v;
+    }
+
+    Result<JsonValue>
+    parse_number()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        const std::string token(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        const double parsed = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("malformed number");
+        JsonValue v;
+        v.type = JsonValue::Type::kNumber;
+        v.number = parsed;
+        return v;
+    }
+
+    Result<JsonValue>
+    parse_array()
+    {
+        consume('[');
+        JsonValue v;
+        v.type = JsonValue::Type::kArray;
+        skip_ws();
+        if (consume(']'))
+            return v;
+        while (true) {
+            Result<JsonValue> element = parse_value();
+            if (!element.is_ok())
+                return element;
+            v.array.push_back(element.take());
+            skip_ws();
+            if (consume(']'))
+                return v;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    Result<JsonValue>
+    parse_object()
+    {
+        consume('{');
+        JsonValue v;
+        v.type = JsonValue::Type::kObject;
+        skip_ws();
+        if (consume('}'))
+            return v;
+        while (true) {
+            skip_ws();
+            Result<std::string> name = parse_string_raw();
+            if (!name.is_ok())
+                return name.status();
+            skip_ws();
+            if (!consume(':'))
+                return fail("expected ':'");
+            Result<JsonValue> member = parse_value();
+            if (!member.is_ok())
+                return member;
+            v.object.emplace_back(name.take(), member.take());
+            skip_ws();
+            if (consume('}'))
+                return v;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue>
+JsonValue::parse(std::string_view text)
+{
+    return Parser(text).parse_document();
+}
+
+const JsonValue *
+JsonValue::find(std::string_view name) const
+{
+    if (type != Type::kObject)
+        return nullptr;
+    for (const auto &[key, value] : object) {
+        if (key == name)
+            return &value;
+    }
+    return nullptr;
+}
+
+}  // namespace fidr::obs

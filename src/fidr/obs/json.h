@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal JSON support for the observability subsystem: a streaming
+ * writer (used by ObsSnapshot, the Chrome trace exporter, and the
+ * bench harness's uniform report schema) and a small recursive-descent
+ * parser (used by `fidr_obs_report` and the export round-trip tests).
+ *
+ * Deliberately tiny rather than general: the writer always produces
+ * pretty-printed UTF-8 with 2-space indent; the parser accepts the
+ * standard JSON grammar (no comments, no trailing commas) and stores
+ * every number as double, which is exact for the integers the
+ * snapshots emit (< 2^53).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "fidr/common/status.h"
+
+namespace fidr::obs {
+
+/** Streaming JSON writer with automatic comma/indent management. */
+class JsonWriter {
+  public:
+    JsonWriter() = default;
+
+    JsonWriter &begin_object();
+    JsonWriter &end_object();
+    JsonWriter &begin_array();
+    JsonWriter &end_array();
+
+    /** Emits an object key; the next value/begin_* call is its value. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text) { return value(std::string_view(text)); }
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(int number) { return value(static_cast<std::int64_t>(number)); }
+    JsonWriter &value(bool flag);
+    JsonWriter &null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(std::string_view name, T &&v)
+    {
+        key(name);
+        return value(std::forward<T>(v));
+    }
+
+    /** The document written so far (complete once nesting closed). */
+    const std::string &str() const { return out_; }
+
+    static std::string escape(std::string_view raw);
+
+  private:
+    void prefix(bool is_key);
+    void newline_indent();
+
+    std::string out_;
+    /** One entry per open container: true = object, false = array. */
+    std::vector<bool> stack_;
+    bool first_in_container_ = true;
+    bool after_key_ = false;
+};
+
+/** Parsed JSON value (tree representation). */
+struct JsonValue {
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** Parses a complete JSON document (trailing whitespace allowed). */
+    static Result<JsonValue> parse(std::string_view text);
+
+    bool is_object() const { return type == Type::kObject; }
+    bool is_array() const { return type == Type::kArray; }
+    bool is_number() const { return type == Type::kNumber; }
+    bool is_string() const { return type == Type::kString; }
+
+    /** Member lookup on objects; null for missing keys / non-objects. */
+    const JsonValue *find(std::string_view name) const;
+
+    /** number as u64 (0 for non-numbers). */
+    std::uint64_t
+    as_u64() const
+    {
+        return type == Type::kNumber ? static_cast<std::uint64_t>(number) : 0;
+    }
+};
+
+}  // namespace fidr::obs

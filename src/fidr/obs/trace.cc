@@ -1,0 +1,277 @@
+#include "fidr/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "fidr/obs/json.h"
+
+namespace fidr::obs {
+
+const char *
+tpoint_name(Tpoint tpoint)
+{
+    switch (tpoint) {
+      case Tpoint::kNone: return "none";
+      case Tpoint::kWriteBatch: return "write.batch";
+      case Tpoint::kWriteNicBuffer: return "write.nic_buffer";
+      case Tpoint::kWriteHash: return "write.hash";
+      case Tpoint::kWriteHashLane: return "write.hash_lane";
+      case Tpoint::kWriteDigestXfer: return "write.digest_xfer";
+      case Tpoint::kWriteBucketIndex: return "write.bucket_index";
+      case Tpoint::kWriteDedupResolve: return "write.dedup_resolve";
+      case Tpoint::kWriteTableFetch: return "write.table_fetch";
+      case Tpoint::kWriteBucketScan: return "write.bucket_scan";
+      case Tpoint::kWriteVerdictXfer: return "write.verdict_xfer";
+      case Tpoint::kWriteMapUpdate: return "write.map_update";
+      case Tpoint::kWriteCompress: return "write.compress";
+      case Tpoint::kWriteCompressLane: return "write.compress_lane";
+      case Tpoint::kWriteContainerAppend: return "write.container_append";
+      case Tpoint::kWriteJournal: return "write.journal";
+      case Tpoint::kReadRequest: return "read.request";
+      case Tpoint::kReadNicLookup: return "read.nic_lookup";
+      case Tpoint::kReadLbaResolve: return "read.lba_resolve";
+      case Tpoint::kReadSsdFetch: return "read.ssd_fetch";
+      case Tpoint::kReadDecompress: return "read.decompress";
+      case Tpoint::kReadNicReturn: return "read.nic_return";
+      case Tpoint::kDma: return "pcie.dma";
+      case Tpoint::kCacheFetch: return "cache.fetch";
+      case Tpoint::kCacheWriteback: return "cache.writeback";
+      case Tpoint::kTreeCrash: return "hwtree.crash";
+      case Tpoint::kMaxTpoint: break;
+    }
+    return "unknown";
+}
+
+std::vector<TraceRecord>
+TraceRing::drain_ordered() const
+{
+    const std::uint64_t pushed_count = pushed();
+    const std::uint64_t n = held();
+    std::vector<TraceRecord> out;
+    out.reserve(n);
+    // Oldest surviving record first.
+    const std::uint64_t start = pushed_count - n;
+    for (std::uint64_t i = start; i < pushed_count; ++i)
+        out.push_back(slots_[i % slots_.size()]);
+    return out;
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+Tracer::Tracer()
+{
+    epoch_ns_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+Tracer::wall_now_ns() const
+{
+    const std::uint64_t now = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    return now - epoch_ns_;
+}
+
+void
+Tracer::enable(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+Tracer::configure_ring_capacity(std::size_t records)
+{
+    FIDR_CHECK(records >= 1);
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    ring_capacity_ = records;
+    for (const auto &ring : rings_)
+        ring->resize_capacity(records);
+}
+
+void
+Tracer::reset()
+{
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    for (const auto &ring : rings_)
+        ring->clear();
+}
+
+TraceRing *
+Tracer::my_ring()
+{
+    // Cache keyed by tracer so tests can run private instances.
+    struct Cached {
+        Tracer *owner = nullptr;
+        TraceRing *ring = nullptr;
+    };
+    static thread_local Cached cached;
+    if (cached.owner == this)
+        return cached.ring;
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    rings_.push_back(std::make_unique<TraceRing>(ring_capacity_));
+    cached = {this, rings_.back().get()};
+    return cached.ring;
+}
+
+std::size_t
+Tracer::ring_count() const
+{
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    return rings_.size();
+}
+
+std::uint64_t
+Tracer::total_recorded() const
+{
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    std::uint64_t total = 0;
+    for (const auto &ring : rings_)
+        total += ring->pushed();
+    return total;
+}
+
+std::uint64_t
+Tracer::total_held() const
+{
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    std::uint64_t total = 0;
+    for (const auto &ring : rings_)
+        total += ring->held();
+    return total;
+}
+
+std::vector<std::pair<std::size_t, TraceRecord>>
+Tracer::collect() const
+{
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    std::vector<std::pair<std::size_t, TraceRecord>> out;
+    for (std::size_t r = 0; r < rings_.size(); ++r) {
+        for (const TraceRecord &rec : rings_[r]->drain_ordered())
+            out.emplace_back(r, rec);
+    }
+    return out;
+}
+
+std::string
+Tracer::chrome_json_from(
+    const std::vector<std::pair<std::size_t, TraceRecord>> &records)
+{
+    JsonWriter json;
+    json.begin_object();
+    json.key("displayTimeUnit").value("ns");
+    json.key("traceEvents").begin_array();
+    for (const auto &[ring, rec] : records) {
+        const auto flag = static_cast<TraceFlag>(rec.flags);
+        const char *phase = flag == TraceFlag::kBegin ? "B"
+                            : flag == TraceFlag::kEnd ? "E"
+                                                      : "i";
+        json.begin_object();
+        json.key("name").value(
+            tpoint_name(static_cast<Tpoint>(rec.tpoint)));
+        json.key("cat").value("fidr");
+        json.key("ph").value(phase);
+        // Chrome trace timestamps are microseconds (double).
+        json.key("ts").value(static_cast<double>(rec.wall_ts) / 1000.0);
+        json.key("pid").value(std::uint64_t{1});
+        json.key("tid").value(static_cast<std::uint64_t>(ring));
+        if (flag == TraceFlag::kInstant)
+            json.key("s").value("t");
+        json.key("args").begin_object();
+        json.key("object_id").value(rec.object_id);
+        json.key("arg").value(rec.arg);
+        json.key("lane").value(static_cast<std::uint64_t>(rec.lane));
+        if (rec.sim_ts != 0)
+            json.key("sim_ts_ns").value(rec.sim_ts);
+        json.end_object();
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    return json.str();
+}
+
+std::string
+Tracer::export_chrome_json() const
+{
+    return chrome_json_from(collect());
+}
+
+namespace {
+
+/** Binary dump header: magic + version + record size + count. */
+struct DumpHeader {
+    char magic[8] = {'F', 'I', 'D', 'R', 'T', 'R', 'C', '\0'};
+    std::uint32_t version = 1;
+    std::uint32_t record_size = sizeof(TraceRecord);
+    std::uint64_t record_count = 0;
+};
+
+}  // namespace
+
+Status
+Tracer::dump_binary(const std::string &path) const
+{
+    const auto records = collect();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return Status::unavailable("cannot open " + path);
+    DumpHeader header;
+    header.record_count = records.size();
+    bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+    for (const auto &[ring, rec] : records) {
+        if (!ok)
+            break;
+        const std::uint64_t ring_id = ring;
+        ok = std::fwrite(&ring_id, sizeof(ring_id), 1, f) == 1 &&
+             std::fwrite(&rec, sizeof(rec), 1, f) == 1;
+    }
+    std::fclose(f);
+    if (!ok)
+        return Status::unavailable("short write to " + path);
+    return Status::ok();
+}
+
+Result<std::vector<std::pair<std::size_t, TraceRecord>>>
+Tracer::load_binary(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return Status::not_found("cannot open " + path);
+    DumpHeader header;
+    if (std::fread(&header, sizeof(header), 1, f) != 1) {
+        std::fclose(f);
+        return Status::corruption("truncated trace header");
+    }
+    if (std::memcmp(header.magic, "FIDRTRC", 8) != 0 ||
+        header.record_size != sizeof(TraceRecord)) {
+        std::fclose(f);
+        return Status::corruption("not a FIDR trace dump");
+    }
+    std::vector<std::pair<std::size_t, TraceRecord>> records;
+    records.reserve(header.record_count);
+    for (std::uint64_t i = 0; i < header.record_count; ++i) {
+        std::uint64_t ring_id = 0;
+        TraceRecord rec;
+        if (std::fread(&ring_id, sizeof(ring_id), 1, f) != 1 ||
+            std::fread(&rec, sizeof(rec), 1, f) != 1) {
+            std::fclose(f);
+            return Status::corruption("truncated trace record");
+        }
+        records.emplace_back(static_cast<std::size_t>(ring_id), rec);
+    }
+    std::fclose(f);
+    return records;
+}
+
+}  // namespace fidr::obs

@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "fidr/obs/trace.h"
+
 namespace fidr::pcie {
+
+namespace {
+
+/** Packs a DMA's endpoints into one trace object id. */
+[[maybe_unused]] std::uint64_t
+dma_object_id(DeviceId src, DeviceId dst)
+{
+    return (static_cast<std::uint64_t>(src.index & 0xFFFFFFFF) << 32) |
+           static_cast<std::uint64_t>(dst.index & 0xFFFFFFFF);
+}
+
+}  // namespace
 
 Fabric::Fabric(FabricConfig config)
     : config_(config), root_pipe_(config.root_complex_bandwidth)
@@ -54,6 +68,7 @@ Fabric::dma(DeviceId src, DeviceId dst, std::uint64_t bytes,
             const std::string &tag)
 {
     FIDR_CHECK(!(src == kHostMemory && dst == kHostMemory));
+    FIDR_TPOINT(obs::Tpoint::kDma, dma_object_id(src, dst), bytes);
 
     if (src == kHostMemory || dst == kHostMemory) {
         DeviceState &dev = state(src == kHostMemory ? dst : src);

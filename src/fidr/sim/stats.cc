@@ -1,105 +1,19 @@
 #include "fidr/sim/stats.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "fidr/common/status.h"
-
 namespace fidr::sim {
-
-void
-StatRegistry::inc(const std::string &name, std::uint64_t by)
-{
-    counters_[name] += by;
-}
 
 std::uint64_t
 StatRegistry::get(const std::string &name) const
 {
-    const auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    const obs::Counter *counter = metrics_.find_counter(name);
+    return counter ? counter->get() : 0;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>>
 StatRegistry::all() const
 {
-    return {counters_.begin(), counters_.end()};
-}
-
-void
-StatRegistry::reset()
-{
-    counters_.clear();
-}
-
-namespace {
-
-// Log-spaced buckets: 64 per power of two covers 1 ns .. ~5 s with
-// ~1.1% spacing.
-constexpr double kBucketsPerOctave = 64.0;
-constexpr std::size_t kNumBuckets = 64 * 33;
-
-}  // namespace
-
-LatencyStats::LatencyStats() : buckets_(kNumBuckets, 0) {}
-
-std::size_t
-LatencyStats::bucket_of(SimTime ns) const
-{
-    if (ns <= 1)
-        return 0;
-    const double idx = std::log2(static_cast<double>(ns)) * kBucketsPerOctave;
-    return std::min(kNumBuckets - 1, static_cast<std::size_t>(idx));
-}
-
-void
-LatencyStats::record(SimTime latency_ns)
-{
-    if (count_ == 0) {
-        min_ = max_ = latency_ns;
-    } else {
-        min_ = std::min(min_, latency_ns);
-        max_ = std::max(max_, latency_ns);
-    }
-    ++count_;
-    sum_ += static_cast<double>(latency_ns);
-    ++buckets_[bucket_of(latency_ns)];
-}
-
-double
-LatencyStats::mean_ns() const
-{
-    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
-}
-
-SimTime
-LatencyStats::percentile_ns(double q) const
-{
-    FIDR_CHECK(q >= 0.0 && q <= 1.0);
-    if (count_ == 0)
-        return 0;
-    const auto target = static_cast<std::uint64_t>(
-        std::ceil(q * static_cast<double>(count_)));
-    std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < buckets_.size(); ++i) {
-        seen += buckets_[i];
-        if (seen >= target && buckets_[i] > 0) {
-            // Bucket upper edge: 2^(i / kBucketsPerOctave).
-            return static_cast<SimTime>(
-                std::pow(2.0, (static_cast<double>(i) + 1.0) /
-                                  kBucketsPerOctave));
-        }
-    }
-    return max_;
-}
-
-void
-LatencyStats::reset()
-{
-    count_ = 0;
-    sum_ = 0;
-    min_ = max_ = 0;
-    std::fill(buckets_.begin(), buckets_.end(), 0);
+    const obs::ObsSnapshot snap = metrics_.snapshot();
+    return {snap.counters.begin(), snap.counters.end()};
 }
 
 }  // namespace fidr::sim

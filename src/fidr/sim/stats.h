@@ -1,62 +1,79 @@
 /**
  * @file
  * Simple named counters and a latency histogram for device models.
+ *
+ * Both types are thin adapters over the unified observability metrics
+ * (`fidr/obs/metrics.h`): StatRegistry fronts an obs::MetricRegistry's
+ * counters (and is therefore thread-safe — hash/compress lanes may
+ * bump counters concurrently), LatencyStats fronts an obs::Histogram.
+ * New code should use fidr::obs directly; these remain for the device
+ * models and benches that predate the obs subsystem.
  */
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "fidr/common/units.h"
+#include "fidr/obs/metrics.h"
 
 namespace fidr::sim {
 
-/** Registry of named monotonically increasing counters. */
+/**
+ * Registry of named monotonically increasing counters.  Thread-safe:
+ * inc() may race with inc()/get() from other threads.
+ */
 class StatRegistry {
   public:
-    void inc(const std::string &name, std::uint64_t by = 1);
+    void inc(const std::string &name, std::uint64_t by = 1)
+    { metrics_.counter(name).add(by); }
+
     std::uint64_t get(const std::string &name) const;
 
     /** All counters, sorted by name. */
     std::vector<std::pair<std::string, std::uint64_t>> all() const;
 
-    void reset();
+    void reset() { metrics_.reset(); }
+
+    /** The backing unified registry (for ObsSnapshot assembly). */
+    obs::MetricRegistry &metrics() { return metrics_; }
+    const obs::MetricRegistry &metrics() const { return metrics_; }
 
   private:
-    std::map<std::string, std::uint64_t> counters_;
+    obs::MetricRegistry metrics_;
 };
 
 /**
  * Streaming latency statistics: count, mean, min/max, and percentiles
- * via a log-spaced histogram (2% relative error, enough for the 700 us
- * vs 490 us comparison in Sec 7.6).
+ * via a log-spaced histogram (~1.1% relative error, enough for the
+ * 700 us vs 490 us comparison in Sec 7.6).  Adapter over
+ * obs::Histogram, so record() is thread-safe.
  */
 class LatencyStats {
   public:
-    LatencyStats();
+    void record(SimTime latency_ns) { hist_.record(latency_ns); }
 
-    void record(SimTime latency_ns);
+    std::uint64_t count() const { return hist_.count(); }
+    double mean_ns() const { return hist_.mean_ns(); }
+    SimTime min_ns() const { return hist_.min_ns(); }
+    SimTime max_ns() const { return hist_.max_ns(); }
 
-    std::uint64_t count() const { return count_; }
-    double mean_ns() const;
-    SimTime min_ns() const { return min_; }
-    SimTime max_ns() const { return max_; }
+    /**
+     * Latency below which `q` (in [0,1]) of samples fall.  Empty
+     * stats => 0; q=0 => min; q=1 => max; a single sample reports
+     * itself exactly at every quantile.
+     */
+    SimTime percentile_ns(double q) const
+    { return hist_.percentile_ns(q); }
 
-    /** Latency below which `q` (in [0,1]) of samples fall. */
-    SimTime percentile_ns(double q) const;
+    /** Count/mean/min/max/p50/p95/p99 in one struct. */
+    obs::HistogramSummary summary() const { return hist_.summary(); }
 
-    void reset();
+    void reset() { hist_.reset(); }
 
   private:
-    std::size_t bucket_of(SimTime ns) const;
-
-    std::uint64_t count_ = 0;
-    double sum_ = 0;
-    SimTime min_ = 0;
-    SimTime max_ = 0;
-    std::vector<std::uint64_t> buckets_;
+    obs::Histogram hist_;
 };
 
 }  // namespace fidr::sim

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Offline viewer for fidr/obs artifacts (the SPDK-style split: the
+ * data plane only records; rendering happens out of process).
+ *
+ *   fidr_obs_report snapshot <snapshot.json>
+ *       Pretty-prints an ObsSnapshot JSON document as the same tables
+ *       ObsSnapshot::pretty() renders in-process.
+ *
+ *   fidr_obs_report trace <trace.bin> [-o out.json]
+ *       Converts a Tracer::dump_binary() file to Chrome trace-event
+ *       JSON (open in Perfetto / chrome://tracing).  Without -o the
+ *       JSON goes to stdout.
+ *
+ *   fidr_obs_report timeline <trace.bin>
+ *       Text timeline: one line per record, begin/end pairs matched
+ *       into span durations.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fidr/obs/json.h"
+#include "fidr/obs/metrics.h"
+#include "fidr/obs/trace.h"
+
+namespace {
+
+using fidr::Result;
+using fidr::Status;
+
+Result<std::string>
+read_file(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Status::not_found("cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Rebuilds an ObsSnapshot from its to_json() document. */
+Result<fidr::obs::ObsSnapshot>
+snapshot_from_json(const fidr::obs::JsonValue &doc)
+{
+    using fidr::obs::JsonValue;
+    if (!doc.is_object())
+        return Status::invalid_argument("snapshot is not a JSON object");
+    fidr::obs::ObsSnapshot snap;
+
+    if (const JsonValue *counters = doc.find("counters")) {
+        for (const auto &[name, value] : counters->object)
+            snap.counters[name] = value.as_u64();
+    }
+    if (const JsonValue *gauges = doc.find("gauges")) {
+        for (const auto &[name, value] : gauges->object)
+            snap.gauges[name] = value.number;
+    }
+    if (const JsonValue *histograms = doc.find("histograms")) {
+        for (const auto &[name, h] : histograms->object) {
+            fidr::obs::HistogramSummary summary;
+            if (const JsonValue *v = h.find("count"))
+                summary.count = v->as_u64();
+            if (const JsonValue *v = h.find("mean_ns"))
+                summary.mean_ns = v->number;
+            if (const JsonValue *v = h.find("min_ns"))
+                summary.min_ns = v->as_u64();
+            if (const JsonValue *v = h.find("max_ns"))
+                summary.max_ns = v->as_u64();
+            if (const JsonValue *v = h.find("p50_ns"))
+                summary.p50_ns = v->as_u64();
+            if (const JsonValue *v = h.find("p95_ns"))
+                summary.p95_ns = v->as_u64();
+            if (const JsonValue *v = h.find("p99_ns"))
+                summary.p99_ns = v->as_u64();
+            snap.histograms[name] = summary;
+        }
+    }
+    if (const JsonValue *sections = doc.find("sections")) {
+        for (const auto &[name, rows] : sections->object) {
+            std::vector<fidr::obs::SnapshotRow> out;
+            for (const JsonValue &row : rows.array) {
+                fidr::obs::SnapshotRow r;
+                if (const JsonValue *v = row.find("label"))
+                    r.label = v->string;
+                if (const JsonValue *v = row.find("value"))
+                    r.value = v->number;
+                if (const JsonValue *v = row.find("share"))
+                    r.share = v->number;
+                out.push_back(std::move(r));
+            }
+            snap.sections[name] = std::move(out);
+        }
+    }
+    return snap;
+}
+
+int
+cmd_snapshot(const std::string &path)
+{
+    Result<std::string> text = read_file(path);
+    if (!text.is_ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     text.status().message().c_str());
+        return 1;
+    }
+    Result<fidr::obs::JsonValue> doc =
+        fidr::obs::JsonValue::parse(text.value());
+    if (!doc.is_ok()) {
+        std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                     doc.status().message().c_str());
+        return 1;
+    }
+    Result<fidr::obs::ObsSnapshot> snap = snapshot_from_json(doc.value());
+    if (!snap.is_ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     snap.status().message().c_str());
+        return 1;
+    }
+    std::fputs(snap.value().pretty().c_str(), stdout);
+    return 0;
+}
+
+int
+cmd_trace(const std::string &path, const std::string &out_path)
+{
+    auto loaded = fidr::obs::Tracer::load_binary(path);
+    if (!loaded.is_ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     loaded.status().message().c_str());
+        return 1;
+    }
+    const std::string json =
+        fidr::obs::Tracer::chrome_json_from(loaded.value());
+    if (out_path.empty()) {
+        std::fputs(json.c_str(), stdout);
+        std::fputc('\n', stdout);
+        return 0;
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    out << json << '\n';
+    std::fprintf(stderr, "%zu records -> %s\n", loaded.value().size(),
+                 out_path.c_str());
+    return 0;
+}
+
+int
+cmd_timeline(const std::string &path)
+{
+    auto loaded = fidr::obs::Tracer::load_binary(path);
+    if (!loaded.is_ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     loaded.status().message().c_str());
+        return 1;
+    }
+    std::vector<std::pair<std::size_t, fidr::obs::TraceRecord>> records =
+        loaded.take();
+    std::stable_sort(records.begin(), records.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second.wall_ts < b.second.wall_ts;
+                     });
+
+    // Match begin/end per (ring, tpoint, object) to print durations.
+    std::map<std::tuple<std::size_t, std::uint16_t, std::uint64_t>,
+             std::vector<std::uint64_t>>
+        open;
+    std::printf("%14s %5s %-24s %-5s %12s %12s %12s\n", "ts_us", "ring",
+                "tpoint", "flag", "object", "arg", "dur_us");
+    for (const auto &[ring, rec] : records) {
+        const auto flag = static_cast<fidr::obs::TraceFlag>(rec.flags);
+        const char *flag_name =
+            flag == fidr::obs::TraceFlag::kBegin  ? "B"
+            : flag == fidr::obs::TraceFlag::kEnd  ? "E"
+                                                  : "i";
+        std::string dur = "-";
+        const auto key = std::make_tuple(ring, rec.tpoint, rec.object_id);
+        if (flag == fidr::obs::TraceFlag::kBegin) {
+            open[key].push_back(rec.wall_ts);
+        } else if (flag == fidr::obs::TraceFlag::kEnd) {
+            auto it = open.find(key);
+            if (it != open.end() && !it->second.empty()) {
+                char buffer[32];
+                std::snprintf(buffer, sizeof(buffer), "%.3f",
+                              static_cast<double>(rec.wall_ts -
+                                                  it->second.back()) /
+                                  1e3);
+                dur = buffer;
+                it->second.pop_back();
+            }
+        }
+        std::printf("%14.3f %5zu %-24s %-5s %12llu %12llu %12s\n",
+                    static_cast<double>(rec.wall_ts) / 1e3, ring,
+                    fidr::obs::tpoint_name(
+                        static_cast<fidr::obs::Tpoint>(rec.tpoint)),
+                    flag_name,
+                    static_cast<unsigned long long>(rec.object_id),
+                    static_cast<unsigned long long>(rec.arg),
+                    dur.c_str());
+    }
+    return 0;
+}
+
+int
+usage()
+{
+    std::fputs(
+        "usage:\n"
+        "  fidr_obs_report snapshot <snapshot.json>\n"
+        "  fidr_obs_report trace <trace.bin> [-o out.json]\n"
+        "  fidr_obs_report timeline <trace.bin>\n",
+        stderr);
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string command = argv[1];
+    const std::string path = argv[2];
+    if (command == "snapshot")
+        return cmd_snapshot(path);
+    if (command == "trace") {
+        std::string out_path;
+        if (argc == 5 && std::string(argv[3]) == "-o")
+            out_path = argv[4];
+        else if (argc != 3)
+            return usage();
+        return cmd_trace(path, out_path);
+    }
+    if (command == "timeline")
+        return cmd_timeline(path);
+    return usage();
+}
