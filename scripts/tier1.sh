@@ -1,28 +1,35 @@
 #!/usr/bin/env bash
 # Tier-1 verification:
-#   1. full build + ctest with tracepoints compiled in (FIDR_TRACE=ON);
-#   2. the same with -DFIDR_TRACE=OFF, proving the no-op build;
+#   1. full build + ctest with tracepoints + failpoints compiled in;
+#   2. the same with -DFIDR_TRACE=OFF -DFIDR_FAULT=OFF, proving both
+#      no-op builds (failpoint sites fold to constants);
 #   3. the parallel data plane and obs registries under TSan;
-#   4. overhead smoke check: the traced build (tracer disabled, the
-#      production default) stays within 15% of the untraced build on
-#      the FIDR write-path micro bench.
+#   4. fault stage: the crash-consistency sweep, the failpoint /
+#      degraded-mode tests, and the journal corpus under ASan+UBSan
+#      (ctest labels: fault = failpoint/journal/hwtree suites, crash =
+#      the power-cut sweep);
+#   5. overhead smoke check: the traced+faultable build (both disabled
+#      at runtime, the production default) stays within 15% of the
+#      fully stripped build on the FIDR write-path micro bench.
 # Run from the repo root:
 #
-#   scripts/tier1.sh [build-dir] [notrace-build-dir] [tsan-build-dir]
+#   scripts/tier1.sh [build-dir] [notrace-build-dir] [tsan-build-dir] \
+#                    [asan-build-dir]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 NOTRACE_DIR="${2:-build-notrace}"
 TSAN_DIR="${3:-build-tsan}"
+ASAN_DIR="${4:-build-asan}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== tier-1: build (FIDR_TRACE=ON) + full test suite =="
-cmake -B "$BUILD_DIR" -S . -DFIDR_TRACE=ON
+echo "== tier-1: build (FIDR_TRACE=ON FIDR_FAULT=ON) + full test suite =="
+cmake -B "$BUILD_DIR" -S . -DFIDR_TRACE=ON -DFIDR_FAULT=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== tier-1: build (FIDR_TRACE=OFF) + full test suite =="
-cmake -B "$NOTRACE_DIR" -S . -DFIDR_TRACE=OFF
+echo "== tier-1: build (FIDR_TRACE=OFF FIDR_FAULT=OFF) + full test suite =="
+cmake -B "$NOTRACE_DIR" -S . -DFIDR_TRACE=OFF -DFIDR_FAULT=OFF
 cmake --build "$NOTRACE_DIR" -j "$JOBS"
 ctest --test-dir "$NOTRACE_DIR" --output-on-failure -j "$JOBS"
 
@@ -36,7 +43,15 @@ cmake --build "$TSAN_DIR" -j "$JOBS" \
 "$TSAN_DIR"/tests/test_parallel_determinism
 "$TSAN_DIR"/tests/test_obs
 
-echo "== tier-1: tracepoint overhead smoke (traced <= 1.15x untraced) =="
+echo "== tier-1: fault injection + crash sweep under ASan/UBSan =="
+cmake -B "$ASAN_DIR" -S . -DFIDR_SANITIZE=address \
+    -DFIDR_BUILD_BENCHES=OFF -DFIDR_BUILD_EXAMPLES=OFF \
+    -DFIDR_BUILD_TOOLS=OFF
+cmake --build "$ASAN_DIR" -j "$JOBS" \
+    --target test_fault test_crash_sweep test_journal test_hwtree
+ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" -L 'fault|crash'
+
+echo "== tier-1: trace+fault overhead smoke (armed-off <= 1.15x stripped) =="
 run_write_path() {
     "$1"/bench/bench_micro_primitives \
         --benchmark_filter='BM_FidrWritePath$' \
@@ -54,10 +69,10 @@ import sys
 traced = min(float(sys.argv[1]), float(sys.argv[2]))
 untraced = min(float(sys.argv[3]), float(sys.argv[4]))
 ratio = traced / untraced
-print(f"traced best {traced:.0f} ns, untraced best {untraced:.0f} ns "
+print(f"trace+fault best {traced:.0f} ns, stripped best {untraced:.0f} ns "
       f"-> {ratio:.3f}x")
 if ratio > 1.15:
-    sys.exit("FAIL: tracepoint overhead exceeds 15%")
+    sys.exit("FAIL: trace+fault overhead exceeds 15%")
 EOF
 
 echo "tier-1 OK"

@@ -1,5 +1,6 @@
 #include "fidr/cache/table_cache.h"
 
+#include "fidr/fault/failpoint.h"
 #include "fidr/obs/trace.h"
 
 namespace fidr::cache {
@@ -150,15 +151,26 @@ TableCache::evict_one()
         return Status::internal("no evictable cache line");
     Line &line = lines_[*victim];
     FIDR_CHECK(line.valid);
-    ++stats_.evictions;
     if (line.dirty) {
-        ++stats_.dirty_evictions;
         FIDR_TPOINT(obs::Tpoint::kCacheWriteback, line.owner,
                     kBucketSize);
-        const Status flushed = table_.write_bucket(line.owner, line.bucket);
-        if (!flushed.is_ok())
+        Status flushed =
+            fault::as_status(FIDR_FAULT_EVAL(fault::Site::kCacheWriteback),
+                             fault::Site::kCacheWriteback);
+        if (flushed.is_ok())
+            flushed = table_.write_bucket(line.owner, line.bucket);
+        if (!flushed.is_ok()) {
+            // Failed flush: the line stays resident (and dirty), so no
+            // update is lost; re-link it so the LRU still covers every
+            // resident line.  It lands at MRU, which also keeps a
+            // persistently failing victim from being retried on every
+            // miss.
+            lru_.touch(*victim);
             return flushed;
+        }
+        ++stats_.dirty_evictions;
     }
+    ++stats_.evictions;
     index_.erase(line.owner);
     line = Line{};
     free_.push(*victim);
@@ -195,6 +207,10 @@ TableCache::access(BucketIndex bucket_index, bool high_priority)
     ++stats_.misses;
     out.miss = true;
 
+    // Injected fetch fault before any structural mutation, so a failed
+    // access leaves the cache exactly as it was.
+    FIDR_FAULT_RETURN_IF(fault::Site::kCacheFetch);
+
     if (free_.empty()) {
         const std::uint64_t dirty_before = stats_.dirty_evictions;
         const Status evicted = evict_one();
@@ -208,8 +224,13 @@ TableCache::access(BucketIndex bucket_index, bool high_priority)
 
     FIDR_TPOINT(obs::Tpoint::kCacheFetch, bucket_index, kBucketSize);
     Result<tables::Bucket> fetched = table_.read_bucket(bucket_index);
-    if (!fetched.is_ok())
+    if (!fetched.is_ok()) {
+        // A failed fill (e.g. injected table-SSD read error) must not
+        // leak the slot: return it so free+resident still partition
+        // the cache.
+        free_.push(*slot);
         return fetched.status();
+    }
 
     Line &line = lines_[*slot];
     line.bucket = fetched.take();
@@ -231,10 +252,13 @@ TableCache::writeback_all()
     for (std::size_t i = 0; i < lines_.size(); ++i) {
         Line &line = lines_[i];
         if (line.valid && line.dirty) {
-            const Status flushed =
-                table_.write_bucket(line.owner, line.bucket);
+            Status flushed = fault::as_status(
+                FIDR_FAULT_EVAL(fault::Site::kCacheWriteback),
+                fault::Site::kCacheWriteback);
+            if (flushed.is_ok())
+                flushed = table_.write_bucket(line.owner, line.bucket);
             if (!flushed.is_ok())
-                return flushed;
+                return flushed;  // Line stays dirty; retry resumes here.
             line.dirty = false;
         }
     }

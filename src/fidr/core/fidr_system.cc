@@ -1,6 +1,7 @@
 #include "fidr/core/fidr_system.h"
 
 #include "fidr/common/bytes.h"
+#include "fidr/fault/failpoint.h"
 #include "fidr/host/calibration.h"
 #include "fidr/obs/trace.h"
 
@@ -69,6 +70,31 @@ FidrSystem::FidrSystem(const FidrConfig &config)
 }
 
 Status
+FidrSystem::dma_checked(pcie::DeviceId src, pcie::DeviceId dst,
+                        std::uint64_t bytes, const std::string &tag)
+{
+    Result<pcie::DmaPath> moved =
+        platform_.fabric().try_dma(src, dst, bytes, tag);
+    for (unsigned attempt = 0;
+         !moved.is_ok() &&
+         moved.status().code() == StatusCode::kUnavailable &&
+         attempt < config_.transient_retries;
+         ++attempt) {
+        // Transient descriptor/link error: back off (accounted, not
+        // slept) and re-issue.
+        ++fault_stats_.transient_retries;
+        fault_stats_.backoff_ns += config_.retry_backoff_ns << attempt;
+        moved = platform_.fabric().try_dma(src, dst, bytes, tag);
+    }
+    if (!moved.is_ok()) {
+        if (moved.status().code() == StatusCode::kUnavailable)
+            ++fault_stats_.retry_exhausted;
+        return moved.status();
+    }
+    return Status::ok();
+}
+
+Status
 FidrSystem::journal_append(const tables::JournalRecord &record)
 {
     if (!journal_)
@@ -121,7 +147,7 @@ FidrSystem::write(Lba lba, Buffer data)
     return Status::ok();
 }
 
-void
+Status
 FidrSystem::bill_container_seals()
 {
     // Sealed containers move Compression Engine -> data SSD under the
@@ -130,13 +156,19 @@ FidrSystem::bill_container_seals()
     while (sealed_billed_ < containers_.sealed_containers()) {
         const std::size_t ssd =
             sealed_billed_ % platform_.data_ssd_dev_count();
-        platform_.fabric().dma(platform_.compression_engine(),
-                               platform_.data_ssd_dev(ssd),
-                               config_.container_bytes, memtag::kDataSsd);
-        platform_.fabric().dma(platform_.compression_engine(),
-                               pcie::kHostMemory, 64, memtag::kFpga);
+        const Status payload = dma_checked(
+            platform_.compression_engine(), platform_.data_ssd_dev(ssd),
+            config_.container_bytes, memtag::kDataSsd);
+        if (!payload.is_ok())
+            return payload;
+        const Status meta = dma_checked(platform_.compression_engine(),
+                                        pcie::kHostMemory, 64,
+                                        memtag::kFpga);
+        if (!meta.is_ok())
+            return meta;
         ++sealed_billed_;
     }
+    return Status::ok();
 }
 
 Status
@@ -164,9 +196,12 @@ FidrSystem::process_batch()
         const obs::StageTimer timer;
         FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteDigestXfer, batch_id,
                         n * Digest::kSize);
-        fabric.dma(platform_.nic(), pcie::kHostMemory, n * Digest::kSize,
-                   memtag::kNicHost);
+        const Status moved = dma_checked(platform_.nic(), pcie::kHostMemory,
+                                         n * Digest::kSize,
+                                         memtag::kNicHost);
         hist_.digest_xfer->record(timer.elapsed_ns());
+        if (!moved.is_ok())
+            return moved;
     }
 
     // Step 3: bucket indexes to the Cache HW-Engine (8 B per chunk —
@@ -175,14 +210,20 @@ FidrSystem::process_batch()
         const obs::StageTimer timer;
         FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteBucketIndex, batch_id,
                         n * 8);
-        fabric.dma(pcie::kHostMemory, platform_.cache_engine(), n * 8,
-                   memtag::kTableCache);
+        const Status moved =
+            dma_checked(pcie::kHostMemory, platform_.cache_engine(), n * 8,
+                        memtag::kTableCache);
         hist_.bucket_index->record(timer.elapsed_ns());
+        if (!moved.is_ok())
+            return moved;
     }
 
     // Steps 4-5: resolve cache lines and scan bucket content on host.
     std::vector<ChunkVerdict> verdicts(n, ChunkVerdict::kUnique);
     std::vector<Pbn> pbns(n, kInvalidPbn);
+    std::vector<Pbn> unique_pbns;
+    std::vector<Digest> unique_digests;
+    const Pbn batch_first_pbn = next_pbn_;
     {
         const obs::StageTimer timer;
         FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteDedupResolve, batch_id,
@@ -192,7 +233,26 @@ FidrSystem::process_batch()
                 digests[i], next_pbn_, high_priority_);
             if (!looked.is_ok())
                 return looked.status();
-            const DedupLookup &lookup = looked.value();
+            DedupLookup lookup = looked.value();
+
+            if (lookup.verdict == ChunkVerdict::kDuplicate &&
+                lookup.pbn < batch_first_pbn &&
+                !lba_table_.location_of(lookup.pbn)) {
+                // Dangling Hash-PBN entry: its bucket reached the table
+                // SSD before a crash, but the chunk's data never made
+                // it into a container (or the PBN was since reclaimed
+                // and the removal failed).  Re-point the digest at a
+                // fresh PBN and store the chunk as unique.
+                Result<DedupLookup> removed = dedup_->remove(digests[i]);
+                if (!removed.is_ok())
+                    return removed.status();
+                Result<DedupLookup> reinserted = dedup_->lookup_or_insert(
+                    digests[i], next_pbn_, high_priority_);
+                if (!reinserted.is_ok())
+                    return reinserted.status();
+                lookup = reinserted.value();
+                ++fault_stats_.dangling_repairs;
+            }
 
             if (!config_.hw_cache_engine) {
                 // NIC+P2P-only configuration: the index stays a
@@ -227,10 +287,9 @@ FidrSystem::process_batch()
             verdicts[i] = lookup.verdict;
             pbns[i] = lookup.pbn;
             if (lookup.verdict == ChunkVerdict::kUnique) {
-                ++stats_.unique_chunks;
+                unique_pbns.push_back(lookup.pbn);
+                unique_digests.push_back(digests[i]);
                 ++next_pbn_;
-            } else {
-                ++stats_.duplicates;
             }
         }
         hist_.dedup_resolve->record(timer.elapsed_ns());
@@ -241,60 +300,37 @@ FidrSystem::process_batch()
         const obs::StageTimer timer;
         FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteVerdictXfer, batch_id,
                         n * 2);
-        fabric.dma(pcie::kHostMemory, platform_.nic(), n * 2,
-                   memtag::kNicHost);
+        const Status moved = dma_checked(pcie::kHostMemory,
+                                         platform_.nic(), n * 2,
+                                         memtag::kNicHost);
         hist_.verdict_xfer->record(timer.elapsed_ns());
+        if (!moved.is_ok())
+            return moved;
     }
 
-    // LBA-PBA mappings are pure host metadata updates: duplicates map
-    // to the matched PBN, uniques to their freshly assigned PBN.
-    const std::vector<Lba> lbas = nic_.buffered_lbas();
-    FIDR_CHECK(lbas.size() == n);
-    std::vector<Pbn> unique_pbns;
-    std::vector<Digest> unique_digests;
-    // Overwritten chunks are retired only after the whole batch is
-    // mapped and stored: a later duplicate in the same batch may
-    // re-reference a PBN whose refcount transiently hit zero.
-    std::vector<Pbn> retire_candidates;
-    {
-        const obs::StageTimer timer;
-        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteMapUpdate, batch_id, n);
-        for (std::size_t i = 0; i < n; ++i) {
-            const auto prev = lba_table_.map_lba(lbas[i], pbns[i]);
-            if (journal_) {
-                tables::JournalRecord rec;
-                rec.op = tables::JournalOp::kMapLba;
-                rec.lba = lbas[i];
-                rec.pbn = pbns[i];
-                const Status logged = journal_append(rec);
-                if (!logged.is_ok())
-                    return logged;
-            }
-            if (prev && *prev != pbns[i])
-                retire_candidates.push_back(*prev);
-            if (verdicts[i] == ChunkVerdict::kUnique) {
-                unique_pbns.push_back(pbns[i]);
-                unique_digests.push_back(digests[i]);
-            }
-        }
-        hist_.map_update->record(timer.elapsed_ns());
-    }
-
-    // Step 7: the compression scheduler ships only unique chunks,
-    // NIC -> Compression Engine peer-to-peer.
-    Result<std::vector<nic::BufferedChunk>> scheduled =
-        nic_.schedule_unique(verdicts);
+    // Step 7 (crash-consistent handoff): the compression scheduler
+    // exposes the unique chunks while the battery-backed NIC buffer
+    // keeps the whole batch; it is released only at the commit point
+    // below, after every chunk's metadata is applied and journaled, so
+    // a failure anywhere in between leaves the acknowledged data
+    // replayable instead of lost.
+    Result<std::vector<const nic::BufferedChunk *>> scheduled =
+        nic_.peek_unique(verdicts);
     if (!scheduled.is_ok())
         return scheduled.status();
-    const std::vector<nic::BufferedChunk> unique = scheduled.take();
+    const std::vector<const nic::BufferedChunk *> unique =
+        scheduled.take();
     FIDR_CHECK(unique.size() == unique_pbns.size());
 
     std::uint64_t unique_bytes = 0;
-    for (const nic::BufferedChunk &chunk : unique)
-        unique_bytes += chunk.data.size();
+    for (const nic::BufferedChunk *chunk : unique)
+        unique_bytes += chunk->data.size();
     if (unique_bytes > 0) {
-        fabric.dma(platform_.nic(), platform_.compression_engine(),
-                   unique_bytes, memtag::kNicHost);
+        const Status moved =
+            dma_checked(platform_.nic(), platform_.compression_engine(),
+                        unique_bytes, memtag::kNicHost);
+        if (!moved.is_ok())
+            return moved;
     }
 
     // Steps 8-9: compression and container packing in engine memory;
@@ -310,7 +346,7 @@ FidrSystem::process_batch()
                         begin, end - begin);
         for (std::size_t j = begin; j < end; ++j) {
             compressed_batch[j] =
-                compressor_.compress_stateless(unique[j].data);
+                compressor_.compress_stateless(unique[j]->data);
         }
     };
     {
@@ -336,10 +372,12 @@ FidrSystem::process_batch()
             if (!placed.is_ok())
                 return placed.status();
             stats_.stored_bytes += compressed.data.size();
-            // Step 10: the host updates the metadata for the new chunk.
-            lba_table_.set_location(unique_pbns[j], placed.value());
-            space_.on_store(unique_pbns[j], unique_digests[j],
-                            placed.value());
+            // Step 10: journal the chunk's location *before* the
+            // in-DRAM update, so the durable log is never behind the
+            // table it protects.  If the append fails here the stored
+            // bytes leak as dead container space, but the mapping
+            // stays consistent and a retried batch re-stores the chunk
+            // through the dangling-entry repair above.
             if (journal_) {
                 tables::JournalRecord rec;
                 rec.op = tables::JournalOp::kSetLocation;
@@ -349,9 +387,58 @@ FidrSystem::process_batch()
                 if (!logged.is_ok())
                     return logged;
             }
-            bill_container_seals();
+            lba_table_.set_location(unique_pbns[j], placed.value());
+            space_.on_store(unique_pbns[j], unique_digests[j],
+                            placed.value());
+            const Status billed = bill_container_seals();
+            if (!billed.is_ok())
+                return billed;
         }
         hist_.container_append->record(timer.elapsed_ns());
+    }
+
+    // LBA-PBA mappings are applied only after every unique chunk of
+    // the batch is physically stored (data-before-metadata): a crash
+    // can leave stored-but-unmapped chunks (dead space), never mapped
+    // LBAs whose data is gone.  Duplicates map to the matched PBN,
+    // uniques to their freshly assigned PBN.
+    const std::vector<Lba> lbas = nic_.buffered_lbas();
+    FIDR_CHECK(lbas.size() == n);
+    // Overwritten chunks are retired only after the whole batch is
+    // mapped and stored: a later duplicate in the same batch may
+    // re-reference a PBN whose refcount transiently hit zero.
+    std::vector<Pbn> retire_candidates;
+    {
+        const obs::StageTimer timer;
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteMapUpdate, batch_id, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (journal_) {
+                tables::JournalRecord rec;
+                rec.op = tables::JournalOp::kMapLba;
+                rec.lba = lbas[i];
+                rec.pbn = pbns[i];
+                const Status logged = journal_append(rec);
+                if (!logged.is_ok())
+                    return logged;
+            }
+            const auto prev = lba_table_.map_lba(lbas[i], pbns[i]);
+            if (prev && *prev != pbns[i])
+                retire_candidates.push_back(*prev);
+        }
+        hist_.map_update->record(timer.elapsed_ns());
+    }
+
+    // Commit point: every chunk of the batch is stored, journaled and
+    // mapped — the NIC may finally release the acknowledged payloads.
+    nic_.drop_batch();
+
+    // Verdict statistics are deferred to the commit so an aborted and
+    // retried batch is not counted twice.
+    for (const ChunkVerdict verdict : verdicts) {
+        if (verdict == ChunkVerdict::kUnique)
+            ++stats_.unique_chunks;
+        else
+            ++stats_.duplicates;
     }
 
     for (const Pbn pbn : retire_candidates)
@@ -365,18 +452,27 @@ FidrSystem::retire_if_dead(Pbn pbn)
 {
     if (lba_table_.refcount(pbn) != 0)
         return;
-    lba_table_.reclaim(pbn);
     if (journal_) {
         tables::JournalRecord rec;
         rec.op = tables::JournalOp::kRetirePbn;
         rec.pbn = pbn;
-        FIDR_CHECK(journal_append(rec).is_ok());
+        if (!journal_append(rec).is_ok()) {
+            // Degraded mode: without the durable record the reclaim
+            // must not happen — a replay would resurrect the mapping
+            // to space we freed.  Keeping the dead PBN around is only
+            // a space leak; a later overwrite retries the retirement.
+            ++fault_stats_.retire_deferred;
+            return;
+        }
     }
+    lba_table_.reclaim(pbn);
     if (const auto digest = space_.on_dead(pbn)) {
         // Drop the Hash-PBN entry so the content, if it recurs, is
-        // stored fresh rather than mapped to a reclaimed chunk.
-        Result<DedupLookup> removed = dedup_->remove(*digest);
-        FIDR_CHECK(removed.is_ok());
+        // stored fresh rather than mapped to a reclaimed chunk.  A
+        // failed removal (injected cache fault) leaves a dangling
+        // entry, which the dedup-resolve repair re-points on the next
+        // occurrence of this digest.
+        (void)dedup_->remove(*digest);
     }
 }
 
@@ -430,10 +526,31 @@ FidrSystem::checkpoint()
     Buffer framed(8);
     store_le(framed.data(), image.size(), 8);
     framed.insert(framed.end(), image.begin(), image.end());
-    const Status written =
-        platform_.table_ssd().write(snapshot_base_, framed);
-    if (!written.is_ok())
+    Status written = Status::ok();
+    for (unsigned attempt = 0; attempt <= config_.transient_retries;
+         ++attempt) {
+        if (attempt > 0) {
+            ++fault_stats_.transient_retries;
+            fault_stats_.backoff_ns += config_.retry_backoff_ns
+                                       << (attempt - 1);
+        }
+        written = fault::as_status(
+            FIDR_FAULT_EVAL(fault::Site::kSnapshotWrite),
+            fault::Site::kSnapshotWrite);
+        if (written.is_ok())
+            written = platform_.table_ssd().write(snapshot_base_, framed);
+        if (written.is_ok() ||
+            written.code() != StatusCode::kUnavailable) {
+            break;
+        }
+    }
+    if (!written.is_ok()) {
+        // The journal is only truncated after the snapshot is durable,
+        // so a failed checkpoint loses nothing.
+        if (written.code() == StatusCode::kUnavailable)
+            ++fault_stats_.retry_exhausted;
         return written;
+    }
     journal_->reset();
     return journal_->log_checkpoint();
 }
@@ -444,10 +561,30 @@ FidrSystem::simulate_crash_and_recover()
     if (!journal_)
         return Status::invalid_argument("journaling is not enabled");
 
-    // Crash: the in-DRAM mapping state is gone.
+    // Crash: everything in host DRAM is gone — the LBA-PBA table and
+    // the table cache, including dirty Hash-PBN lines that never made
+    // it back to the table SSD.  Entries whose data the crash orphaned
+    // are repaired lazily at dedup-resolve time (dangling_repairs).
     lba_table_ = tables::LbaPbaTable();
+    if (config_.hw_cache_engine) {
+        hwtree::PipelineConfig pipeline;
+        pipeline.update_lanes = config_.tree_update_lanes;
+        auto hw = std::make_unique<cache::HwTreeCacheIndex>(pipeline);
+        hw_index_ = hw.get();
+        index_ = std::move(hw);
+    } else {
+        hw_index_ = nullptr;
+        index_ = std::make_unique<cache::BTreeCacheIndex>();
+    }
+    table_cache_ = std::make_unique<cache::TableCache>(
+        platform_.hash_table(), *index_, platform_.cache_lines(),
+        config_.eviction_policy);
+    dedup_ = std::make_unique<DedupIndex>(*table_cache_);
+    // The host-DRAM capacity claim is unchanged: the rebuilt cache has
+    // exactly the footprint the constructor already accounted.
 
     // Restart: load the snapshot (if one was taken)...
+    FIDR_FAULT_RETURN_IF(fault::Site::kSnapshotRead);
     Result<Buffer> header = platform_.table_ssd().read(snapshot_base_, 8);
     if (!header.is_ok())
         return header.status();
@@ -464,13 +601,23 @@ FidrSystem::simulate_crash_and_recover()
         lba_table_ = loaded.take();
     }
 
-    // ...then replay the journal tail on top.
+    // ...then replay the journal tail on top, adopting the on-device
+    // head/epoch so post-recovery appends continue the recovered log.
     Result<std::vector<tables::JournalRecord>> records =
-        journal_->replay();
+        journal_->recover();
     if (!records.is_ok())
         return records.status();
     tables::MetadataJournal::apply(records.value(), lba_table_);
     return Status::ok();
+}
+
+Status
+FidrSystem::validate() const
+{
+    const Status mapping = lba_table_.validate();
+    if (!mapping.is_ok())
+        return mapping;
+    return table_cache_->validate();
 }
 
 Result<std::uint64_t>
@@ -511,7 +658,9 @@ FidrSystem::compact(double min_dead_fraction)
                 if (!logged.is_ok())
                     return logged;
             }
-            bill_container_seals();
+            const Status billed = bill_container_seals();
+            if (!billed.is_ok())
+                return billed;
         }
 
         Result<std::uint64_t> released = containers_.discard(container);
@@ -532,7 +681,9 @@ FidrSystem::flush()
     const Status sealed = containers_.flush();
     if (!sealed.is_ok())
         return sealed;
-    bill_container_seals();
+    const Status billed = bill_container_seals();
+    if (!billed.is_ok())
+        return billed;
     return table_cache_->writeback_all();
 }
 
@@ -581,13 +732,41 @@ FidrSystem::read(Lba lba)
         const obs::StageTimer timer;
         FIDR_TRACE_SPAN(span, obs::Tpoint::kReadSsdFetch, lba,
                         location->container_id);
+        const std::size_t source_ssd =
+            containers_.ssd_index_of(location->container_id);
         Result<Buffer> data = containers_.read(*location);
+        // Degraded mode: transient flash errors retry with accounted
+        // backoff; persistent ones propagate to the client instead of
+        // taking the server down.
+        for (unsigned attempt = 0;
+             !data.is_ok() &&
+             data.status().code() == StatusCode::kUnavailable &&
+             attempt < config_.transient_retries;
+             ++attempt) {
+            ++fault_stats_.transient_retries;
+            fault_stats_.backoff_ns += config_.retry_backoff_ns << attempt;
+            data = containers_.read(*location);
+        }
         if (data.is_ok()) {
-            fabric.dma(
-                platform_.data_ssd_dev(
-                    containers_.ssd_index_of(location->container_id)),
+            const Status moved = dma_checked(
+                platform_.data_ssd_dev(source_ssd),
                 platform_.decompression_engine(), data.value().size(),
                 memtag::kDataSsd);
+            if (!moved.is_ok()) {
+                hist_.read_fetch->record(timer.elapsed_ns());
+                return moved;
+            }
+        } else {
+            if (data.status().code() == StatusCode::kUnavailable)
+                ++fault_stats_.retry_exhausted;
+            // The failed flash read still occupied the owning SSD's
+            // channel: bill the attempted transfer to the SSD that
+            // holds the container, not to nobody (and not to SSD 0).
+            if (containers_.sealed(location->container_id)) {
+                fabric.dma(platform_.data_ssd_dev(source_ssd),
+                           platform_.decompression_engine(),
+                           location->compressed_size, memtag::kDataSsd);
+            }
         }
         hist_.read_fetch->record(timer.elapsed_ns());
         return data;
@@ -610,9 +789,12 @@ FidrSystem::read(Lba lba)
         const obs::StageTimer timer;
         FIDR_TRACE_SPAN(span, obs::Tpoint::kReadNicReturn, lba,
                         raw.value().size());
-        fabric.dma(platform_.decompression_engine(), platform_.nic(),
-                   raw.value().size(), memtag::kNicHost);
+        const Status moved =
+            dma_checked(platform_.decompression_engine(), platform_.nic(),
+                        raw.value().size(), memtag::kNicHost);
         hist_.read_return->record(timer.elapsed_ns());
+        if (!moved.is_ok())
+            return moved;
     }
     hist_.read_total->record(read_timer.elapsed_ns());
     return raw;
@@ -632,6 +814,33 @@ FidrSystem::obs_snapshot() const
     snap.counters["read.chunks"] = stats_.chunks_read;
     snap.counters["read.nic_buffer_hits"] = stats_.nic_read_hits;
     snap.counters["journal.records"] = journal_records();
+
+    // Degraded-mode and crash-repair accounting.
+    snap.counters["fault.transient_retries"] =
+        fault_stats_.transient_retries;
+    snap.counters["fault.retry_exhausted"] = fault_stats_.retry_exhausted;
+    snap.counters["fault.backoff_ns"] = fault_stats_.backoff_ns;
+    snap.counters["fault.retire_deferred"] = fault_stats_.retire_deferred;
+    snap.counters["write.dangling_repairs"] =
+        fault_stats_.dangling_repairs;
+#if FIDR_FAULT_ENABLED
+    // Per-site failpoint counters (quiet sites stay out of the report).
+    const fault::FailpointRegistry &failpoints =
+        fault::FailpointRegistry::instance();
+    for (std::size_t s = 0; s < fault::kSiteCount; ++s) {
+        const auto site = static_cast<fault::Site>(s);
+        const std::uint64_t hits = failpoints.hits(site);
+        const std::uint64_t fires = failpoints.fires(site);
+        if (hits == 0 && fires == 0)
+            continue;
+        const std::string prefix =
+            std::string("fault.") + fault::site_name(site);
+        snap.counters[prefix + ".hits"] = hits;
+        snap.counters[prefix + ".fires"] = fires;
+        if (failpoints.spike_ns(site) > 0)
+            snap.counters[prefix + ".spike_ns"] = failpoints.spike_ns(site);
+    }
+#endif
 
     const cache::CacheStats &cache = table_cache_->stats();
     snap.counters["cache.hits"] = cache.hits;

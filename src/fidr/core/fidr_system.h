@@ -78,6 +78,15 @@ struct FidrConfig {
     bool journal_metadata = false;
     std::uint64_t journal_bytes = 64 * kMiB;
     std::uint64_t snapshot_bytes = 64 * kMiB;
+
+    /**
+     * Degraded mode: PCIe/SSD operations that fail with kUnavailable
+     * (transient device errors) are retried transparently up to this
+     * many extra attempts before the error surfaces; each retry
+     * accounts exponential backoff to the fault counters.
+     */
+    unsigned transient_retries = 2;
+    std::uint64_t retry_backoff_ns = 20'000;
 };
 
 /** The FIDR server. */
@@ -159,6 +168,26 @@ class FidrSystem : public StorageServer {
     std::uint64_t journal_records() const
     { return journal_ ? journal_->records() : 0; }
 
+    /** Degraded-mode / crash-repair counters (also in obs_snapshot). */
+    struct FaultStats {
+        std::uint64_t transient_retries = 0;  ///< Retry attempts issued.
+        std::uint64_t retry_exhausted = 0;    ///< Ops dead after retries.
+        std::uint64_t backoff_ns = 0;         ///< Accounted retry backoff.
+        std::uint64_t retire_deferred = 0;    ///< Reclaims skipped on a
+                                              ///< journal-append failure.
+        std::uint64_t dangling_repairs = 0;   ///< Hash-PBN entries whose
+                                              ///< data a crash lost,
+                                              ///< re-pointed on re-write.
+    };
+    const FaultStats &fault_stats() const { return fault_stats_; }
+
+    /**
+     * Structural self-check: LBA-PBA refcount consistency plus the
+     * table-cache invariants.  The crash harness runs it after every
+     * recovery.
+     */
+    Status validate() const;
+
     /** Live metric registry (per-stage histograms, flow counters). */
     obs::MetricRegistry &metrics() { return metrics_; }
     const obs::MetricRegistry &metrics() const { return metrics_; }
@@ -200,7 +229,15 @@ class FidrSystem : public StorageServer {
     };
 
     Status process_batch();
-    void bill_container_seals();
+    Status bill_container_seals();
+
+    /**
+     * Fallible DMA with degraded-mode retry: transient (kUnavailable)
+     * failures re-issue the descriptor up to config.transient_retries
+     * times with accounted exponential backoff.
+     */
+    Status dma_checked(pcie::DeviceId src, pcie::DeviceId dst,
+                       std::uint64_t bytes, const std::string &tag);
 
     FidrConfig config_;
     Platform platform_;
@@ -222,6 +259,7 @@ class FidrSystem : public StorageServer {
     std::unique_ptr<tables::MetadataJournal> journal_;
     std::uint64_t snapshot_base_ = 0;
     SpaceTracker space_;
+    FaultStats fault_stats_;
     bool high_priority_ = false;
     Pbn next_pbn_ = 0;
     std::uint64_t sealed_billed_ = 0;

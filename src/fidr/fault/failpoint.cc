@@ -1,0 +1,185 @@
+#include "fidr/fault/failpoint.h"
+
+#include "fidr/obs/trace.h"
+
+namespace fidr::fault {
+
+const char *
+site_name(Site site)
+{
+    switch (site) {
+      case Site::kSsdRead: return "ssd.read";
+      case Site::kSsdWrite: return "ssd.write";
+      case Site::kPcieDma: return "pcie.dma";
+      case Site::kCacheFetch: return "cache.fetch";
+      case Site::kCacheWriteback: return "cache.writeback";
+      case Site::kJournalAppend: return "journal.append";
+      case Site::kJournalFence: return "journal.fence";
+      case Site::kJournalReplay: return "journal.replay";
+      case Site::kNicBuffer: return "nic.buffer";
+      case Site::kNicSchedule: return "nic.schedule";
+      case Site::kContainerAppend: return "container.append";
+      case Site::kContainerSeal: return "container.seal";
+      case Site::kHwTreeUpdate: return "hwtree.update";
+      case Site::kHwTreeForceCrash: return "hwtree.force_crash";
+      case Site::kSnapshotWrite: return "snapshot.write";
+      case Site::kSnapshotRead: return "snapshot.read";
+      case Site::kMaxSite: break;
+    }
+    return "unknown";
+}
+
+Status
+to_status(const FaultDecision &decision, Site site)
+{
+    const std::string msg =
+        std::string("injected fault at ") + site_name(site);
+    return Status(decision.code, msg);
+}
+
+FailpointRegistry &
+FailpointRegistry::instance()
+{
+    static FailpointRegistry registry;
+    return registry;
+}
+
+void
+FailpointRegistry::set_seed(std::uint64_t seed)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    seed_ = seed;
+}
+
+void
+FailpointRegistry::arm(Site site, const FaultPolicy &policy)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SiteState &state = sites_[idx(site)];
+    if (!state.armed)
+        armed_count_.fetch_add(1, std::memory_order_relaxed);
+    state.armed = true;
+    state.policy = policy;
+    state.hits_since_arm = 0;
+    // Independent deterministic stream per (seed, site): re-arming
+    // with the same seed replays the identical fault schedule.
+    state.rng = Rng(seed_ ^ (0x9E3779B97F4A7C15ull *
+                             (static_cast<std::uint64_t>(site) + 1)));
+}
+
+Status
+FailpointRegistry::arm(const std::string &name, const FaultPolicy &policy)
+{
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+        const Site site = static_cast<Site>(i);
+        if (name == site_name(site)) {
+            arm(site, policy);
+            return Status::ok();
+        }
+    }
+    return Status::not_found("unknown failpoint site: " + name);
+}
+
+void
+FailpointRegistry::disarm(Site site)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SiteState &state = sites_[idx(site)];
+    if (state.armed)
+        armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    state.armed = false;
+}
+
+void
+FailpointRegistry::disarm_all()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (SiteState &state : sites_) {
+        if (state.armed)
+            armed_count_.fetch_sub(1, std::memory_order_relaxed);
+        state.armed = false;
+    }
+}
+
+bool
+FailpointRegistry::armed(Site site) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sites_[idx(site)].armed;
+}
+
+std::uint64_t
+FailpointRegistry::hits(Site site) const
+{
+    return sites_[idx(site)].hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+FailpointRegistry::fires(Site site) const
+{
+    return sites_[idx(site)].fires.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+FailpointRegistry::spike_ns(Site site) const
+{
+    return sites_[idx(site)].spike_ns.load(std::memory_order_relaxed);
+}
+
+void
+FailpointRegistry::reset_counters()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (SiteState &state : sites_) {
+        state.hits.store(0, std::memory_order_relaxed);
+        state.fires.store(0, std::memory_order_relaxed);
+        state.spike_ns.store(0, std::memory_order_relaxed);
+        state.hits_since_arm = 0;
+    }
+}
+
+FaultDecision
+FailpointRegistry::evaluate(Site site)
+{
+    SiteState &state = sites_[idx(site)];
+    state.hits.fetch_add(1, std::memory_order_relaxed);
+    if (armed_count_.load(std::memory_order_relaxed) == 0)
+        return FaultDecision{};
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!state.armed)
+        return FaultDecision{};
+    const FaultPolicy &policy = state.policy;
+    ++state.hits_since_arm;
+
+    bool fire = false;
+    if (policy.fail_nth != 0 && state.hits_since_arm == policy.fail_nth)
+        fire = true;
+    // The Bernoulli draw is consumed on every hit so the stream stays
+    // aligned with the hit count regardless of fail_nth interleaving.
+    if (policy.probability > 0.0 &&
+        state.rng.next_bool(policy.probability)) {
+        fire = true;
+    }
+    if (!fire ||
+        state.fires.load(std::memory_order_relaxed) >= policy.max_fires)
+        return FaultDecision{};
+
+    state.fires.fetch_add(1, std::memory_order_relaxed);
+    FaultDecision decision;
+    decision.fire = true;
+    decision.kind = policy.kind;
+    decision.code = policy.code;
+    decision.entropy = state.rng.next_u64();
+    if (policy.kind == FaultKind::kLatencySpike) {
+        decision.latency_ns = policy.latency_ns;
+        state.spike_ns.fetch_add(policy.latency_ns,
+                                 std::memory_order_relaxed);
+    }
+    FIDR_TPOINT(obs::Tpoint::kFaultInjected,
+                static_cast<std::uint64_t>(site),
+                static_cast<std::uint64_t>(policy.kind));
+    return decision;
+}
+
+}  // namespace fidr::fault

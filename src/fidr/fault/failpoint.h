@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Deterministic failpoint registry for the FIDR data plane.
+ *
+ * Real storage stacks treat failure as the common case: SPDK ships
+ * error-injection bdevs, the kernel has fail_function/failslab, and
+ * every serious journal is tested by killing the writer at arbitrary
+ * byte boundaries.  This module gives the FIDR model the same lever —
+ * a process-wide registry of *named failpoint sites* threaded through
+ * the SSD model, the PCIe fabric, the table cache, the journal, the
+ * container log, the NIC batch paths, and the HW-tree pipeline.
+ *
+ * Each site can be armed with one policy:
+ *   - kError:        the site returns an injected Status;
+ *   - kTornWrite:    a write persists only a deterministic prefix,
+ *                    then reports failure (power-cut model);
+ *   - kBitFlip:      one deterministic bit of the payload flips
+ *                    (silent media corruption);
+ *   - kLatencySpike: the operation succeeds but a latency penalty is
+ *                    accounted (tail-latency model).
+ *
+ * Triggers are deterministic and seedable: `fail_nth` fires exactly
+ * once, on the nth post-arm hit of the site; `probability` draws an
+ * independent Bernoulli per hit from a per-site xoshiro stream seeded
+ * from (registry seed, site), so a given seed reproduces the exact
+ * same fault schedule.  `max_fires` caps total injections.
+ *
+ * Every site counts hits (evaluations) and fires (injections) — the
+ * crash-consistency harness uses hit counts from a fault-free profile
+ * run to place `fail_nth` mid-workload, and `FidrSystem::obs_snapshot`
+ * exports both per site.  Fires also emit an `obs` tracepoint
+ * (fault.injected) so injections are visible in the Chrome trace.
+ *
+ * Compile-time kill switch: configure with -DFIDR_FAULT=OFF and every
+ * FIDR_FAULT_EVAL / FIDR_FAULT_RETURN_IF site expands to a constant
+ * no-fire decision, so the data plane carries zero fault code
+ * (scripts/tier1.sh smoke-checks the overhead).  With faults compiled
+ * in, an unarmed registry costs one relaxed atomic load per site.
+ */
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fidr/common/rng.h"
+#include "fidr/common/status.h"
+
+namespace fidr::fault {
+
+/** Every failpoint site in the data plane.  Names in site_name(). */
+enum class Site : std::uint8_t {
+    kSsdRead = 0,       ///< Ssd::read (flash read; bit-flip target).
+    kSsdWrite,          ///< Ssd::write (flash write; torn-write target).
+    kPcieDma,           ///< Fabric::try_dma (descriptor/link error).
+    kCacheFetch,        ///< TableCache miss fill from the table SSD.
+    kCacheWriteback,    ///< Dirty-line flush to the table SSD.
+    kJournalAppend,     ///< MetadataJournal::append record write.
+    kJournalFence,      ///< Journal fence-tombstone write (best effort).
+    kJournalReplay,     ///< MetadataJournal::replay record read.
+    kNicBuffer,         ///< FidrNic::buffer_write admission.
+    kNicSchedule,       ///< Compression-scheduler batch handoff.
+    kContainerAppend,   ///< ContainerLog::append packing.
+    kContainerSeal,     ///< ContainerLog::flush seal to a data SSD.
+    kHwTreeUpdate,      ///< TreePipeline::insert update issue.
+    kHwTreeForceCrash,  ///< Forced misspeculation in account_update.
+    kSnapshotWrite,     ///< Checkpoint snapshot write (table SSD).
+    kSnapshotRead,      ///< Recovery snapshot read (table SSD).
+
+    kMaxSite,
+};
+
+inline constexpr std::size_t kSiteCount =
+    static_cast<std::size_t>(Site::kMaxSite);
+
+/** Stable display name ("ssd.read", "journal.append", ...). */
+const char *site_name(Site site);
+
+/** What an armed site injects when its trigger fires. */
+enum class FaultKind : std::uint8_t {
+    kError = 0,     ///< Return `code` from the site.
+    kTornWrite,     ///< Persist a prefix, then return `code`.
+    kBitFlip,       ///< Flip one payload bit; the op "succeeds".
+    kLatencySpike,  ///< Succeed, but account `latency_ns`.
+};
+
+/** Per-site arming policy. */
+struct FaultPolicy {
+    FaultKind kind = FaultKind::kError;
+    /** Status injected by kError / kTornWrite fires. */
+    StatusCode code = StatusCode::kUnavailable;
+    /** Fires once, on the nth post-arm hit (1-based); 0 disables. */
+    std::uint64_t fail_nth = 0;
+    /** Independent per-hit fire probability; 0 disables. */
+    double probability = 0.0;
+    /** Total injections allowed before the site goes quiet. */
+    std::uint64_t max_fires = UINT64_MAX;
+    /** Accounted penalty for kLatencySpike fires. */
+    std::uint64_t latency_ns = 100'000;
+};
+
+/** Outcome of evaluating one site hit. */
+struct FaultDecision {
+    bool fire = false;
+    FaultKind kind = FaultKind::kError;
+    StatusCode code = StatusCode::kUnavailable;
+    std::uint64_t latency_ns = 0;
+    /**
+     * Deterministic per-fire randomness: torn-write prefix lengths and
+     * bit-flip positions derive from this so a seed reproduces the
+     * exact same damage.
+     */
+    std::uint64_t entropy = 0;
+};
+
+/** The injected Status for an error/torn fire at `site`. */
+Status to_status(const FaultDecision &decision, Site site);
+
+/** Ok unless `decision` is an error-kind fire (then the injected
+ *  Status).  Convenience for sites that fold the check into a chain. */
+inline Status
+as_status(const FaultDecision &decision, Site site)
+{
+    if (decision.fire && decision.kind == FaultKind::kError)
+        return to_status(decision, site);
+    return Status::ok();
+}
+
+/**
+ * Process-wide failpoint registry.  Evaluation is thread-safe; arming
+ * and counter reads are meant for the (single-threaded) test driver.
+ */
+class FailpointRegistry {
+  public:
+    static FailpointRegistry &instance();
+
+    /**
+     * Seed for the per-site probability/entropy streams.  Applies to
+     * sites armed afterwards (each arm() reseeds that site's stream
+     * from (seed, site), so re-arming replays the same schedule).
+     */
+    void set_seed(std::uint64_t seed);
+
+    /** Arms `site` with `policy`, resetting its post-arm hit count. */
+    void arm(Site site, const FaultPolicy &policy);
+
+    /** Arms a site by display name; kNotFound for unknown names. */
+    Status arm(const std::string &name, const FaultPolicy &policy);
+
+    void disarm(Site site);
+    void disarm_all();
+
+    bool armed(Site site) const;
+
+    /** Lifetime evaluations of `site` (armed or not). */
+    std::uint64_t hits(Site site) const;
+
+    /** Lifetime injections at `site`. */
+    std::uint64_t fires(Site site) const;
+
+    /** Total latency-spike ns accounted at `site`. */
+    std::uint64_t spike_ns(Site site) const;
+
+    /** Zeroes every hit/fire/spike counter (armed policies stay). */
+    void reset_counters();
+
+    /**
+     * Hot path: counts the hit and decides whether the armed policy
+     * (if any) fires.  Unarmed cost: one relaxed fetch_add.
+     */
+    FaultDecision evaluate(Site site);
+
+  private:
+    FailpointRegistry() = default;
+
+    struct SiteState {
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> fires{0};
+        std::atomic<std::uint64_t> spike_ns{0};
+        bool armed = false;
+        FaultPolicy policy;
+        std::uint64_t hits_since_arm = 0;
+        Rng rng{0};
+    };
+
+    static std::size_t idx(Site site)
+    { return static_cast<std::size_t>(site); }
+
+    /** Nonzero while any site is armed (hot-path early-out). */
+    std::atomic<std::uint64_t> armed_count_{0};
+    std::uint64_t seed_ = 0x5DEECE66Dull;
+    mutable std::mutex mutex_;  ///< Guards armed-site state.
+    std::array<SiteState, kSiteCount> sites_;
+};
+
+}  // namespace fidr::fault
+
+/**
+ * Site evaluation macros.  With -DFIDR_FAULT=OFF both expand to
+ * constants the optimizer deletes: the data plane carries no fault
+ * code at all.
+ */
+#if FIDR_FAULT_ENABLED
+#define FIDR_FAULT_EVAL(site)                                              \
+    (::fidr::fault::FailpointRegistry::instance().evaluate(site))
+/** Returns the injected Status from the enclosing function on an
+ *  error-kind fire (torn/bit-flip/latency need site-specific code). */
+#define FIDR_FAULT_RETURN_IF(site)                                         \
+    do {                                                                   \
+        const ::fidr::fault::FaultDecision fidr_fault_decision_ =          \
+            FIDR_FAULT_EVAL(site);                                         \
+        if (fidr_fault_decision_.fire &&                                   \
+            fidr_fault_decision_.kind ==                                   \
+                ::fidr::fault::FaultKind::kError) {                        \
+            return ::fidr::fault::to_status(fidr_fault_decision_, site);   \
+        }                                                                  \
+    } while (0)
+#else
+#define FIDR_FAULT_EVAL(site) (::fidr::fault::FaultDecision{})
+#define FIDR_FAULT_RETURN_IF(site) ((void)0)
+#endif

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fidr/fault/failpoint.h"
 #include "fidr/obs/trace.h"
 
 namespace fidr::hwtree {
@@ -36,7 +37,14 @@ TreePipeline::account_update(const std::vector<NodeId> &touched)
     // write-set intersects any write-set still in the speculation
     // window.  With L lanes, up to L-1 earlier updates are in flight.
     bool crash = false;
-    if (config_.update_lanes > 1) {
+    // Forced misspeculation: the crash-storm tests use this to exercise
+    // the replay path regardless of the actual write-set overlap.
+    {
+        const fault::FaultDecision fd =
+            FIDR_FAULT_EVAL(fault::Site::kHwTreeForceCrash);
+        crash = fd.fire;
+    }
+    if (!crash && config_.update_lanes > 1) {
         for (const auto &ws : window_) {
             for (NodeId id : touched) {
                 if (std::find(ws.begin(), ws.end(), id) != ws.end()) {
@@ -74,6 +82,7 @@ TreePipeline::account_update(const std::vector<NodeId> &touched)
 Result<bool>
 TreePipeline::insert(HwTree::Key key, HwTree::Value value)
 {
+    FIDR_FAULT_RETURN_IF(fault::Site::kHwTreeUpdate);
     std::vector<NodeId> touched;
     Result<bool> result = tree_.insert(key, value, &touched);
     if (result.is_ok())

@@ -1,5 +1,6 @@
 #include "fidr/nic/fidr_nic.h"
 
+#include "fidr/fault/failpoint.h"
 #include "fidr/obs/trace.h"
 
 namespace fidr::nic {
@@ -21,6 +22,9 @@ FidrNic::buffer_write(Lba lba, Buffer data)
         return Status::invalid_argument("write chunk must be 4 KB");
     if (buffered_bytes() + kChunkSize > config_.buffer_capacity)
         return Status::unavailable("NIC buffer full");
+    // Injected admission fault before any mutation: a rejected write
+    // is never acknowledged, so it owes the client nothing.
+    FIDR_FAULT_RETURN_IF(fault::Site::kNicBuffer);
     newest_[lba] = chunks_.size();
     chunks_.push_back(BufferedChunk{lba, std::move(data), Digest{}, false});
     ++total_buffered_;
@@ -89,6 +93,7 @@ FidrNic::schedule_unique(std::span<const ChunkVerdict> verdicts)
         return Status::invalid_argument(
             "verdict count does not match buffered batch");
     }
+    FIDR_FAULT_RETURN_IF(fault::Site::kNicSchedule);
     std::vector<BufferedChunk> unique;
     for (std::size_t i = 0; i < verdicts.size(); ++i) {
         if (verdicts[i] == ChunkVerdict::kUnique)
@@ -97,6 +102,29 @@ FidrNic::schedule_unique(std::span<const ChunkVerdict> verdicts)
     chunks_.clear();
     newest_.clear();
     return unique;
+}
+
+Result<std::vector<const BufferedChunk *>>
+FidrNic::peek_unique(std::span<const ChunkVerdict> verdicts) const
+{
+    if (verdicts.size() != chunks_.size()) {
+        return Status::invalid_argument(
+            "verdict count does not match buffered batch");
+    }
+    FIDR_FAULT_RETURN_IF(fault::Site::kNicSchedule);
+    std::vector<const BufferedChunk *> unique;
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+        if (verdicts[i] == ChunkVerdict::kUnique)
+            unique.push_back(&chunks_[i]);
+    }
+    return unique;
+}
+
+void
+FidrNic::drop_batch()
+{
+    chunks_.clear();
+    newest_.clear();
 }
 
 }  // namespace fidr::nic

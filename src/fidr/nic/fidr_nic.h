@@ -103,6 +103,21 @@ class FidrNic {
     Result<std::vector<BufferedChunk>> schedule_unique(
         std::span<const ChunkVerdict> verdicts);
 
+    /**
+     * Crash-consistent variant of the scheduler handoff: returns
+     * pointers to the unique chunks *without* releasing the batch, so
+     * the (battery-backed) NIC DRAM keeps every acknowledged write
+     * until the host calls drop_batch() after its metadata commit.  A
+     * crash in between replays from the retained batch instead of
+     * losing acknowledged data.  Pointers stay valid until the next
+     * buffer_write / schedule_unique / drop_batch.
+     */
+    Result<std::vector<const BufferedChunk *>> peek_unique(
+        std::span<const ChunkVerdict> verdicts) const;
+
+    /** Releases the batch retained across a peek_unique handoff. */
+    void drop_batch();
+
     /** Lifetime counters. */
     std::uint64_t hashes_computed() const { return hashes_computed_; }
     std::uint64_t chunks_buffered_total() const { return total_buffered_; }

@@ -39,6 +39,7 @@ tpoint_name(Tpoint tpoint)
       case Tpoint::kCacheFetch: return "cache.fetch";
       case Tpoint::kCacheWriteback: return "cache.writeback";
       case Tpoint::kTreeCrash: return "hwtree.crash";
+      case Tpoint::kFaultInjected: return "fault.injected";
       case Tpoint::kMaxTpoint: break;
     }
     return "unknown";

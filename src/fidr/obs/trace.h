@@ -80,6 +80,7 @@ enum class Tpoint : std::uint16_t {
     kCacheFetch,           ///< Table cache miss fill (object=bucket).
     kCacheWriteback,       ///< Dirty line flushed (object=bucket).
     kTreeCrash,            ///< HW-tree misspeculation (object=key).
+    kFaultInjected,        ///< Failpoint fired (object=site, arg=kind).
 
     kMaxTpoint,
 };

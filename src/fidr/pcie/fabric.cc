@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fidr/fault/failpoint.h"
 #include "fidr/obs/trace.h"
 
 namespace fidr::pcie {
@@ -95,6 +96,19 @@ Fabric::dma(DeviceId src, DeviceId dst, std::uint64_t bytes,
     root_complex_bytes_ += 2 * bytes;
     host_memory_.add(tag, 2.0 * static_cast<double>(bytes));
     return DmaPath::kThroughHost;
+}
+
+Result<DmaPath>
+Fabric::try_dma(DeviceId src, DeviceId dst, std::uint64_t bytes,
+                const std::string &tag)
+{
+    const fault::FaultDecision fd =
+        FIDR_FAULT_EVAL(fault::Site::kPcieDma);
+    if (fd.fire && fd.kind == fault::FaultKind::kError) {
+        ++dma_errors_;
+        return fault::to_status(fd, fault::Site::kPcieDma);
+    }
+    return dma(src, dst, bytes, tag);
 }
 
 SimTime

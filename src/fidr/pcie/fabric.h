@@ -96,6 +96,16 @@ class Fabric {
                 const std::string &tag);
 
     /**
+     * Fallible variant: evaluates the pcie.dma failpoint first, so an
+     * injected descriptor/link error surfaces as kUnavailable (or the
+     * armed code) with nothing billed.  Paths that must handle device
+     * errors (the FidrSystem data plane) use this; dma() stays for
+     * infallible accounting-only callers.
+     */
+    Result<DmaPath> try_dma(DeviceId src, DeviceId dst,
+                            std::uint64_t bytes, const std::string &tag);
+
+    /**
      * Timing variant for the latency experiments: returns the time the
      * transfer issued at `now` completes, serializing on both endpoint
      * link pipes.
@@ -116,6 +126,9 @@ class Fabric {
     /** Bytes moved peer-to-peer (never touching DRAM). */
     std::uint64_t p2p_bytes() const { return p2p_bytes_; }
 
+    /** try_dma() calls that failed with an injected error. */
+    std::uint64_t dma_errors() const { return dma_errors_; }
+
     const FabricConfig &config() const { return config_; }
 
   private:
@@ -135,6 +148,7 @@ class Fabric {
     sim::BandwidthPipe root_pipe_;
     std::uint64_t root_complex_bytes_ = 0;
     std::uint64_t p2p_bytes_ = 0;
+    std::uint64_t dma_errors_ = 0;
 };
 
 }  // namespace fidr::pcie

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fidr/fault/failpoint.h"
+
 namespace fidr::ssd {
 
 Ssd::Ssd(SsdConfig config)
@@ -21,11 +23,9 @@ Ssd::page_for_write(std::uint64_t page_no)
     return it->second;
 }
 
-Status
-Ssd::write(std::uint64_t addr, std::span<const std::uint8_t> data)
+void
+Ssd::store_bytes(std::uint64_t addr, std::span<const std::uint8_t> data)
 {
-    if (addr + data.size() > config_.capacity_bytes)
-        return Status::out_of_space(config_.name + ": write past capacity");
     std::uint64_t off = 0;
     while (off < data.size()) {
         const std::uint64_t page_no = (addr + off) / kPageSize;
@@ -36,6 +36,47 @@ Ssd::write(std::uint64_t addr, std::span<const std::uint8_t> data)
         std::memcpy(page.data() + in_page, data.data() + off, take);
         off += take;
     }
+}
+
+Status
+Ssd::write(std::uint64_t addr, std::span<const std::uint8_t> data)
+{
+    if (addr + data.size() > config_.capacity_bytes)
+        return Status::out_of_space(config_.name + ": write past capacity");
+
+    const fault::FaultDecision fd =
+        FIDR_FAULT_EVAL(fault::Site::kSsdWrite);
+    if (fd.fire) {
+        if (fd.kind == fault::FaultKind::kError) {
+            ++write_errors_;
+            return fault::to_status(fd, fault::Site::kSsdWrite);
+        }
+        if (fd.kind == fault::FaultKind::kTornWrite) {
+            // Power-cut model: a deterministic prefix reaches flash,
+            // the rest is lost, and the command reports failure.
+            ++write_errors_;
+            const std::uint64_t keep =
+                data.empty() ? 0 : fd.entropy % data.size();
+            store_bytes(addr, data.first(keep));
+            bytes_written_ += keep;
+            ++write_ios_;
+            return fault::to_status(fd, fault::Site::kSsdWrite);
+        }
+        if (fd.kind == fault::FaultKind::kBitFlip && !data.empty()) {
+            // Silent media corruption: the payload lands with one
+            // deterministically chosen bit flipped.
+            Buffer damaged(data.begin(), data.end());
+            damaged[(fd.entropy >> 3) % damaged.size()] ^=
+                static_cast<std::uint8_t>(1u << (fd.entropy & 7));
+            store_bytes(addr, damaged);
+            bytes_written_ += data.size();
+            ++write_ios_;
+            return Status::ok();
+        }
+        // Latency spike: accounted by the registry; completes normally.
+    }
+
+    store_bytes(addr, data);
     bytes_written_ += data.size();
     ++write_ios_;
     return Status::ok();
@@ -46,6 +87,17 @@ Ssd::read(std::uint64_t addr, std::uint64_t len) const
 {
     if (addr + len > config_.capacity_bytes)
         return Status::invalid_argument(config_.name + ": read past capacity");
+    // Mutable statistics on a logically-const read: stats are not part
+    // of the observable storage state.
+    auto *self = const_cast<Ssd *>(this);
+
+    const fault::FaultDecision fd =
+        FIDR_FAULT_EVAL(fault::Site::kSsdRead);
+    if (fd.fire && fd.kind == fault::FaultKind::kError) {
+        ++self->read_errors_;
+        return fault::to_status(fd, fault::Site::kSsdRead);
+    }
+
     Buffer out(len, 0);
     std::uint64_t off = 0;
     while (off < len) {
@@ -58,9 +110,12 @@ Ssd::read(std::uint64_t addr, std::uint64_t len) const
             std::memcpy(out.data() + off, it->second.data() + in_page, take);
         off += take;
     }
-    // Mutable statistics on a logically-const read: stats are not part
-    // of the observable storage state.
-    auto *self = const_cast<Ssd *>(this);
+    if (fd.fire && fd.kind == fault::FaultKind::kBitFlip && len > 0) {
+        // Transient read corruption: the flash content is intact but
+        // one bit of the returned buffer flips (scrub catches this).
+        out[(fd.entropy >> 3) % out.size()] ^=
+            static_cast<std::uint8_t>(1u << (fd.entropy & 7));
+    }
     self->bytes_read_ += len;
     ++self->read_ios_;
     return out;

@@ -72,6 +72,10 @@ class Ssd {
     std::uint64_t read_ios() const { return read_ios_; }
     std::uint64_t write_ios() const { return write_ios_; }
 
+    /** IOs that failed (injected media/command errors). */
+    std::uint64_t read_errors() const { return read_errors_; }
+    std::uint64_t write_errors() const { return write_errors_; }
+
     /** Bytes currently occupied in the page store. */
     std::uint64_t bytes_stored() const;
 
@@ -79,6 +83,10 @@ class Ssd {
     static constexpr std::uint64_t kPageSize = 4096;
 
     Buffer &page_for_write(std::uint64_t page_no);
+
+    /** Copies `data` into the page store at `addr` (no accounting). */
+    void store_bytes(std::uint64_t addr,
+                     std::span<const std::uint8_t> data);
 
     SsdConfig config_;
     std::unordered_map<std::uint64_t, Buffer> pages_;
@@ -88,6 +96,8 @@ class Ssd {
     std::uint64_t bytes_read_ = 0;
     std::uint64_t read_ios_ = 0;
     std::uint64_t write_ios_ = 0;
+    std::uint64_t read_errors_ = 0;
+    std::uint64_t write_errors_ = 0;
 };
 
 /** Completion callback for queued NVMe commands. */

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "fidr/fault/failpoint.h"
+
 namespace fidr::tables {
 
 ContainerLog::ContainerLog(ssd::SsdArray &data_ssds,
@@ -27,6 +29,10 @@ ContainerLog::append(std::span<const std::uint8_t> compressed)
 {
     if (compressed.empty() || compressed.size() > 0xFFFF)
         return Status::invalid_argument("compressed chunk size out of range");
+
+    // Injected engine-memory fault before any mutation: a failed
+    // append leaves the open container exactly as it was.
+    FIDR_FAULT_RETURN_IF(fault::Site::kContainerAppend);
 
     // 64-byte alignment keeps offsets representable in 2 bytes.
     const std::uint64_t padded =
@@ -56,6 +62,10 @@ ContainerLog::flush()
 {
     if (open_buffer_.empty())
         return Status::ok();
+
+    // Injected seal fault before allocation: the open buffer survives
+    // in engine memory, so a retried flush() seals the same content.
+    FIDR_FAULT_RETURN_IF(fault::Site::kContainerSeal);
 
     auto placement = data_ssds_.allocate(open_buffer_.size());
     if (!placement.is_ok())

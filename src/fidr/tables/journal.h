@@ -12,11 +12,28 @@
  * through the table cache, so recovery only needs the journal and a
  * final cache writeback barrier.
  *
- * Record format (little endian, 30 bytes fixed):
- *   type:u8  lba:u64  pbn:u64  container:u64  offset_units:u16
- *   csize:u16  check:u8 (FNV-derived check byte).
- * A torn tail (partial final record or bad check byte) is truncated
- * at replay, matching standard journal semantics.
+ * Record format (little endian, 38 bytes fixed):
+ *   type:u8  epoch:u32  seq:u32  lba:u64  pbn:u64  container:u64
+ *   offset_units:u16  csize:u16  check:u8 (FNV-derived check byte).
+ *
+ * The epoch counts journal truncations (reset() bumps it) and the
+ * sequence numbers records within an epoch, so replay can tell a
+ * crash-truncated tail from stale pre-reset content that survived a
+ * page-granular trim — even when the zero fence that normally bounds
+ * the live region was lost to an injected fault.
+ *
+ * Replay semantics (exercised by the tests/test_journal.cpp corpus):
+ *  - the intact journal is the longest prefix of slots that decode
+ *    with a valid check byte, a consistent epoch, and seq == slot;
+ *  - a torn/blank/stale slot ends the intact prefix.  If a *valid
+ *    same-epoch in-sequence* record exists past that point (bounded
+ *    look-ahead), the journal lost a middle record and replay fails
+ *    with kCorruption instead of silently dropping the tail;
+ *  - a duplicate/out-of-order sequence number also ends the prefix
+ *    (the record is not applied twice); valid records beyond it
+ *    surface as kCorruption, same as above;
+ *  - an all-blank region replays to zero records (no corruption scan:
+ *    with nothing committed there is nothing to lose).
  */
 #pragma once
 
@@ -38,7 +55,7 @@ enum class JournalOp : std::uint8_t {
     kCheckpoint = 4,   ///< All prior records are reflected on-SSD.
 };
 
-/** One journal record. */
+/** One journal record (payload; epoch/seq are framing). */
 struct JournalRecord {
     JournalOp op = JournalOp::kMapLba;
     Lba lba = 0;
@@ -48,8 +65,9 @@ struct JournalRecord {
     bool operator==(const JournalRecord &) const = default;
 };
 
-/** Size of one serialized record (incl. checksum byte). */
-inline constexpr std::size_t kJournalRecordSize = 1 + 8 + 8 + 8 + 2 + 2 + 1;
+/** Size of one serialized record (incl. framing and check byte). */
+inline constexpr std::size_t kJournalRecordSize =
+    1 + 4 + 4 + 8 + 8 + 8 + 2 + 2 + 1;
 
 /** Append-only metadata journal on a reserved SSD region. */
 class MetadataJournal {
@@ -77,14 +95,25 @@ class MetadataJournal {
     std::uint64_t capacity() const { return capacity_; }
     std::uint64_t records() const { return records_; }
 
+    /** Current journal epoch (bumped by every reset()). */
+    std::uint32_t epoch() const { return epoch_; }
+
     /** Truncates the journal (after a checkpoint made it redundant). */
     void reset();
 
     /**
-     * Reads every intact record back from the device, stopping at the
-     * first torn or blank record (crash-truncated tail).
+     * Reads the intact record prefix back from the device (see the
+     * file comment for the exact stop/corruption semantics).
      */
     Result<std::vector<JournalRecord>> replay() const;
+
+    /**
+     * Replays and *adopts* the on-device tail: head/records/epoch are
+     * reset to what the device holds, so subsequent appends continue
+     * the recovered journal instead of the pre-crash in-memory state.
+     * This is what a restart calls.
+     */
+    Result<std::vector<JournalRecord>> recover();
 
     /**
      * Rebuilds an LBA-PBA table from a replayed record stream: maps,
@@ -93,16 +122,38 @@ class MetadataJournal {
     static LbaPbaTable rebuild(const std::vector<JournalRecord> &records);
 
     /** Applies a replayed record stream on top of `table` (recovery
-     *  from a checkpoint snapshot plus the journal tail). */
+     *  from a checkpoint snapshot plus the journal tail).  Idempotent:
+     *  re-applying a stream yields the same table. */
     static void apply(const std::vector<JournalRecord> &records,
                       LbaPbaTable &table);
 
+    /** Serializes one framed record (exposed for corpus tests). */
+    static Buffer encode(const JournalRecord &record, std::uint32_t epoch,
+                         std::uint32_t seq);
+
+    /**
+     * Decodes one framed record; false on a bad check byte or type.
+     * `raw` must hold kJournalRecordSize bytes.
+     */
+    static bool decode(const std::uint8_t *raw, JournalRecord *record,
+                       std::uint32_t *epoch, std::uint32_t *seq);
+
   private:
+    struct ScanResult {
+        std::vector<JournalRecord> records;
+        std::uint64_t stop_slot = 0;  ///< First slot not replayed.
+        std::uint32_t epoch = 0;      ///< Epoch of the intact prefix.
+    };
+
+    /** Intact-prefix scan + bounded corrupt-middle look-ahead. */
+    Result<ScanResult> scan() const;
+
     ssd::Ssd &ssd_;
     std::uint64_t base_;
     std::uint64_t capacity_;
     std::uint64_t head_ = 0;
     std::uint64_t records_ = 0;
+    std::uint32_t epoch_ = 0;
 };
 
 }  // namespace fidr::tables

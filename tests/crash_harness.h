@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Crash-consistency test harness.
+ *
+ * Drives a journaled FidrSystem through a deterministic mixed
+ * workload while a failpoint is armed, "power-cuts" the host at the
+ * first injected failure, restarts (journal replay + cache rebuild),
+ * and verifies the durability contract: every write the NIC's
+ * battery-backed buffer acknowledged reads back byte-identically, and
+ * the mapping structures pass their invariants.
+ *
+ * "Acknowledged" is defined exactly as the paper defines it
+ * (Sec 7.6.1): the chunk entered NIC NVRAM.  The harness detects that
+ * per write via the NIC's buffered-total counter, so a write rejected
+ * before admission — e.g. by an injected nic.buffer fault — correctly
+ * stays out of the expected state.
+ */
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "fidr/core/fidr_system.h"
+#include "fidr/fault/failpoint.h"
+#include "fidr/workload/generator.h"
+
+namespace fidr::crashtest {
+
+/** One harness run: workload shape, crash placement, system sizing. */
+struct CrashHarnessConfig {
+    std::uint64_t seed = 0xF1D7;
+    std::size_t operations = 1200;
+    /** Op index of a mid-run flush+checkpoint; 0 disables. */
+    std::size_t checkpoint_at = 600;
+
+    /** Table-3-style mixed workload (Read-Mixed shape, small scale). */
+    static workload::WorkloadSpec
+    default_workload(std::uint64_t seed)
+    {
+        workload::WorkloadSpec spec;
+        spec.name = "crash-mixed";
+        spec.dedup_ratio = 0.5;
+        spec.comp_ratio = 0.5;
+        spec.dup_working_set = 256;
+        spec.address_space_chunks = 4096;
+        spec.read_fraction = 0.3;
+        spec.seed = seed;
+        return spec;
+    }
+
+    /**
+     * Small journaled system: containers seal mid-run, the table cache
+     * misses often (dirty writebacks happen), and every engine runs
+     * serial so the fault schedule is reproducible from the seed.
+     */
+    static core::FidrConfig
+    default_system()
+    {
+        core::FidrConfig config;
+        config.platform.expected_unique_chunks = 20000;
+        config.platform.cache_fraction = 0.05;
+        config.platform.data_ssd.capacity_bytes = 4ull * kGiB;
+        config.platform.table_ssd.capacity_bytes = 1ull * kGiB;
+        config.journal_metadata = true;
+        config.container_bytes = 256 * 1024;
+        config.nic.hash_batch = 64;
+        config.nic.hash_lanes = 1;
+        config.compress_lanes = 1;
+        return config;
+    }
+};
+
+/** Sweepable write-path failpoint sites (recovery sites are driven
+ *  separately: they fire during the restart itself). */
+inline constexpr std::array<fault::Site, 14> kWritePathSites = {
+    fault::Site::kSsdRead,        fault::Site::kSsdWrite,
+    fault::Site::kPcieDma,        fault::Site::kCacheFetch,
+    fault::Site::kCacheWriteback, fault::Site::kJournalAppend,
+    fault::Site::kJournalFence,   fault::Site::kNicBuffer,
+    fault::Site::kNicSchedule,    fault::Site::kContainerAppend,
+    fault::Site::kContainerSeal,  fault::Site::kHwTreeUpdate,
+    fault::Site::kHwTreeForceCrash, fault::Site::kSnapshotWrite,
+};
+
+class CrashHarness {
+  public:
+    explicit CrashHarness(const CrashHarnessConfig &cfg = {})
+        : cfg_(cfg), system_(CrashHarnessConfig::default_system()),
+          gen_(CrashHarnessConfig::default_workload(cfg.seed))
+    {
+        // The registry is process-global; every harness starts from a
+        // clean, reseeded slate.
+        auto &registry = fault::FailpointRegistry::instance();
+        registry.disarm_all();
+        registry.reset_counters();
+        registry.set_seed(cfg.seed);
+    }
+
+    ~CrashHarness() { fault::FailpointRegistry::instance().disarm_all(); }
+
+    core::FidrSystem &system() { return system_; }
+
+    /** Writes the client believes durable: last acked value per LBA. */
+    const std::unordered_map<Lba, Buffer> &acked() const { return acked_; }
+
+    std::size_t ops_issued() const { return ops_issued_; }
+
+    /**
+     * Issues workload ops, tolerating per-op failures (an armed fault
+     * may fail any request — degraded mode, not a test bug).  Stops
+     * early the moment `watch` has fired, modelling a power cut at the
+     * injected failure; pass Site::kMaxSite to run to completion.
+     */
+    void
+    run_until_fire(fault::Site watch)
+    {
+        const auto &registry = fault::FailpointRegistry::instance();
+        while (ops_issued_ < cfg_.operations) {
+            if (cfg_.checkpoint_at != 0 &&
+                ops_issued_ == cfg_.checkpoint_at) {
+                (void)system_.flush();
+                (void)system_.checkpoint();
+            }
+            const workload::IoRequest req = gen_.next();
+            ++ops_issued_;
+            if (req.dir == IoDir::kWrite) {
+                const std::uint64_t before =
+                    system_.nic_model().chunks_buffered_total();
+                (void)system_.write(req.lba, req.data);
+                if (system_.nic_model().chunks_buffered_total() > before)
+                    acked_[req.lba] = req.data;
+            } else {
+                (void)system_.read(req.lba);
+            }
+            if (watch != fault::Site::kMaxSite &&
+                registry.fires(watch) > 0) {
+                return;
+            }
+        }
+    }
+
+    void run_all() { run_until_fire(fault::Site::kMaxSite); }
+
+    /**
+     * Power cut + restart: disarms everything (the fault schedule died
+     * with the power), rebuilds DRAM state from snapshot + journal,
+     * and drains the NIC's surviving NVRAM contents.
+     */
+    ::testing::AssertionResult
+    recover()
+    {
+        fault::FailpointRegistry::instance().disarm_all();
+        const Status recovered = system_.simulate_crash_and_recover();
+        if (!recovered.is_ok()) {
+            return ::testing::AssertionFailure()
+                   << "recovery failed: " << recovered.message();
+        }
+        const Status drained = system_.flush();
+        if (!drained.is_ok()) {
+            return ::testing::AssertionFailure()
+                   << "post-recovery flush failed: " << drained.message();
+        }
+        return ::testing::AssertionSuccess();
+    }
+
+    /**
+     * The durability contract: every acknowledged write reads back
+     * byte-identically, and the mapping structures validate.  (A
+     * post-crash scrub may legitimately report dangling Hash-PBN
+     * entries — dirty cache lines died with the host — so the check
+     * goes through the client read path, not the scrubber.)
+     */
+    ::testing::AssertionResult
+    verify_acked()
+    {
+        for (const auto &[lba, expected] : acked_) {
+            Result<Buffer> got = system_.read(lba);
+            if (!got.is_ok()) {
+                return ::testing::AssertionFailure()
+                       << "acked LBA " << lba
+                       << " unreadable: " << got.status().message();
+            }
+            if (got.value() != expected) {
+                return ::testing::AssertionFailure()
+                       << "acked LBA " << lba << " read back different "
+                          "bytes";
+            }
+        }
+        const Status valid = system_.validate();
+        if (!valid.is_ok()) {
+            return ::testing::AssertionFailure()
+                   << "invariant violation: " << valid.message();
+        }
+        return ::testing::AssertionSuccess();
+    }
+
+  private:
+    CrashHarnessConfig cfg_;
+    core::FidrSystem system_;
+    workload::WorkloadGenerator gen_;
+    std::unordered_map<Lba, Buffer> acked_;
+    std::size_t ops_issued_ = 0;
+};
+
+/**
+ * Fault-free per-site hit profile of the default harness run, used to
+ * place fail_nth mid-workload.  Deterministic, so it is computed once
+ * per process: until the first injection, an armed run's hit
+ * trajectory is identical to this profile.
+ */
+inline const std::array<std::uint64_t, fault::kSiteCount> &
+default_hit_profile()
+{
+    static const std::array<std::uint64_t, fault::kSiteCount> counts =
+        [] {
+            CrashHarness harness;
+            harness.run_all();
+            (void)harness.system().flush();
+            auto &registry = fault::FailpointRegistry::instance();
+            std::array<std::uint64_t, fault::kSiteCount> out{};
+            for (std::size_t s = 0; s < fault::kSiteCount; ++s)
+                out[s] = registry.hits(static_cast<fault::Site>(s));
+            registry.reset_counters();
+            return out;
+        }();
+    return counts;
+}
+
+}  // namespace fidr::crashtest

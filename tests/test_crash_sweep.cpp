@@ -1,0 +1,180 @@
+// Crash-consistency sweep: kill the system at every registered
+// failpoint in turn, replay the journal, and verify that every
+// acknowledged write survives byte-identically (ISSUE: tentpole
+// harness + property sweep satellite).
+
+#include <gtest/gtest.h>
+
+#include "crash_harness.h"
+#include "fidr/common/rng.h"
+
+#if FIDR_FAULT_ENABLED
+
+namespace fidr::crashtest {
+namespace {
+
+using fault::FailpointRegistry;
+using fault::FaultKind;
+using fault::FaultPolicy;
+using fault::Site;
+
+/** fail_nth placed mid-workload from the fault-free hit profile. */
+FaultPolicy
+mid_run_policy(Site site, FaultKind kind = FaultKind::kError)
+{
+    const auto &profile = default_hit_profile();
+    const std::uint64_t hits =
+        profile[static_cast<std::size_t>(site)];
+    FaultPolicy policy;
+    policy.kind = kind;
+    policy.fail_nth = hits / 2 + 1;
+    policy.max_fires = 1;
+    return policy;
+}
+
+class CrashSweep : public ::testing::TestWithParam<Site> {};
+
+TEST_P(CrashSweep, AckedWritesSurvivePowerCutAtSite)
+{
+    const Site site = GetParam();
+    const auto &profile = default_hit_profile();
+    ASSERT_GT(profile[static_cast<std::size_t>(site)], 0u)
+        << fault::site_name(site)
+        << " is never evaluated by the harness workload";
+
+    CrashHarness harness;
+    FailpointRegistry::instance().arm(site, mid_run_policy(site));
+    harness.run_until_fire(site);
+    ASSERT_GE(FailpointRegistry::instance().fires(site), 1u)
+        << fault::site_name(site) << " never fired";
+
+    ASSERT_TRUE(harness.recover());
+    ASSERT_TRUE(harness.verify_acked());
+    EXPECT_FALSE(harness.acked().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WritePath, CrashSweep, ::testing::ValuesIn(kWritePathSites),
+    [](const ::testing::TestParamInfo<Site> &info) {
+        std::string name = fault::site_name(info.param);
+        for (char &c : name) {
+            if (c == '.')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(CrashSweepTorn, JournalAppendTornWriteTruncatesCleanly)
+{
+    // Power cut mid-append: only a prefix of the record reaches the
+    // journal SSD.  Replay must truncate at the torn slot and the
+    // retried batch must overwrite it.
+    CrashHarness harness;
+    FailpointRegistry::instance().arm(
+        Site::kJournalAppend,
+        mid_run_policy(Site::kJournalAppend, FaultKind::kTornWrite));
+    harness.run_until_fire(Site::kJournalAppend);
+    ASSERT_GE(FailpointRegistry::instance().fires(Site::kJournalAppend),
+              1u);
+    ASSERT_TRUE(harness.recover());
+    ASSERT_TRUE(harness.verify_acked());
+}
+
+TEST(CrashSweepRecovery, JournalReplayFaultSurfacesThenRetries)
+{
+    // The restart itself can fail (a journal-region read error): the
+    // error must surface — not abort — and a retried restart succeeds.
+    CrashHarness harness;
+    harness.run_all();
+
+    auto &registry = FailpointRegistry::instance();
+    FaultPolicy policy;
+    policy.fail_nth = 1;
+    policy.max_fires = 1;
+    registry.arm(Site::kJournalReplay, policy);
+    const Status failed = harness.system().simulate_crash_and_recover();
+    EXPECT_FALSE(failed.is_ok());
+    EXPECT_GE(registry.fires(Site::kJournalReplay), 1u);
+
+    ASSERT_TRUE(harness.recover());  // Disarms, then restarts again.
+    ASSERT_TRUE(harness.verify_acked());
+}
+
+TEST(CrashSweepRecovery, SnapshotReadFaultSurfacesThenRetries)
+{
+    CrashHarness harness;
+    harness.run_all();
+    (void)harness.system().flush();
+    ASSERT_TRUE(harness.system().checkpoint().is_ok());
+
+    auto &registry = FailpointRegistry::instance();
+    FaultPolicy policy;
+    policy.fail_nth = 1;
+    policy.max_fires = 1;
+    registry.arm(Site::kSnapshotRead, policy);
+    const Status failed = harness.system().simulate_crash_and_recover();
+    EXPECT_FALSE(failed.is_ok());
+    EXPECT_GE(registry.fires(Site::kSnapshotRead), 1u);
+
+    ASSERT_TRUE(harness.recover());
+    ASSERT_TRUE(harness.verify_acked());
+}
+
+TEST(CrashSweepProperty, RandomSeedsRandomSitesRandomPlacement)
+{
+    // Property sweep over the Table-3-style mixed workload: any seed,
+    // any write-path site, any placement of the injection — after
+    // replay, read() returns every acknowledged write byte-identical.
+    Rng rng(20260806);
+    for (int trial = 0; trial < 6; ++trial) {
+        CrashHarnessConfig cfg;
+        cfg.seed = rng.next_u64();
+        const Site site = kWritePathSites[rng.next_below(
+            kWritePathSites.size())];
+
+        CrashHarness harness(cfg);
+        const auto &profile = default_hit_profile();
+        const std::uint64_t hits =
+            profile[static_cast<std::size_t>(site)];
+        FaultPolicy policy;
+        policy.fail_nth = 1 + rng.next_below(hits > 1 ? hits : 1);
+        policy.max_fires = 1;
+        FailpointRegistry::instance().arm(site, policy);
+
+        harness.run_until_fire(site);
+        ASSERT_TRUE(harness.recover())
+            << "seed " << cfg.seed << " site " << fault::site_name(site);
+        ASSERT_TRUE(harness.verify_acked())
+            << "seed " << cfg.seed << " site " << fault::site_name(site);
+    }
+}
+
+TEST(CrashSweepProbability, BernoulliFaultStormStillRecovers)
+{
+    // Low-probability storm across the whole run instead of one
+    // placed injection; max_fires bounds it so the workload can make
+    // progress between failures.
+    CrashHarness harness;
+    FaultPolicy policy;
+    policy.probability = 0.002;
+    policy.max_fires = 3;
+    FailpointRegistry::instance().arm(Site::kSsdWrite, policy);
+    harness.run_all();
+    ASSERT_TRUE(harness.recover());
+    ASSERT_TRUE(harness.verify_acked());
+}
+
+}  // namespace
+}  // namespace fidr::crashtest
+
+#else  // !FIDR_FAULT_ENABLED
+
+TEST(CrashSweep, DisabledBuildCompilesFaultFree)
+{
+    // -DFIDR_FAULT=OFF: failpoints are constants; nothing to sweep.
+    const auto decision = FIDR_FAULT_EVAL(
+        ::fidr::fault::Site::kSsdWrite);
+    EXPECT_FALSE(decision.fire);
+}
+
+#endif  // FIDR_FAULT_ENABLED

@@ -8,6 +8,7 @@
 
 #include "fidr/common/rng.h"
 #include "fidr/common/units.h"
+#include "fidr/fault/failpoint.h"
 #include "fidr/hwtree/hw_tree.h"
 #include "fidr/hwtree/tree_pipeline.h"
 
@@ -282,6 +283,128 @@ TEST(TreePipeline, BusySecondsCoversDramCeiling)
         pipe.stats().dram_bytes / config.dram_bandwidth;
     EXPECT_DOUBLE_EQ(pipe.busy_seconds(), std::max(pipe_time, dram_time));
 }
+
+// --- Crash storm: adversarial batches drive the misspeculation /
+// --- replay machinery hard; correctness must be untouched.
+
+TEST(CrashStorm, AdversarialKeyBatchesCrashOftenYetCommitCorrectly)
+{
+    // Consecutive keys share leaf nodes, so with 4 in-flight updates
+    // nearly every commit finds its write-set in the speculation
+    // window — the worst case for Algorithm 2.
+    HwTree tree;
+    PipelineConfig config;
+    config.update_lanes = 4;
+    TreePipeline pipe(tree, config);
+    for (std::uint64_t k = 0; k < 4096; ++k)
+        ASSERT_TRUE(pipe.insert(k, k).is_ok());
+    pipe.reset_stats();
+
+    std::map<std::uint64_t, std::uint64_t> model;
+    Rng rng(31);
+    for (int batch = 0; batch < 200; ++batch) {
+        // Each batch hammers one narrow key range.
+        const std::uint64_t base = rng.next_below(4000);
+        for (std::uint64_t k = base; k < base + 16; ++k) {
+            ASSERT_TRUE(pipe.insert(k, k + batch).is_ok());
+            model[k] = k + batch;
+        }
+    }
+
+    const PipelineStats &stats = pipe.stats();
+    EXPECT_EQ(stats.updates, 3200u);
+    EXPECT_GT(stats.crash_rate(), 0.25);  // Adversarial: crashes common.
+    EXPECT_LE(stats.crash_rate(), 1.0);
+    EXPECT_EQ(stats.replays, stats.crashes);  // Every crash re-runs.
+
+    for (const auto &[k, v] : model)
+        EXPECT_EQ(pipe.search(k), std::optional<std::uint64_t>(v)) << k;
+    EXPECT_TRUE(tree.validate().is_ok());
+}
+
+TEST(CrashStorm, HashSpreadKeysKeepCrashesRareUnderTheSameLoad)
+{
+    // The same 3200-update load with hash-spread keys (the production
+    // shape: bucket indexes of SHA-256 digests) barely conflicts —
+    // the paper's < 0.1% claim, with slack for this small tree.
+    HwTree tree;
+    PipelineConfig config;
+    config.update_lanes = 4;
+    TreePipeline pipe(tree, config);
+    Rng preload(31);
+    for (int i = 0; i < 4096; ++i)
+        ASSERT_TRUE(pipe.insert(preload.next_below(1u << 22), i).is_ok());
+    pipe.reset_stats();
+
+    Rng rng(32);
+    for (int i = 0; i < 3200; ++i)
+        ASSERT_TRUE(pipe.insert(rng.next_below(1u << 22), i).is_ok());
+    EXPECT_LT(pipe.stats().crash_rate(), 0.02);
+    EXPECT_EQ(pipe.stats().replays, pipe.stats().crashes);
+}
+
+TEST(CrashStorm, StormIsOrderEquivalentToSerialExecution)
+{
+    // The speculative 4-lane pipeline must commit the exact state a
+    // serial (1-lane) pipeline reaches on the same request stream.
+    const auto drive = [](unsigned lanes, HwTree &tree) {
+        PipelineConfig config;
+        config.update_lanes = lanes;
+        TreePipeline pipe(tree, config);
+        Rng rng(77);
+        for (int i = 0; i < 5000; ++i) {
+            const std::uint64_t base = rng.next_below(300);
+            if (rng.next_bool(0.7))
+                EXPECT_TRUE(pipe.insert(base, i).is_ok());
+            else
+                (void)pipe.erase(base);
+        }
+        return pipe.stats().crashes;
+    };
+
+    HwTree serial_tree;
+    HwTree storm_tree;
+    (void)drive(1, serial_tree);
+    (void)drive(4, storm_tree);
+    EXPECT_EQ(storm_tree.items(), serial_tree.items());
+    EXPECT_TRUE(storm_tree.validate().is_ok());
+}
+
+#if FIDR_FAULT_ENABLED
+TEST(CrashStorm, ForcedMisspeculationReplaysEveryUpdate)
+{
+    // The hwtree.force_crash failpoint marks every commit as a
+    // misspeculation regardless of real write-set overlap: the replay
+    // path runs for 100% of updates and must still be invisible to
+    // clients.
+    auto &registry = fault::FailpointRegistry::instance();
+    registry.disarm_all();
+    fault::FaultPolicy policy;
+    policy.probability = 1.0;
+    registry.arm(fault::Site::kHwTreeForceCrash, policy);
+
+    HwTree tree;
+    PipelineConfig config;
+    config.update_lanes = 4;
+    TreePipeline pipe(tree, config);
+    std::map<std::uint64_t, std::uint64_t> model;
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t key = rng.next_below(1u << 20);
+        ASSERT_TRUE(pipe.insert(key, i).is_ok());
+        model[key] = i;
+    }
+    registry.disarm_all();
+
+    const PipelineStats &stats = pipe.stats();
+    EXPECT_EQ(stats.crashes, stats.updates);
+    EXPECT_EQ(stats.replays, stats.crashes);
+    EXPECT_DOUBLE_EQ(stats.crash_rate(), 1.0);
+    for (const auto &[k, v] : model)
+        EXPECT_EQ(pipe.search(k), std::optional<std::uint64_t>(v)) << k;
+    EXPECT_TRUE(tree.validate().is_ok());
+}
+#endif  // FIDR_FAULT_ENABLED
 
 }  // namespace
 }  // namespace fidr::hwtree

@@ -117,6 +117,144 @@ TEST(Journal, RebuildAppliesAllOps)
     EXPECT_TRUE(table.validate().is_ok());
 }
 
+// --- Corruption corpus: every on-device damage shape replay must
+// --- classify (torn tail vs lost middle vs blank vs stale).
+
+TEST(JournalCorpus, CorruptedMiddleRecordIsAnExplicitError)
+{
+    // A valid tail *past* a damaged slot means the journal lost a
+    // committed record: replay must fail loudly with kCorruption, not
+    // silently truncate to the prefix.
+    ssd::Ssd ssd(journal_ssd());
+    MetadataJournal journal(ssd, 0, 1 * kMiB);
+    for (Lba lba = 0; lba < 6; ++lba)
+        ASSERT_TRUE(journal.log_map(lba, lba + 100).is_ok());
+
+    Buffer garbage(kJournalRecordSize, 0xFF);
+    ASSERT_TRUE(ssd.write(2 * kJournalRecordSize, garbage).is_ok());
+
+    const Result<std::vector<JournalRecord>> replayed = journal.replay();
+    ASSERT_FALSE(replayed.is_ok());
+    EXPECT_EQ(replayed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(JournalCorpus, DuplicateSequenceNumberEndsThePrefix)
+{
+    // Hand-frame records with encode(): slot 2 repeats sequence 1
+    // (a misdirected rewrite).  The repeated record must not apply
+    // twice; with nothing valid beyond it, replay returns the intact
+    // two-record prefix.
+    ssd::Ssd ssd(journal_ssd());
+    MetadataJournal journal(ssd, 0, 1 * kMiB);
+
+    JournalRecord record;
+    record.op = JournalOp::kMapLba;
+    for (std::uint32_t slot = 0; slot < 3; ++slot) {
+        record.lba = slot;
+        record.pbn = slot + 100;
+        const std::uint32_t seq = slot < 2 ? slot : 1;  // Duplicate.
+        ASSERT_TRUE(
+            ssd.write(slot * kJournalRecordSize,
+                      MetadataJournal::encode(record, 0, seq))
+                .is_ok());
+    }
+
+    Result<std::vector<JournalRecord>> replayed = journal.replay();
+    ASSERT_TRUE(replayed.is_ok());
+    ASSERT_EQ(replayed.value().size(), 2u);
+    EXPECT_EQ(replayed.value()[1].lba, 1u);
+
+    // A valid in-sequence record *after* the duplicate upgrades the
+    // verdict to corruption: a committed record is unreachable.
+    record.lba = 3;
+    ASSERT_TRUE(
+        ssd.write(3 * kJournalRecordSize,
+                  MetadataJournal::encode(record, 0, 3))
+            .is_ok());
+    replayed = journal.replay();
+    ASSERT_FALSE(replayed.is_ok());
+    EXPECT_EQ(replayed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(JournalCorpus, ZeroLengthAndBlankRegionsReplayEmpty)
+{
+    ssd::Ssd ssd(journal_ssd());
+    const MetadataJournal journal(ssd, 0, 1 * kMiB);
+    const Result<std::vector<JournalRecord>> replayed = journal.replay();
+    ASSERT_TRUE(replayed.is_ok());  // Nothing committed, nothing lost.
+    EXPECT_TRUE(replayed.value().empty());
+
+    // The smallest legal region holds exactly one record; the second
+    // append reports out-of-space and replay still works.
+    MetadataJournal tiny(ssd, 4 * kMiB, kJournalRecordSize);
+    ASSERT_TRUE(tiny.replay().is_ok());
+    EXPECT_TRUE(tiny.replay().value().empty());
+    ASSERT_TRUE(tiny.log_map(1, 1).is_ok());
+    EXPECT_EQ(tiny.log_map(2, 2).code(), StatusCode::kOutOfSpace);
+    ASSERT_TRUE(tiny.replay().is_ok());
+    EXPECT_EQ(tiny.replay().value().size(), 1u);
+}
+
+TEST(JournalCorpus, EncodeDecodeRoundTripRejectsDamage)
+{
+    JournalRecord record;
+    record.op = JournalOp::kSetLocation;
+    record.lba = 7;
+    record.pbn = 9;
+    record.location = ChunkLocation{3, 5, 1024};
+    const Buffer framed = MetadataJournal::encode(record, 42, 17);
+    ASSERT_EQ(framed.size(), kJournalRecordSize);
+
+    JournalRecord decoded;
+    std::uint32_t epoch = 0;
+    std::uint32_t seq = 0;
+    ASSERT_TRUE(
+        MetadataJournal::decode(framed.data(), &decoded, &epoch, &seq));
+    EXPECT_EQ(decoded, record);
+    EXPECT_EQ(epoch, 42u);
+    EXPECT_EQ(seq, 17u);
+
+    Buffer bad_check = framed;
+    bad_check.back() ^= 0x01;
+    EXPECT_FALSE(
+        MetadataJournal::decode(bad_check.data(), &decoded, &epoch, &seq));
+
+    Buffer bad_type = framed;
+    bad_type[0] = 0x7F;  // No such JournalOp.
+    EXPECT_FALSE(
+        MetadataJournal::decode(bad_type.data(), &decoded, &epoch, &seq));
+}
+
+TEST(JournalCorpus, RecoverAdoptsTheOnDeviceTail)
+{
+    // A restart constructs a fresh MetadataJournal over the same
+    // region: recover() must adopt the surviving head/epoch so new
+    // appends extend the recovered log instead of clobbering it.
+    ssd::Ssd ssd(journal_ssd());
+    {
+        MetadataJournal writer(ssd, 0, 1 * kMiB);
+        writer.reset();  // Epoch 1: an adopted epoch must stick too.
+        for (Lba lba = 0; lba < 5; ++lba)
+            ASSERT_TRUE(writer.log_map(lba, lba + 50).is_ok());
+    }
+
+    MetadataJournal restarted(ssd, 0, 1 * kMiB);
+    EXPECT_EQ(restarted.records(), 0u);  // Pre-recovery: blank state.
+    const Result<std::vector<JournalRecord>> tail = restarted.recover();
+    ASSERT_TRUE(tail.is_ok());
+    ASSERT_EQ(tail.value().size(), 5u);
+    EXPECT_EQ(restarted.records(), 5u);
+    EXPECT_EQ(restarted.used_bytes(), 5 * kJournalRecordSize);
+
+    ASSERT_TRUE(restarted.log_map(99, 199).is_ok());
+    const Result<std::vector<JournalRecord>> extended =
+        restarted.replay();
+    ASSERT_TRUE(extended.is_ok());
+    ASSERT_EQ(extended.value().size(), 6u);
+    EXPECT_EQ(extended.value().back().lba, 99u);
+    EXPECT_EQ(extended.value().back().pbn, 199u);
+}
+
 TEST(LbaPbaSnapshot, SerializeDeserializeRoundTrip)
 {
     LbaPbaTable table;
