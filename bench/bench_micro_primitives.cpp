@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "fidr/btree/bplus_tree.h"
 #include "fidr/cache/indexes.h"
 #include "fidr/chunking/cdc.h"
@@ -175,6 +178,78 @@ BM_TableCacheAccess(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TableCacheAccess);
+
+void
+BM_LruTouch(benchmark::State &state)
+{
+    // touch() is O(1) (intrusive doubly linked list over line slots):
+    // ns/op must stay flat as the list grows.
+    const auto lines = static_cast<std::size_t>(state.range(0));
+    cache::LruList lru(lines);
+    for (std::size_t i = 0; i < lines; ++i)
+        lru.touch(i);
+    Rng rng(13);
+    for (auto _ : state)
+        lru.touch(rng.next_below(lines));
+}
+BENCHMARK(BM_LruTouch)->Arg(1 << 6)->Arg(1 << 12)->Arg(1 << 18);
+
+void
+BM_LruVictimCycle(benchmark::State &state)
+{
+    // The miss-path pair: pop the LRU victim, re-link the filled line.
+    const auto lines = static_cast<std::size_t>(state.range(0));
+    cache::LruList lru(lines);
+    for (std::size_t i = 0; i < lines; ++i)
+        lru.touch(i);
+    for (auto _ : state) {
+        const auto victim = lru.pop_victim();
+        lru.touch(*victim);
+    }
+}
+BENCHMARK(BM_LruVictimCycle)->Arg(1 << 6)->Arg(1 << 12)->Arg(1 << 18);
+
+void
+BM_FreeListPushPop(benchmark::State &state)
+{
+    // Circular-buffer free list: O(1) regardless of capacity.
+    const auto lines = static_cast<std::size_t>(state.range(0));
+    cache::FreeList free_list(lines);
+    for (std::size_t i = 0; i < lines; ++i)
+        free_list.push(i);
+    for (auto _ : state) {
+        const auto line = free_list.pop();
+        free_list.push(*line);
+    }
+}
+BENCHMARK(BM_FreeListPushPop)->Arg(1 << 6)->Arg(1 << 12)->Arg(1 << 18);
+
+void
+BM_TableCacheAccessSharded(benchmark::State &state)
+{
+    // Same mix as BM_TableCacheAccess, cache split into N shards
+    // (arg); measures the single-caller overhead of the per-shard
+    // locking that buys the multi-caller concurrency headroom.
+    const auto shards = static_cast<std::size_t>(state.range(0));
+    ssd::SsdConfig config;
+    config.capacity_bytes = 1ull * kGiB;
+    ssd::Ssd ssd(config);
+    tables::HashPbnTable table(ssd, 1 << 15);
+    std::vector<std::unique_ptr<cache::CacheIndex>> subs;
+    for (std::size_t s = 0; s < shards; ++s)
+        subs.push_back(std::make_unique<cache::BTreeCacheIndex>());
+    cache::ShardedCacheIndex index(std::move(subs));
+    cache::TableCache tc(table, index, 1024,
+                         cache::EvictionPolicy::kLru, shards);
+    Rng rng(12);
+    for (auto _ : state) {
+        const BucketIndex bucket =
+            rng.next_bool(0.8) ? rng.next_below(900)
+                               : rng.next_below(1 << 15);
+        benchmark::DoNotOptimize(tc.access(bucket));
+    }
+}
+BENCHMARK(BM_TableCacheAccessSharded)->Arg(1)->Arg(4)->Arg(16);
 
 void
 BM_BaselineWritePath(benchmark::State &state)

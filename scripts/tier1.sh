@@ -10,7 +10,10 @@
 #      the power-cut sweep);
 #   5. overhead smoke check: the traced+faultable build (both disabled
 #      at runtime, the production default) stays within 15% of the
-#      fully stripped build on the FIDR write-path micro bench.
+#      fully stripped build on the FIDR write-path micro bench;
+#   6. write-path pipelining smoke: bench_pipeline_depth --smoke gates
+#      on depth-invariant reduction results and pipeline occupancy
+#      (plus wall-clock speedup on multi-lane hosts).
 # Run from the repo root:
 #
 #   scripts/tier1.sh [build-dir] [notrace-build-dir] [tsan-build-dir] \
@@ -33,22 +36,27 @@ cmake -B "$NOTRACE_DIR" -S . -DFIDR_TRACE=OFF -DFIDR_FAULT=OFF
 cmake --build "$NOTRACE_DIR" -j "$JOBS"
 ctest --test-dir "$NOTRACE_DIR" --output-on-failure -j "$JOBS"
 
-echo "== tier-1: thread-pool/determinism/obs tests under TSan =="
+echo "== tier-1: thread-pool/determinism/obs/pipeline tests under TSan =="
 cmake -B "$TSAN_DIR" -S . -DFIDR_SANITIZE=thread \
     -DFIDR_BUILD_BENCHES=OFF -DFIDR_BUILD_EXAMPLES=OFF \
     -DFIDR_BUILD_TOOLS=OFF
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-    --target test_thread_pool test_parallel_determinism test_obs
+    --target test_thread_pool test_parallel_determinism test_obs \
+    test_pipeline_determinism
 "$TSAN_DIR"/tests/test_thread_pool
 "$TSAN_DIR"/tests/test_parallel_determinism
 "$TSAN_DIR"/tests/test_obs
+# Write-path pipelining at depth 4: bit-identity across depths/shards
+# and the power-cut-with-batches-in-flight crash sweep, raced by TSan.
+"$TSAN_DIR"/tests/test_pipeline_determinism
 
 echo "== tier-1: fault injection + crash sweep under ASan/UBSan =="
 cmake -B "$ASAN_DIR" -S . -DFIDR_SANITIZE=address \
     -DFIDR_BUILD_BENCHES=OFF -DFIDR_BUILD_EXAMPLES=OFF \
     -DFIDR_BUILD_TOOLS=OFF
 cmake --build "$ASAN_DIR" -j "$JOBS" \
-    --target test_fault test_crash_sweep test_journal test_hwtree
+    --target test_fault test_crash_sweep test_journal test_hwtree \
+    test_pipeline_determinism
 ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" -L 'fault|crash'
 
 echo "== tier-1: trace+fault overhead smoke (armed-off <= 1.15x stripped) =="
@@ -74,5 +82,14 @@ print(f"trace+fault best {traced:.0f} ns, stripped best {untraced:.0f} ns "
 if ratio > 1.15:
     sys.exit("FAIL: trace+fault overhead exceeds 15%")
 EOF
+
+echo "== tier-1: write-path pipelining smoke (depth sweep) =="
+# bench_pipeline_depth asserts its own gates: reduction results
+# bit-identical across depth x shards; at depth 4 the pipeline
+# genuinely held >=2 batches in flight (queue-depth occupancy — the
+# right check on a 1-core host, where stages timeshare); on
+# multi-lane hosts additionally measured hash||execute overlap > 0
+# and depth-4 throughput strictly above depth-1.
+(cd "$BUILD_DIR"/bench && ./bench_pipeline_depth --smoke)
 
 echo "tier-1 OK"

@@ -92,6 +92,33 @@ ThreadPool::parallel_for(
     const std::size_t q = n / shards;
     const std::size_t r = n % shards;
 
+    // On a one-lane host the enqueue/wake/join round trip cannot buy
+    // concurrency — the OS would just timeshare the same core — so run
+    // the shards inline, sequentially, with the exact same shard
+    // boundaries (per-shard tracing and any shard-local state stay
+    // byte-identical to the pooled execution).
+    static const bool kSingleLaneHost = hardware_lanes() == 1;
+    if (kSingleLaneHost) {
+        std::exception_ptr error;
+        std::size_t begin = 0;
+        for (std::size_t s = 0; s < shards; ++s) {
+            const std::size_t end = begin + q + (s < r ? 1 : 0);
+            try {
+                body(begin, end);
+            } catch (...) {
+                // Match the pooled contract: remaining shards still
+                // run; the first exception is rethrown after.
+                if (!error)
+                    error = std::current_exception();
+            }
+            begin = end;
+        }
+        FIDR_CHECK(begin == n);
+        if (error)
+            std::rethrow_exception(error);
+        return;
+    }
+
     ForkJoin join;
     join.pending = shards;
     {
@@ -118,6 +145,17 @@ ThreadPool::parallel_for(
     join.wait();
     if (join.error)
         std::rethrow_exception(join.error);
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        FIDR_CHECK(!stopping_);
+        queue_.push_back(std::move(task));
+    }
+    work_ready_.notify_one();
 }
 
 std::size_t

@@ -61,6 +61,16 @@ class ThreadPool {
                           &body);
 
     /**
+     * Queues one task for asynchronous execution on a worker thread
+     * and returns immediately.  Unlike parallel_for, submit() never
+     * runs the task inline — the write pipeline relies on submitted
+     * work proceeding concurrently with the caller even on one-core
+     * hosts (the OS timeshares the lanes).  Tasks run in submission
+     * order per worker; exceptions must be handled inside the task.
+     */
+    void submit(std::function<void()> task);
+
+    /**
      * Lane count to use when a config knob is 0 ("auto"): the hardware
      * concurrency, never less than 1.
      */

@@ -60,8 +60,7 @@ class BaselineSystem : public StorageServer {
 
     Platform &platform() { return platform_; }
     const Platform &platform() const { return platform_; }
-    const cache::CacheStats &cache_stats() const
-    { return table_cache_.stats(); }
+    cache::CacheStats cache_stats() const { return table_cache_.stats(); }
     const cache::IndexStats &index_stats() const { return index_.stats(); }
     tables::LbaPbaTable &lba_table() { return lba_table_; }
 

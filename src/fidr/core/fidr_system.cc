@@ -19,19 +19,7 @@ FidrSystem::FidrSystem(const FidrConfig &config)
                                     : config_.compress_lanes;
     if (compress_lanes > 1)
         compress_pool_ = std::make_unique<ThreadPool>(compress_lanes);
-    if (config.hw_cache_engine) {
-        hwtree::PipelineConfig pipeline;
-        pipeline.update_lanes = config.tree_update_lanes;
-        auto hw = std::make_unique<cache::HwTreeCacheIndex>(pipeline);
-        hw_index_ = hw.get();
-        index_ = std::move(hw);
-    } else {
-        index_ = std::make_unique<cache::BTreeCacheIndex>();
-    }
-    table_cache_ = std::make_unique<cache::TableCache>(
-        platform_.hash_table(), *index_, platform_.cache_lines(),
-        config.eviction_policy);
-    dedup_ = std::make_unique<DedupIndex>(*table_cache_);
+    build_cache_structures();
 
     // Host DRAM holds only the table cache content; payload buffering
     // moved to NIC DRAM and containers to the Compression Engine.
@@ -67,6 +55,68 @@ FidrSystem::FidrSystem(const FidrConfig &config)
     hist_.read_fetch = &metrics_.histogram("read.ssd_fetch");
     hist_.read_decompress = &metrics_.histogram("read.decompress");
     hist_.read_return = &metrics_.histogram("read.nic_return");
+
+    // Stage-occupancy histograms exist at every depth so a depth sweep
+    // compares like for like (aggregate busy > wall-clock shows real
+    // overlap; at depth 1 busy == wall by construction).
+    pipe_hash_busy_ = &metrics_.histogram("pipeline.stage.hash.busy_ns");
+    pipe_execute_busy_ =
+        &metrics_.histogram("pipeline.stage.execute.busy_ns");
+    if (config_.in_flight_batches > 1) {
+        WritePipelineConfig pipeline;
+        pipeline.depth = config_.in_flight_batches;
+        pipeline.hash_workers = config_.pipeline_hash_workers;
+        WritePipelineMetrics sinks;
+        sinks.submit_stall_ns =
+            &metrics_.histogram("pipeline.submit_stall_ns");
+        sinks.queue_depth = &metrics_.histogram("pipeline.queue_depth");
+        sinks.batches = &metrics_.counter("pipeline.batches");
+        sinks.stalls = &metrics_.counter("pipeline.stalls");
+        sinks.overlap_ns = &metrics_.counter("pipeline.overlap_ns");
+        pipeline_ = std::make_unique<WritePipeline>(
+            pipeline, nic_,
+            [this](nic::SealedBatch &batch) { stage_hash(batch); },
+            [this](nic::SealedBatch &batch) {
+                return execute_batch(batch);
+            },
+            sinks);
+    }
+}
+
+void
+FidrSystem::build_cache_structures()
+{
+    // (Re)build index + cache + dedup view; shared by the constructor
+    // and crash recovery so both produce the same sharded layout.
+    hw_shards_.clear();
+    const std::size_t shards = config_.cache_shards;
+    const auto make_index = [this]() -> std::unique_ptr<cache::CacheIndex> {
+        if (config_.hw_cache_engine) {
+            hwtree::PipelineConfig pipeline;
+            pipeline.update_lanes = config_.tree_update_lanes;
+            auto hw = std::make_unique<cache::HwTreeCacheIndex>(pipeline);
+            hw_shards_.push_back(hw.get());
+            return hw;
+        }
+        return std::make_unique<cache::BTreeCacheIndex>();
+    };
+    if (shards > 1) {
+        // One sub-index per cache shard: sub s is only ever touched
+        // under shard s's mutex, so single-threaded backends (the HW
+        // tree, the B+ tree) stay safe without their own locking.
+        std::vector<std::unique_ptr<cache::CacheIndex>> subs;
+        subs.reserve(shards);
+        for (std::size_t s = 0; s < shards; ++s)
+            subs.push_back(make_index());
+        index_ =
+            std::make_unique<cache::ShardedCacheIndex>(std::move(subs));
+    } else {
+        index_ = make_index();
+    }
+    table_cache_ = std::make_unique<cache::TableCache>(
+        platform_.hash_table(), *index_, platform_.cache_lines(),
+        config_.eviction_policy, shards);
+    dedup_ = std::make_unique<DedupIndex>(*table_cache_);
 }
 
 Status
@@ -120,12 +170,19 @@ FidrSystem::write(Lba lba, Buffer data)
         return Status::invalid_argument("writes must be 4 KB chunks");
 
     // Fig 6a step 1: buffer in the NIC and ack immediately.  The FIDR
-    // device manager's per-request work stays on the host CPU.
-    platform_.cpu().bill_us(cputag::kOrchestration,
-                            calib::kCpuOrchestrationPerChunk);
-    if (nic_.buffered_bytes() + kChunkSize > nic_.config().buffer_capacity) {
-        // Back-pressure: drain the buffered batch before accepting more.
-        const Status drained = process_batch();
+    // device manager's per-request CPU work is billed per chunk on the
+    // commit sequencer (execute_batch) so the work ledgers have exactly
+    // one writer at any pipeline depth.
+    if (nic_.pending_bytes() + kChunkSize > nic_.config().buffer_capacity) {
+        // Back-pressure: the NVRAM budget covers open *and* in-flight
+        // sealed batches — commit everything before accepting more.
+        const Status committed = drain_pipeline();
+        if (!committed.is_ok())
+            return committed;
+        const Status sealed = process_batch();
+        if (!sealed.is_ok())
+            return sealed;
+        const Status drained = drain_pipeline();
         if (!drained.is_ok())
             return drained;
     }
@@ -174,27 +231,74 @@ FidrSystem::bill_container_seals()
 Status
 FidrSystem::process_batch()
 {
-    const std::size_t n = nic_.buffered_chunks();
-    if (n == 0)
+    nic::SealedBatch *batch = nic_.seal_batch();
+    if (batch == nullptr)
         return Status::ok();
-    pcie::Fabric &fabric = platform_.fabric();
-    host::HostCpu &cpu = platform_.cpu();
 
-    const std::uint64_t batch_id = ++batch_seq_;
-    const obs::StageTimer batch_timer;
-    FIDR_TRACE_SPAN(batch_span, obs::Tpoint::kWriteBatch, batch_id, n);
-
-    // Step 2: in-NIC hashing; only digests cross to the host.
-    std::vector<Digest> digests;
-    {
-        const obs::StageTimer timer;
-        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteHash, batch_id, n);
-        digests = nic_.hash_buffered();
-        hist_.hash->record(timer.elapsed_ns());
+    if (!pipeline_) {
+        // Depth 1: the whole Fig 6a flow runs synchronously on the
+        // caller, exactly the pre-pipeline behaviour.
+        stage_hash(*batch);
+        const Status done = execute_batch(*batch);
+        if (!done.is_ok()) {
+            // A failed batch stays buffered (NVRAM) and retries at the
+            // next flush, after the fault clears.
+            nic_.unseal_all();
+        }
+        return done;
     }
+    if (pipeline_->failed()) {
+        // Surface the earlier asynchronous failure now; the batch we
+        // just sealed is unsealed along with the aborted ones.
+        return surface_pipeline_error();
+    }
+    return pipeline_->submit(batch->epoch);
+}
+
+Status
+FidrSystem::drain_pipeline()
+{
+    if (!pipeline_)
+        return Status::ok();
+    pipeline_->quiesce();
+    if (pipeline_->failed())
+        return surface_pipeline_error();
+    return Status::ok();
+}
+
+Status
+FidrSystem::surface_pipeline_error()
+{
+    pipeline_->quiesce();
+    const Status error = pipeline_->take_error();
+    // Failed/aborted batches return to the open buffer (their chunks
+    // keep computed digests) and retry at the next flush.
+    nic_.unseal_all();
+    return error;
+}
+
+void
+FidrSystem::stage_hash(nic::SealedBatch &batch)
+{
+    // Step 2: in-NIC hashing; only digests cross to the host.  The one
+    // stage safe off the commit sequencer: pure per-batch data, no
+    // shared-state reads.
+    const obs::StageTimer timer;
+    FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteHash, batch.epoch,
+                    batch.chunks.size());
+    nic_.hash_sealed(batch);
+    const std::uint64_t elapsed = timer.elapsed_ns();
+    hist_.hash->record(elapsed);
+    pipe_hash_busy_->record(elapsed);
+}
+
+Status
+FidrSystem::stage_digest_transfer(const nic::SealedBatch &batch)
+{
+    const std::size_t n = batch.chunks.size();
     {
         const obs::StageTimer timer;
-        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteDigestXfer, batch_id,
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteDigestXfer, batch.epoch,
                         n * Digest::kSize);
         const Status moved = dma_checked(platform_.nic(), pcie::kHostMemory,
                                          n * Digest::kSize,
@@ -208,7 +312,7 @@ FidrSystem::process_batch()
     // the "negligible PCIe bandwidth" of Sec 5.6).
     {
         const obs::StageTimer timer;
-        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteBucketIndex, batch_id,
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteBucketIndex, batch.epoch,
                         n * 8);
         const Status moved =
             dma_checked(pcie::kHostMemory, platform_.cache_engine(), n * 8,
@@ -217,88 +321,100 @@ FidrSystem::process_batch()
         if (!moved.is_ok())
             return moved;
     }
+    return Status::ok();
+}
 
+Status
+FidrSystem::stage_resolve(const nic::SealedBatch &batch, BatchPlan &plan)
+{
     // Steps 4-5: resolve cache lines and scan bucket content on host.
-    std::vector<ChunkVerdict> verdicts(n, ChunkVerdict::kUnique);
-    std::vector<Pbn> pbns(n, kInvalidPbn);
-    std::vector<Pbn> unique_pbns;
-    std::vector<Digest> unique_digests;
+    const std::size_t n = batch.chunks.size();
+    pcie::Fabric &fabric = platform_.fabric();
+    host::HostCpu &cpu = platform_.cpu();
+    plan.verdicts.assign(n, ChunkVerdict::kUnique);
+    plan.pbns.assign(n, kInvalidPbn);
     const Pbn batch_first_pbn = next_pbn_;
-    {
-        const obs::StageTimer timer;
-        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteDedupResolve, batch_id,
-                        n);
-        for (std::size_t i = 0; i < n; ++i) {
-            Result<DedupLookup> looked = dedup_->lookup_or_insert(
-                digests[i], next_pbn_, high_priority_);
-            if (!looked.is_ok())
-                return looked.status();
-            DedupLookup lookup = looked.value();
+    const obs::StageTimer timer;
+    FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteDedupResolve, batch.epoch,
+                    n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Digest &digest = batch.chunks[i].digest;
+        Result<DedupLookup> looked = dedup_->lookup_or_insert(
+            digest, next_pbn_, high_priority_);
+        if (!looked.is_ok())
+            return looked.status();
+        DedupLookup lookup = looked.value();
 
-            if (lookup.verdict == ChunkVerdict::kDuplicate &&
-                lookup.pbn < batch_first_pbn &&
-                !lba_table_.location_of(lookup.pbn)) {
-                // Dangling Hash-PBN entry: its bucket reached the table
-                // SSD before a crash, but the chunk's data never made
-                // it into a container (or the PBN was since reclaimed
-                // and the removal failed).  Re-point the digest at a
-                // fresh PBN and store the chunk as unique.
-                Result<DedupLookup> removed = dedup_->remove(digests[i]);
-                if (!removed.is_ok())
-                    return removed.status();
-                Result<DedupLookup> reinserted = dedup_->lookup_or_insert(
-                    digests[i], next_pbn_, high_priority_);
-                if (!reinserted.is_ok())
-                    return reinserted.status();
-                lookup = reinserted.value();
-                ++fault_stats_.dangling_repairs;
-            }
-
-            if (!config_.hw_cache_engine) {
-                // NIC+P2P-only configuration: the index stays a
-                // software B+ tree, so its CPU cost remains (Fig 14
-                // config b).
-                cpu.bill_us(cputag::kTreeIndex,
-                            lookup.buckets_probed *
-                                    calib::kCpuTreeLookupPerChunk +
-                                lookup.cache_misses *
-                                    calib::kCpuTreeUpdatePerMiss);
-                cpu.bill_us(cputag::kTableSsd,
-                            lookup.cache_misses *
-                                calib::kCpuTableSsdPerMiss);
-            }
-            cpu.bill_us(cputag::kScan, calib::kCpuBucketScanPerChunk);
-            cpu.bill_us(cputag::kLru, calib::kCpuLruPerChunk);
-            cpu.bill_us(cputag::kTableMisc, calib::kCpuTableMiscPerChunk);
-
-            fabric.host_memory().add(
-                memtag::kTableCache,
-                lookup.buckets_probed * calib::kBucketScanFraction *
-                    static_cast<double>(kBucketSize));
-            for (unsigned m = 0; m < lookup.cache_misses; ++m) {
-                fabric.dma(platform_.table_ssd_dev(), pcie::kHostMemory,
-                           kBucketSize, memtag::kTableCache);
-            }
-            for (unsigned f = 0; f < lookup.dirty_evictions; ++f) {
-                fabric.dma(pcie::kHostMemory, platform_.table_ssd_dev(),
-                           kBucketSize, memtag::kTableCache);
-            }
-
-            verdicts[i] = lookup.verdict;
-            pbns[i] = lookup.pbn;
-            if (lookup.verdict == ChunkVerdict::kUnique) {
-                unique_pbns.push_back(lookup.pbn);
-                unique_digests.push_back(digests[i]);
-                ++next_pbn_;
-            }
+        if (lookup.verdict == ChunkVerdict::kDuplicate &&
+            lookup.pbn < batch_first_pbn &&
+            !lba_table_.location_of(lookup.pbn)) {
+            // Dangling Hash-PBN entry: its bucket reached the table
+            // SSD before a crash, but the chunk's data never made
+            // it into a container (or the PBN was since reclaimed
+            // and the removal failed).  Re-point the digest at a
+            // fresh PBN and store the chunk as unique.
+            Result<DedupLookup> removed = dedup_->remove(digest);
+            if (!removed.is_ok())
+                return removed.status();
+            Result<DedupLookup> reinserted = dedup_->lookup_or_insert(
+                digest, next_pbn_, high_priority_);
+            if (!reinserted.is_ok())
+                return reinserted.status();
+            lookup = reinserted.value();
+            ++fault_stats_.dangling_repairs;
         }
-        hist_.dedup_resolve->record(timer.elapsed_ns());
+
+        if (!config_.hw_cache_engine) {
+            // NIC+P2P-only configuration: the index stays a
+            // software B+ tree, so its CPU cost remains (Fig 14
+            // config b).
+            cpu.bill_us(cputag::kTreeIndex,
+                        lookup.buckets_probed *
+                                calib::kCpuTreeLookupPerChunk +
+                            lookup.cache_misses *
+                                calib::kCpuTreeUpdatePerMiss);
+            cpu.bill_us(cputag::kTableSsd,
+                        lookup.cache_misses *
+                            calib::kCpuTableSsdPerMiss);
+        }
+        cpu.bill_us(cputag::kScan, calib::kCpuBucketScanPerChunk);
+        cpu.bill_us(cputag::kLru, calib::kCpuLruPerChunk);
+        cpu.bill_us(cputag::kTableMisc, calib::kCpuTableMiscPerChunk);
+
+        fabric.host_memory().add(
+            memtag::kTableCache,
+            lookup.buckets_probed * calib::kBucketScanFraction *
+                static_cast<double>(kBucketSize));
+        for (unsigned m = 0; m < lookup.cache_misses; ++m) {
+            fabric.dma(platform_.table_ssd_dev(), pcie::kHostMemory,
+                       kBucketSize, memtag::kTableCache);
+        }
+        for (unsigned f = 0; f < lookup.dirty_evictions; ++f) {
+            fabric.dma(pcie::kHostMemory, platform_.table_ssd_dev(),
+                       kBucketSize, memtag::kTableCache);
+        }
+
+        plan.verdicts[i] = lookup.verdict;
+        plan.pbns[i] = lookup.pbn;
+        if (lookup.verdict == ChunkVerdict::kUnique) {
+            plan.unique_pbns.push_back(lookup.pbn);
+            plan.unique_digests.push_back(digest);
+            ++next_pbn_;
+        }
     }
+    hist_.dedup_resolve->record(timer.elapsed_ns());
+    return Status::ok();
+}
+
+Status
+FidrSystem::stage_schedule(const nic::SealedBatch &batch, BatchPlan &plan)
+{
+    const std::size_t n = batch.chunks.size();
 
     // Step 6: verdicts (and destination metadata) back to the NIC.
     {
         const obs::StageTimer timer;
-        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteVerdictXfer, batch_id,
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteVerdictXfer, batch.epoch,
                         n * 2);
         const Status moved = dma_checked(pcie::kHostMemory,
                                          platform_.nic(), n * 2,
@@ -310,20 +426,19 @@ FidrSystem::process_batch()
 
     // Step 7 (crash-consistent handoff): the compression scheduler
     // exposes the unique chunks while the battery-backed NIC buffer
-    // keeps the whole batch; it is released only at the commit point
-    // below, after every chunk's metadata is applied and journaled, so
-    // a failure anywhere in between leaves the acknowledged data
+    // keeps the whole batch; it is released only at the commit point,
+    // after every chunk's metadata is applied and journaled, so a
+    // failure anywhere in between leaves the acknowledged data
     // replayable instead of lost.
     Result<std::vector<const nic::BufferedChunk *>> scheduled =
-        nic_.peek_unique(verdicts);
+        nic_.peek_unique_sealed(batch, plan.verdicts);
     if (!scheduled.is_ok())
         return scheduled.status();
-    const std::vector<const nic::BufferedChunk *> unique =
-        scheduled.take();
-    FIDR_CHECK(unique.size() == unique_pbns.size());
+    plan.unique = scheduled.take();
+    FIDR_CHECK(plan.unique.size() == plan.unique_pbns.size());
 
     std::uint64_t unique_bytes = 0;
-    for (const nic::BufferedChunk *chunk : unique)
+    for (const nic::BufferedChunk *chunk : plan.unique)
         unique_bytes += chunk->data.size();
     if (unique_bytes > 0) {
         const Status moved =
@@ -332,119 +447,171 @@ FidrSystem::process_batch()
         if (!moved.is_ok())
             return moved;
     }
+    return Status::ok();
+}
 
-    // Steps 8-9: compression and container packing in engine memory;
-    // sealed containers DMA straight to the data SSDs.  The engine's
-    // LZ cores compress disjoint chunks concurrently; container
-    // appends, engine counters, ledgers and journaling stay on this
-    // thread after the join so accounting is lane-count-invariant.
-    std::vector<accel::CompressedChunk> compressed_batch(unique.size());
-    const auto compress_range = [this, &unique, &compressed_batch](
-                                    std::size_t begin, std::size_t end) {
+Status
+FidrSystem::stage_compress(const nic::SealedBatch &batch, BatchPlan &plan)
+{
+    // Step 8: compression in engine memory.  The engine's LZ cores
+    // compress disjoint chunks concurrently; engine counters, ledgers
+    // and journaling stay on the commit sequencer after the join so
+    // accounting is lane-count-invariant.
+    std::uint64_t unique_bytes = 0;
+    for (const nic::BufferedChunk *chunk : plan.unique)
+        unique_bytes += chunk->data.size();
+    plan.compressed.resize(plan.unique.size());
+    const auto compress_range = [this, &plan](std::size_t begin,
+                                              std::size_t end) {
         // One span per LZ lane shard (worker-thread trace ring).
         FIDR_TRACE_SPAN(lane_span, obs::Tpoint::kWriteCompressLane,
                         begin, end - begin);
         for (std::size_t j = begin; j < end; ++j) {
-            compressed_batch[j] =
-                compressor_.compress_stateless(unique[j]->data);
+            plan.compressed[j] =
+                compressor_.compress_stateless(plan.unique[j]->data);
         }
     };
-    {
-        const obs::StageTimer timer;
-        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteCompress, batch_id,
-                        unique_bytes);
-        if (compress_pool_)
-            compress_pool_->parallel_for(unique.size(), compress_range);
-        else
-            compress_range(0, unique.size());
-        hist_.compress->record(timer.elapsed_ns());
-    }
+    const obs::StageTimer timer;
+    FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteCompress, batch.epoch,
+                    unique_bytes);
+    if (compress_pool_)
+        compress_pool_->parallel_for(plan.unique.size(), compress_range);
+    else
+        compress_range(0, plan.unique.size());
+    hist_.compress->record(timer.elapsed_ns());
+    return Status::ok();
+}
 
-    {
-        const obs::StageTimer timer;
-        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteContainerAppend,
-                        batch_id, unique.size());
-        for (std::size_t j = 0; j < unique.size(); ++j) {
-            const accel::CompressedChunk &compressed = compressed_batch[j];
-            compressor_.record(compressed);
-            Result<tables::ChunkLocation> placed =
-                containers_.append(compressed.data);
-            if (!placed.is_ok())
-                return placed.status();
-            stats_.stored_bytes += compressed.data.size();
-            // Step 10: journal the chunk's location *before* the
-            // in-DRAM update, so the durable log is never behind the
-            // table it protects.  If the append fails here the stored
-            // bytes leak as dead container space, but the mapping
-            // stays consistent and a retried batch re-stores the chunk
-            // through the dangling-entry repair above.
-            if (journal_) {
-                tables::JournalRecord rec;
-                rec.op = tables::JournalOp::kSetLocation;
-                rec.pbn = unique_pbns[j];
-                rec.location = placed.value();
-                const Status logged = journal_append(rec);
-                if (!logged.is_ok())
-                    return logged;
-            }
-            lba_table_.set_location(unique_pbns[j], placed.value());
-            space_.on_store(unique_pbns[j], unique_digests[j],
-                            placed.value());
-            const Status billed = bill_container_seals();
-            if (!billed.is_ok())
-                return billed;
+Status
+FidrSystem::stage_store(const nic::SealedBatch &batch, BatchPlan &plan)
+{
+    // Steps 9-10: container packing; sealed containers DMA straight to
+    // the data SSDs.
+    const obs::StageTimer timer;
+    FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteContainerAppend,
+                    batch.epoch, plan.unique.size());
+    for (std::size_t j = 0; j < plan.unique.size(); ++j) {
+        const accel::CompressedChunk &compressed = plan.compressed[j];
+        compressor_.record(compressed);
+        Result<tables::ChunkLocation> placed =
+            containers_.append(compressed.data);
+        if (!placed.is_ok())
+            return placed.status();
+        stats_.stored_bytes += compressed.data.size();
+        // Journal the chunk's location *before* the in-DRAM update, so
+        // the durable log is never behind the table it protects.  If
+        // the append fails here the stored bytes leak as dead container
+        // space, but the mapping stays consistent and a retried batch
+        // re-stores the chunk through the dangling-entry repair in
+        // stage_resolve.
+        if (journal_) {
+            tables::JournalRecord rec;
+            rec.op = tables::JournalOp::kSetLocation;
+            rec.pbn = plan.unique_pbns[j];
+            rec.location = placed.value();
+            const Status logged = journal_append(rec);
+            if (!logged.is_ok())
+                return logged;
         }
-        hist_.container_append->record(timer.elapsed_ns());
+        lba_table_.set_location(plan.unique_pbns[j], placed.value());
+        space_.on_store(plan.unique_pbns[j], plan.unique_digests[j],
+                        placed.value());
+        const Status billed = bill_container_seals();
+        if (!billed.is_ok())
+            return billed;
     }
+    hist_.container_append->record(timer.elapsed_ns());
+    return Status::ok();
+}
 
+Status
+FidrSystem::stage_apply(const nic::SealedBatch &batch, BatchPlan &plan)
+{
     // LBA-PBA mappings are applied only after every unique chunk of
     // the batch is physically stored (data-before-metadata): a crash
     // can leave stored-but-unmapped chunks (dead space), never mapped
     // LBAs whose data is gone.  Duplicates map to the matched PBN,
-    // uniques to their freshly assigned PBN.
-    const std::vector<Lba> lbas = nic_.buffered_lbas();
-    FIDR_CHECK(lbas.size() == n);
-    // Overwritten chunks are retired only after the whole batch is
-    // mapped and stored: a later duplicate in the same batch may
+    // uniques to their freshly assigned PBN.  Overwritten chunks are
+    // retired only at commit: a later duplicate in the same batch may
     // re-reference a PBN whose refcount transiently hit zero.
-    std::vector<Pbn> retire_candidates;
-    {
-        const obs::StageTimer timer;
-        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteMapUpdate, batch_id, n);
-        for (std::size_t i = 0; i < n; ++i) {
-            if (journal_) {
-                tables::JournalRecord rec;
-                rec.op = tables::JournalOp::kMapLba;
-                rec.lba = lbas[i];
-                rec.pbn = pbns[i];
-                const Status logged = journal_append(rec);
-                if (!logged.is_ok())
-                    return logged;
-            }
-            const auto prev = lba_table_.map_lba(lbas[i], pbns[i]);
-            if (prev && *prev != pbns[i])
-                retire_candidates.push_back(*prev);
+    const std::size_t n = batch.chunks.size();
+    const obs::StageTimer timer;
+    FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteMapUpdate, batch.epoch, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Lba lba = batch.chunks[i].lba;
+        if (journal_) {
+            tables::JournalRecord rec;
+            rec.op = tables::JournalOp::kMapLba;
+            rec.lba = lba;
+            rec.pbn = plan.pbns[i];
+            const Status logged = journal_append(rec);
+            if (!logged.is_ok())
+                return logged;
         }
-        hist_.map_update->record(timer.elapsed_ns());
+        const auto prev = lba_table_.map_lba(lba, plan.pbns[i]);
+        if (prev && *prev != plan.pbns[i])
+            plan.retire_candidates.push_back(*prev);
     }
+    hist_.map_update->record(timer.elapsed_ns());
+    return Status::ok();
+}
 
+void
+FidrSystem::stage_commit(nic::SealedBatch &batch, const BatchPlan &plan)
+{
     // Commit point: every chunk of the batch is stored, journaled and
     // mapped — the NIC may finally release the acknowledged payloads.
-    nic_.drop_batch();
+    nic_.drop_sealed(batch.epoch);
 
     // Verdict statistics are deferred to the commit so an aborted and
     // retried batch is not counted twice.
-    for (const ChunkVerdict verdict : verdicts) {
+    for (const ChunkVerdict verdict : plan.verdicts) {
         if (verdict == ChunkVerdict::kUnique)
             ++stats_.unique_chunks;
         else
             ++stats_.duplicates;
     }
 
-    for (const Pbn pbn : retire_candidates)
+    for (const Pbn pbn : plan.retire_candidates)
         retire_if_dead(pbn);
-    hist_.batch->record(batch_timer.elapsed_ns());
-    return Status::ok();
+}
+
+Status
+FidrSystem::execute_batch(nic::SealedBatch &batch)
+{
+    const std::size_t n = batch.chunks.size();
+    const obs::StageTimer batch_timer;
+    FIDR_TRACE_SPAN(exec_span, obs::Tpoint::kPipelineExecute, batch.epoch,
+                    n);
+    FIDR_TRACE_SPAN(batch_span, obs::Tpoint::kWriteBatch, batch.epoch, n);
+
+    // Fig 6a step 1 accounting: the device manager's per-request CPU
+    // work, billed here (one add per chunk, in chunk order) instead of
+    // in write() so the ledgers have a single writer at any depth and
+    // totals stay bit-identical to the per-write billing they replace.
+    for (std::size_t i = 0; i < n; ++i) {
+        platform_.cpu().bill_us(cputag::kOrchestration,
+                                calib::kCpuOrchestrationPerChunk);
+    }
+
+    BatchPlan plan;
+    Status status = stage_digest_transfer(batch);
+    if (status.is_ok())
+        status = stage_resolve(batch, plan);
+    if (status.is_ok())
+        status = stage_schedule(batch, plan);
+    if (status.is_ok())
+        status = stage_compress(batch, plan);
+    if (status.is_ok())
+        status = stage_store(batch, plan);
+    if (status.is_ok())
+        status = stage_apply(batch, plan);
+    if (status.is_ok()) {
+        stage_commit(batch, plan);
+        hist_.batch->record(batch_timer.elapsed_ns());
+    }
+    pipe_execute_busy_->record(batch_timer.elapsed_ns());
+    return status;
 }
 
 void
@@ -479,6 +646,9 @@ FidrSystem::retire_if_dead(Pbn pbn)
 Result<FidrSystem::ScrubReport>
 FidrSystem::scrub()
 {
+    const Status drained = drain_pipeline();
+    if (!drained.is_ok())
+        return drained;
     ScrubReport report;
     for (const auto &[container, space] : space_.containers()) {
         for (const Pbn pbn : space_.live_pbns(container)) {
@@ -561,25 +731,24 @@ FidrSystem::simulate_crash_and_recover()
     if (!journal_)
         return Status::invalid_argument("journaling is not enabled");
 
+    // A power cut stops the pipeline wherever it is: quiesce so no
+    // stage touches the structures mid-rebuild, discard any sticky
+    // error (the crash supersedes it) and return in-flight sealed
+    // batches to the open NVRAM buffer — unacked work is lost, but
+    // every acknowledged chunk is either journaled or still buffered
+    // and re-enters the pipeline on the next flush.
+    if (pipeline_) {
+        pipeline_->quiesce();
+        (void)pipeline_->take_error();
+    }
+    nic_.unseal_all();
+
     // Crash: everything in host DRAM is gone — the LBA-PBA table and
     // the table cache, including dirty Hash-PBN lines that never made
     // it back to the table SSD.  Entries whose data the crash orphaned
     // are repaired lazily at dedup-resolve time (dangling_repairs).
     lba_table_ = tables::LbaPbaTable();
-    if (config_.hw_cache_engine) {
-        hwtree::PipelineConfig pipeline;
-        pipeline.update_lanes = config_.tree_update_lanes;
-        auto hw = std::make_unique<cache::HwTreeCacheIndex>(pipeline);
-        hw_index_ = hw.get();
-        index_ = std::move(hw);
-    } else {
-        hw_index_ = nullptr;
-        index_ = std::make_unique<cache::BTreeCacheIndex>();
-    }
-    table_cache_ = std::make_unique<cache::TableCache>(
-        platform_.hash_table(), *index_, platform_.cache_lines(),
-        config_.eviction_policy);
-    dedup_ = std::make_unique<DedupIndex>(*table_cache_);
+    build_cache_structures();
     // The host-DRAM capacity claim is unchanged: the rebuilt cache has
     // exactly the footprint the constructor already accounted.
 
@@ -623,6 +792,9 @@ FidrSystem::validate() const
 Result<std::uint64_t>
 FidrSystem::compact(double min_dead_fraction)
 {
+    const Status drained = drain_pipeline();
+    if (!drained.is_ok())
+        return drained;
     std::uint64_t reclaimed = 0;
     for (const std::uint64_t container :
          space_.candidates(min_dead_fraction)) {
@@ -675,9 +847,18 @@ FidrSystem::compact(double min_dead_fraction)
 Status
 FidrSystem::flush()
 {
+    // Pipeline barrier: surface any asynchronous failure (unsealing
+    // retained batches back into the open buffer) before sealing the
+    // remainder, then wait for everything to commit.
+    const Status committed = drain_pipeline();
+    if (!committed.is_ok())
+        return committed;
     const Status batch = process_batch();
     if (!batch.is_ok())
         return batch;
+    const Status drained = drain_pipeline();
+    if (!drained.is_ok())
+        return drained;
     const Status sealed = containers_.flush();
     if (!sealed.is_ok())
         return sealed;
@@ -690,6 +871,15 @@ FidrSystem::flush()
 Result<Buffer>
 FidrSystem::read(Lba lba)
 {
+    // Pipeline barrier: in-flight batches commit before the NIC lookup
+    // and LBA resolve, so a read always sees its own preceding writes.
+    // A sticky failure keeps its error for the next write/flush; the
+    // affected data stays readable from the unsealed NIC buffer.
+    if (pipeline_) {
+        pipeline_->quiesce();
+        if (pipeline_->failed())
+            nic_.unseal_all();
+    }
     ++stats_.chunks_read;
     pcie::Fabric &fabric = platform_.fabric();
     const obs::StageTimer read_timer;
@@ -842,12 +1032,26 @@ FidrSystem::obs_snapshot() const
     }
 #endif
 
-    const cache::CacheStats &cache = table_cache_->stats();
+    const cache::CacheStats cache = table_cache_->stats();
     snap.counters["cache.hits"] = cache.hits;
     snap.counters["cache.misses"] = cache.misses;
     snap.counters["cache.evictions"] = cache.evictions;
     snap.counters["cache.dirty_evictions"] = cache.dirty_evictions;
     snap.gauges["cache.hit_rate"] = cache.hit_rate();
+    if (table_cache_->shard_count() > 1) {
+        // Per-shard breakdown (Sec 5.5): imbalance shows up as skewed
+        // hit/miss distributions across shards.
+        for (std::size_t s = 0; s < table_cache_->shard_count(); ++s) {
+            const cache::CacheStats shard = table_cache_->shard_stats(s);
+            const std::string prefix =
+                "cache.shard" + std::to_string(s);
+            snap.counters[prefix + ".hits"] = shard.hits;
+            snap.counters[prefix + ".misses"] = shard.misses;
+            snap.counters[prefix + ".evictions"] = shard.evictions;
+            snap.counters[prefix + ".dirty_evictions"] =
+                shard.dirty_evictions;
+        }
+    }
 
     snap.gauges["write.dedup_rate"] = stats_.dedup_rate();
     snap.gauges["write.reduction_ratio"] =
@@ -856,8 +1060,17 @@ FidrSystem::obs_snapshot() const
                   static_cast<double>(stats_.stored_bytes)
             : 0.0;
 
-    if (hw_index_) {
-        const hwtree::PipelineStats &tree = hw_index_->pipeline().stats();
+    if (!hw_shards_.empty()) {
+        // Aggregate over the per-shard trees (one tree per cache shard
+        // when cache_shards > 1, a single tree otherwise).
+        hwtree::PipelineStats tree;
+        for (const cache::HwTreeCacheIndex *hw : hw_shards_) {
+            const hwtree::PipelineStats &s = hw->pipeline().stats();
+            tree.searches += s.searches;
+            tree.updates += s.updates;
+            tree.crashes += s.crashes;
+            tree.replays += s.replays;
+        }
         snap.counters["tree.searches"] = tree.searches;
         snap.counters["tree.updates"] = tree.updates;
         snap.counters["tree.crashes"] = tree.crashes;

@@ -40,6 +40,7 @@
 #include "fidr/core/platform.h"
 #include "fidr/core/server.h"
 #include "fidr/core/space.h"
+#include "fidr/core/write_pipeline.h"
 #include "fidr/nic/fidr_nic.h"
 #include "fidr/obs/metrics.h"
 #include "fidr/tables/container.h"
@@ -63,6 +64,27 @@ struct FidrConfig {
      */
     std::size_t compress_lanes = 0;
     cache::EvictionPolicy eviction_policy = cache::EvictionPolicy::kLru;
+
+    /**
+     * Multi-batch write pipeline depth: sealed batches in flight at
+     * once (hash stage overlaps the serial commit stages and client
+     * ingest; see write_pipeline.h).  1 = fully synchronous, the
+     * pre-pipeline behaviour.  Every depth produces bit-identical end
+     * state; errors surface at the next write/flush barrier instead
+     * of from the admitting write().
+     */
+    std::size_t in_flight_batches = 4;
+
+    /** Hash-stage workers; 0 = min(depth, hardware lanes). */
+    std::size_t pipeline_hash_workers = 0;
+
+    /**
+     * Hash-PBN table cache shards (power of two, Sec 5.5).  Shard
+     * routing is bucket & (N-1) with per-shard free/LRU lists, stats
+     * and mutexes; 1 keeps the unsharded layout (and its exact
+     * eviction order).
+     */
+    std::size_t cache_shards = 1;
     /**
      * Extension (the paper's stated future work, Sec 7.5): offload the
      * read-path NVMe software stack to the FPGA as well, leaving only
@@ -102,12 +124,18 @@ class FidrSystem : public StorageServer {
     Platform &platform() { return platform_; }
     const Platform &platform() const { return platform_; }
     nic::FidrNic &nic_model() { return nic_; }
-    const cache::CacheStats &cache_stats() const
-    { return table_cache_->stats(); }
+    /** Aggregate cache counters over all shards (by value). */
+    cache::CacheStats cache_stats() const { return table_cache_->stats(); }
+    const cache::TableCache &table_cache() const { return *table_cache_; }
     tables::LbaPbaTable &lba_table() { return lba_table_; }
 
-    /** Null when running with the software cache index. */
-    const cache::HwTreeCacheIndex *hw_index() const { return hw_index_; }
+    /**
+     * Null when running with the software cache index; with
+     * cache_shards > 1 this is shard 0's tree (obs_snapshot aggregates
+     * all shards).
+     */
+    const cache::HwTreeCacheIndex *hw_index() const
+    { return hw_shards_.empty() ? nullptr : hw_shards_.front(); }
 
     /** Live/dead space accounting (GC extension). */
     const SpaceTracker &space() const { return space_; }
@@ -228,7 +256,56 @@ class FidrSystem : public StorageServer {
         obs::Histogram *read_return = nullptr;      ///< 6b step 7.
     };
 
+    /**
+     * Per-batch working state threaded through the serial stages.
+     * Everything in here is private to one batch's execution.
+     */
+    struct BatchPlan {
+        std::vector<ChunkVerdict> verdicts;
+        std::vector<Pbn> pbns;
+        std::vector<Pbn> unique_pbns;
+        std::vector<Digest> unique_digests;
+        std::vector<const nic::BufferedChunk *> unique;
+        std::vector<accel::CompressedChunk> compressed;
+        std::vector<Pbn> retire_candidates;
+    };
+
+    /** Seals the open batch and runs/submits it (depth-dependent). */
     Status process_batch();
+
+    // The Fig 6a write path as explicit stages.  stage_hash runs on
+    // hash-stage workers at depth > 1 (pure per-batch work); every
+    // other stage runs inside execute_batch on the commit sequencer,
+    // in batch-epoch order, because each one reads state an earlier
+    // batch's commit mutates (dedup verdicts, cache recency, journal
+    // order, PBN allocation).
+    void stage_hash(nic::SealedBatch &batch);             ///< Step 2.
+    Status stage_digest_transfer(const nic::SealedBatch &batch);
+    Status stage_resolve(const nic::SealedBatch &batch,
+                         BatchPlan &plan);                ///< Steps 4-5.
+    Status stage_schedule(const nic::SealedBatch &batch,
+                          BatchPlan &plan);               ///< Steps 6-7.
+    Status stage_compress(const nic::SealedBatch &batch,
+                          BatchPlan &plan);               ///< Step 8.
+    Status stage_store(const nic::SealedBatch &batch,
+                       BatchPlan &plan);                  ///< Steps 9-10.
+    Status stage_apply(const nic::SealedBatch &batch,
+                       BatchPlan &plan);                  ///< Map LBAs.
+    void stage_commit(nic::SealedBatch &batch,
+                      const BatchPlan &plan);             ///< Drop+retire.
+
+    /** All serial stages for one batch (commit-sequencer body). */
+    Status execute_batch(nic::SealedBatch &batch);
+
+    /** Builds the (possibly sharded) cache index + table cache. */
+    void build_cache_structures();
+
+    /** Barrier: waits for in-flight batches; ok at depth 1 / no work. */
+    Status drain_pipeline();
+
+    /** Consumes a sticky pipeline error, unsealing retained batches. */
+    Status surface_pipeline_error();
+
     Status bill_container_seals();
 
     /**
@@ -243,7 +320,8 @@ class FidrSystem : public StorageServer {
     Platform platform_;
     nic::FidrNic nic_;
     std::unique_ptr<cache::CacheIndex> index_;
-    cache::HwTreeCacheIndex *hw_index_ = nullptr;  ///< Owned by index_.
+    /** Per-shard HW trees (owned by index_); empty under B+ tree. */
+    std::vector<cache::HwTreeCacheIndex *> hw_shards_;
     std::unique_ptr<cache::TableCache> table_cache_;
     std::unique_ptr<DedupIndex> dedup_;
     tables::LbaPbaTable lba_table_;
@@ -266,7 +344,13 @@ class FidrSystem : public StorageServer {
     ReductionStats stats_;
     obs::MetricRegistry metrics_;
     StageHistograms hist_;
-    std::uint64_t batch_seq_ = 0;  ///< Trace span id per batch.
+    /** Pipeline stage-occupancy histograms (recorded at every depth
+     *  so depth sweeps compare like for like). */
+    obs::Histogram *pipe_hash_busy_ = nullptr;
+    obs::Histogram *pipe_execute_busy_ = nullptr;
+    /** Null at depth 1 (synchronous).  Declared last: it must be
+     *  destroyed (quiesced/joined) before any state its stages use. */
+    std::unique_ptr<WritePipeline> pipeline_;
 };
 
 }  // namespace fidr::core

@@ -22,9 +22,11 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -58,6 +60,26 @@ struct BufferedChunk {
     Buffer data;
     Digest digest;
     bool hashed = false;
+};
+
+/**
+ * A batch sealed out of the open buffer for the multi-batch write
+ * pipeline.  Sealed batches model NIC DRAM regions whose chunks are
+ * frozen (no newer write for the same LBA coalesces into them) while
+ * the SHA engines and the host pipeline work on them; the chunks stay
+ * in (battery-backed) NIC memory until drop_sealed() after the host's
+ * metadata commit, exactly like the single-batch peek/drop protocol.
+ *
+ * Ownership handoff: after seal_batch() exactly one pipeline stage at
+ * a time may touch `chunks` (hash stage, then the serial commit
+ * stages); the stage-to-stage edges are synchronized by the caller's
+ * pipeline, not by the NIC.
+ */
+struct SealedBatch {
+    std::uint64_t epoch = 0;  ///< 1-based monotonic seal order.
+    std::vector<BufferedChunk> chunks;
+    /** Chunks the hash stage freshly hashed (set by hash_sealed). */
+    std::uint64_t fresh_hashes = 0;
 };
 
 /** Functional FIDR NIC. */
@@ -118,6 +140,65 @@ class FidrNic {
     /** Releases the batch retained across a peek_unique handoff. */
     void drop_batch();
 
+    // ------------------------------------------------------------------
+    // Sealed-batch protocol (multi-batch write pipeline).  seal/unseal
+    // run on the ingest thread; hash_sealed on hash-stage workers;
+    // peek_unique_sealed/drop_sealed on the commit sequencer.  The
+    // sealed list itself is mutex-guarded; a batch's chunks belong to
+    // one stage at a time (see SealedBatch).
+    // ------------------------------------------------------------------
+
+    /**
+     * Freezes every open chunk into a new sealed batch and returns a
+     * pointer to it (stable until drop_sealed/unseal_all), or nullptr
+     * when nothing is buffered.  The open buffer and its LBA-lookup
+     * map restart empty.
+     */
+    SealedBatch *seal_batch();
+
+    /** The sealed batch with `epoch`, or nullptr (e.g. already dropped). */
+    SealedBatch *find_sealed(std::uint64_t epoch);
+
+    /** Sealed batches currently retained. */
+    std::size_t sealed_batches() const;
+
+    /** Chunks across all sealed batches. */
+    std::size_t sealed_chunks() const
+    { return sealed_chunk_count_.load(std::memory_order_relaxed); }
+
+    /** NIC DRAM in use: open + sealed chunks (capacity back-pressure). */
+    std::uint64_t pending_bytes() const
+    { return (chunks_.size() + sealed_chunks()) * kChunkSize; }
+
+    /**
+     * Runs the SHA-256 engines over the batch's unhashed chunks and
+     * records the fresh-hash count in the batch.  The lifetime hash
+     * counter is only advanced at drop_sealed(), on the commit
+     * sequencer, so it stays in epoch order.
+     */
+    void hash_sealed(SealedBatch &batch);
+
+    /** peek_unique over a sealed batch (same retention contract). */
+    Result<std::vector<const BufferedChunk *>> peek_unique_sealed(
+        const SealedBatch &batch,
+        std::span<const ChunkVerdict> verdicts) const;
+
+    /**
+     * Commit point for a sealed batch: must be the oldest sealed epoch
+     * (the commit sequencer applies batches in order).  Folds the
+     * batch's fresh-hash count into the lifetime counter and releases
+     * the NIC DRAM.
+     */
+    void drop_sealed(std::uint64_t epoch);
+
+    /**
+     * Failure/power-cut path: returns every sealed batch, oldest
+     * first, to the front of the open buffer (ahead of any chunks
+     * buffered since), rebuilds the LBA lookup, and keeps the already
+     * computed digests.  Caller must have quiesced the pipeline.
+     */
+    void unseal_all();
+
     /** Lifetime counters. */
     std::uint64_t hashes_computed() const { return hashes_computed_; }
     std::uint64_t chunks_buffered_total() const { return total_buffered_; }
@@ -128,6 +209,8 @@ class FidrNic {
     std::size_t hash_lanes() const { return lanes_; }
 
   private:
+    void hash_chunks(std::vector<BufferedChunk> &chunks);
+
     FidrNicConfig config_;
     std::size_t lanes_ = 1;
     /** Hash lanes; null when lanes_ == 1 (serial path). */
@@ -135,6 +218,12 @@ class FidrNic {
     std::deque<BufferedChunk> chunks_;
     /** lba -> index of newest buffered write, for the LBA Lookup. */
     std::unordered_map<Lba, std::size_t> newest_;
+    /** Sealed batches, oldest first.  unique_ptr keeps the batches at
+     *  stable addresses while the deque grows under the mutex. */
+    std::deque<std::unique_ptr<SealedBatch>> sealed_;
+    mutable std::mutex seal_mutex_;
+    std::atomic<std::size_t> sealed_chunk_count_{0};
+    std::uint64_t next_epoch_ = 0;
     std::uint64_t hashes_computed_ = 0;
     std::uint64_t total_buffered_ = 0;
 };

@@ -40,6 +40,11 @@ tpoint_name(Tpoint tpoint)
       case Tpoint::kCacheWriteback: return "cache.writeback";
       case Tpoint::kTreeCrash: return "hwtree.crash";
       case Tpoint::kFaultInjected: return "fault.injected";
+      case Tpoint::kPipelineSubmit: return "pipeline.submit";
+      case Tpoint::kPipelineStall: return "pipeline.stall";
+      case Tpoint::kPipelineHashStage: return "pipeline.hash";
+      case Tpoint::kPipelineExecute: return "pipeline.execute";
+      case Tpoint::kPipelineDrain: return "pipeline.drain";
       case Tpoint::kMaxTpoint: break;
     }
     return "unknown";

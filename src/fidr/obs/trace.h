@@ -82,6 +82,13 @@ enum class Tpoint : std::uint16_t {
     kTreeCrash,            ///< HW-tree misspeculation (object=key).
     kFaultInjected,        ///< Failpoint fired (object=site, arg=kind).
 
+    // Multi-batch write pipeline (cross-batch overlap of Fig 6a).
+    kPipelineSubmit,       ///< Batch admitted (object=epoch, arg=depth).
+    kPipelineStall,        ///< Admission stalled on a full pipeline.
+    kPipelineHashStage,    ///< Hash-stage occupancy span (object=epoch).
+    kPipelineExecute,      ///< Commit-sequencer span (object=epoch).
+    kPipelineDrain,        ///< Barrier waiting for in-flight batches.
+
     kMaxTpoint,
 };
 

@@ -69,8 +69,18 @@ struct CrashHarnessConfig {
         config.nic.hash_batch = 64;
         config.nic.hash_lanes = 1;
         config.compress_lanes = 1;
+        // Synchronous write path by default: faults surface from the
+        // op that hit them, so run_until_fire cuts power at exactly
+        // the injected failure.  Sweeps that want batches in flight at
+        // the cut override `system.in_flight_batches` (per-site fault
+        // sequences are depth-invariant — every fallible write-path
+        // stage runs on the commit sequencer in epoch order).
+        config.in_flight_batches = 1;
         return config;
     }
+
+    /** System under test; replace fields to sweep configurations. */
+    core::FidrConfig system = default_system();
 };
 
 /** Sweepable write-path failpoint sites (recovery sites are driven
@@ -88,7 +98,7 @@ inline constexpr std::array<fault::Site, 14> kWritePathSites = {
 class CrashHarness {
   public:
     explicit CrashHarness(const CrashHarnessConfig &cfg = {})
-        : cfg_(cfg), system_(CrashHarnessConfig::default_system()),
+        : cfg_(cfg), system_(cfg.system),
           gen_(CrashHarnessConfig::default_workload(cfg.seed))
     {
         // The registry is process-global; every harness starts from a

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -99,6 +100,110 @@ TEST(ThreadPool, SingleWorkerRunsInline)
         seen = std::this_thread::get_id();
     });
     EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, SingleLaneHostKeepsShardBoundaries)
+{
+    // The one-lane fast path must produce the exact same shard tiling
+    // as pooled execution (per-shard tracing and shard-local state
+    // depend on it), and on a genuinely single-lane host the shards
+    // must run inline on the caller.
+    ThreadPool pool(4);
+    const auto caller = std::this_thread::get_id();
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> shards;
+    std::vector<std::thread::id> ids;
+    pool.parallel_for(10, [&](std::size_t begin, std::size_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        shards.emplace_back(begin, end);
+        ids.push_back(std::this_thread::get_id());
+    });
+    std::sort(shards.begin(), shards.end());
+    ASSERT_EQ(shards.size(), 4u);
+    // 10 over 4 lanes: 3, 3, 2, 2 — first r shards one index larger.
+    EXPECT_EQ(shards[0], (std::pair<std::size_t, std::size_t>{0, 3}));
+    EXPECT_EQ(shards[1], (std::pair<std::size_t, std::size_t>{3, 6}));
+    EXPECT_EQ(shards[2], (std::pair<std::size_t, std::size_t>{6, 8}));
+    EXPECT_EQ(shards[3], (std::pair<std::size_t, std::size_t>{8, 10}));
+    if (ThreadPool::hardware_lanes() == 1) {
+        for (const std::thread::id id : ids)
+            EXPECT_EQ(id, caller);
+    }
+}
+
+TEST(ThreadPool, ExceptionStillRunsRemainingShards)
+{
+    // Both execution paths (pooled and single-lane inline) promise the
+    // same contract: a throwing shard does not cancel its siblings.
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallel_for(4,
+                          [&](std::size_t begin, std::size_t) {
+                              ran.fetch_add(1, std::memory_order_relaxed);
+                              if (begin == 0)
+                                  throw std::runtime_error("lane fault");
+                          }),
+        std::runtime_error);
+    EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, SubmitRunsTaskOnWorkerThread)
+{
+    // submit() must never run inline — the write pipeline counts on
+    // submitted hash work proceeding off the caller's thread even on
+    // one-core hosts.
+    ThreadPool pool(2);
+    const auto caller = std::this_thread::get_id();
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t completed = 0;
+    std::thread::id seen;
+    pool.submit([&] {
+        std::lock_guard<std::mutex> lock(mu);
+        seen = std::this_thread::get_id();
+        ++completed;
+        done.notify_all();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    done.wait(lock, [&] { return completed == 1; });
+    EXPECT_NE(seen, caller);
+}
+
+TEST(ThreadPool, SubmitPreservesOrderOnSingleWorker)
+{
+    // Tasks run in submission order per worker; with one worker that
+    // means globally FIFO — what keeps a depth-1-equivalent pipeline
+    // schedule reproducible.
+    ThreadPool pool(1);
+    constexpr int kTasks = 100;
+    std::mutex mu;
+    std::condition_variable done;
+    std::vector<int> order;
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&, i] {
+            std::lock_guard<std::mutex> lock(mu);
+            order.push_back(i);
+            if (order.size() == kTasks)
+                done.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    done.wait(lock, [&] { return order.size() == kTasks; });
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, DestructorDrainsSubmittedTasks)
+{
+    // Graceful shutdown: everything submitted before destruction runs.
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    EXPECT_EQ(ran.load(), 64);
 }
 
 TEST(ThreadPool, ConstructDestructRepeatedly)
