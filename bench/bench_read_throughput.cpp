@@ -1,0 +1,293 @@
+// Wall-clock throughput of the batched read plane: sweeps read_lanes
+// x chunk-cache capacity over the Table 3 Read-Mixed workload and a
+// Zipfian hot-set read workload, timing read_batch() over the full
+// read sequence.  The cache column shows the Fig 6b fetch+decompress
+// work a host-DRAM chunk cache removes under skew; the lane column
+// shows the fan-out (flat on a 1-core host — the determinism contract
+// says lanes change wall-clock only, and the bench asserts exactly
+// that: payload checksums, fetch counts and hit counts must be
+// identical across every lane count, and cache-off cells must match
+// cache-on cells byte-for-byte).
+//
+// Emits BENCH_read.json via the harness's uniform JsonReport schema.
+// `--smoke` shrinks the request count and sweep for CI and gates the
+// cache-off/on equivalence plus a nonzero Zipfian hit rate.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "fidr/common/rng.h"
+#include "fidr/common/thread_pool.h"
+
+using namespace fidr;
+
+namespace {
+
+double
+now_s()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** One prepared read workload: write set + read LBA sequence. */
+struct ReadWorkload {
+    std::string name;
+    std::vector<workload::IoRequest> writes;
+    std::vector<Lba> reads;
+};
+
+/**
+ * Table 3 Read-Mixed: the generator's own 30% read mix, with the
+ * read requests lifted out into the post-flush read sequence.
+ */
+ReadWorkload
+read_mixed_workload(std::size_t requests)
+{
+    workload::WorkloadSpec spec = workload::read_mixed_spec();
+    workload::WorkloadGenerator gen(spec);
+    ReadWorkload out;
+    out.name = "Read-Mixed";
+    for (std::size_t i = 0; i < requests; ++i) {
+        const workload::IoRequest req = gen.next();
+        if (req.dir == IoDir::kWrite) {
+            out.writes.push_back(req);
+        } else {
+            out.reads.push_back(req.lba);
+        }
+    }
+    return out;
+}
+
+/**
+ * Zipfian hot set: unique chunks written once, then reads drawn
+ * rank-skewed (exponent ~0.99) over the written LBAs via an exact
+ * harmonic-CDF inversion — the small hot set dominates, which is the
+ * regime a PBN-keyed chunk cache exists for.
+ */
+ReadWorkload
+zipfian_workload(std::size_t unique_chunks, std::size_t reads)
+{
+    workload::WorkloadSpec spec;
+    spec.name = "zipf-writes";
+    spec.dedup_ratio = 0.0;
+    spec.comp_ratio = 0.5;
+    spec.address_space_chunks = unique_chunks * 4;
+    spec.read_fraction = 0.0;
+    spec.seed = 0x21Fu;
+    workload::WorkloadGenerator gen(spec);
+
+    ReadWorkload out;
+    out.name = "Zipfian hot set";
+    out.writes = gen.batch(unique_chunks);
+
+    // CDF of the zipf(0.99) rank distribution over the write order.
+    std::vector<double> cdf(unique_chunks);
+    double total = 0;
+    for (std::size_t rank = 0; rank < unique_chunks; ++rank) {
+        total += 1.0 / std::pow(static_cast<double>(rank + 1), 0.99);
+        cdf[rank] = total;
+    }
+    Rng rng(0x21F2ull);
+    for (std::size_t i = 0; i < reads; ++i) {
+        const double u = rng.next_double() * total;
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        const std::size_t rank =
+            static_cast<std::size_t>(it - cdf.begin());
+        out.reads.push_back(out.writes[rank].lba);
+    }
+    return out;
+}
+
+struct CellRun {
+    std::size_t lanes = 0;
+    std::uint64_t cache_bytes = 0;
+    double seconds = 0;
+    double chunks_per_s = 0;
+    double gb_per_s = 0;
+    std::uint64_t ssd_fetches = 0;
+    std::uint64_t cache_hits = 0;
+    double cache_hit_rate = 0;
+    std::uint64_t payload_checksum = 0;  ///< FNV over every slot.
+};
+
+CellRun
+run_cell(const ReadWorkload &workload, std::size_t lanes,
+         std::uint64_t cache_bytes, std::size_t batch_size)
+{
+    core::FidrConfig config;
+    config.platform = bench::eval_platform();
+    config.nic.hash_lanes = 1;
+    config.compress_lanes = 1;
+    config.read_lanes = lanes;
+    config.chunk_cache_bytes = cache_bytes;
+    config.chunk_cache_shards = cache_bytes > 0 ? 4 : 1;
+    core::FidrSystem system(config);
+
+    for (const workload::IoRequest &req : workload.writes) {
+        Buffer data = req.data;
+        FIDR_CHECK(system.write(req.lba, std::move(data)).is_ok());
+    }
+    FIDR_CHECK(system.flush().is_ok());
+
+    CellRun cell;
+    cell.lanes = lanes;
+    cell.cache_bytes = cache_bytes;
+    std::uint64_t checksum = 0xCBF29CE484222325ull;
+    const double t0 = now_s();
+    for (std::size_t base = 0; base < workload.reads.size();
+         base += batch_size) {
+        const std::size_t n =
+            std::min(batch_size, workload.reads.size() - base);
+        const std::span<const Lba> lbas(&workload.reads[base], n);
+        const std::vector<Result<Buffer>> batch = system.read_batch(lbas);
+        for (const Result<Buffer> &slot : batch) {
+            FIDR_CHECK(slot.is_ok());
+            for (const std::uint8_t byte : slot.value()) {
+                checksum ^= byte;
+                checksum *= 0x100000001B3ull;
+            }
+        }
+    }
+    cell.seconds = now_s() - t0;
+    cell.payload_checksum = checksum;
+    cell.chunks_per_s =
+        static_cast<double>(workload.reads.size()) / cell.seconds;
+    cell.gb_per_s = static_cast<double>(workload.reads.size()) *
+                    kChunkSize / cell.seconds / 1e9;
+
+    const obs::ObsSnapshot snap = system.obs_snapshot();
+    cell.ssd_fetches = snap.counters.at("read.ssd_fetches");
+    cell.cache_hits = snap.counters.at("read.cache.hits");
+    cell.cache_hit_rate = snap.gauges.at("read.cache.hit_rate");
+    return cell;
+}
+
+void
+print_cells(const ReadWorkload &workload,
+            const std::vector<CellRun> &cells)
+{
+    std::printf("%s: %zu writes, %zu reads\n", workload.name.c_str(),
+                workload.writes.size(), workload.reads.size());
+    std::printf("  %5s | %10s | %9s | %12s | %8s | %11s | %8s\n",
+                "lanes", "cache", "seconds", "chunks/s", "GB/s",
+                "ssd fetches", "hit rate");
+    for (const CellRun &cell : cells) {
+        std::printf("  %5zu | %7.0f MB | %9.3f | %12.0f | %8.3f |"
+                    " %11llu | %7.1f%%\n",
+                    cell.lanes,
+                    static_cast<double>(cell.cache_bytes) / (1 << 20),
+                    cell.seconds, cell.chunks_per_s, cell.gb_per_s,
+                    static_cast<unsigned long long>(cell.ssd_fetches),
+                    cell.cache_hit_rate * 100.0);
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    const std::size_t requests = smoke ? 3'000 : 24'000;
+    const std::size_t zipf_uniques = smoke ? 1'000 : 6'000;
+    const std::size_t zipf_reads = smoke ? 4'000 : 36'000;
+    const std::size_t batch_size = 256;
+    const std::vector<std::size_t> lane_sweep =
+        smoke ? std::vector<std::size_t>{1, 2}
+              : std::vector<std::size_t>{1, 2, 4};
+    const std::vector<std::uint64_t> cache_sweep =
+        smoke ? std::vector<std::uint64_t>{0, 4ull << 20}
+              : std::vector<std::uint64_t>{0, 4ull << 20, 32ull << 20};
+
+    bench::print_header("Batched read plane wall-clock throughput",
+                        "Fig 6b read flow; coalescing + chunk cache");
+    std::printf("hardware lanes: %zu, batch size: %zu%s\n\n",
+                ThreadPool::hardware_lanes(), batch_size,
+                smoke ? " (smoke)" : "");
+
+    bench::JsonReport report("read_throughput");
+    report.config("batch_size", static_cast<std::uint64_t>(batch_size))
+        .config("hardware_lanes", ThreadPool::hardware_lanes())
+        .config("smoke", smoke)
+        .config("chunk_bytes", static_cast<std::uint64_t>(kChunkSize));
+
+    const ReadWorkload workloads[2] = {
+        read_mixed_workload(requests),
+        zipfian_workload(zipf_uniques, zipf_reads),
+    };
+    for (const ReadWorkload &workload : workloads) {
+        std::vector<CellRun> cells;
+        for (const std::uint64_t cache_bytes : cache_sweep) {
+            for (const std::size_t lanes : lane_sweep)
+                cells.push_back(run_cell(workload, lanes, cache_bytes,
+                                         batch_size));
+        }
+        print_cells(workload, cells);
+
+        // Determinism gates, every run: payloads are invariant across
+        // the whole sweep (the cache and the lanes are pure
+        // optimizations), and within one cache size the fetch and hit
+        // counts are lane-invariant.
+        for (const CellRun &cell : cells) {
+            FIDR_CHECK(cell.payload_checksum ==
+                       cells[0].payload_checksum);
+        }
+        for (std::size_t c = 0; c < cache_sweep.size(); ++c) {
+            const CellRun &first = cells[c * lane_sweep.size()];
+            for (std::size_t l = 1; l < lane_sweep.size(); ++l) {
+                const CellRun &cell = cells[c * lane_sweep.size() + l];
+                FIDR_CHECK(cell.ssd_fetches == first.ssd_fetches);
+                FIDR_CHECK(cell.cache_hits == first.cache_hits);
+            }
+        }
+        // Cache efficacy gates on the skewed workload: repeat reads
+        // must hit, and hits must remove data-SSD fetch DMAs.
+        if (workload.name == "Zipfian hot set") {
+            const CellRun &cache_off = cells[0];
+            const CellRun &cache_on = cells[lane_sweep.size()];
+            FIDR_CHECK(cache_off.cache_hits == 0);
+            FIDR_CHECK(cache_on.cache_hits > 0);
+            FIDR_CHECK(cache_on.cache_hit_rate > 0.0);
+            FIDR_CHECK(cache_on.ssd_fetches < cache_off.ssd_fetches);
+        }
+
+        obs::JsonWriter &json = report.begin_entry("read_sweep");
+        json.kv("workload", workload.name);
+        json.kv("writes",
+                static_cast<std::uint64_t>(workload.writes.size()));
+        json.kv("reads",
+                static_cast<std::uint64_t>(workload.reads.size()));
+        json.key("runs").begin_array();
+        for (const CellRun &cell : cells) {
+            json.begin_object();
+            json.kv("lanes", static_cast<std::uint64_t>(cell.lanes));
+            json.kv("cache_bytes", cell.cache_bytes);
+            json.kv("seconds", cell.seconds);
+            json.kv("chunks_per_s", cell.chunks_per_s);
+            json.kv("gb_per_s", cell.gb_per_s);
+            json.kv("ssd_fetches", cell.ssd_fetches);
+            json.kv("cache_hits", cell.cache_hits);
+            json.kv("cache_hit_rate", cell.cache_hit_rate);
+            json.end_object();
+        }
+        json.end_array();
+        report.end_entry();
+    }
+    FIDR_CHECK(report.write_file("BENCH_read.json").is_ok());
+    return 0;
+}

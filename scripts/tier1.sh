@@ -13,7 +13,11 @@
 #      fully stripped build on the FIDR write-path micro bench;
 #   6. write-path pipelining smoke: bench_pipeline_depth --smoke gates
 #      on depth-invariant reduction results and pipeline occupancy
-#      (plus wall-clock speedup on multi-lane hosts).
+#      (plus wall-clock speedup on multi-lane hosts);
+#   7. read-plane smoke: bench_read_throughput --smoke gates on
+#      lane/cache-invariant payloads (capacity 0 = cache off is the
+#      equivalence baseline), a nonzero Zipfian chunk-cache hit rate,
+#      and fewer data-SSD fetch DMAs with the cache on.
 # Run from the repo root:
 #
 #   scripts/tier1.sh [build-dir] [notrace-build-dir] [tsan-build-dir] \
@@ -42,13 +46,16 @@ cmake -B "$TSAN_DIR" -S . -DFIDR_SANITIZE=thread \
     -DFIDR_BUILD_TOOLS=OFF
 cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target test_thread_pool test_parallel_determinism test_obs \
-    test_pipeline_determinism
+    test_pipeline_determinism test_read_plane
 "$TSAN_DIR"/tests/test_thread_pool
 "$TSAN_DIR"/tests/test_parallel_determinism
 "$TSAN_DIR"/tests/test_obs
 # Write-path pipelining at depth 4: bit-identity across depths/shards
 # and the power-cut-with-batches-in-flight crash sweep, raced by TSan.
 "$TSAN_DIR"/tests/test_pipeline_determinism
+# Read-plane fan-out: concurrent fetch+decompress lanes against the
+# sharded chunk cache and atomic SSD read counters, raced by TSan.
+"$TSAN_DIR"/tests/test_read_plane
 
 echo "== tier-1: fault injection + crash sweep under ASan/UBSan =="
 cmake -B "$ASAN_DIR" -S . -DFIDR_SANITIZE=address \
@@ -91,5 +98,13 @@ echo "== tier-1: write-path pipelining smoke (depth sweep) =="
 # multi-lane hosts additionally measured hash||execute overlap > 0
 # and depth-4 throughput strictly above depth-1.
 (cd "$BUILD_DIR"/bench && ./bench_pipeline_depth --smoke)
+
+echo "== tier-1: read-plane smoke (lanes x cache sweep) =="
+# bench_read_throughput asserts its own gates: payload checksums
+# identical across every (read_lanes, cache capacity) cell — the
+# capacity-0 cells prove the chunk cache is a pure optimization —
+# fetch/hit counts lane-invariant, and on the Zipfian hot set a
+# nonzero hit rate with strictly fewer data-SSD fetches than cache-off.
+(cd "$BUILD_DIR"/bench && ./bench_read_throughput --smoke)
 
 echo "tier-1 OK"

@@ -41,10 +41,17 @@ CompressionEngine::compress_batch(std::span<const Buffer> chunks)
 Result<Buffer>
 DecompressionEngine::decompress(std::span<const std::uint8_t> compressed)
 {
-    Result<Buffer> out = lz_decompress(compressed);
+    Result<Buffer> out = decompress_stateless(compressed);
     if (out.is_ok())
-        ++chunks_;
+        record();
     return out;
+}
+
+Result<Buffer>
+DecompressionEngine::decompress_stateless(
+    std::span<const std::uint8_t> compressed) const
+{
+    return lz_decompress(compressed);
 }
 
 BaselineBatchResult

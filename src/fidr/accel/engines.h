@@ -85,6 +85,18 @@ class DecompressionEngine {
     /** Decompresses one stored chunk image. */
     Result<Buffer> decompress(std::span<const std::uint8_t> compressed);
 
+    /**
+     * Pure decompression kernel: no engine counters touched, so
+     * concurrent read lanes may call it on disjoint chunks.  Pair each
+     * successful result with one record() call on the orchestrating
+     * thread (mirrors CompressionEngine::compress_stateless).
+     */
+    Result<Buffer> decompress_stateless(
+        std::span<const std::uint8_t> compressed) const;
+
+    /** Accounts one successful decompress_stateless() result. */
+    void record() { ++chunks_; }
+
     std::uint64_t chunks_decompressed() const { return chunks_; }
 
   private:

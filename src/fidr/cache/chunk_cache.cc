@@ -1,0 +1,157 @@
+#include "fidr/cache/chunk_cache.h"
+
+namespace fidr::cache {
+
+ChunkReadCache::ChunkReadCache(std::uint64_t capacity_bytes,
+                               std::size_t shards)
+    : capacity_bytes_(capacity_bytes)
+{
+    FIDR_CHECK(shards > 0 && (shards & (shards - 1)) == 0);
+    shard_mask_ = shards - 1;
+    shard_capacity_ = capacity_bytes / shards;
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+std::size_t
+ChunkReadCache::shard_of(const ChunkKey &key) const
+{
+    return ChunkKeyHash{}(key) & shard_mask_;
+}
+
+std::optional<Buffer>
+ChunkReadCache::lookup(const ChunkKey &key)
+{
+    Shard &shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        ++shard.stats.misses;
+        return std::nullopt;
+    }
+    ++shard.stats.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->payload;
+}
+
+void
+ChunkReadCache::insert(const ChunkKey &key, const Buffer &payload)
+{
+    if (payload.size() > shard_capacity_)
+        return;  // Would evict the whole shard for one entry.
+    Shard &shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        shard.used_bytes -= it->second->payload.size();
+        shard.used_bytes += payload.size();
+        it->second->payload = payload;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    while (!shard.lru.empty() &&
+           shard.used_bytes + payload.size() > shard_capacity_) {
+        const Entry &victim = shard.lru.back();
+        shard.used_bytes -= victim.payload.size();
+        shard.index.erase(victim.key);
+        shard.lru.pop_back();
+        ++shard.stats.evictions;
+    }
+    shard.lru.push_front(Entry{key, payload});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.used_bytes += payload.size();
+    ++shard.stats.insertions;
+}
+
+void
+ChunkReadCache::invalidate(const ChunkKey &key)
+{
+    Shard &shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end())
+        return;
+    shard.used_bytes -= it->second->payload.size();
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.stats.invalidations;
+}
+
+void
+ChunkReadCache::invalidate_container(std::uint64_t container_id)
+{
+    // A container's chunks hash across shards, so every shard scans.
+    // Invalidation happens at compaction rate, not request rate.
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+            if (it->key.container_id != container_id) {
+                ++it;
+                continue;
+            }
+            shard->used_bytes -= it->payload.size();
+            shard->index.erase(it->key);
+            it = shard->lru.erase(it);
+            ++shard->stats.invalidations;
+        }
+    }
+}
+
+void
+ChunkReadCache::clear()
+{
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->stats.invalidations += shard->lru.size();
+        shard->lru.clear();
+        shard->index.clear();
+        shard->used_bytes = 0;
+    }
+}
+
+ChunkCacheStats
+ChunkReadCache::stats() const
+{
+    ChunkCacheStats out;
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        out.hits += shard->stats.hits;
+        out.misses += shard->stats.misses;
+        out.insertions += shard->stats.insertions;
+        out.evictions += shard->stats.evictions;
+        out.invalidations += shard->stats.invalidations;
+    }
+    return out;
+}
+
+ChunkCacheStats
+ChunkReadCache::shard_stats(std::size_t shard) const
+{
+    const std::lock_guard<std::mutex> lock(shards_.at(shard)->mutex);
+    return shards_.at(shard)->stats;
+}
+
+std::uint64_t
+ChunkReadCache::used_bytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->used_bytes;
+    }
+    return total;
+}
+
+std::size_t
+ChunkReadCache::entries() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->lru.size();
+    }
+    return total;
+}
+
+}  // namespace fidr::cache

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Read-side chunk cache: decompressed chunk content keyed by physical
+ * location.
+ *
+ * Dedup concentrates read traffic: many hot LBAs resolve to the same
+ * PBN (the locality fingerprint caches like HPDedup exploit on the
+ * write path), so a modest host-DRAM cache of *decompressed* chunks
+ * keyed by `{container_id, offset}` turns every repeat hit into a pure
+ * DRAM serve — no data-SSD fetch, no Decompression Engine pass
+ * (the ZipCache idea applied to FIDR's Fig 6b).  Keys are physical,
+ * not logical, so N LBAs sharing a PBN share one cache entry and an
+ * overwrite of one LBA cannot stale another's entry.
+ *
+ * Sharding follows the TableCache pattern (Sec 5.5 / Observation #4):
+ * N = 2^k shards, each with its own LRU list, byte budget
+ * (capacity / N), stats, and mutex, routed by a mix of the key's
+ * container id and offset.  Lookups and inserts from concurrent read
+ * lanes never contend across shards; `shards = 1` keeps a single
+ * global LRU order.
+ *
+ * Coherence: the cache is a pure optimization over immutable chunk
+ * images.  Container contents never change in place — only
+ * `compact()` (whole-container discard) and PBN retirement free
+ * physical space — so the owner invalidates by container or by key at
+ * exactly those points and clears the cache on crash recovery (host
+ * DRAM dies with the power).  Payload bytes served from the cache are
+ * therefore always identical to a fresh fetch+decompress.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "fidr/common/status.h"
+#include "fidr/common/types.h"
+
+namespace fidr::cache {
+
+/** Physical identity of one stored chunk (container + offset). */
+struct ChunkKey {
+    std::uint64_t container_id = 0;
+    std::uint16_t offset_units = 0;
+
+    bool operator==(const ChunkKey &) const = default;
+};
+
+/** Hash for ChunkKey maps (shard routing, coalescing maps). */
+struct ChunkKeyHash {
+    std::size_t
+    operator()(const ChunkKey &key) const
+    {
+        // splitmix64 over the packed identity: container ids are
+        // sequential, so low bits alone would stripe shards.
+        std::uint64_t x = key.container_id * 0x9E3779B97F4A7C15ull +
+                          key.offset_units;
+        x ^= x >> 30;
+        x *= 0xBF58476D1CE4E5B9ull;
+        x ^= x >> 27;
+        x *= 0x94D049BB133111EBull;
+        x ^= x >> 31;
+        return static_cast<std::size_t>(x);
+    }
+};
+
+/** Hit/miss/eviction counters (aggregated or per shard). */
+struct ChunkCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
+
+    double
+    hit_rate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total > 0
+                   ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+    }
+};
+
+/**
+ * Sharded, capacity-bounded LRU of decompressed chunks.  All entry
+ * points are thread-safe (per-shard locking); the FIDR read plane
+ * probes and fills it serially anyway so hit/miss order is
+ * deterministic.
+ */
+class ChunkReadCache {
+  public:
+    /**
+     * @param capacity_bytes total payload budget, split evenly across
+     *        shards (each shard evicts against capacity / shards).
+     * @param shards power-of-two shard count; 1 = one global LRU.
+     */
+    ChunkReadCache(std::uint64_t capacity_bytes, std::size_t shards = 1);
+
+    /** The cached payload (a copy), refreshing recency; counts a hit
+     *  or a miss. */
+    std::optional<Buffer> lookup(const ChunkKey &key);
+
+    /**
+     * Caches `payload`, evicting LRU entries of the key's shard until
+     * it fits.  Payloads larger than a shard's budget are not cached.
+     * Re-inserting a resident key refreshes payload and recency.
+     */
+    void insert(const ChunkKey &key, const Buffer &payload);
+
+    /** Drops one entry if resident. */
+    void invalidate(const ChunkKey &key);
+
+    /** Drops every entry of `container_id` (compaction discard). */
+    void invalidate_container(std::uint64_t container_id);
+
+    /** Drops everything (crash recovery: host DRAM is gone). */
+    void clear();
+
+    /** Aggregate counters over all shards (by value). */
+    ChunkCacheStats stats() const;
+
+    /** One shard's counters (shard < shard_count()). */
+    ChunkCacheStats shard_stats(std::size_t shard) const;
+
+    std::size_t shard_count() const { return shards_.size(); }
+    std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+    /** Payload bytes currently resident (sum over shards). */
+    std::uint64_t used_bytes() const;
+
+    /** Resident entry count (sum over shards). */
+    std::size_t entries() const;
+
+    /** The shard that owns `key`. */
+    std::size_t shard_of(const ChunkKey &key) const;
+
+  private:
+    struct Entry {
+        ChunkKey key;
+        Buffer payload;
+    };
+
+    /**
+     * One shard: an LRU-ordered entry list (front = most recent) plus
+     * a key index into it.  unique_ptr because std::mutex is immovable.
+     */
+    struct Shard {
+        std::list<Entry> lru;
+        std::unordered_map<ChunkKey, std::list<Entry>::iterator,
+                           ChunkKeyHash>
+            index;
+        std::uint64_t used_bytes = 0;
+        ChunkCacheStats stats;
+        mutable std::mutex mutex;
+    };
+
+    Shard &shard_for(const ChunkKey &key)
+    { return *shards_[shard_of(key)]; }
+
+    std::uint64_t capacity_bytes_ = 0;
+    std::uint64_t shard_capacity_ = 0;
+    std::size_t shard_mask_ = 0;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace fidr::cache

@@ -19,6 +19,11 @@ FidrSystem::FidrSystem(const FidrConfig &config)
                                     : config_.compress_lanes;
     if (compress_lanes > 1)
         compress_pool_ = std::make_unique<ThreadPool>(compress_lanes);
+    read_pipeline_ = std::make_unique<ReadPipeline>(config_.read_lanes);
+    if (config_.chunk_cache_bytes > 0) {
+        chunk_cache_ = std::make_unique<cache::ChunkReadCache>(
+            config_.chunk_cache_bytes, config_.chunk_cache_shards);
+    }
     build_cache_structures();
 
     // Host DRAM holds only the table cache content; payload buffering
@@ -26,6 +31,12 @@ FidrSystem::FidrSystem(const FidrConfig &config)
     FIDR_CHECK(platform_.memory()
                    .claim("table cache", table_cache_->capacity_bytes())
                    .is_ok());
+    if (chunk_cache_) {
+        FIDR_CHECK(platform_.memory()
+                       .claim("chunk read cache",
+                              chunk_cache_->capacity_bytes())
+                       .is_ok());
+    }
 
     if (config.journal_metadata) {
         // Reserve [buckets | snapshot | journal] on the table SSD.
@@ -55,6 +66,7 @@ FidrSystem::FidrSystem(const FidrConfig &config)
     hist_.read_fetch = &metrics_.histogram("read.ssd_fetch");
     hist_.read_decompress = &metrics_.histogram("read.decompress");
     hist_.read_return = &metrics_.histogram("read.nic_return");
+    read_ssd_fetches_ = &metrics_.counter("read.ssd_fetches");
 
     // Stage-occupancy histograms exist at every depth so a depth sweep
     // compares like for like (aggregate busy > wall-clock shows real
@@ -119,29 +131,49 @@ FidrSystem::build_cache_structures()
     dedup_ = std::make_unique<DedupIndex>(*table_cache_);
 }
 
+std::uint64_t
+FidrSystem::backoff_for(unsigned attempt) const
+{
+    // Exponential backoff, saturated: `retry_backoff_ns << attempt`
+    // is UB past 63 and silently wraps long before that for large
+    // base values, so the shift is capped and the product clamps to
+    // the accumulator's ceiling instead of wrapping to ~0.
+    constexpr unsigned kMaxBackoffShift = 20;
+    const unsigned shift =
+        attempt < kMaxBackoffShift ? attempt : kMaxBackoffShift;
+    if (config_.retry_backoff_ns > (UINT64_MAX >> shift))
+        return UINT64_MAX;
+    return config_.retry_backoff_ns << shift;
+}
+
+Status
+FidrSystem::retry_transient(const std::function<Status()> &op)
+{
+    Status status = op();
+    for (unsigned attempt = 0;
+         status.code() == StatusCode::kUnavailable &&
+         attempt < config_.transient_retries;
+         ++attempt) {
+        // Transient device error: back off (accounted, not slept) and
+        // re-issue.  Non-transient errors surface immediately.
+        ++fault_stats_.transient_retries;
+        fault_stats_.backoff_ns += backoff_for(attempt);
+        status = op();
+    }
+    if (status.code() == StatusCode::kUnavailable)
+        ++fault_stats_.retry_exhausted;
+    return status;
+}
+
 Status
 FidrSystem::dma_checked(pcie::DeviceId src, pcie::DeviceId dst,
                         std::uint64_t bytes, const std::string &tag)
 {
-    Result<pcie::DmaPath> moved =
-        platform_.fabric().try_dma(src, dst, bytes, tag);
-    for (unsigned attempt = 0;
-         !moved.is_ok() &&
-         moved.status().code() == StatusCode::kUnavailable &&
-         attempt < config_.transient_retries;
-         ++attempt) {
-        // Transient descriptor/link error: back off (accounted, not
-        // slept) and re-issue.
-        ++fault_stats_.transient_retries;
-        fault_stats_.backoff_ns += config_.retry_backoff_ns << attempt;
-        moved = platform_.fabric().try_dma(src, dst, bytes, tag);
-    }
-    if (!moved.is_ok()) {
-        if (moved.status().code() == StatusCode::kUnavailable)
-            ++fault_stats_.retry_exhausted;
-        return moved.status();
-    }
-    return Status::ok();
+    return retry_transient([&] {
+        const Result<pcie::DmaPath> moved =
+            platform_.fabric().try_dma(src, dst, bytes, tag);
+        return moved.is_ok() ? Status::ok() : moved.status();
+    });
 }
 
 Status
@@ -632,6 +664,15 @@ FidrSystem::retire_if_dead(Pbn pbn)
             return;
         }
     }
+    // The physical chunk is dead: its decompressed image must leave
+    // the read cache before the location mapping disappears, or a new
+    // chunk written into the reclaimed slot would read stale bytes.
+    if (chunk_cache_) {
+        if (const auto location = lba_table_.location_of(pbn)) {
+            chunk_cache_->invalidate(
+                {location->container_id, location->offset_units});
+        }
+    }
     lba_table_.reclaim(pbn);
     if (const auto digest = space_.on_dead(pbn)) {
         // Drop the Hash-PBN entry so the content, if it recurs, is
@@ -696,29 +737,17 @@ FidrSystem::checkpoint()
     Buffer framed(8);
     store_le(framed.data(), image.size(), 8);
     framed.insert(framed.end(), image.begin(), image.end());
-    Status written = Status::ok();
-    for (unsigned attempt = 0; attempt <= config_.transient_retries;
-         ++attempt) {
-        if (attempt > 0) {
-            ++fault_stats_.transient_retries;
-            fault_stats_.backoff_ns += config_.retry_backoff_ns
-                                       << (attempt - 1);
-        }
-        written = fault::as_status(
+    const Status written = retry_transient([&] {
+        const Status injected = fault::as_status(
             FIDR_FAULT_EVAL(fault::Site::kSnapshotWrite),
             fault::Site::kSnapshotWrite);
-        if (written.is_ok())
-            written = platform_.table_ssd().write(snapshot_base_, framed);
-        if (written.is_ok() ||
-            written.code() != StatusCode::kUnavailable) {
-            break;
-        }
-    }
+        if (!injected.is_ok())
+            return injected;
+        return platform_.table_ssd().write(snapshot_base_, framed);
+    });
     if (!written.is_ok()) {
         // The journal is only truncated after the snapshot is durable,
         // so a failed checkpoint loses nothing.
-        if (written.code() == StatusCode::kUnavailable)
-            ++fault_stats_.retry_exhausted;
         return written;
     }
     journal_->reset();
@@ -749,8 +778,10 @@ FidrSystem::simulate_crash_and_recover()
     // are repaired lazily at dedup-resolve time (dangling_repairs).
     lba_table_ = tables::LbaPbaTable();
     build_cache_structures();
-    // The host-DRAM capacity claim is unchanged: the rebuilt cache has
-    // exactly the footprint the constructor already accounted.
+    if (chunk_cache_)
+        chunk_cache_->clear();
+    // The host-DRAM capacity claim is unchanged: the rebuilt caches
+    // have exactly the footprint the constructor already accounted.
 
     // Restart: load the snapshot (if one was taken)...
     FIDR_FAULT_RETURN_IF(fault::Site::kSnapshotRead);
@@ -840,6 +871,11 @@ FidrSystem::compact(double min_dead_fraction)
             return released.status();
         reclaimed += released.value();
         space_.release_container(container);
+        // Cache coherence: the container's physical slots are free for
+        // reuse, so every cached image keyed to it must go.  Survivors
+        // re-enter the cache at their new location on the next read.
+        if (chunk_cache_)
+            chunk_cache_->invalidate_container(container);
     }
     return reclaimed;
 }
@@ -871,123 +907,250 @@ FidrSystem::flush()
 Result<Buffer>
 FidrSystem::read(Lba lba)
 {
-    // Pipeline barrier: in-flight batches commit before the NIC lookup
-    // and LBA resolve, so a read always sees its own preceding writes.
-    // A sticky failure keeps its error for the next write/flush; the
-    // affected data stays readable from the unsealed NIC buffer.
+    // The size-1 batch: identical stage order, billing and fault
+    // accounting to the pre-batching serial read path.
+    const Lba one[1] = {lba};
+    std::vector<Result<Buffer>> out = read_batch(one);
+    return std::move(out.front());
+}
+
+void
+FidrSystem::run_read_jobs(std::vector<ReadJob> &jobs)
+{
+    pcie::Fabric &fabric = platform_.fabric();
+
+    // Fan-out stage: fetch + decompress every cache-miss job.  Pure
+    // per-job work only — flash page copies, the LZ kernel, job-local
+    // retry counts and timings.  No ledger, stat or histogram is
+    // touched here (the determinism contract of read_pipeline.h).
+    std::vector<std::size_t> pending;
+    pending.reserve(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (!jobs[j].cache_hit)
+            pending.push_back(j);
+    }
+    read_pipeline_->run(jobs, pending, [this](ReadJob &job) {
+        const obs::StageTimer fetch_timer;
+        Result<Buffer> data = containers_.read(job.location);
+        // Degraded mode: transient flash errors retry with backoff;
+        // attempts are counted locally and accounted after the join.
+        while (!data.is_ok() &&
+               data.status().code() == StatusCode::kUnavailable &&
+               job.fetch_attempts < config_.transient_retries) {
+            ++job.fetch_attempts;
+            data = containers_.read(job.location);
+        }
+        job.fetch_ns = fetch_timer.elapsed_ns();
+        if (!data.is_ok()) {
+            job.status = data.status();
+            return;
+        }
+        job.fetch_ok = true;
+        job.compressed_bytes = data.value().size();
+        const obs::StageTimer decompress_timer;
+        Result<Buffer> raw = decomp_.decompress_stateless(data.value());
+        job.decompress_ns = decompress_timer.elapsed_ns();
+        if (!raw.is_ok()) {
+            job.status = raw.status();
+            return;
+        }
+        job.payload = raw.take();
+    });
+
+    // Serial billing stage, in job order: every fabric DMA, per-SSD
+    // attribution, fault-stat merge, engine counter and cache fill
+    // happens here, on the orchestrating thread, so ledgers are
+    // bit-identical across lane counts.
+    for (ReadJob &job : jobs) {
+        if (job.cache_hit) {
+            job.ready = true;
+            continue;
+        }
+        fault_stats_.transient_retries += job.fetch_attempts;
+        for (unsigned attempt = 0; attempt < job.fetch_attempts;
+             ++attempt) {
+            fault_stats_.backoff_ns += backoff_for(attempt);
+        }
+        if (!job.fetch_ok) {
+            if (job.status.code() == StatusCode::kUnavailable)
+                ++fault_stats_.retry_exhausted;
+            // The failed flash read still occupied the owning SSD's
+            // channel: bill the attempted transfer to the SSD that
+            // holds the container, not to nobody (and not to SSD 0).
+            if (containers_.sealed(job.location.container_id)) {
+                fabric.dma(platform_.data_ssd_dev(job.source_ssd),
+                           platform_.decompression_engine(),
+                           job.location.compressed_size,
+                           memtag::kDataSsd);
+            }
+            hist_.read_fetch->record(job.fetch_ns);
+            continue;
+        }
+        // Fig 6b step 5: data SSD -> Decompression Engine, P2P.  The
+        // source device is the SSD the chunk's container landed on
+        // (same rotation bill_container_seals used when sealing it).
+        FIDR_TPOINT(obs::Tpoint::kReadSsdFetch, job.location.container_id,
+                    job.compressed_bytes);
+        read_ssd_fetches_->add();
+        hist_.read_fetch->record(job.fetch_ns);
+        const Status moved = dma_checked(
+            platform_.data_ssd_dev(job.source_ssd),
+            platform_.decompression_engine(), job.compressed_bytes,
+            memtag::kDataSsd);
+        if (!moved.is_ok()) {
+            // The chunk never reached the engine: the speculative
+            // decompression result is discarded unbilled.
+            job.status = moved;
+            job.payload.clear();
+            continue;
+        }
+        hist_.read_decompress->record(job.decompress_ns);
+        if (!job.status.is_ok())
+            continue;  // Decompression failed (kCorruption).
+        decomp_.record();
+        job.ready = true;
+        if (chunk_cache_) {
+            FIDR_TPOINT(obs::Tpoint::kReadCacheInsert,
+                        job.location.container_id,
+                        job.location.offset_units);
+            chunk_cache_->insert(
+                {job.location.container_id, job.location.offset_units},
+                job.payload);
+        }
+    }
+}
+
+std::vector<Result<Buffer>>
+FidrSystem::read_batch(std::span<const Lba> lbas)
+{
+    // One pipeline barrier for the whole batch: in-flight write
+    // batches commit before the NIC lookups and LBA resolves, so every
+    // read sees its own preceding writes.  A sticky failure keeps its
+    // error for the next write/flush; the affected data stays readable
+    // from the unsealed NIC buffer.
     if (pipeline_) {
         pipeline_->quiesce();
         if (pipeline_->failed())
             nic_.unseal_all();
     }
-    ++stats_.chunks_read;
     pcie::Fabric &fabric = platform_.fabric();
-    const obs::StageTimer read_timer;
-    FIDR_TRACE_SPAN(read_span, obs::Tpoint::kReadRequest, lba,
+    const obs::StageTimer batch_timer;
+    FIDR_TRACE_SPAN(batch_span, obs::Tpoint::kReadBatch, lbas.size(),
                     kChunkSize);
 
-    // Fig 6b step 2: LBA Lookup against the in-NIC write buffer.
-    if (auto buffered = nic_.lookup_buffered(lba)) {
-        FIDR_TPOINT(obs::Tpoint::kReadNicLookup, lba, 1);
-        ++stats_.nic_read_hits;
-        hist_.read_total->record(read_timer.elapsed_ns());
-        return std::move(*buffered);
+    constexpr std::size_t kNoJob = SIZE_MAX;
+    std::vector<Result<Buffer>> results(
+        lbas.size(), Result<Buffer>(Status::internal("read pending")));
+    std::vector<std::size_t> slot_job(lbas.size(), kNoJob);
+    std::vector<ReadJob> jobs;
+    std::unordered_map<cache::ChunkKey, std::size_t, cache::ChunkKeyHash>
+        job_of;
+
+    // Serial resolve stage, in input order: NIC buffer short-circuit,
+    // LBA transfer + CPU billing, LBA-PBA lookup, then coalescing —
+    // slots that resolve to the same physical chunk (duplicates under
+    // dedup, repeated LBAs) collapse into one job in first-occurrence
+    // order, so the chunk is fetched and decompressed exactly once.
+    for (std::size_t i = 0; i < lbas.size(); ++i) {
+        const Lba lba = lbas[i];
+        ++stats_.chunks_read;
+        FIDR_TPOINT(obs::Tpoint::kReadRequest, lba, kChunkSize);
+
+        // Fig 6b step 2: LBA Lookup against the in-NIC write buffer.
+        if (auto buffered = nic_.lookup_buffered(lba)) {
+            FIDR_TPOINT(obs::Tpoint::kReadNicLookup, lba, 1);
+            ++stats_.nic_read_hits;
+            hist_.read_total->record(batch_timer.elapsed_ns());
+            results[i] = std::move(*buffered);
+            continue;
+        }
+        FIDR_TPOINT(obs::Tpoint::kReadNicLookup, lba, 0);
+
+        // Steps 3-4: LBA to host, LBA-PBA lookup.  With the read-stack
+        // offload extension, the NVMe submission/completion handling
+        // and data forwarding move to the FPGA and only the mapping
+        // lookup stays on the CPU.
+        const auto location = [&] {
+            const obs::StageTimer timer;
+            FIDR_TRACE_SPAN(span, obs::Tpoint::kReadLbaResolve, lba, 0);
+            fabric.dma(platform_.nic(), pcie::kHostMemory, 16,
+                       memtag::kNicHost);
+            platform_.cpu().bill_us(cputag::kReadPath,
+                                    config_.offload_read_stack
+                                        ? calib::kCpuReadOffloadResidual
+                                        : calib::kCpuReadPerChunk);
+            const auto found = lba_table_.lookup(lba);
+            hist_.read_resolve->record(timer.elapsed_ns());
+            return found;
+        }();
+        if (!location) {
+            results[i] = Status::not_found("LBA never written");
+            continue;
+        }
+
+        const cache::ChunkKey key{location->container_id,
+                                  location->offset_units};
+        const auto coalesced = job_of.find(key);
+        if (coalesced != job_of.end()) {
+            jobs[coalesced->second].slots.push_back(i);
+            slot_job[i] = coalesced->second;
+            continue;
+        }
+        ReadJob job;
+        job.location = *location;
+        job.source_ssd = containers_.ssd_index_of(location->container_id);
+        job.slots.push_back(i);
+        // Chunk-cache probe (serial, so hit/miss order and LRU state
+        // are deterministic): a hit serves the decompressed payload
+        // straight from host DRAM, skipping the fetch stage entirely.
+        if (chunk_cache_) {
+            if (auto cached = chunk_cache_->lookup(key)) {
+                FIDR_TPOINT(obs::Tpoint::kReadCacheHit,
+                            key.container_id, key.offset_units);
+                job.cache_hit = true;
+                job.payload = std::move(*cached);
+            }
+        }
+        slot_job[i] = jobs.size();
+        job_of.emplace(key, jobs.size());
+        jobs.push_back(std::move(job));
     }
-    FIDR_TPOINT(obs::Tpoint::kReadNicLookup, lba, 0);
+    FIDR_TPOINT(obs::Tpoint::kReadCoalesce, lbas.size(), jobs.size());
 
-    // Steps 3-4: LBA to host, LBA-PBA lookup.  With the read-stack
-    // offload extension, the NVMe submission/completion handling and
-    // data forwarding move to the FPGA and only the mapping lookup
-    // stays on the CPU.
-    const auto location = [&] {
-        const obs::StageTimer timer;
-        FIDR_TRACE_SPAN(span, obs::Tpoint::kReadLbaResolve, lba, 0);
-        fabric.dma(platform_.nic(), pcie::kHostMemory, 16,
-                   memtag::kNicHost);
-        platform_.cpu().bill_us(cputag::kReadPath,
-                                config_.offload_read_stack
-                                    ? calib::kCpuReadOffloadResidual
-                                    : calib::kCpuReadPerChunk);
-        const auto found = lba_table_.lookup(lba);
-        hist_.read_resolve->record(timer.elapsed_ns());
-        return found;
-    }();
-    if (!location)
-        return Status::not_found("LBA never written");
+    // Steps 5-6 (fan-out + serial billing).
+    run_read_jobs(jobs);
 
-    // Steps 5-7: data SSD -> Decompression Engine -> NIC, both P2P.
-    // The source device is the SSD the chunk's container landed on
-    // (same rotation bill_container_seals used when sealing it).
-    Result<Buffer> compressed = [&]() -> Result<Buffer> {
-        const obs::StageTimer timer;
-        FIDR_TRACE_SPAN(span, obs::Tpoint::kReadSsdFetch, lba,
-                        location->container_id);
-        const std::size_t source_ssd =
-            containers_.ssd_index_of(location->container_id);
-        Result<Buffer> data = containers_.read(*location);
-        // Degraded mode: transient flash errors retry with accounted
-        // backoff; persistent ones propagate to the client instead of
-        // taking the server down.
-        for (unsigned attempt = 0;
-             !data.is_ok() &&
-             data.status().code() == StatusCode::kUnavailable &&
-             attempt < config_.transient_retries;
-             ++attempt) {
-            ++fault_stats_.transient_retries;
-            fault_stats_.backoff_ns += config_.retry_backoff_ns << attempt;
-            data = containers_.read(*location);
+    // Step 7, serial in input order: payload to the NIC, out to the
+    // client.  Cache hits travel host DRAM -> NIC (the chunk lives
+    // decompressed in host memory); misses travel Decompression
+    // Engine -> NIC peer-to-peer as before.
+    for (std::size_t i = 0; i < lbas.size(); ++i) {
+        if (slot_job[i] == kNoJob)
+            continue;  // NIC buffer hit or resolve failure.
+        const ReadJob &job = jobs[slot_job[i]];
+        if (!job.ready) {
+            results[i] = job.status;
+            continue;
         }
-        if (data.is_ok()) {
-            const Status moved = dma_checked(
-                platform_.data_ssd_dev(source_ssd),
-                platform_.decompression_engine(), data.value().size(),
-                memtag::kDataSsd);
-            if (!moved.is_ok()) {
-                hist_.read_fetch->record(timer.elapsed_ns());
-                return moved;
-            }
-        } else {
-            if (data.status().code() == StatusCode::kUnavailable)
-                ++fault_stats_.retry_exhausted;
-            // The failed flash read still occupied the owning SSD's
-            // channel: bill the attempted transfer to the SSD that
-            // holds the container, not to nobody (and not to SSD 0).
-            if (containers_.sealed(location->container_id)) {
-                fabric.dma(platform_.data_ssd_dev(source_ssd),
-                           platform_.decompression_engine(),
-                           location->compressed_size, memtag::kDataSsd);
-            }
-        }
-        hist_.read_fetch->record(timer.elapsed_ns());
-        return data;
-    }();
-    if (!compressed.is_ok())
-        return compressed.status();
-
-    Result<Buffer> raw = [&]() -> Result<Buffer> {
         const obs::StageTimer timer;
-        FIDR_TRACE_SPAN(span, obs::Tpoint::kReadDecompress, lba,
-                        compressed.value().size());
-        Result<Buffer> out = decomp_.decompress(compressed.value());
-        hist_.read_decompress->record(timer.elapsed_ns());
-        return out;
-    }();
-    if (!raw.is_ok())
-        return raw.status();
-
-    {
-        const obs::StageTimer timer;
-        FIDR_TRACE_SPAN(span, obs::Tpoint::kReadNicReturn, lba,
-                        raw.value().size());
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kReadNicReturn, lbas[i],
+                        job.payload.size());
         const Status moved =
-            dma_checked(platform_.decompression_engine(), platform_.nic(),
-                        raw.value().size(), memtag::kNicHost);
+            job.cache_hit
+                ? dma_checked(pcie::kHostMemory, platform_.nic(),
+                              job.payload.size(), memtag::kChunkCache)
+                : dma_checked(platform_.decompression_engine(),
+                              platform_.nic(), job.payload.size(),
+                              memtag::kNicHost);
         hist_.read_return->record(timer.elapsed_ns());
-        if (!moved.is_ok())
-            return moved;
+        if (!moved.is_ok()) {
+            results[i] = moved;
+            continue;
+        }
+        results[i] = job.payload;
+        hist_.read_total->record(batch_timer.elapsed_ns());
     }
-    hist_.read_total->record(read_timer.elapsed_ns());
-    return raw;
+    return results;
 }
 
 obs::ObsSnapshot
@@ -1052,6 +1215,19 @@ FidrSystem::obs_snapshot() const
                 shard.dirty_evictions;
         }
     }
+
+    // Chunk read cache (zeros when disabled, so dashboards diffing a
+    // cache-on run against cache-off see the keys either way).
+    const cache::ChunkCacheStats read_cache =
+        chunk_cache_ ? chunk_cache_->stats() : cache::ChunkCacheStats{};
+    snap.counters["read.cache.hits"] = read_cache.hits;
+    snap.counters["read.cache.misses"] = read_cache.misses;
+    snap.counters["read.cache.insertions"] = read_cache.insertions;
+    snap.counters["read.cache.evictions"] = read_cache.evictions;
+    snap.counters["read.cache.invalidations"] = read_cache.invalidations;
+    snap.counters["read.cache.bytes"] =
+        chunk_cache_ ? chunk_cache_->used_bytes() : 0;
+    snap.gauges["read.cache.hit_rate"] = read_cache.hit_rate();
 
     snap.gauges["write.dedup_rate"] = stats_.dedup_rate();
     snap.gauges["write.reduction_ratio"] =

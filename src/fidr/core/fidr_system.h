@@ -34,10 +34,12 @@
 
 #include "fidr/accel/engines.h"
 #include "fidr/common/thread_pool.h"
+#include "fidr/cache/chunk_cache.h"
 #include "fidr/cache/indexes.h"
 #include "fidr/cache/table_cache.h"
 #include "fidr/core/dedup_index.h"
 #include "fidr/core/platform.h"
+#include "fidr/core/read_pipeline.h"
 #include "fidr/core/server.h"
 #include "fidr/core/space.h"
 #include "fidr/core/write_pipeline.h"
@@ -79,6 +81,27 @@ struct FidrConfig {
     std::size_t pipeline_hash_workers = 0;
 
     /**
+     * Read-plane fan-out: lanes fetching and decompressing the
+     * coalesced chunks of a read_batch() concurrently.  0 = one lane
+     * per hardware thread; 1 = serial on the calling thread.  Results
+     * and ledgers are bit-identical across lane counts (all billing is
+     * serialized after the join; see read_pipeline.h).
+     */
+    std::size_t read_lanes = 0;
+
+    /**
+     * Chunk read cache capacity in bytes (decompressed chunk content
+     * keyed by physical location; cache/chunk_cache.h).  0 disables
+     * the cache entirely — the default, so the read path's DMA and
+     * device accounting is unchanged unless the knob is set.  The
+     * capacity is claimed from host DRAM at construction.
+     */
+    std::uint64_t chunk_cache_bytes = 0;
+
+    /** Chunk-cache shards (power of two; the cache_shards pattern). */
+    std::size_t chunk_cache_shards = 1;
+
+    /**
      * Hash-PBN table cache shards (power of two, Sec 5.5).  Shard
      * routing is bucket & (N-1) with per-shard free/LRU lists, stats
      * and mutexes; 1 keeps the unsharded layout (and its exact
@@ -118,6 +141,19 @@ class FidrSystem : public StorageServer {
 
     Status write(Lba lba, Buffer data) override;
     Result<Buffer> read(Lba lba) override;
+
+    /**
+     * Batched Fig 6b reads: one pipeline barrier for the whole batch,
+     * slots resolving to the same physical chunk coalesce into a
+     * single fetch+decompress, and the fetch stage fans across
+     * `read_lanes` with all billing serialized after the join
+     * (read_pipeline.h).  read() is the size-1 case.  Per-slot errors
+     * (unknown LBA, degraded-mode device failures) fail only their own
+     * slot.
+     */
+    std::vector<Result<Buffer>> read_batch(
+        std::span<const Lba> lbas) override;
+
     Status flush() override;
     const ReductionStats &reduction() const override { return stats_; }
 
@@ -139,6 +175,10 @@ class FidrSystem : public StorageServer {
 
     /** Live/dead space accounting (GC extension). */
     const SpaceTracker &space() const { return space_; }
+
+    /** Null when chunk_cache_bytes == 0 (cache disabled). */
+    const cache::ChunkReadCache *chunk_cache() const
+    { return chunk_cache_.get(); }
 
     /**
      * Compaction (extension): rewrites the live chunks of every sealed
@@ -316,6 +356,28 @@ class FidrSystem : public StorageServer {
     Status dma_checked(pcie::DeviceId src, pcie::DeviceId dst,
                        std::uint64_t bytes, const std::string &tag);
 
+    /**
+     * Degraded-mode retry loop shared by every transient-fallible
+     * operation (DMA descriptors, flash reads, snapshot writes):
+     * re-runs `op` while it fails kUnavailable, up to
+     * config.transient_retries extra attempts, accounting each retry
+     * and its backoff into FaultStats; an exhausted op counts
+     * retry_exhausted.  Non-transient errors surface immediately.
+     */
+    Status retry_transient(const std::function<Status()> &op);
+
+    /**
+     * Backoff accounted for retry attempt `attempt` (0-based):
+     * retry_backoff_ns << attempt, with the shift capped and the
+     * product saturated so large transient_retries configurations
+     * cannot overflow the 64-bit accumulator.
+     */
+    std::uint64_t backoff_for(unsigned attempt) const;
+
+    /** Serial resolve + coalesce + fan-out + serial billing of one
+     *  read batch; see read_pipeline.h for the stage contract. */
+    void run_read_jobs(std::vector<ReadJob> &jobs);
+
     FidrConfig config_;
     Platform platform_;
     nic::FidrNic nic_;
@@ -330,6 +392,10 @@ class FidrSystem : public StorageServer {
     accel::DecompressionEngine decomp_;
     /** Compression lanes; null when compress_lanes resolves to 1. */
     std::unique_ptr<ThreadPool> compress_pool_;
+    /** Read-plane fan-out (inline when read_lanes resolves to 1). */
+    std::unique_ptr<ReadPipeline> read_pipeline_;
+    /** Null when chunk_cache_bytes == 0. */
+    std::unique_ptr<cache::ChunkReadCache> chunk_cache_;
 
     void retire_if_dead(Pbn pbn);
     Status journal_append(const tables::JournalRecord &record);
@@ -348,6 +414,9 @@ class FidrSystem : public StorageServer {
      *  so depth sweeps compare like for like). */
     obs::Histogram *pipe_hash_busy_ = nullptr;
     obs::Histogram *pipe_execute_busy_ = nullptr;
+    /** Physical chunk fetches issued to data SSDs (cache misses);
+     *  the read-bench's cache-effectiveness signal. */
+    obs::Counter *read_ssd_fetches_ = nullptr;
     /** Null at depth 1 (synchronous).  Declared last: it must be
      *  destroyed (quiesced/joined) before any state its stages use. */
     std::unique_ptr<WritePipeline> pipeline_;

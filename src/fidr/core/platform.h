@@ -112,6 +112,7 @@ inline const std::string kPrediction = "Host memory (unique prediction)";
 inline const std::string kFpga = "Host memory<->FPGAs";
 inline const std::string kTableCache = "Table cache management";
 inline const std::string kDataSsd = "Host memory<->data SSD";
+inline const std::string kChunkCache = "Chunk read cache<->NIC";
 }  // namespace memtag
 
 /** Canonical CPU task tags: Fig 5b / Table 2 categories. */

@@ -1,0 +1,36 @@
+#include "fidr/core/read_pipeline.h"
+
+#include "fidr/obs/trace.h"
+
+namespace fidr::core {
+
+ReadPipeline::ReadPipeline(std::size_t lanes)
+    : lanes_(lanes == 0 ? ThreadPool::hardware_lanes() : lanes)
+{
+    if (lanes_ > 1)
+        pool_ = std::make_unique<ThreadPool>(lanes_);
+}
+
+void
+ReadPipeline::run(std::vector<ReadJob> &jobs,
+                  const std::vector<std::size_t> &pending,
+                  const std::function<void(ReadJob &)> &body)
+{
+    if (pending.empty())
+        return;
+    if (!pool_ || pending.size() == 1) {
+        // Serial path: same job order a 1-lane pool would produce.
+        for (const std::size_t j : pending)
+            body(jobs[j]);
+        return;
+    }
+    pool_->parallel_for(
+        pending.size(), [&](std::size_t begin, std::size_t end) {
+            FIDR_TRACE_SPAN(span, obs::Tpoint::kReadFetchLane, begin,
+                            end - begin);
+            for (std::size_t i = begin; i < end; ++i)
+                body(jobs[pending[i]]);
+        });
+}
+
+}  // namespace fidr::core

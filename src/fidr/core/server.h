@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "fidr/common/status.h"
 #include "fidr/common/types.h"
@@ -60,6 +62,22 @@ class StorageServer {
 
     /** Reads back the 4 KB chunk at `lba`. */
     virtual Result<Buffer> read(Lba lba) = 0;
+
+    /**
+     * Reads a batch of LBAs; result i corresponds to lbas[i], and
+     * per-LBA failures (unknown LBA, degraded-mode device errors) fail
+     * only their own slot.  The default issues one read() per LBA;
+     * systems override it to coalesce and parallelize.
+     */
+    virtual std::vector<Result<Buffer>>
+    read_batch(std::span<const Lba> lbas)
+    {
+        std::vector<Result<Buffer>> out;
+        out.reserve(lbas.size());
+        for (const Lba lba : lbas)
+            out.push_back(read(lba));
+        return out;
+    }
 
     /** Drains buffered writes and seals open containers. */
     virtual Status flush() = 0;

@@ -45,6 +45,11 @@ tpoint_name(Tpoint tpoint)
       case Tpoint::kPipelineHashStage: return "pipeline.hash";
       case Tpoint::kPipelineExecute: return "pipeline.execute";
       case Tpoint::kPipelineDrain: return "pipeline.drain";
+      case Tpoint::kReadBatch: return "read.batch";
+      case Tpoint::kReadCoalesce: return "read.coalesce";
+      case Tpoint::kReadCacheHit: return "read.cache_hit";
+      case Tpoint::kReadCacheInsert: return "read.cache_insert";
+      case Tpoint::kReadFetchLane: return "read.fetch_lane";
       case Tpoint::kMaxTpoint: break;
     }
     return "unknown";

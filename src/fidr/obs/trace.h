@@ -89,6 +89,13 @@ enum class Tpoint : std::uint16_t {
     kPipelineExecute,      ///< Commit-sequencer span (object=epoch).
     kPipelineDrain,        ///< Barrier waiting for in-flight batches.
 
+    // Batched read plane (coalesced Fig 6b).
+    kReadBatch,            ///< Whole read_batch() span (object=slots).
+    kReadCoalesce,         ///< Slot->job collapse (object=slots, arg=jobs).
+    kReadCacheHit,         ///< Chunk-cache hit (object=container).
+    kReadCacheInsert,      ///< Decompressed chunk cached (object=container).
+    kReadFetchLane,        ///< One lane's fetch shard (worker thread).
+
     kMaxTpoint,
 };
 

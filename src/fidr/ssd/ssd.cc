@@ -94,7 +94,7 @@ Ssd::read(std::uint64_t addr, std::uint64_t len) const
     const fault::FaultDecision fd =
         FIDR_FAULT_EVAL(fault::Site::kSsdRead);
     if (fd.fire && fd.kind == fault::FaultKind::kError) {
-        ++self->read_errors_;
+        self->read_errors_.fetch_add(1, std::memory_order_relaxed);
         return fault::to_status(fd, fault::Site::kSsdRead);
     }
 
@@ -116,8 +116,8 @@ Ssd::read(std::uint64_t addr, std::uint64_t len) const
         out[(fd.entropy >> 3) % out.size()] ^=
             static_cast<std::uint8_t>(1u << (fd.entropy & 7));
     }
-    self->bytes_read_ += len;
-    ++self->read_ios_;
+    self->bytes_read_.fetch_add(len, std::memory_order_relaxed);
+    self->read_ios_.fetch_add(1, std::memory_order_relaxed);
     return out;
 }
 

@@ -11,6 +11,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -68,12 +69,15 @@ class Ssd {
 
     /** Lifetime bytes written to flash (wear proxy, Sec 1). */
     std::uint64_t bytes_written() const { return bytes_written_; }
-    std::uint64_t bytes_read() const { return bytes_read_; }
-    std::uint64_t read_ios() const { return read_ios_; }
+    std::uint64_t bytes_read() const
+    { return bytes_read_.load(std::memory_order_relaxed); }
+    std::uint64_t read_ios() const
+    { return read_ios_.load(std::memory_order_relaxed); }
     std::uint64_t write_ios() const { return write_ios_; }
 
     /** IOs that failed (injected media/command errors). */
-    std::uint64_t read_errors() const { return read_errors_; }
+    std::uint64_t read_errors() const
+    { return read_errors_.load(std::memory_order_relaxed); }
     std::uint64_t write_errors() const { return write_errors_; }
 
     /** Bytes currently occupied in the page store. */
@@ -93,10 +97,14 @@ class Ssd {
     sim::BandwidthPipe read_pipe_;
     sim::BandwidthPipe write_pipe_;
     std::uint64_t bytes_written_ = 0;
-    std::uint64_t bytes_read_ = 0;
-    std::uint64_t read_ios_ = 0;
+    /** Read-side counters are atomic (relaxed): the batched read
+     *  plane's lanes fetch from disjoint containers of the same SSD
+     *  concurrently.  Writes stay single-threaded (commit sequencer)
+     *  so the write-side counters remain plain. */
+    std::atomic<std::uint64_t> bytes_read_{0};
+    std::atomic<std::uint64_t> read_ios_{0};
     std::uint64_t write_ios_ = 0;
-    std::uint64_t read_errors_ = 0;
+    std::atomic<std::uint64_t> read_errors_{0};
     std::uint64_t write_errors_ = 0;
 };
 

@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "fidr/core/fidr_system.h"
 #include "fidr/fault/failpoint.h"
@@ -197,6 +198,28 @@ class CrashHarness {
                 return ::testing::AssertionFailure()
                        << "acked LBA " << lba << " read back different "
                           "bytes";
+            }
+        }
+        // Same contract through the batched read plane: one
+        // read_batch over every acked LBA (coalescing kicks in — the
+        // workload dedups — and each slot must still return the exact
+        // acked bytes).
+        std::vector<Lba> lbas;
+        lbas.reserve(acked_.size());
+        for (const auto &[lba, expected] : acked_)
+            lbas.push_back(lba);
+        const std::vector<Result<Buffer>> batch =
+            system_.read_batch(lbas);
+        for (std::size_t i = 0; i < lbas.size(); ++i) {
+            if (!batch[i].is_ok()) {
+                return ::testing::AssertionFailure()
+                       << "acked LBA " << lbas[i] << " unreadable via "
+                          "read_batch: " << batch[i].status().message();
+            }
+            if (batch[i].value() != acked_.at(lbas[i])) {
+                return ::testing::AssertionFailure()
+                       << "acked LBA " << lbas[i] << " read back "
+                          "different bytes via read_batch";
             }
         }
         const Status valid = system_.validate();

@@ -1,0 +1,380 @@
+// Batched read plane (core/read_pipeline + cache/chunk_cache): batch
+// results must match serial reads byte-for-byte, every ledger charge
+// must be identical across read_lanes in {1, 2, 4} and auto, the chunk
+// cache must be a pure optimization (same payloads, fewer SSD
+// fetches), compaction must invalidate stale cache entries, and an
+// injected device error inside a batch must fail only its own slot.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fidr/core/fidr_system.h"
+#include "fidr/fault/failpoint.h"
+#include "fidr/workload/generator.h"
+
+namespace fidr {
+namespace {
+
+core::PlatformConfig
+small_platform()
+{
+    core::PlatformConfig config;
+    config.expected_unique_chunks = 50'000;
+    config.data_ssd.capacity_bytes = 2ull * kGiB;
+    config.table_ssd.capacity_bytes = 1ull * kGiB;
+    return config;
+}
+
+core::FidrConfig
+read_plane_config(std::size_t read_lanes, std::uint64_t cache_bytes)
+{
+    core::FidrConfig config;
+    config.platform = small_platform();
+    config.nic.hash_lanes = 1;
+    config.compress_lanes = 1;
+    config.read_lanes = read_lanes;
+    config.chunk_cache_bytes = cache_bytes;
+    return config;
+}
+
+/** Deterministic 4 KB chunk content keyed by (lba, salt). */
+Buffer
+chunk(Lba lba, std::uint64_t salt)
+{
+    Buffer data(kChunkSize);
+    std::uint64_t x = lba * 0x9E3779B97F4A7C15ull + salt + 1;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        data[i] = static_cast<std::uint8_t>((x * 0x2545F4914F6CDD1Dull) >>
+                                            56);
+    }
+    return data;
+}
+
+/** Dedup-heavy write trace + the per-LBA expected read-back bytes. */
+struct Trace {
+    std::vector<workload::IoRequest> requests;
+    std::vector<Lba> lbas;  ///< Request order, duplicates kept.
+    std::unordered_map<Lba, Buffer> expected;
+};
+
+Trace
+make_trace(std::size_t writes)
+{
+    workload::WorkloadSpec spec;
+    spec.name = "read-plane";
+    spec.dedup_ratio = 0.5;  // Shared PBNs: batches must coalesce.
+    spec.comp_ratio = 0.5;
+    spec.dup_working_set = 64;
+    spec.address_space_chunks = 2048;
+    spec.read_fraction = 0.0;
+    spec.seed = 0x5EED;
+    workload::WorkloadGenerator gen(spec);
+
+    Trace trace;
+    trace.requests = gen.batch(writes);
+    for (const workload::IoRequest &req : trace.requests) {
+        trace.lbas.push_back(req.lba);
+        trace.expected[req.lba] = req.data;
+    }
+    return trace;
+}
+
+void
+write_trace(core::FidrSystem &system, const Trace &trace)
+{
+    for (const workload::IoRequest &req : trace.requests) {
+        Buffer data = req.data;
+        ASSERT_TRUE(system.write(req.lba, std::move(data)).is_ok());
+    }
+    ASSERT_TRUE(system.flush().is_ok());
+}
+
+TEST(ReadPlane, BatchMatchesSerialReadsByteForByte)
+{
+    const Trace trace = make_trace(600);
+    core::FidrSystem system(read_plane_config(2, 2ull * kMiB));
+    write_trace(system, trace);
+
+    // Serial reads first, then one batch over the same list (repeat
+    // LBAs included): every slot must return the last-written bytes,
+    // whether served by a fetch, the coalescer, or the chunk cache.
+    for (const Lba lba : trace.lbas) {
+        Result<Buffer> got = system.read(lba);
+        ASSERT_TRUE(got.is_ok()) << "lba " << lba;
+        ASSERT_EQ(got.value(), trace.expected.at(lba)) << "lba " << lba;
+    }
+    const std::vector<Result<Buffer>> batch =
+        system.read_batch(trace.lbas);
+    ASSERT_EQ(batch.size(), trace.lbas.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_TRUE(batch[i].is_ok()) << "slot " << i;
+        ASSERT_EQ(batch[i].value(), trace.expected.at(trace.lbas[i]))
+            << "slot " << i;
+    }
+}
+
+struct ReadOutcome {
+    std::vector<Buffer> payloads;
+    std::vector<sim::LedgerRow> mem_rows;
+    std::vector<sim::LedgerRow> cpu_rows;
+    std::vector<std::uint64_t> ssd_link_bytes;
+    std::uint64_t ssd_fetches = 0;
+    std::uint64_t cache_hits = 0;
+    core::FidrSystem::FaultStats faults;
+};
+
+ReadOutcome
+run_read_trace(std::size_t read_lanes, std::uint64_t cache_bytes,
+               const Trace &trace)
+{
+    core::FidrSystem system(read_plane_config(read_lanes, cache_bytes));
+    write_trace(system, trace);
+
+    ReadOutcome out;
+    // Two passes so a cache-enabled run exercises hits as well.
+    for (int pass = 0; pass < 2; ++pass) {
+        std::vector<Result<Buffer>> batch = system.read_batch(trace.lbas);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            EXPECT_TRUE(batch[i].is_ok()) << "slot " << i;
+            out.payloads.push_back(batch[i].take());
+        }
+    }
+    out.mem_rows = system.platform().fabric().host_memory().report();
+    out.cpu_rows = system.platform().cpu().ledger().report();
+    for (std::size_t s = 0;
+         s < system.platform().data_ssd_dev_count(); ++s) {
+        out.ssd_link_bytes.push_back(system.platform().fabric().link_bytes(
+            system.platform().data_ssd_dev(s)));
+    }
+    const obs::ObsSnapshot snap = system.obs_snapshot();
+    out.ssd_fetches = snap.counters.at("read.ssd_fetches");
+    out.cache_hits = snap.counters.at("read.cache.hits");
+    out.faults = system.fault_stats();
+    return out;
+}
+
+void
+expect_same_outcome(const ReadOutcome &a, const ReadOutcome &b)
+{
+    ASSERT_EQ(a.payloads.size(), b.payloads.size());
+    for (std::size_t i = 0; i < a.payloads.size(); ++i)
+        ASSERT_EQ(a.payloads[i], b.payloads[i]) << "slot " << i;
+
+    ASSERT_EQ(a.mem_rows.size(), b.mem_rows.size());
+    for (std::size_t i = 0; i < a.mem_rows.size(); ++i) {
+        EXPECT_EQ(a.mem_rows[i].tag, b.mem_rows[i].tag);
+        EXPECT_DOUBLE_EQ(a.mem_rows[i].value, b.mem_rows[i].value)
+            << a.mem_rows[i].tag;
+    }
+    ASSERT_EQ(a.cpu_rows.size(), b.cpu_rows.size());
+    for (std::size_t i = 0; i < a.cpu_rows.size(); ++i) {
+        EXPECT_EQ(a.cpu_rows[i].tag, b.cpu_rows[i].tag);
+        EXPECT_DOUBLE_EQ(a.cpu_rows[i].value, b.cpu_rows[i].value)
+            << a.cpu_rows[i].tag;
+    }
+    ASSERT_EQ(a.ssd_link_bytes, b.ssd_link_bytes);
+    EXPECT_EQ(a.ssd_fetches, b.ssd_fetches);
+    EXPECT_EQ(a.cache_hits, b.cache_hits);
+    EXPECT_EQ(a.faults.transient_retries, b.faults.transient_retries);
+    EXPECT_EQ(a.faults.retry_exhausted, b.faults.retry_exhausted);
+    EXPECT_EQ(a.faults.backoff_ns, b.faults.backoff_ns);
+}
+
+TEST(ReadPlane, BillingIdenticalAcrossLaneCounts)
+{
+    // The determinism contract of read_pipeline.h: lane counts change
+    // wall-clock only.  Payloads, every host-DRAM ledger row, CPU
+    // billing, per-SSD link bytes, fetch counts and cache hit counts
+    // must be bit-identical for read_lanes in {1, 2, 4, auto} — with
+    // the chunk cache both off and on.
+    const Trace trace = make_trace(500);
+    for (const std::uint64_t cache_bytes :
+         {std::uint64_t{0}, std::uint64_t{2} * kMiB}) {
+        const ReadOutcome serial = run_read_trace(1, cache_bytes, trace);
+        for (const std::size_t lanes : {std::size_t{2}, std::size_t{4},
+                                        std::size_t{0}}) {
+            const ReadOutcome parallel =
+                run_read_trace(lanes, cache_bytes, trace);
+            expect_same_outcome(serial, parallel);
+        }
+    }
+}
+
+TEST(ReadPlane, CacheIsAPureOptimization)
+{
+    // Same trace with the cache off and on: byte-identical payloads,
+    // strictly fewer data-SSD fetches, nonzero hits on the repeat
+    // pass, and hits recorded in obs.
+    const Trace trace = make_trace(500);
+    const ReadOutcome off = run_read_trace(1, 0, trace);
+    const ReadOutcome on = run_read_trace(1, 8ull * kMiB, trace);
+
+    ASSERT_EQ(off.payloads.size(), on.payloads.size());
+    for (std::size_t i = 0; i < off.payloads.size(); ++i)
+        ASSERT_EQ(off.payloads[i], on.payloads[i]) << "slot " << i;
+    EXPECT_EQ(off.cache_hits, 0u);
+    EXPECT_GT(on.cache_hits, 0u);
+    EXPECT_LT(on.ssd_fetches, off.ssd_fetches);
+}
+
+TEST(ReadPlane, DuplicateSlotsCoalesceIntoOneFetch)
+{
+    core::FidrSystem system(read_plane_config(1, 0));
+    // Two LBAs with identical content share a PBN; a third is unique.
+    ASSERT_TRUE(system.write(10, chunk(1, 0)).is_ok());
+    ASSERT_TRUE(system.write(20, chunk(1, 0)).is_ok());
+    ASSERT_TRUE(system.write(30, chunk(3, 0)).is_ok());
+    ASSERT_TRUE(system.flush().is_ok());
+
+    const std::uint64_t before =
+        system.obs_snapshot().counters.at("read.ssd_fetches");
+    // Six slots, two distinct physical chunks: repeats of LBA 10 and
+    // the deduped LBA 20 all ride the same job.
+    const std::vector<Lba> lbas = {10, 10, 20, 30, 10, 20};
+    const std::vector<Result<Buffer>> batch = system.read_batch(lbas);
+    for (std::size_t i = 0; i < lbas.size(); ++i) {
+        ASSERT_TRUE(batch[i].is_ok()) << "slot " << i;
+        EXPECT_EQ(batch[i].value(),
+                  chunk(lbas[i] == 30 ? 3 : 1, 0)) << "slot " << i;
+    }
+    const std::uint64_t fetches =
+        system.obs_snapshot().counters.at("read.ssd_fetches") - before;
+    EXPECT_EQ(fetches, 2u);
+}
+
+TEST(ReadPlane, NicBufferedWritesHitInBatch)
+{
+    core::FidrSystem system(read_plane_config(2, 0));
+    ASSERT_TRUE(system.write(7, chunk(7, 1)).is_ok());
+    ASSERT_TRUE(system.write(8, chunk(8, 1)).is_ok());
+    // No flush: both chunks still live in NIC NVRAM.
+    const std::uint64_t hits_before = system.reduction().nic_read_hits;
+    const std::vector<Lba> lbas = {7, 8};
+    const std::vector<Result<Buffer>> batch = system.read_batch(lbas);
+    ASSERT_TRUE(batch[0].is_ok());
+    ASSERT_TRUE(batch[1].is_ok());
+    EXPECT_EQ(batch[0].value(), chunk(7, 1));
+    EXPECT_EQ(batch[1].value(), chunk(8, 1));
+    EXPECT_EQ(system.reduction().nic_read_hits, hits_before + 2);
+}
+
+TEST(ReadPlane, UnknownLbaFailsOnlyItsSlot)
+{
+    core::FidrSystem system(read_plane_config(2, 0));
+    ASSERT_TRUE(system.write(1, chunk(1, 2)).is_ok());
+    ASSERT_TRUE(system.flush().is_ok());
+
+    const std::vector<Lba> lbas = {1, 999'999, 1};
+    const std::vector<Result<Buffer>> batch = system.read_batch(lbas);
+    ASSERT_TRUE(batch[0].is_ok());
+    EXPECT_EQ(batch[1].status().code(), StatusCode::kNotFound);
+    ASSERT_TRUE(batch[2].is_ok());
+    EXPECT_EQ(batch[2].value(), chunk(1, 2));
+}
+
+TEST(ReadPlane, CompactionInvalidatesStaleCacheEntries)
+{
+    // Fill the cache, kill half the chunks, compact, and read back:
+    // the discarded containers' cached images must be gone (stale
+    // physical slots) and every surviving LBA must still read its
+    // current bytes through the moved locations.
+    core::FidrConfig config = read_plane_config(1, 8ull * kMiB);
+    config.container_bytes = 64 * 1024;  // Small: many containers.
+    core::FidrSystem system(config);
+
+    constexpr std::size_t kLbas = 128;
+    for (Lba lba = 0; lba < kLbas; ++lba)
+        ASSERT_TRUE(system.write(lba, chunk(lba, 10)).is_ok());
+    ASSERT_TRUE(system.flush().is_ok());
+
+    std::vector<Lba> all(kLbas);
+    for (Lba lba = 0; lba < kLbas; ++lba)
+        all[lba] = lba;
+    for (const Result<Buffer> &r : system.read_batch(all))
+        ASSERT_TRUE(r.is_ok());
+    ASSERT_GT(system.chunk_cache()->entries(), 0u);
+
+    // Overwrite every even LBA: the old PBNs die and their cache
+    // entries are invalidated at retirement.
+    for (Lba lba = 0; lba < kLbas; lba += 2)
+        ASSERT_TRUE(system.write(lba, chunk(lba, 11)).is_ok());
+    ASSERT_TRUE(system.flush().is_ok());
+
+    const std::uint64_t invalidations_before =
+        system.chunk_cache()->stats().invalidations;
+    Result<std::uint64_t> reclaimed = system.compact(0.25);
+    ASSERT_TRUE(reclaimed.is_ok());
+    EXPECT_GT(reclaimed.value(), 0u);
+    // Survivors moved out of discarded containers: their old-location
+    // entries must have been dropped.
+    EXPECT_GT(system.chunk_cache()->stats().invalidations,
+              invalidations_before);
+
+    const std::vector<Result<Buffer>> after = system.read_batch(all);
+    for (Lba lba = 0; lba < kLbas; ++lba) {
+        ASSERT_TRUE(after[lba].is_ok()) << "lba " << lba;
+        EXPECT_EQ(after[lba].value(),
+                  chunk(lba, lba % 2 == 0 ? 11 : 10)) << "lba " << lba;
+    }
+}
+
+#if FIDR_FAULT_ENABLED
+TEST(ReadPlane, InjectedReadErrorFailsOnlyItsSlot)
+{
+    auto &registry = fault::FailpointRegistry::instance();
+    registry.disarm_all();
+    registry.reset_counters();
+    registry.set_seed(0xF1D7);
+
+    // Serial lanes pin the fetch order, so fail_nth lands on a known
+    // job; zero retries make the single transient error surface.
+    core::FidrConfig config = read_plane_config(1, 0);
+    config.transient_retries = 0;
+    core::FidrSystem system(config);
+
+    constexpr std::size_t kLbas = 8;
+    std::vector<Lba> lbas;
+    for (Lba lba = 0; lba < kLbas; ++lba) {
+        ASSERT_TRUE(system.write(lba, chunk(lba, 20)).is_ok());
+        lbas.push_back(lba);
+    }
+    ASSERT_TRUE(system.flush().is_ok());
+
+    fault::FaultPolicy policy;
+    policy.kind = fault::FaultKind::kError;
+    policy.code = StatusCode::kUnavailable;
+    policy.fail_nth = 3;
+    registry.arm(fault::Site::kSsdRead, policy);
+
+    const std::vector<Result<Buffer>> batch = system.read_batch(lbas);
+    registry.disarm_all();
+
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].is_ok()) {
+            EXPECT_EQ(batch[i].value(), chunk(lbas[i], 20))
+                << "slot " << i;
+        } else {
+            EXPECT_EQ(batch[i].status().code(), StatusCode::kUnavailable)
+                << "slot " << i;
+            ++failed;
+        }
+    }
+    EXPECT_EQ(failed, 1u);
+    EXPECT_EQ(system.fault_stats().retry_exhausted, 1u);
+
+    // Degraded mode is per-request: the same batch succeeds once the
+    // fault clears.
+    for (const Result<Buffer> &r : system.read_batch(lbas))
+        EXPECT_TRUE(r.is_ok());
+}
+#endif  // FIDR_FAULT_ENABLED
+
+}  // namespace
+}  // namespace fidr
