@@ -3,11 +3,23 @@
 // write paths of the two systems.  These measure this host's software
 // throughput (the figure benches use the calibrated hardware model
 // instead).
+//
+// `--json[=path]` switches to the persisted scalar-vs-SIMD comparison:
+// the GearCdc scan and the bulk SHA-256 path are timed once per
+// dispatch target the host supports, results are checked bit-identical
+// against the scalar reference, and the series is written in the
+// uniform JsonReport schema (default path BENCH_primitives.json).
+// Without the flag the usual google-benchmark CLI runs.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
+
+#include "harness.h"
 
 #include "fidr/btree/bplus_tree.h"
 #include "fidr/cache/indexes.h"
@@ -17,6 +29,7 @@
 #include "fidr/core/baseline_system.h"
 #include "fidr/core/fidr_system.h"
 #include "fidr/hash/sha256.h"
+#include "fidr/hash/sha256_mb.h"
 #include "fidr/hwtree/tree_pipeline.h"
 #include "fidr/nic/protocol.h"
 #include "fidr/tables/journal.h"
@@ -126,6 +139,78 @@ BM_CdcSplit(benchmark::State &state)
                             static_cast<int64_t>(data.size()));
 }
 BENCHMARK(BM_CdcSplit);
+
+Buffer
+random_buffer(std::size_t size, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Buffer data(size);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next_u64());
+    return data;
+}
+
+/** RAII: force a dispatch target, restore auto-detected on exit. */
+class ScopedTarget {
+  public:
+    explicit ScopedTarget(simd::Target target) { simd::set_target(target); }
+    ~ScopedTarget() { simd::set_target(simd::detected()); }
+};
+
+void
+BM_CdcSplitDispatch(benchmark::State &state)
+{
+    const auto target = static_cast<simd::Target>(state.range(0));
+    if (!simd::supported(target)) {
+        state.SkipWithError("target not supported on this host");
+        return;
+    }
+    ScopedTarget scope(target);
+    chunking::GearCdc cdc;
+    const Buffer data = random_buffer(1 << 20, 11);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cdc.split(data));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(data.size()));
+    state.SetLabel(simd::name(target));
+}
+BENCHMARK(BM_CdcSplitDispatch)
+    ->Arg(static_cast<int>(simd::Target::kScalar))
+    ->Arg(static_cast<int>(simd::Target::kSse4))
+    ->Arg(static_cast<int>(simd::Target::kAvx2))
+    ->Arg(static_cast<int>(simd::Target::kAvx512));
+
+void
+BM_Sha256MbBulk(benchmark::State &state)
+{
+    // A NIC-sized hash batch (256 x 4 KB) through the multi-buffer
+    // engine; contrast with BM_Sha256_4K's one-message scalar context.
+    const auto target = static_cast<simd::Target>(state.range(0));
+    if (!simd::supported(target)) {
+        state.SkipWithError("target not supported on this host");
+        return;
+    }
+    ScopedTarget scope(target);
+    std::vector<Buffer> chunks;
+    for (std::uint64_t i = 0; i < 256; ++i)
+        chunks.push_back(workload::make_chunk_content(i, 0.5));
+    const std::vector<std::span<const std::uint8_t>> views(chunks.begin(),
+                                                           chunks.end());
+    std::vector<Digest> digests(chunks.size());
+    for (auto _ : state) {
+        sha256_mb_hash(views, digests.data());
+        benchmark::DoNotOptimize(digests.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(chunks.size()) *
+                            static_cast<int64_t>(kChunkSize));
+    state.SetLabel(simd::name(target));
+}
+BENCHMARK(BM_Sha256MbBulk)
+    ->Arg(static_cast<int>(simd::Target::kScalar))
+    ->Arg(static_cast<int>(simd::Target::kSse4))
+    ->Arg(static_cast<int>(simd::Target::kAvx2))
+    ->Arg(static_cast<int>(simd::Target::kAvx512));
 
 void
 BM_ProtocolEncodeDecode(benchmark::State &state)
@@ -295,6 +380,154 @@ BM_FidrWritePath(benchmark::State &state)
 }
 BENCHMARK(BM_FidrWritePath);
 
+// ---------------------------------------------------------------------
+// --json mode: the persisted scalar-vs-SIMD series.
+
+/** Wall-clock seconds per pass of `fn` (runs >= 4 passes, >= 0.25 s). */
+template <typename Fn>
+double
+seconds_per_pass(Fn &&fn)
+{
+    using clock = std::chrono::steady_clock;
+    fn();  // warm up: tables, caches, page faults
+    int passes = 0;
+    const auto begin = clock::now();
+    std::chrono::duration<double> elapsed{};
+    do {
+        fn();
+        ++passes;
+        elapsed = clock::now() - begin;
+    } while (passes < 4 || elapsed.count() < 0.25);
+    return elapsed.count() / passes;
+}
+
+std::vector<simd::Target>
+supported_targets()
+{
+    std::vector<simd::Target> out{simd::Target::kScalar};
+    if (simd::supported(simd::Target::kSse4))
+        out.push_back(simd::Target::kSse4);
+    if (simd::supported(simd::Target::kAvx2))
+        out.push_back(simd::Target::kAvx2);
+    if (simd::supported(simd::Target::kAvx512))
+        out.push_back(simd::Target::kAvx512);
+    return out;
+}
+
+int
+run_json_report(const std::string &path)
+{
+    constexpr std::size_t kCdcBytes = 16u << 20;
+    constexpr std::size_t kShaBatch = 1024;
+    bench::JsonReport report("micro_primitives");
+    report.config("cdc_bytes", std::uint64_t{kCdcBytes})
+        .config("sha_batch", std::uint64_t{kShaBatch})
+        .config("sha_chunk_bytes", std::uint64_t{kChunkSize});
+
+    // GearCdc boundary scan: one buffer, every target, cuts must match
+    // the scalar reference exactly (the dispatch identity contract).
+    const Buffer data = random_buffer(kCdcBytes, 11);
+    chunking::GearCdc cdc;
+    std::vector<chunking::ChunkSpan> reference_spans;
+    double cdc_scalar_mb_s = 0;
+    for (const simd::Target target : supported_targets()) {
+        ScopedTarget scope(target);
+        const auto spans = cdc.split(data);
+        bool identical = true;
+        if (target == simd::Target::kScalar) {
+            reference_spans = spans;
+        } else {
+            identical = spans.size() == reference_spans.size();
+            for (std::size_t i = 0; identical && i < spans.size(); ++i) {
+                identical = spans[i].offset == reference_spans[i].offset &&
+                            spans[i].length == reference_spans[i].length;
+            }
+        }
+        const double s = seconds_per_pass([&] {
+            benchmark::DoNotOptimize(cdc.split(data));
+        });
+        const double mb_s =
+            static_cast<double>(kCdcBytes) / s / (1 << 20);
+        if (target == simd::Target::kScalar)
+            cdc_scalar_mb_s = mb_s;
+        auto &json = report.begin_entry(
+            std::string("cdc/") + simd::name(target));
+        json.kv("kernel", "gear_cdc");
+        json.kv("target", simd::name(target));
+        json.kv("mb_per_s", mb_s);
+        json.kv("speedup_vs_scalar", mb_s / cdc_scalar_mb_s);
+        json.kv("identical_to_scalar", identical);
+        report.end_entry();
+        std::printf("  cdc/%-6s  %9.1f MB/s  (%.2fx)%s\n",
+                    simd::name(target), mb_s, mb_s / cdc_scalar_mb_s,
+                    identical ? "" : "  MISMATCH");
+        if (!identical)
+            return 1;
+    }
+
+    // Bulk SHA-256: a large hash batch through sha256_mb_hash, digests
+    // checked against the scalar incremental context per target.
+    std::vector<Buffer> chunks;
+    for (std::uint64_t i = 0; i < kShaBatch; ++i)
+        chunks.push_back(workload::make_chunk_content(i, 0.5));
+    const std::vector<std::span<const std::uint8_t>> views(chunks.begin(),
+                                                           chunks.end());
+    std::vector<Digest> reference_digests(chunks.size());
+    for (std::size_t i = 0; i < chunks.size(); ++i)
+        reference_digests[i] = Sha256::hash(chunks[i]);
+    std::vector<Digest> digests(chunks.size());
+    double sha_scalar_mb_s = 0;
+    for (const simd::Target target : supported_targets()) {
+        ScopedTarget scope(target);
+        sha256_mb_hash(views, digests.data());
+        bool identical = true;
+        for (std::size_t i = 0; identical && i < digests.size(); ++i)
+            identical = digests[i] == reference_digests[i];
+        const double s = seconds_per_pass([&] {
+            sha256_mb_hash(views, digests.data());
+            benchmark::DoNotOptimize(digests.data());
+        });
+        const double mb_s =
+            static_cast<double>(kShaBatch * kChunkSize) / s / (1 << 20);
+        if (target == simd::Target::kScalar)
+            sha_scalar_mb_s = mb_s;
+        auto &json = report.begin_entry(
+            std::string("sha256_mb/") + simd::name(target));
+        json.kv("kernel", "sha256_mb");
+        json.kv("target", simd::name(target));
+        json.kv("lanes", std::uint64_t{sha256_mb_lanes()});
+        json.kv("mb_per_s", mb_s);
+        json.kv("speedup_vs_scalar", mb_s / sha_scalar_mb_s);
+        json.kv("identical_to_scalar", identical);
+        report.end_entry();
+        std::printf("  sha/%-6s  %9.1f MB/s  (%.2fx)%s\n",
+                    simd::name(target), mb_s, mb_s / sha_scalar_mb_s,
+                    identical ? "" : "  MISMATCH");
+        if (!identical)
+            return 1;
+    }
+
+    return report.write_file(path).is_ok() ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+            std::string path = "BENCH_primitives.json";
+            if (const auto eq = arg.find('='); eq != std::string_view::npos)
+                path = std::string(arg.substr(eq + 1));
+            return run_json_report(path);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "fidr/common/simd.h"
 #include "fidr/core/baseline_system.h"
 #include "fidr/core/fidr_system.h"
 #include "fidr/core/perf_model.h"
@@ -86,6 +87,14 @@ class JsonReport {
         json_.key("meta").begin_object();
         json_.kv("git_sha", FIDR_GIT_SHA);
         json_.kv("date", today());
+        // Numbers from hosts with different vector ISAs are not
+        // directly comparable, so stamp what this run dispatched to.
+        json_.key("cpu").begin_object();
+        json_.kv("sse4", simd::supported(simd::Target::kSse4));
+        json_.kv("avx2", simd::supported(simd::Target::kAvx2));
+        json_.kv("avx512", simd::supported(simd::Target::kAvx512));
+        json_.kv("dispatch", simd::name(simd::active()));
+        json_.end_object();
         json_.end_object();
         json_.end_object();
         std::FILE *f = std::fopen(path.c_str(), "w");

@@ -17,7 +17,12 @@
 #   7. read-plane smoke: bench_read_throughput --smoke gates on
 #      lane/cache-invariant payloads (capacity 0 = cache off is the
 #      equivalence baseline), a nonzero Zipfian chunk-cache hit rate,
-#      and fewer data-SSD fetch DMAs with the cache on.
+#      and fewer data-SSD fetch DMAs with the cache on;
+#   8. SIMD dispatch: the full suite re-run with FIDR_SIMD=scalar
+#      (every result must survive on hosts without vector kernels),
+#      and the cross-target boundary/digest fuzz suite under
+#      ASan+UBSan so lane arithmetic in the new kernels is checked
+#      for UB, not just for identical output.
 # Run from the repo root:
 #
 #   scripts/tier1.sh [build-dir] [notrace-build-dir] [tsan-build-dir] \
@@ -34,6 +39,13 @@ echo "== tier-1: build (FIDR_TRACE=ON FIDR_FAULT=ON) + full test suite =="
 cmake -B "$BUILD_DIR" -S . -DFIDR_TRACE=ON -DFIDR_FAULT=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== tier-1: full test suite with SIMD kernels forced off =="
+# Everything must pass on the portable scalar path: that is what a
+# host without SSE4/AVX2/AVX-512 (or a non-x86 build) runs, and the
+# reference the SIMD identity proofs lean on.
+FIDR_SIMD=scalar ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -j "$JOBS"
 
 echo "== tier-1: build (FIDR_TRACE=OFF FIDR_FAULT=OFF) + full test suite =="
 cmake -B "$NOTRACE_DIR" -S . -DFIDR_TRACE=OFF -DFIDR_FAULT=OFF
@@ -65,6 +77,15 @@ cmake --build "$ASAN_DIR" -j "$JOBS" \
     --target test_fault test_crash_sweep test_journal test_hwtree \
     test_pipeline_determinism
 ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" -L 'fault|crash'
+
+echo "== tier-1: SIMD kernels under ASan/UBSan (cross-target fuzz) =="
+# The dispatch fuzz suite runs every kernel (scalar/sse4/avx2/avx512,
+# whatever the host admits) over the same inputs, so one sanitized run
+# covers all the new vector code paths plus the forced-scalar
+# determinism re-check.
+cmake --build "$ASAN_DIR" -j "$JOBS" \
+    --target test_simd_dispatch test_parallel_determinism
+ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" -L simd
 
 echo "== tier-1: trace+fault overhead smoke (armed-off <= 1.15x stripped) =="
 run_write_path() {

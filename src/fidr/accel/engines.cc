@@ -1,5 +1,7 @@
 #include "fidr/accel/engines.h"
 
+#include "fidr/hash/sha256_mb.h"
+
 namespace fidr::accel {
 
 CompressedChunk
@@ -60,11 +62,16 @@ BaselineReductionAccelerator::process_batch(
 {
     FIDR_CHECK(chunks.size() == predicted_unique.size());
     BaselineBatchResult result;
-    result.digests.reserve(chunks.size());
+    result.digests.resize(chunks.size());
     result.compressed.resize(chunks.size());
+    // The hash cores see the whole batch at once, so the multi-buffer
+    // engine interleaves them (digests and the hashes_ count are
+    // identical to the per-chunk scalar path).
+    std::vector<std::span<const std::uint8_t>> views(chunks.begin(),
+                                                     chunks.end());
+    sha256_mb_hash(views, result.digests.data());
+    hashes_ += chunks.size();
     for (std::size_t i = 0; i < chunks.size(); ++i) {
-        result.digests.push_back(Sha256::hash(chunks[i]));
-        ++hashes_;
         // Compression cores run concurrently with the hash cores but
         // only on the chunks the host predicted unique.
         if (predicted_unique[i])

@@ -27,6 +27,10 @@
 
 namespace fidr::chunking {
 
+namespace detail {
+struct GearTables;
+}  // namespace detail
+
 /** CDC size bounds; averages come out near `avg_size`. */
 struct CdcParams {
     std::size_t min_size = 2048;
@@ -40,7 +44,16 @@ struct ChunkSpan {
     std::size_t length = 0;
 };
 
-/** Gear-hash content-defined chunker. */
+/**
+ * Gear-hash content-defined chunker.
+ *
+ * The boundary scan dispatches on `fidr::simd::active()`: portable
+ * scalar, SSE4 (8 positions/iteration) or AVX2 (16 positions/
+ * iteration), all producing bit-identical cuts (the masked hash lives
+ * entirely in the low 16 bits of the rolling hash, which the SIMD
+ * kernels track exactly in 16-bit lanes — DESIGN.md §12).  The gear
+ * table is process-wide immutable state shared by every instance.
+ */
 class GearCdc {
   public:
     explicit GearCdc(CdcParams params = {});
@@ -61,7 +74,7 @@ class GearCdc {
     CdcParams params_;
     std::uint64_t mask_;
     mutable std::uint64_t hashed_bytes_ = 0;
-    std::uint64_t gear_[256];
+    const detail::GearTables *tables_;
 };
 
 /** Fixed-size splitter with the same interface, for comparison. */

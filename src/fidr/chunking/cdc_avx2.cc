@@ -1,0 +1,98 @@
+// AVX2 Gear boundary scan: 16 positions per iteration.
+//
+// Compiled with -mavx2 (src/fidr/chunking/CMakeLists.txt); only
+// reached after the runtime cpuid probe admits AVX2.
+//
+// Same exact mod-2^16 construction as the SSE4 kernel (see
+// cdc_sse4.cc / DESIGN.md §12) widened to 16 lanes, with one welcome
+// difference: lane 15's carry multiplier is 2^16 == 0 (mod 2^16) —
+// 16 fresh bytes fully flush the low 16 hash bits, so consecutive
+// iterations have *no* loop-carried dependence through the hash and
+// the CPU can overlap the table loads across blocks.
+
+#if defined(FIDR_SIMD_X86)
+
+#include <bit>
+#include <immintrin.h>
+
+#include "fidr/chunking/cdc_kernels.h"
+
+namespace fidr::chunking::detail {
+namespace {
+
+/** 256-bit byte-wise left shift (toward higher lane indices). */
+template <int K>
+inline __m256i
+shl_bytes(__m256i x)
+{
+    // carry = [0, x.lo]: feeds x.lo's top bytes into the upper lane.
+    const __m256i carry = _mm256_permute2x128_si256(x, x, 0x08);
+    if constexpr (K == 16)
+        return carry;
+    else
+        return _mm256_alignr_epi8(x, carry, 16 - K);
+}
+
+}  // namespace
+
+std::size_t
+gear_scan_avx2(const std::uint8_t *p, std::size_t from, std::size_t limit,
+               std::uint64_t mask, const GearTables &tables)
+{
+    const __m256i vmask = _mm256_set1_epi16(static_cast<short>(mask));
+    const __m256i vzero = _mm256_setzero_si256();
+    // Lane k multiplies the incoming hash by 2^(k+1); lane 15's
+    // multiplier is 2^16 mod 2^16 = 0.
+    const __m256i pow2 = _mm256_setr_epi16(
+        2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+        16384, static_cast<short>(0x8000), 0);
+    const std::uint32_t *t = tables.g16;
+    std::uint16_t v = 0;
+    std::size_t i = from;
+    for (; i + 16 <= limit; i += 16) {
+        // Gear lookups are scalar L1 loads packed four-to-a-register:
+        // 16 loads against the 1 KB table beat two vpgatherdd (whose
+        // throughput caps the whole loop near 1 cycle/byte), and
+        // assembling in integer registers avoids the store-forwarding
+        // stall a 16x16-bit spill/reload would pay.
+        const std::uint8_t *q = p + i;
+        const auto pack4 = [t, q](std::size_t o) {
+            return static_cast<std::uint64_t>(t[q[o]]) |
+                   static_cast<std::uint64_t>(t[q[o + 1]]) << 16 |
+                   static_cast<std::uint64_t>(t[q[o + 2]]) << 32 |
+                   static_cast<std::uint64_t>(t[q[o + 3]]) << 48;
+        };
+        const __m256i s0 = _mm256_set_epi64x(
+            static_cast<long long>(pack4(12)),
+            static_cast<long long>(pack4(8)),
+            static_cast<long long>(pack4(4)),
+            static_cast<long long>(pack4(0)));
+        __m256i s = s0;
+        // Weighted Kogge-Stone scan, log2(16) = 4 doubling steps.
+        s = _mm256_add_epi16(s, _mm256_slli_epi16(shl_bytes<2>(s), 1));
+        s = _mm256_add_epi16(s, _mm256_slli_epi16(shl_bytes<4>(s), 2));
+        s = _mm256_add_epi16(s, _mm256_slli_epi16(shl_bytes<8>(s), 4));
+        s = _mm256_add_epi16(s, _mm256_slli_epi16(shl_bytes<16>(s), 8));
+        const __m256i h = _mm256_add_epi16(
+            s, _mm256_mullo_epi16(_mm256_set1_epi16(static_cast<short>(v)),
+                                  pow2));
+        const __m256i hit =
+            _mm256_cmpeq_epi16(_mm256_and_si256(h, vmask), vzero);
+        const unsigned m =
+            static_cast<unsigned>(_mm256_movemask_epi8(hit));
+        if (m != 0)
+            return i + (std::countr_zero(m) >> 1) + 1;
+        v = static_cast<std::uint16_t>(_mm256_extract_epi16(h, 15));
+    }
+    for (; i < limit; ++i) {
+        v = static_cast<std::uint16_t>(
+            (v << 1) + static_cast<std::uint16_t>(tables.g16[p[i]]));
+        if ((v & mask) == 0)
+            return i + 1;
+    }
+    return limit;
+}
+
+}  // namespace fidr::chunking::detail
+
+#endif  // FIDR_SIMD_X86

@@ -1,0 +1,86 @@
+// SSE4 Gear boundary scan: 8 positions per iteration.
+//
+// Compiled with -msse4.1 (src/fidr/chunking/CMakeLists.txt); only
+// reached after the runtime cpuid probe admits SSE4, so no illegal
+// instructions leak onto older hosts.
+//
+// Exactness argument (DESIGN.md §12): with v = h mod 2^16 entering an
+// iteration, lane k must hold h_{i+k} mod 2^16
+//
+//   h_{i+k} = 2^{k+1} v + sum_{j=0..k} gear[p_{i+j}] << (k-j)   (mod 2^16)
+//
+// The sum is a carry-weighted prefix scan computed in log2(8) = 3
+// doubling steps; the `2^{k+1} v` term is one pmullw against a
+// constant power-of-two vector.  16-bit lane arithmetic wraps mod
+// 2^16, which is exactly the modulus the boundary test needs.
+
+#if defined(FIDR_SIMD_X86)
+
+#include <bit>
+#include <smmintrin.h>
+
+#include "fidr/chunking/cdc_kernels.h"
+
+namespace fidr::chunking::detail {
+
+std::size_t
+gear_scan_sse4(const std::uint8_t *p, std::size_t from, std::size_t limit,
+               std::uint64_t mask, const GearTables &tables)
+{
+    const __m128i vmask = _mm_set1_epi16(static_cast<short>(mask));
+    const __m128i vzero = _mm_setzero_si128();
+    // Lane k multiplies the incoming hash by 2^(k+1).
+    const __m128i pow2 = _mm_setr_epi16(2, 4, 8, 16, 32, 64, 128,
+                                        static_cast<short>(256));
+    const std::uint32_t *t = tables.g16;
+    std::uint16_t v = 0;
+    std::size_t i = from;
+    for (; i + 8 <= limit; i += 8) {
+        // Gear lookups stay scalar (8 L1 loads beat a gather emulation
+        // at this width) but are packed in integer registers — four
+        // 16-bit entries per uint64_t — so the vector load needs no
+        // memory round-trip (a 8x16-bit store / 128-bit reload would
+        // stall store-forwarding every iteration).
+        const std::uint8_t *q = p + i;
+        const std::uint64_t lo =
+            static_cast<std::uint64_t>(t[q[0]]) |
+            static_cast<std::uint64_t>(t[q[1]]) << 16 |
+            static_cast<std::uint64_t>(t[q[2]]) << 32 |
+            static_cast<std::uint64_t>(t[q[3]]) << 48;
+        const std::uint64_t hi =
+            static_cast<std::uint64_t>(t[q[4]]) |
+            static_cast<std::uint64_t>(t[q[5]]) << 16 |
+            static_cast<std::uint64_t>(t[q[6]]) << 32 |
+            static_cast<std::uint64_t>(t[q[7]]) << 48;
+        __m128i s = _mm_set_epi64x(static_cast<long long>(hi),
+                                   static_cast<long long>(lo));
+        // Weighted Kogge-Stone scan: after step d, lane k holds
+        // sum_{j=max(0,k-2d+1)..k} g_j << (k-j).
+        s = _mm_add_epi16(s, _mm_slli_epi16(_mm_slli_si128(s, 2), 1));
+        s = _mm_add_epi16(s, _mm_slli_epi16(_mm_slli_si128(s, 4), 2));
+        s = _mm_add_epi16(s, _mm_slli_epi16(_mm_slli_si128(s, 8), 4));
+        const __m128i h = _mm_add_epi16(
+            s, _mm_mullo_epi16(_mm_set1_epi16(static_cast<short>(v)), pow2));
+        const __m128i hit =
+            _mm_cmpeq_epi16(_mm_and_si128(h, vmask), vzero);
+        const unsigned m =
+            static_cast<unsigned>(_mm_movemask_epi8(hit));
+        if (m != 0) {
+            // Lowest set bit = earliest lane = first boundary, exactly
+            // the order the scalar loop tests positions in.
+            return i + (std::countr_zero(m) >> 1) + 1;
+        }
+        v = static_cast<std::uint16_t>(_mm_extract_epi16(h, 7));
+    }
+    for (; i < limit; ++i) {
+        v = static_cast<std::uint16_t>(
+            (v << 1) + static_cast<std::uint16_t>(tables.g16[p[i]]));
+        if ((v & mask) == 0)
+            return i + 1;
+    }
+    return limit;
+}
+
+}  // namespace fidr::chunking::detail
+
+#endif  // FIDR_SIMD_X86

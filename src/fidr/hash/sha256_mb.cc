@@ -1,0 +1,169 @@
+#include "fidr/hash/sha256_mb.h"
+
+#include <cstring>
+
+#include "fidr/common/simd.h"
+#include "fidr/hash/sha256.h"
+#include "fidr/hash/sha256_mb_kernels.h"
+
+namespace fidr {
+namespace {
+
+/**
+ * One engine lane's message stream: the payload's whole 64-byte
+ * blocks, then 1-2 materialized padding blocks (0x80 marker + zero
+ * fill + big-endian bit length, FIPS 180-4 Sec 5.1.1), so every lane
+ * advances one block per transform with no mid-stream branching.
+ */
+struct LaneStream {
+    const std::uint8_t *data = nullptr;
+    std::size_t full_blocks = 0;
+    std::uint8_t tail[128];
+    std::size_t tail_blocks = 0;
+    std::size_t tail_next = 0;
+    std::size_t out = 0;  ///< Digest slot this lane is producing.
+    bool active = false;
+};
+
+void
+prepare(std::span<const std::uint8_t> input, LaneStream &lane,
+        std::size_t out_index)
+{
+    lane.data = input.data();
+    lane.full_blocks = input.size() / 64;
+    const std::size_t rem = input.size() % 64;
+    std::memset(lane.tail, 0, sizeof(lane.tail));
+    if (rem > 0)
+        std::memcpy(lane.tail, input.data() + input.size() - rem, rem);
+    lane.tail[rem] = 0x80;
+    const std::size_t padded = rem + 9 <= 64 ? 64 : 128;
+    const std::uint64_t bit_len =
+        static_cast<std::uint64_t>(input.size()) * 8;
+    for (int i = 0; i < 8; ++i) {
+        lane.tail[padded - 8 + i] =
+            static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+    }
+    lane.tail_blocks = padded / 64;
+    lane.tail_next = 0;
+    lane.out = out_index;
+    lane.active = true;
+}
+
+#if defined(FIDR_SIMD_X86)
+/**
+ * Lane-refill scheduler: run L interleaved compressions; whenever a
+ * lane drains its stream, emit the digest and hand the lane the next
+ * pending buffer.  Idle lanes (fewer pending buffers than lanes at
+ * the tail of a batch) chew a dummy block; their state columns are
+ * never read.
+ */
+template <std::size_t L, typename TransformFn>
+void
+run_mb(std::span<const std::span<const std::uint8_t>> inputs, Digest *out,
+       TransformFn transform)
+{
+    static constexpr std::uint8_t kDummyBlock[64] = {};
+    std::uint32_t st[8][L];
+    LaneStream lanes[L];
+    const std::size_t n = inputs.size();
+    std::size_t next = 0;
+    std::size_t done = 0;
+
+    const auto refill = [&](std::size_t l) {
+        if (next >= n) {
+            lanes[l].active = false;
+            return;
+        }
+        prepare(inputs[next], lanes[l], next);
+        for (int w = 0; w < 8; ++w)
+            st[w][l] = hash_detail::kSha256Init[w];
+        ++next;
+    };
+    for (std::size_t l = 0; l < L; ++l)
+        refill(l);
+
+    while (done < n) {
+        const std::uint8_t *blk[L];
+        for (std::size_t l = 0; l < L; ++l) {
+            LaneStream &lane = lanes[l];
+            if (!lane.active) {
+                blk[l] = kDummyBlock;
+            } else if (lane.full_blocks > 0) {
+                blk[l] = lane.data;
+                lane.data += 64;
+                --lane.full_blocks;
+            } else {
+                blk[l] = lane.tail + 64 * lane.tail_next;
+                ++lane.tail_next;
+            }
+        }
+        transform(st, blk);
+        for (std::size_t l = 0; l < L; ++l) {
+            LaneStream &lane = lanes[l];
+            if (!lane.active || lane.full_blocks > 0 ||
+                lane.tail_next < lane.tail_blocks) {
+                continue;
+            }
+            Digest &digest = out[lane.out];
+            for (int w = 0; w < 8; ++w) {
+                const std::uint32_t word = st[w][l];
+                digest.bytes()[4 * w] =
+                    static_cast<std::uint8_t>(word >> 24);
+                digest.bytes()[4 * w + 1] =
+                    static_cast<std::uint8_t>(word >> 16);
+                digest.bytes()[4 * w + 2] =
+                    static_cast<std::uint8_t>(word >> 8);
+                digest.bytes()[4 * w + 3] =
+                    static_cast<std::uint8_t>(word);
+            }
+            ++done;
+            refill(l);
+        }
+    }
+}
+#endif  // FIDR_SIMD_X86
+
+}  // namespace
+
+std::size_t
+sha256_mb_lanes()
+{
+    switch (simd::active()) {
+      // No dedicated AVX-512 hash kernel: 16-lane interleaving would
+      // need batches the write plane rarely fills, so the avx512
+      // target reuses the 8-lane AVX2 transform.
+      case simd::Target::kAvx512: return 8;
+      case simd::Target::kAvx2: return 8;
+      case simd::Target::kSse4: return 4;
+      case simd::Target::kScalar: return 1;
+    }
+    return 1;
+}
+
+void
+sha256_mb_hash(std::span<const std::span<const std::uint8_t>> inputs,
+               Digest *out)
+{
+    const std::size_t n = inputs.size();
+    if (n == 0)
+        return;
+#if defined(FIDR_SIMD_X86)
+    // Batches below half the engine width waste more on idle lanes
+    // than interleaving saves; hand them to the scalar kernel.
+    const simd::Target target = simd::active();
+    if ((target == simd::Target::kAvx2 ||
+         target == simd::Target::kAvx512) &&
+        n >= 4) {
+        run_mb<8>(inputs, out, hash_detail::sha256_transform_x8_avx2);
+        return;
+    }
+    if (target == simd::Target::kSse4 && n >= 2) {
+        run_mb<4>(inputs, out, hash_detail::sha256_transform_x4_sse4);
+        return;
+    }
+#endif
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = Sha256::hash(inputs[i]);
+}
+
+}  // namespace fidr

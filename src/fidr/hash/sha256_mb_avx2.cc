@@ -1,0 +1,104 @@
+// AVX2 8-lane multi-buffer SHA-256 transform.
+//
+// Compiled with -mavx2 (src/fidr/hash/CMakeLists.txt); only reached
+// after the runtime cpuid probe admits AVX2.  One 32-bit YMM lane per
+// message: the message loads are an 8x8 dword transpose (unpack +
+// permute ladder) so each schedule word w[t] holds word t of all
+// eight blocks, then the shared round body runs eight FIPS 180-4
+// compressions in lockstep.
+
+#if defined(FIDR_SIMD_X86)
+
+#include <immintrin.h>
+
+#include "fidr/hash/sha256_mb_rounds.h"
+
+namespace fidr::hash_detail {
+namespace {
+
+struct VAvx2 {
+    using vec = __m256i;
+    static vec add(vec a, vec b) { return _mm256_add_epi32(a, b); }
+    static vec and_(vec a, vec b) { return _mm256_and_si256(a, b); }
+    static vec andnot(vec a, vec b) { return _mm256_andnot_si256(a, b); }
+    static vec or_(vec a, vec b) { return _mm256_or_si256(a, b); }
+    static vec xor_(vec a, vec b) { return _mm256_xor_si256(a, b); }
+    static vec srl(vec x, int k) { return _mm256_srli_epi32(x, k); }
+    static vec sll(vec x, int k) { return _mm256_slli_epi32(x, k); }
+    static vec
+    set1(std::uint32_t k)
+    {
+        return _mm256_set1_epi32(static_cast<int>(k));
+    }
+};
+
+/** rows[l] = 8 dwords of block l  ->  rows[j] = dword j of all blocks. */
+inline void
+transpose8x8(__m256i r[8])
+{
+    const __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+    const __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+    const __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+    const __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+    const __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+    const __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+    const __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+    const __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+    const __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+    const __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+    const __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+    const __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+    const __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+    const __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+    const __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+    const __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+    r[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+    r[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+    r[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+    r[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+    r[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+    r[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+    r[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+    r[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+}
+
+inline __m256i
+bswap32(__m256i x)
+{
+    const __m256i shuffle = _mm256_setr_epi8(
+        3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12,
+        3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+    return _mm256_shuffle_epi8(x, shuffle);
+}
+
+}  // namespace
+
+void
+sha256_transform_x8_avx2(std::uint32_t state[8][8],
+                         const std::uint8_t *const blocks[8])
+{
+    __m256i w[16];
+    for (int half = 0; half < 2; ++half) {
+        __m256i rows[8];
+        for (int l = 0; l < 8; ++l) {
+            rows[l] = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(blocks[l] + 32 * half));
+        }
+        transpose8x8(rows);
+        for (int j = 0; j < 8; ++j)
+            w[8 * half + j] = bswap32(rows[j]);
+    }
+
+    __m256i s[8];
+    for (int i = 0; i < 8; ++i) {
+        s[i] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(state[i]));
+    }
+    sha256_mb_rounds<VAvx2>(w, s);
+    for (int i = 0; i < 8; ++i)
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(state[i]), s[i]);
+}
+
+}  // namespace fidr::hash_detail
+
+#endif  // FIDR_SIMD_X86

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * ISA-generic round body for the multi-buffer SHA-256 transforms.
+ *
+ * Each kernel TU (sha256_mb_sse4.cc, sha256_mb_avx2.cc) defines a
+ * vector-ops traits struct `V` (add/and/andnot/or/xor/shift/set1 over
+ * its register type) and instantiates `sha256_mb_rounds<V>` under its
+ * own -m<isa> flags, so the one copy of the 64-round schedule below
+ * compiles to SSE and AVX2 code without duplication.  The structure
+ * mirrors the scalar Sha256::compress_block exactly: rotated register
+ * assignment and a rolling 16-word schedule window — every lane
+ * computes the same FIPS 180-4 sequence, just eight (or four) at a
+ * time.
+ */
+#pragma once
+
+#include "fidr/hash/sha256_mb_kernels.h"
+
+namespace fidr::hash_detail {
+
+template <typename V>
+inline typename V::vec
+vrotr(typename V::vec x, int k)
+{
+    return V::or_(V::srl(x, k), V::sll(x, 32 - k));
+}
+
+template <typename V>
+inline typename V::vec
+vbsig0(typename V::vec a)
+{
+    return V::xor_(V::xor_(vrotr<V>(a, 2), vrotr<V>(a, 13)),
+                   vrotr<V>(a, 22));
+}
+
+template <typename V>
+inline typename V::vec
+vbsig1(typename V::vec e)
+{
+    return V::xor_(V::xor_(vrotr<V>(e, 6), vrotr<V>(e, 11)),
+                   vrotr<V>(e, 25));
+}
+
+template <typename V>
+inline typename V::vec
+vssig0(typename V::vec x)
+{
+    return V::xor_(V::xor_(vrotr<V>(x, 7), vrotr<V>(x, 18)),
+                   V::srl(x, 3));
+}
+
+template <typename V>
+inline typename V::vec
+vssig1(typename V::vec x)
+{
+    return V::xor_(V::xor_(vrotr<V>(x, 17), vrotr<V>(x, 19)),
+                   V::srl(x, 10));
+}
+
+template <typename V>
+inline typename V::vec
+vch(typename V::vec e, typename V::vec f, typename V::vec g)
+{
+    return V::xor_(V::and_(e, f), V::andnot(e, g));
+}
+
+template <typename V>
+inline typename V::vec
+vmaj(typename V::vec a, typename V::vec b, typename V::vec c)
+{
+    // maj = (a & b) | ((a ^ b) & c): 4 ops instead of the textbook 5.
+    return V::or_(V::and_(a, b), V::and_(V::xor_(a, b), c));
+}
+
+/**
+ * Runs all 64 rounds over the 16-word schedule window `w` (already
+ * byte-swapped to host order) and adds the result into `s[0..7]`.
+ */
+template <typename V>
+inline void
+sha256_mb_rounds(typename V::vec w[16], typename V::vec s[8])
+{
+    using vec = typename V::vec;
+    vec a = s[0], b = s[1], c = s[2], d = s[3];
+    vec e = s[4], f = s[5], g = s[6], h = s[7];
+
+#define FIDR_MB_ROUND(A, B, C, D, E, F, G, H, t, wv)                        \
+    do {                                                                    \
+        const vec t1 = V::add(                                              \
+            V::add(V::add((H), vbsig1<V>(E)),                               \
+                   V::add(vch<V>((E), (F), (G)),                            \
+                          V::set1(kSha256K[t]))),                           \
+            (wv));                                                          \
+        const vec t2 = V::add(vbsig0<V>(A), vmaj<V>((A), (B), (C)));        \
+        (D) = V::add((D), t1);                                              \
+        (H) = V::add(t1, t2);                                               \
+    } while (0)
+
+// w[j] (mod-16 ring) advanced 16 rounds, same as the scalar kernel.
+#define FIDR_MB_SCHED(j)                                                    \
+    (w[(j) & 15] = V::add(V::add(w[(j) & 15], vssig0<V>(w[((j) + 1) & 15])),\
+                          V::add(w[((j) + 9) & 15],                         \
+                                 vssig1<V>(w[((j) + 14) & 15]))))
+
+    FIDR_MB_ROUND(a, b, c, d, e, f, g, h, 0, w[0]);
+    FIDR_MB_ROUND(h, a, b, c, d, e, f, g, 1, w[1]);
+    FIDR_MB_ROUND(g, h, a, b, c, d, e, f, 2, w[2]);
+    FIDR_MB_ROUND(f, g, h, a, b, c, d, e, 3, w[3]);
+    FIDR_MB_ROUND(e, f, g, h, a, b, c, d, 4, w[4]);
+    FIDR_MB_ROUND(d, e, f, g, h, a, b, c, 5, w[5]);
+    FIDR_MB_ROUND(c, d, e, f, g, h, a, b, 6, w[6]);
+    FIDR_MB_ROUND(b, c, d, e, f, g, h, a, 7, w[7]);
+    FIDR_MB_ROUND(a, b, c, d, e, f, g, h, 8, w[8]);
+    FIDR_MB_ROUND(h, a, b, c, d, e, f, g, 9, w[9]);
+    FIDR_MB_ROUND(g, h, a, b, c, d, e, f, 10, w[10]);
+    FIDR_MB_ROUND(f, g, h, a, b, c, d, e, 11, w[11]);
+    FIDR_MB_ROUND(e, f, g, h, a, b, c, d, 12, w[12]);
+    FIDR_MB_ROUND(d, e, f, g, h, a, b, c, 13, w[13]);
+    FIDR_MB_ROUND(c, d, e, f, g, h, a, b, 14, w[14]);
+    FIDR_MB_ROUND(b, c, d, e, f, g, h, a, 15, w[15]);
+
+    for (int t = 16; t < 64; t += 16) {
+        FIDR_MB_ROUND(a, b, c, d, e, f, g, h, t + 0, FIDR_MB_SCHED(0));
+        FIDR_MB_ROUND(h, a, b, c, d, e, f, g, t + 1, FIDR_MB_SCHED(1));
+        FIDR_MB_ROUND(g, h, a, b, c, d, e, f, t + 2, FIDR_MB_SCHED(2));
+        FIDR_MB_ROUND(f, g, h, a, b, c, d, e, t + 3, FIDR_MB_SCHED(3));
+        FIDR_MB_ROUND(e, f, g, h, a, b, c, d, t + 4, FIDR_MB_SCHED(4));
+        FIDR_MB_ROUND(d, e, f, g, h, a, b, c, t + 5, FIDR_MB_SCHED(5));
+        FIDR_MB_ROUND(c, d, e, f, g, h, a, b, t + 6, FIDR_MB_SCHED(6));
+        FIDR_MB_ROUND(b, c, d, e, f, g, h, a, t + 7, FIDR_MB_SCHED(7));
+        FIDR_MB_ROUND(a, b, c, d, e, f, g, h, t + 8, FIDR_MB_SCHED(8));
+        FIDR_MB_ROUND(h, a, b, c, d, e, f, g, t + 9, FIDR_MB_SCHED(9));
+        FIDR_MB_ROUND(g, h, a, b, c, d, e, f, t + 10, FIDR_MB_SCHED(10));
+        FIDR_MB_ROUND(f, g, h, a, b, c, d, e, t + 11, FIDR_MB_SCHED(11));
+        FIDR_MB_ROUND(e, f, g, h, a, b, c, d, t + 12, FIDR_MB_SCHED(12));
+        FIDR_MB_ROUND(d, e, f, g, h, a, b, c, t + 13, FIDR_MB_SCHED(13));
+        FIDR_MB_ROUND(c, d, e, f, g, h, a, b, t + 14, FIDR_MB_SCHED(14));
+        FIDR_MB_ROUND(b, c, d, e, f, g, h, a, t + 15, FIDR_MB_SCHED(15));
+    }
+
+#undef FIDR_MB_ROUND
+#undef FIDR_MB_SCHED
+
+    s[0] = V::add(s[0], a);
+    s[1] = V::add(s[1], b);
+    s[2] = V::add(s[2], c);
+    s[3] = V::add(s[3], d);
+    s[4] = V::add(s[4], e);
+    s[5] = V::add(s[5], f);
+    s[6] = V::add(s[6], g);
+    s[7] = V::add(s[7], h);
+}
+
+}  // namespace fidr::hash_detail

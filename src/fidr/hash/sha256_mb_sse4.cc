@@ -1,0 +1,86 @@
+// SSE4 4-lane multi-buffer SHA-256 transform.
+//
+// Compiled with -msse4.1 (src/fidr/hash/CMakeLists.txt); only reached
+// after the runtime cpuid probe admits SSE4.  Same construction as the
+// AVX2 kernel at half the width: one 32-bit XMM lane per message, 4x4
+// dword transposes for the message loads, shared round body.
+
+#if defined(FIDR_SIMD_X86)
+
+#include <smmintrin.h>
+#include <tmmintrin.h>
+
+#include "fidr/hash/sha256_mb_rounds.h"
+
+namespace fidr::hash_detail {
+namespace {
+
+struct VSse4 {
+    using vec = __m128i;
+    static vec add(vec a, vec b) { return _mm_add_epi32(a, b); }
+    static vec and_(vec a, vec b) { return _mm_and_si128(a, b); }
+    static vec andnot(vec a, vec b) { return _mm_andnot_si128(a, b); }
+    static vec or_(vec a, vec b) { return _mm_or_si128(a, b); }
+    static vec xor_(vec a, vec b) { return _mm_xor_si128(a, b); }
+    static vec srl(vec x, int k) { return _mm_srli_epi32(x, k); }
+    static vec sll(vec x, int k) { return _mm_slli_epi32(x, k); }
+    static vec
+    set1(std::uint32_t k)
+    {
+        return _mm_set1_epi32(static_cast<int>(k));
+    }
+};
+
+/** rows[l] = 4 dwords of block l  ->  rows[j] = dword j of all blocks. */
+inline void
+transpose4x4(__m128i r[4])
+{
+    const __m128i t0 = _mm_unpacklo_epi32(r[0], r[1]);
+    const __m128i t1 = _mm_unpacklo_epi32(r[2], r[3]);
+    const __m128i t2 = _mm_unpackhi_epi32(r[0], r[1]);
+    const __m128i t3 = _mm_unpackhi_epi32(r[2], r[3]);
+    r[0] = _mm_unpacklo_epi64(t0, t1);
+    r[1] = _mm_unpackhi_epi64(t0, t1);
+    r[2] = _mm_unpacklo_epi64(t2, t3);
+    r[3] = _mm_unpackhi_epi64(t2, t3);
+}
+
+inline __m128i
+bswap32(__m128i x)
+{
+    const __m128i shuffle = _mm_setr_epi8(
+        3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+    return _mm_shuffle_epi8(x, shuffle);
+}
+
+}  // namespace
+
+void
+sha256_transform_x4_sse4(std::uint32_t state[8][4],
+                         const std::uint8_t *const blocks[4])
+{
+    __m128i w[16];
+    for (int group = 0; group < 4; ++group) {
+        __m128i rows[4];
+        for (int l = 0; l < 4; ++l) {
+            rows[l] = _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                blocks[l] + 16 * group));
+        }
+        transpose4x4(rows);
+        for (int j = 0; j < 4; ++j)
+            w[4 * group + j] = bswap32(rows[j]);
+    }
+
+    __m128i s[8];
+    for (int i = 0; i < 8; ++i) {
+        s[i] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(state[i]));
+    }
+    sha256_mb_rounds<VSse4>(w, s);
+    for (int i = 0; i < 8; ++i)
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(state[i]), s[i]);
+}
+
+}  // namespace fidr::hash_detail
+
+#endif  // FIDR_SIMD_X86
