@@ -32,6 +32,9 @@
 #include "fidr/hash/sha256_mb.h"
 #include "fidr/hwtree/tree_pipeline.h"
 #include "fidr/nic/protocol.h"
+#include "fidr/obs/metrics.h"
+#include "fidr/obs/slo.h"
+#include "fidr/obs/trace.h"
 #include "fidr/tables/journal.h"
 #include "fidr/workload/content.h"
 #include "fidr/workload/generator.h"
@@ -335,6 +338,105 @@ BM_TableCacheAccessSharded(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TableCacheAccessSharded)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_TracerRecord(benchmark::State &state)
+{
+    // The obs hot path: one tracepoint into the per-thread ring.
+    // This is the series the PR 7 memory-ordering audit watches —
+    // ring cursors moved from seq_cst to relaxed (the quiescence
+    // contract in trace.h makes collect()-side ordering the reader's
+    // problem), so a record is now plain stores plus one relaxed
+    // counter bump.  Run with FIDR_TRACE=OFF the same loop measures
+    // the compiled-out macro (should be ~0 ns).
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.reset();
+    tracer.enable();
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        FIDR_TPOINT(obs::Tpoint::kDma, i, i);
+        ++i;
+    }
+    tracer.enable(false);
+    tracer.reset();
+}
+BENCHMARK(BM_TracerRecord);
+
+void
+BM_TracerRecordTagged(benchmark::State &state)
+{
+    // Same tracepoint inside a request scope: adds one thread_local
+    // read to stamp the trace id into the record.
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.reset();
+    tracer.enable();
+    obs::ScopedRequest request(42, 7);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        FIDR_TPOINT(obs::Tpoint::kDma, i, i);
+        ++i;
+    }
+    tracer.enable(false);
+    tracer.reset();
+}
+BENCHMARK(BM_TracerRecordTagged);
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    // Relaxed-atomic histogram record; with Arg(1) an exemplar
+    // reservoir is attached and every sample carries a trace id, so
+    // the delta prices the relaxed floor-gate rejection (steady state:
+    // load + compare, no mutex).
+    obs::Histogram hist;
+    if (state.range(0) != 0)
+        hist.set_exemplar_capacity(4);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        // Latencies cycle well below any retained tail, so offers are
+        // rejected at the floor gate after warm-up.
+        hist.record(1000 + (i & 1023), state.range(0) ? i + 1 : 0);
+        ++i;
+    }
+}
+BENCHMARK(BM_HistogramRecord)->Arg(0)->Arg(1);
+
+void
+BM_WindowedObserve(benchmark::State &state)
+{
+    // One control-plane polling tick: snapshot a realistic registry
+    // (16 stage histograms + a few counters, roughly FidrSystem's) and
+    // feed it to the windowed aggregator.  Arg(1) arms exemplar
+    // reservoirs on every histogram, pricing the exemplar copy that
+    // rides in each summary; this is off the data hot path either way,
+    // but the overhead smoke keeps the armed mode within the same
+    // 1.15x envelope so "turn on exemplars" stays a free decision.
+    obs::MetricRegistry registry;
+    std::vector<obs::Histogram *> hists;
+    for (int h = 0; h < 16; ++h) {
+        obs::Histogram &hist =
+            registry.histogram("stage." + std::to_string(h));
+        if (state.range(0) != 0)
+            hist.set_exemplar_capacity(4);
+        hists.push_back(&hist);
+    }
+    registry.counter("ops").add(1);
+    registry.counter("errors").add(1);
+    obs::WindowedAggregator agg(/*window_count=*/8,
+                                /*interval_ns=*/1'000'000);
+    std::uint64_t now_ns = 0;
+    std::uint64_t i = 0;
+    agg.observe(registry.snapshot(), now_ns);
+    for (auto _ : state) {
+        for (obs::Histogram *hist : hists)
+            hist->record(1000 + (i & 4095),
+                         state.range(0) ? i + 1 : 0);
+        now_ns += 1'000'000;
+        ++i;
+        agg.observe(registry.snapshot(), now_ns);
+    }
+}
+BENCHMARK(BM_WindowedObserve)->Arg(0)->Arg(1);
 
 void
 BM_BaselineWritePath(benchmark::State &state)

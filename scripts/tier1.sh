@@ -10,7 +10,12 @@
 #      the power-cut sweep);
 #   5. overhead smoke check: the traced+faultable build (both disabled
 #      at runtime, the production default) stays within 15% of the
-#      fully stripped build on the FIDR write-path micro bench;
+#      fully stripped build on the FIDR write-path micro bench; the
+#      same 1.15x envelope gates the PR 7 observability paths —
+#      request-tagged tracepoints vs plain ones, exemplar-armed
+#      histogram records vs plain ones, and exemplar-armed windowed
+#      aggregation vs plain — so none of the new machinery taxes a
+#      deployment that leaves it on;
 #   6. write-path pipelining smoke: bench_pipeline_depth --smoke gates
 #      on depth-invariant reduction results and pipeline occupancy
 #      (plus wall-clock speedup on multi-lane hosts);
@@ -22,7 +27,12 @@
 #      (every result must survive on hosts without vector kernels),
 #      and the cross-target boundary/digest fuzz suite under
 #      ASan+UBSan so lane arithmetic in the new kernels is checked
-#      for UB, not just for identical output.
+#      for UB, not just for identical output;
+#   9. bench regression diff (non-fatal): any freshly produced
+#      BENCH_*.json in the build tree is compared against the
+#      committed baseline and >15% throughput drops are reported.
+#      Warn-only — bench timings on shared hosts are noisy; rerun the
+#      flagged bench locally before treating it as real.
 # Run from the repo root:
 #
 #   scripts/tier1.sh [build-dir] [notrace-build-dir] [tsan-build-dir] \
@@ -88,18 +98,18 @@ cmake --build "$ASAN_DIR" -j "$JOBS" \
 ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" -L simd
 
 echo "== tier-1: trace+fault overhead smoke (armed-off <= 1.15x stripped) =="
-run_write_path() {
+run_bench() {  # run_bench <build-dir> <filter-regex> -> best real_time
     "$1"/bench/bench_micro_primitives \
-        --benchmark_filter='BM_FidrWritePath$' \
+        --benchmark_filter="$2" \
         --benchmark_min_time=0.2 \
         --benchmark_format=json 2>/dev/null |
         python3 -c 'import json, sys
 print([b["real_time"] for b in json.load(sys.stdin)["benchmarks"]][0])'
 }
-T1="$(run_write_path "$BUILD_DIR")"
-T2="$(run_write_path "$BUILD_DIR")"
-U1="$(run_write_path "$NOTRACE_DIR")"
-U2="$(run_write_path "$NOTRACE_DIR")"
+T1="$(run_bench "$BUILD_DIR" 'BM_FidrWritePath$')"
+T2="$(run_bench "$BUILD_DIR" 'BM_FidrWritePath$')"
+U1="$(run_bench "$NOTRACE_DIR" 'BM_FidrWritePath$')"
+U2="$(run_bench "$NOTRACE_DIR" 'BM_FidrWritePath$')"
 python3 - "$T1" "$T2" "$U1" "$U2" <<'EOF'
 import sys
 traced = min(float(sys.argv[1]), float(sys.argv[2]))
@@ -110,6 +120,36 @@ print(f"trace+fault best {traced:.0f} ns, stripped best {untraced:.0f} ns "
 if ratio > 1.15:
     sys.exit("FAIL: trace+fault overhead exceeds 15%")
 EOF
+
+echo "== tier-1: obs-path overhead smoke (tagged/exemplar/window <= 1.15x) =="
+# Each new observability path vs its plain counterpart, best-of-two in
+# the traced build: request-tagged tracepoint vs untagged, exemplar-
+# armed histogram record vs plain, exemplar-armed windowed observe vs
+# plain.  Keeps "turn the PR 7 machinery on" inside the same envelope
+# the trace compile-out gate uses.
+check_pair() {  # check_pair <label> <plain-filter> <armed-filter>
+    P1="$(run_bench "$BUILD_DIR" "$2")"
+    P2="$(run_bench "$BUILD_DIR" "$2")"
+    A1="$(run_bench "$BUILD_DIR" "$3")"
+    A2="$(run_bench "$BUILD_DIR" "$3")"
+    python3 - "$1" "$P1" "$P2" "$A1" "$A2" <<'EOF'
+import sys
+label = sys.argv[1]
+plain = min(float(sys.argv[2]), float(sys.argv[3]))
+armed = min(float(sys.argv[4]), float(sys.argv[5]))
+ratio = armed / plain
+print(f"{label}: plain best {plain:.1f} ns, armed best {armed:.1f} ns "
+      f"-> {ratio:.3f}x")
+if ratio > 1.15:
+    sys.exit(f"FAIL: {label} overhead exceeds 15%")
+EOF
+}
+check_pair "request-tagged tracepoint" \
+    'BM_TracerRecord$' 'BM_TracerRecordTagged$'
+check_pair "exemplar-armed histogram" \
+    'BM_HistogramRecord/0$' 'BM_HistogramRecord/1$'
+check_pair "exemplar-armed windowed observe" \
+    'BM_WindowedObserve/0$' 'BM_WindowedObserve/1$'
 
 echo "== tier-1: write-path pipelining smoke (depth sweep) =="
 # bench_pipeline_depth asserts its own gates: reduction results
@@ -127,5 +167,14 @@ echo "== tier-1: read-plane smoke (lanes x cache sweep) =="
 # fetch/hit counts lane-invariant, and on the Zipfian hot set a
 # nonzero hit rate with strictly fewer data-SSD fetches than cache-off.
 (cd "$BUILD_DIR"/bench && ./bench_read_throughput --smoke)
+
+echo "== tier-1: bench regression diff vs committed baselines (non-fatal) =="
+# Compares any BENCH_*.json the benches dropped in the build tree
+# against the committed baselines; >15% throughput drops print as
+# REGRESSIONS but do not fail tier-1 (noisy hosts — see bench_diff.py).
+python3 scripts/bench_diff.py --baseline-dir . \
+    --fresh-dir "$BUILD_DIR"/bench ||
+    echo "WARN: bench_diff flagged regressions (non-fatal; rerun the" \
+         "flagged bench locally to confirm)"
 
 echo "tier-1 OK"

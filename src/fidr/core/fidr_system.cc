@@ -74,6 +74,21 @@ FidrSystem::FidrSystem(const FidrConfig &config)
     pipe_hash_busy_ = &metrics_.histogram("pipeline.stage.hash.busy_ns");
     pipe_execute_busy_ =
         &metrics_.histogram("pipeline.stage.execute.busy_ns");
+
+    if (config_.tail_exemplars > 0) {
+        // Tail exemplars on every Fig 6 stage histogram: the slowest
+        // recorded samples keep their request trace id, so a fat p99
+        // names concrete traces.  Configured here, before any record,
+        // per the quiescence contract.
+        for (obs::Histogram *h :
+             {hist_.nic_buffer, hist_.batch, hist_.hash,
+              hist_.digest_xfer, hist_.bucket_index, hist_.dedup_resolve,
+              hist_.verdict_xfer, hist_.map_update, hist_.compress,
+              hist_.container_append, hist_.journal, hist_.read_total,
+              hist_.read_resolve, hist_.read_fetch,
+              hist_.read_decompress, hist_.read_return})
+            h->set_exemplar_capacity(config_.tail_exemplars);
+    }
     if (config_.in_flight_batches > 1) {
         WritePipelineConfig pipeline;
         pipeline.depth = config_.in_flight_batches;
@@ -191,7 +206,8 @@ FidrSystem::journal_append(const tables::JournalRecord &record)
             return checkpointed;
         appended = journal_->append(record);
     }
-    hist_.journal->record(timer.elapsed_ns());
+    hist_.journal->record(timer.elapsed_ns(),
+                          obs::ScopedRequest::current_trace());
     return appended;
 }
 
@@ -267,6 +283,14 @@ FidrSystem::process_batch()
     if (batch == nullptr)
         return Status::ok();
 
+    // The sealed batch is one client-visible request: give it a causal
+    // id here, at the seal, and let it ride in the batch — hash
+    // workers and the commit sequencer restore the context from there.
+    if (batch->trace_id == 0)
+        batch->trace_id = obs::RequestContext::next_id();
+    batch->stream_tag = stream_tag_;
+    obs::ScopedRequest request(batch->trace_id, batch->stream_tag);
+
     if (!pipeline_) {
         // Depth 1: the whole Fig 6a flow runs synchronously on the
         // caller, exactly the pre-pipeline behaviour.
@@ -280,11 +304,26 @@ FidrSystem::process_batch()
         return done;
     }
     if (pipeline_->failed()) {
-        // Surface the earlier asynchronous failure now; the batch we
-        // just sealed is unsealed along with the aborted ones.
-        return surface_pipeline_error();
+        // An earlier batch already failed asynchronously on the commit
+        // sequencer.  This write was acked at NVRAM admission exactly
+        // like every non-sealing write, so don't fail it on the
+        // sequencer's behalf: the batch stays sealed next to the
+        // aborted ones (a power cut replays all of them from NVRAM)
+        // and the next flush surfaces the sticky error and retries.
+        // Surfacing here would make the ack contract depend on a race
+        // between the caller's seal points and the executor.
+        return Status::ok();
     }
-    return pipeline_->submit(batch->epoch);
+    // Submit under the batch's context: admission stalls trace as this
+    // request's queueing time.
+    const Status submitted = pipeline_->submit(batch->epoch);
+    if (!submitted.is_ok() && pipeline_->failed()) {
+        // Same race, lost inside submit's admission wait: the executor
+        // went sticky-failed while this batch queued.  It stays sealed
+        // for the flush-time retry; the ack stands.
+        return Status::ok();
+    }
+    return submitted;
 }
 
 Status
@@ -320,7 +359,7 @@ FidrSystem::stage_hash(nic::SealedBatch &batch)
                     batch.chunks.size());
     nic_.hash_sealed(batch);
     const std::uint64_t elapsed = timer.elapsed_ns();
-    hist_.hash->record(elapsed);
+    hist_.hash->record(elapsed, obs::ScopedRequest::current_trace());
     pipe_hash_busy_->record(elapsed);
 }
 
@@ -335,7 +374,8 @@ FidrSystem::stage_digest_transfer(const nic::SealedBatch &batch)
         const Status moved = dma_checked(platform_.nic(), pcie::kHostMemory,
                                          n * Digest::kSize,
                                          memtag::kNicHost);
-        hist_.digest_xfer->record(timer.elapsed_ns());
+        hist_.digest_xfer->record(timer.elapsed_ns(),
+                                  obs::ScopedRequest::current_trace());
         if (!moved.is_ok())
             return moved;
     }
@@ -349,7 +389,8 @@ FidrSystem::stage_digest_transfer(const nic::SealedBatch &batch)
         const Status moved =
             dma_checked(pcie::kHostMemory, platform_.cache_engine(), n * 8,
                         memtag::kTableCache);
-        hist_.bucket_index->record(timer.elapsed_ns());
+        hist_.bucket_index->record(timer.elapsed_ns(),
+                                   obs::ScopedRequest::current_trace());
         if (!moved.is_ok())
             return moved;
     }
@@ -434,7 +475,8 @@ FidrSystem::stage_resolve(const nic::SealedBatch &batch, BatchPlan &plan)
             ++next_pbn_;
         }
     }
-    hist_.dedup_resolve->record(timer.elapsed_ns());
+    hist_.dedup_resolve->record(timer.elapsed_ns(),
+                                obs::ScopedRequest::current_trace());
     return Status::ok();
 }
 
@@ -451,7 +493,8 @@ FidrSystem::stage_schedule(const nic::SealedBatch &batch, BatchPlan &plan)
         const Status moved = dma_checked(pcie::kHostMemory,
                                          platform_.nic(), n * 2,
                                          memtag::kNicHost);
-        hist_.verdict_xfer->record(timer.elapsed_ns());
+        hist_.verdict_xfer->record(timer.elapsed_ns(),
+                                   obs::ScopedRequest::current_trace());
         if (!moved.is_ok())
             return moved;
     }
@@ -510,7 +553,8 @@ FidrSystem::stage_compress(const nic::SealedBatch &batch, BatchPlan &plan)
         compress_pool_->parallel_for(plan.unique.size(), compress_range);
     else
         compress_range(0, plan.unique.size());
-    hist_.compress->record(timer.elapsed_ns());
+    hist_.compress->record(timer.elapsed_ns(),
+                           obs::ScopedRequest::current_trace());
     return Status::ok();
 }
 
@@ -552,7 +596,8 @@ FidrSystem::stage_store(const nic::SealedBatch &batch, BatchPlan &plan)
         if (!billed.is_ok())
             return billed;
     }
-    hist_.container_append->record(timer.elapsed_ns());
+    hist_.container_append->record(timer.elapsed_ns(),
+                                   obs::ScopedRequest::current_trace());
     return Status::ok();
 }
 
@@ -584,7 +629,8 @@ FidrSystem::stage_apply(const nic::SealedBatch &batch, BatchPlan &plan)
         if (prev && *prev != plan.pbns[i])
             plan.retire_candidates.push_back(*prev);
     }
-    hist_.map_update->record(timer.elapsed_ns());
+    hist_.map_update->record(timer.elapsed_ns(),
+                             obs::ScopedRequest::current_trace());
     return Status::ok();
 }
 
@@ -640,7 +686,8 @@ FidrSystem::execute_batch(nic::SealedBatch &batch)
         status = stage_apply(batch, plan);
     if (status.is_ok()) {
         stage_commit(batch, plan);
-        hist_.batch->record(batch_timer.elapsed_ns());
+        hist_.batch->record(batch_timer.elapsed_ns(),
+                            obs::ScopedRequest::current_trace());
     }
     pipe_execute_busy_->record(batch_timer.elapsed_ns());
     return status;
@@ -929,33 +976,39 @@ FidrSystem::run_read_jobs(std::vector<ReadJob> &jobs)
         if (!jobs[j].cache_hit)
             pending.push_back(j);
     }
-    read_pipeline_->run(jobs, pending, [this](ReadJob &job) {
-        const obs::StageTimer fetch_timer;
-        Result<Buffer> data = containers_.read(job.location);
-        // Degraded mode: transient flash errors retry with backoff;
-        // attempts are counted locally and accounted after the join.
-        while (!data.is_ok() &&
-               data.status().code() == StatusCode::kUnavailable &&
-               job.fetch_attempts < config_.transient_retries) {
-            ++job.fetch_attempts;
-            data = containers_.read(job.location);
-        }
-        job.fetch_ns = fetch_timer.elapsed_ns();
-        if (!data.is_ok()) {
-            job.status = data.status();
-            return;
-        }
-        job.fetch_ok = true;
-        job.compressed_bytes = data.value().size();
-        const obs::StageTimer decompress_timer;
-        Result<Buffer> raw = decomp_.decompress_stateless(data.value());
-        job.decompress_ns = decompress_timer.elapsed_ns();
-        if (!raw.is_ok()) {
-            job.status = raw.status();
-            return;
-        }
-        job.payload = raw.take();
-    });
+    read_pipeline_->run(
+        jobs, pending,
+        [this](ReadJob &job) {
+            const obs::StageTimer fetch_timer;
+            Result<Buffer> data = containers_.read(job.location);
+            // Degraded mode: transient flash errors retry with
+            // backoff; attempts are counted locally and accounted
+            // after the join.
+            while (!data.is_ok() &&
+                   data.status().code() == StatusCode::kUnavailable &&
+                   job.fetch_attempts < config_.transient_retries) {
+                ++job.fetch_attempts;
+                data = containers_.read(job.location);
+            }
+            job.fetch_ns = fetch_timer.elapsed_ns();
+            if (!data.is_ok()) {
+                job.status = data.status();
+                return;
+            }
+            job.fetch_ok = true;
+            job.compressed_bytes = data.value().size();
+            const obs::StageTimer decompress_timer;
+            Result<Buffer> raw =
+                decomp_.decompress_stateless(data.value());
+            job.decompress_ns = decompress_timer.elapsed_ns();
+            if (!raw.is_ok()) {
+                job.status = raw.status();
+                return;
+            }
+            job.payload = raw.take();
+        },
+        obs::ScopedRequest::current_trace(),
+        obs::ScopedRequest::current_stream());
 
     // Serial billing stage, in job order: every fabric DMA, per-SSD
     // attribution, fault-stat merge, engine counter and cache fill
@@ -983,7 +1036,8 @@ FidrSystem::run_read_jobs(std::vector<ReadJob> &jobs)
                            job.location.compressed_size,
                            memtag::kDataSsd);
             }
-            hist_.read_fetch->record(job.fetch_ns);
+            hist_.read_fetch->record(job.fetch_ns,
+                                 obs::ScopedRequest::current_trace());
             continue;
         }
         // Fig 6b step 5: data SSD -> Decompression Engine, P2P.  The
@@ -992,7 +1046,8 @@ FidrSystem::run_read_jobs(std::vector<ReadJob> &jobs)
         FIDR_TPOINT(obs::Tpoint::kReadSsdFetch, job.location.container_id,
                     job.compressed_bytes);
         read_ssd_fetches_->add();
-        hist_.read_fetch->record(job.fetch_ns);
+        hist_.read_fetch->record(job.fetch_ns,
+                                 obs::ScopedRequest::current_trace());
         const Status moved = dma_checked(
             platform_.data_ssd_dev(job.source_ssd),
             platform_.decompression_engine(), job.compressed_bytes,
@@ -1004,7 +1059,8 @@ FidrSystem::run_read_jobs(std::vector<ReadJob> &jobs)
             job.payload.clear();
             continue;
         }
-        hist_.read_decompress->record(job.decompress_ns);
+        hist_.read_decompress->record(job.decompress_ns,
+                                      obs::ScopedRequest::current_trace());
         if (!job.status.is_ok())
             continue;  // Decompression failed (kCorruption).
         decomp_.record();
@@ -1023,6 +1079,12 @@ FidrSystem::run_read_jobs(std::vector<ReadJob> &jobs)
 std::vector<Result<Buffer>>
 FidrSystem::read_batch(std::span<const Lba> lbas)
 {
+    // The whole batched read is one client-visible request: scope its
+    // causal id over everything below, including the pipeline barrier
+    // (time spent draining writes is genuinely this read's queueing).
+    const std::uint64_t read_trace = obs::RequestContext::next_id();
+    obs::ScopedRequest request(read_trace, stream_tag_);
+
     // One pipeline barrier for the whole batch: in-flight write
     // batches commit before the NIC lookups and LBA resolves, so every
     // read sees its own preceding writes.  A sticky failure keeps its
@@ -1060,7 +1122,8 @@ FidrSystem::read_batch(std::span<const Lba> lbas)
         if (auto buffered = nic_.lookup_buffered(lba)) {
             FIDR_TPOINT(obs::Tpoint::kReadNicLookup, lba, 1);
             ++stats_.nic_read_hits;
-            hist_.read_total->record(batch_timer.elapsed_ns());
+            hist_.read_total->record(batch_timer.elapsed_ns(),
+                                     obs::ScopedRequest::current_trace());
             results[i] = std::move(*buffered);
             continue;
         }
@@ -1080,7 +1143,8 @@ FidrSystem::read_batch(std::span<const Lba> lbas)
                                         ? calib::kCpuReadOffloadResidual
                                         : calib::kCpuReadPerChunk);
             const auto found = lba_table_.lookup(lba);
-            hist_.read_resolve->record(timer.elapsed_ns());
+            hist_.read_resolve->record(timer.elapsed_ns(),
+                                       obs::ScopedRequest::current_trace());
             return found;
         }();
         if (!location) {
@@ -1142,13 +1206,15 @@ FidrSystem::read_batch(std::span<const Lba> lbas)
                 : dma_checked(platform_.decompression_engine(),
                               platform_.nic(), job.payload.size(),
                               memtag::kNicHost);
-        hist_.read_return->record(timer.elapsed_ns());
+        hist_.read_return->record(timer.elapsed_ns(),
+                                  obs::ScopedRequest::current_trace());
         if (!moved.is_ok()) {
             results[i] = moved;
             continue;
         }
         results[i] = job.payload;
-        hist_.read_total->record(batch_timer.elapsed_ns());
+        hist_.read_total->record(batch_timer.elapsed_ns(),
+                                     obs::ScopedRequest::current_trace());
     }
     return results;
 }

@@ -132,6 +132,16 @@ struct FidrConfig {
      */
     unsigned transient_retries = 2;
     std::uint64_t retry_backoff_ns = 20'000;
+
+    /**
+     * Tail exemplars retained per stage histogram: each keeps the N
+     * slowest (latency, trace_id) pairs seen, so a p99 bucket points
+     * at concrete captured request traces (`fidr_obs_report
+     * attribute` resolves them).  0 disables the reservoirs.  With
+     * FIDR_TRACE=OFF no trace ids exist, so reservoirs stay empty and
+     * the record path is unchanged.
+     */
+    std::size_t tail_exemplars = 4;
 };
 
 /** The FIDR server. */
@@ -212,6 +222,16 @@ class FidrSystem : public StorageServer {
      * meaningful under EvictionPolicy::kPrioritizedLru.
      */
     void set_priority_hint(bool high) { high_priority_ = high; }
+
+    /**
+     * Stream/tenant tag stamped into the request context of subsequent
+     * write batches and read batches (0 = untagged).  The tag rides
+     * the same channel as the trace id (nic::SealedBatch,
+     * ReadPipeline::run) — the plumbing ROADMAP item 1's per-tenant
+     * QoS dimension will use.
+     */
+    void set_stream_tag(std::uint64_t tag) { stream_tag_ = tag; }
+    std::uint64_t stream_tag() const { return stream_tag_; }
 
     /** Outcome of an integrity scrub pass. */
     struct ScrubReport {
@@ -405,6 +425,7 @@ class FidrSystem : public StorageServer {
     SpaceTracker space_;
     FaultStats fault_stats_;
     bool high_priority_ = false;
+    std::uint64_t stream_tag_ = 0;
     Pbn next_pbn_ = 0;
     std::uint64_t sealed_billed_ = 0;
     ReductionStats stats_;

@@ -1,5 +1,9 @@
 #include "fidr/core/read_pipeline.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
 #include "fidr/obs/trace.h"
 
 namespace fidr::core {
@@ -14,23 +18,51 @@ ReadPipeline::ReadPipeline(std::size_t lanes)
 void
 ReadPipeline::run(std::vector<ReadJob> &jobs,
                   const std::vector<std::size_t> &pending,
-                  const std::function<void(ReadJob &)> &body)
+                  const std::function<void(ReadJob &)> &body,
+                  std::uint64_t trace_id, std::uint64_t stream_tag)
 {
     if (pending.empty())
         return;
     if (!pool_ || pending.size() == 1) {
         // Serial path: same job order a 1-lane pool would produce.
+        // Runs on the orchestrating thread, whose request context is
+        // already in scope.
         for (const std::size_t j : pending)
             body(jobs[j]);
         return;
     }
-    pool_->parallel_for(
-        pending.size(), [&](std::size_t begin, std::size_t end) {
-            FIDR_TRACE_SPAN(span, obs::Tpoint::kReadFetchLane, begin,
-                            end - begin);
-            for (std::size_t i = begin; i < end; ++i)
-                body(jobs[pending[i]]);
+    // Shard like parallel_for (one contiguous shard per lane, shard
+    // boundaries a pure function of (n, lanes)) but dispatch with
+    // submit(), which never runs inline: on a one-core host
+    // parallel_for collapses onto the caller, and the fetch lanes
+    // would lose their own trace rings — the request's flow links
+    // could never span threads.  Reads tolerate the latch cost; the
+    // join keeps the serial-billing determinism contract intact.
+    const std::size_t shards = std::min(lanes_, pending.size());
+    const std::size_t q = pending.size() / shards;
+    const std::size_t r = pending.size() % shards;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = shards;
+    std::size_t begin = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t end = begin + q + (s < r ? 1 : 0);
+        pool_->submit([&, begin, end] {
+            {
+                obs::ScopedRequest request(trace_id, stream_tag);
+                FIDR_TRACE_SPAN(span, obs::Tpoint::kReadFetchLane,
+                                begin, end - begin);
+                for (std::size_t i = begin; i < end; ++i)
+                    body(jobs[pending[i]]);
+            }
+            std::lock_guard<std::mutex> lock(done_mutex);
+            if (--remaining == 0)
+                done_cv.notify_one();
         });
+        begin = end;
+    }
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
 }
 
 }  // namespace fidr::core

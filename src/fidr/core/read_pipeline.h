@@ -83,10 +83,17 @@ class ReadPipeline {
      * Runs `body(jobs[pending[i]])` for every pending index.  The body
      * must only touch its own job (see the file contract); the call
      * blocks until every job finished.
+     *
+     * `trace_id`/`stream_tag` name the read request the jobs belong to
+     * (obs/request.h): each worker lane re-establishes that context so
+     * fetch/decompress records on pool threads join the request's
+     * causal chain.  The inline single-lane path inherits the caller's
+     * context and ignores them.
      */
     void run(std::vector<ReadJob> &jobs,
              const std::vector<std::size_t> &pending,
-             const std::function<void(ReadJob &)> &body);
+             const std::function<void(ReadJob &)> &body,
+             std::uint64_t trace_id = 0, std::uint64_t stream_tag = 0);
 
   private:
     std::size_t lanes_ = 1;

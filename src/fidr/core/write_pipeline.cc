@@ -112,6 +112,9 @@ WritePipeline::hash_task(std::uint64_t epoch)
     // requires a quiesced pipeline (hash_outstanding_ == 0).
     nic::SealedBatch *batch = nic_.find_sealed(epoch);
     if (batch != nullptr) {
+        // Re-establish the batch's request context on this worker so
+        // every record the hash stage emits carries its trace id.
+        obs::ScopedRequest request(batch->trace_id, batch->stream_tag);
         FIDR_TRACE_SPAN(span, obs::Tpoint::kPipelineHashStage, epoch,
                         batch->chunks.size());
         hash_(*batch);
@@ -160,7 +163,14 @@ WritePipeline::executor_loop()
 
         nic::SealedBatch *batch = nic_.find_sealed(epoch);
         FIDR_CHECK(batch != nullptr);
-        const Status status = execute_(*batch);
+        Status status;
+        {
+            // The sequencer serves one request at a time; scope its
+            // context so the serial commit stages trace under it.
+            obs::ScopedRequest request(batch->trace_id,
+                                       batch->stream_tag);
+            status = execute_(*batch);
+        }
 
         {
             std::lock_guard<std::mutex> lock(mutex_);

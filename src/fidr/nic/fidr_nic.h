@@ -80,6 +80,16 @@ struct SealedBatch {
     std::vector<BufferedChunk> chunks;
     /** Chunks the hash stage freshly hashed (set by hash_sealed). */
     std::uint64_t fresh_hashes = 0;
+    /**
+     * Request-scoped causal id (obs/request.h), assigned at seal by
+     * the orchestrator.  The batch *is* the cross-thread handoff, so
+     * the id rides in it: hash workers and the commit sequencer
+     * restore a ScopedRequest from here before running their stage.
+     * 0 = untraced (e.g. FIDR_TRACE=OFF builds).
+     */
+    std::uint64_t trace_id = 0;
+    /** Stream/tenant tag for the future QoS dimension (0 = none). */
+    std::uint64_t stream_tag = 0;
 };
 
 /** Functional FIDR NIC. */

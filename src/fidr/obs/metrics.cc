@@ -45,7 +45,7 @@ Histogram::Histogram()
 }
 
 std::size_t
-Histogram::bucket_of(SimTime ns)
+Histogram::bucket_index(SimTime ns)
 {
     if (ns <= 1)
         return 0;
@@ -54,15 +54,67 @@ Histogram::bucket_of(SimTime ns)
     return std::min(kNumBuckets - 1, static_cast<std::size_t>(idx));
 }
 
+SimTime
+Histogram::bucket_upper_edge_ns(std::size_t index)
+{
+    return static_cast<SimTime>(std::pow(
+        2.0, (static_cast<double>(index) + 1.0) / kBucketsPerOctave));
+}
+
+std::size_t
+Histogram::num_buckets()
+{
+    return kNumBuckets;
+}
+
 void
-Histogram::record(SimTime latency_ns)
+Histogram::record(SimTime latency_ns, std::uint64_t trace_id)
 {
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_ns_.fetch_add(latency_ns, std::memory_order_relaxed);
     atomic_min(min_, latency_ns);
     atomic_max(max_, latency_ns);
-    buckets_[bucket_of(latency_ns)].fetch_add(1,
-                                              std::memory_order_relaxed);
+    buckets_[bucket_index(latency_ns)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (exemplars_ && trace_id != 0)
+        offer_exemplar(latency_ns, trace_id);
+}
+
+void
+Histogram::set_exemplar_capacity(std::size_t capacity)
+{
+    if (capacity == 0)
+        exemplars_.reset();
+    else
+        exemplars_ = std::make_unique<ExemplarReservoir>(capacity);
+}
+
+void
+Histogram::offer_exemplar(SimTime latency_ns, std::uint64_t trace_id)
+{
+    ExemplarReservoir &res = *exemplars_;
+    // Fast reject: once the reservoir is full, `floor` holds the
+    // slowest-K threshold; anything at or below it cannot displace a
+    // retained sample.  Racing offers may both pass the gate — the
+    // mutex below resolves them; the gate only has to be conservative.
+    if (latency_ns <= res.floor.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(res.mutex);
+    if (res.slots.size() < res.capacity) {
+        res.slots.push_back({latency_ns, trace_id});
+    } else {
+        // slots is sorted slowest-first; the back is the current floor.
+        if (latency_ns <= res.slots.back().latency_ns)
+            return;
+        res.slots.back() = {latency_ns, trace_id};
+    }
+    std::sort(res.slots.begin(), res.slots.end(),
+              [](const Exemplar &a, const Exemplar &b) {
+                  return a.latency_ns > b.latency_ns;
+              });
+    if (res.slots.size() == res.capacity)
+        res.floor.store(res.slots.back().latency_ns,
+                        std::memory_order_relaxed);
 }
 
 double
@@ -98,10 +150,7 @@ Histogram::percentile_ns(double q) const
         if (seen >= target && in_bucket > 0) {
             // Bucket upper edge, clamped into the observed range so a
             // single-sample histogram reports the sample exactly.
-            const auto edge = static_cast<SimTime>(
-                std::pow(2.0, (static_cast<double>(i) + 1.0) /
-                                  kBucketsPerOctave));
-            return std::clamp(edge, lo, hi);
+            return std::clamp(bucket_upper_edge_ns(i), lo, hi);
         }
     }
     return hi;
@@ -112,12 +161,23 @@ Histogram::summary() const
 {
     HistogramSummary out;
     out.count = count();
+    out.sum_ns = sum_ns_.load(std::memory_order_relaxed);
     out.mean_ns = mean_ns();
     out.min_ns = min_ns();
     out.max_ns = max_ns();
     out.p50_ns = percentile_ns(0.50);
     out.p95_ns = percentile_ns(0.95);
     out.p99_ns = percentile_ns(0.99);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const std::uint64_t n =
+            buckets_[i].load(std::memory_order_relaxed);
+        if (n != 0)
+            out.buckets.push_back({static_cast<std::uint32_t>(i), n});
+    }
+    if (exemplars_) {
+        std::lock_guard<std::mutex> lock(exemplars_->mutex);
+        out.exemplars = exemplars_->slots;
+    }
     return out;
 }
 
@@ -130,6 +190,11 @@ Histogram::reset()
     max_.store(0, std::memory_order_relaxed);
     for (auto &bucket : buckets_)
         bucket.store(0, std::memory_order_relaxed);
+    if (exemplars_) {
+        std::lock_guard<std::mutex> lock(exemplars_->mutex);
+        exemplars_->slots.clear();
+        exemplars_->floor.store(0, std::memory_order_relaxed);
+    }
 }
 
 Counter &
@@ -242,12 +307,34 @@ ObsSnapshot::to_json() const
     for (const auto &[name, h] : histograms) {
         json.key(name).begin_object();
         json.kv("count", h.count);
+        json.kv("sum_ns", h.sum_ns);
         json.kv("mean_ns", h.mean_ns);
         json.kv("min_ns", h.min_ns);
         json.kv("max_ns", h.max_ns);
         json.kv("p50_ns", h.p50_ns);
         json.kv("p95_ns", h.p95_ns);
         json.kv("p99_ns", h.p99_ns);
+        if (!h.buckets.empty()) {
+            json.key("buckets").begin_array();
+            for (const BucketCount &bucket : h.buckets) {
+                json.begin_object();
+                json.kv("index",
+                        static_cast<std::uint64_t>(bucket.index));
+                json.kv("count", bucket.count);
+                json.end_object();
+            }
+            json.end_array();
+        }
+        if (!h.exemplars.empty()) {
+            json.key("exemplars").begin_array();
+            for (const Exemplar &ex : h.exemplars) {
+                json.begin_object();
+                json.kv("latency_ns", ex.latency_ns);
+                json.kv("trace_id", ex.trace_id);
+                json.end_object();
+            }
+            json.end_array();
+        }
         json.end_object();
     }
     json.end_object();

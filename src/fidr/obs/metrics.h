@@ -61,15 +61,42 @@ class Gauge {
     std::atomic<double> value_{0};
 };
 
+/**
+ * Tail exemplar: one concrete request behind a high latency sample.
+ * `trace_id` names a captured trace (obs/request.h), so a p99 bucket
+ * is no longer anonymous — `fidr_obs_report attribute` can pull that
+ * exact request's span tree out of the trace dump.
+ */
+struct Exemplar {
+    SimTime latency_ns = 0;
+    std::uint64_t trace_id = 0;
+};
+
+/** One nonzero log bucket: (bucket index, sample count). */
+struct BucketCount {
+    std::uint32_t index = 0;
+    std::uint64_t count = 0;
+};
+
 /** Summary of a histogram at snapshot time. */
 struct HistogramSummary {
     std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
     double mean_ns = 0;
     SimTime min_ns = 0;
     SimTime max_ns = 0;
     SimTime p50_ns = 0;
     SimTime p95_ns = 0;
     SimTime p99_ns = 0;
+    /**
+     * Sparse nonzero buckets, ascending by index.  Lets consumers diff
+     * two cumulative snapshots into a *windowed* distribution and
+     * recompute true per-window percentiles (obs/slo.h) — cumulative
+     * p99s cannot be subtracted.
+     */
+    std::vector<BucketCount> buckets;
+    /** Slowest retained samples, descending; empty unless enabled. */
+    std::vector<Exemplar> exemplars;
 };
 
 /**
@@ -84,7 +111,21 @@ class Histogram {
   public:
     Histogram();
 
-    void record(SimTime latency_ns);
+    /**
+     * Records one sample.  `trace_id` (0 = none) feeds the tail
+     * exemplar reservoir when one is configured; with no reservoir or
+     * no id the cost is one extra non-atomic pointer test.
+     */
+    void record(SimTime latency_ns, std::uint64_t trace_id = 0);
+
+    /**
+     * Retains the `capacity` slowest (latency, trace_id) samples seen
+     * since the last reset (0 = off, the default).  Offers are cheap:
+     * a relaxed floor load rejects everything below the current top-K
+     * threshold; only genuine tail samples take the reservoir mutex.
+     * Quiescent callers only (configure before recording starts).
+     */
+    void set_exemplar_capacity(std::size_t capacity);
 
     std::uint64_t count() const
     { return count_.load(std::memory_order_relaxed); }
@@ -105,14 +146,32 @@ class Histogram {
 
     void reset();
 
+    /** Log-bucket geometry, shared with windowed consumers (slo.h). */
+    static std::size_t bucket_index(SimTime ns);
+    static SimTime bucket_upper_edge_ns(std::size_t index);
+    static std::size_t num_buckets();
+
   private:
-    static std::size_t bucket_of(SimTime ns);
+    /** Mutex-guarded top-K reservoir behind a relaxed floor gate. */
+    struct ExemplarReservoir {
+        explicit ExemplarReservoir(std::size_t capacity)
+            : capacity(capacity)
+        {
+        }
+        std::size_t capacity;
+        std::atomic<SimTime> floor{0};  ///< Admission gate once full.
+        mutable std::mutex mutex;
+        std::vector<Exemplar> slots;    ///< Sorted slowest-first.
+    };
+
+    void offer_exemplar(SimTime latency_ns, std::uint64_t trace_id);
 
     std::atomic<std::uint64_t> count_{0};
     std::atomic<std::uint64_t> sum_ns_{0};
     std::atomic<SimTime> min_{0};
     std::atomic<SimTime> max_{0};
     std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::unique_ptr<ExemplarReservoir> exemplars_;
 };
 
 /** One labelled row of a snapshot section (ledger report, ...). */

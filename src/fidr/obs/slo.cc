@@ -1,0 +1,314 @@
+#include "fidr/obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fidr/common/status.h"
+#include "fidr/obs/json.h"
+
+namespace fidr::obs {
+
+double
+HistogramDelta::mean_ns() const
+{
+    if (count == 0)
+        return 0.0;
+    return static_cast<double>(sum_ns) / static_cast<double>(count);
+}
+
+SimTime
+HistogramDelta::percentile_ns(double q) const
+{
+    FIDR_CHECK(q >= 0.0 && q <= 1.0);
+    if (count == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(std::max(
+        1.0, std::ceil(q * static_cast<double>(count))));
+    std::uint64_t seen = 0;
+    for (const BucketCount &bucket : buckets) {
+        seen += bucket.count;
+        if (seen >= target)
+            return Histogram::bucket_upper_edge_ns(bucket.index);
+    }
+    return buckets.empty()
+               ? 0
+               : Histogram::bucket_upper_edge_ns(buckets.back().index);
+}
+
+std::uint64_t
+HistogramDelta::count_above_ns(SimTime threshold_ns) const
+{
+    // "Slow" = landed in a bucket strictly above the one holding the
+    // threshold; matches the resolution the histogram actually has.
+    const std::size_t edge = Histogram::bucket_index(threshold_ns);
+    std::uint64_t slow = 0;
+    for (const BucketCount &bucket : buckets)
+        if (bucket.index > edge)
+            slow += bucket.count;
+    return slow;
+}
+
+WindowedAggregator::WindowedAggregator(std::size_t window_count,
+                                       std::uint64_t interval_ns)
+    : window_count_(window_count), interval_ns_(interval_ns)
+{
+    FIDR_CHECK(window_count >= 1);
+    FIDR_CHECK(interval_ns >= 1);
+}
+
+namespace {
+
+/** new - old for matching sparse bucket vectors (both ascending). */
+std::vector<BucketCount>
+diff_buckets(const std::vector<BucketCount> &now,
+             const std::vector<BucketCount> &then)
+{
+    std::vector<BucketCount> out;
+    std::size_t j = 0;
+    for (const BucketCount &bucket : now) {
+        std::uint64_t before = 0;
+        while (j < then.size() && then[j].index < bucket.index)
+            ++j;
+        if (j < then.size() && then[j].index == bucket.index)
+            before = then[j].count;
+        if (bucket.count > before)
+            out.push_back({bucket.index, bucket.count - before});
+    }
+    return out;
+}
+
+/** Accumulates sparse deltas into an existing sparse vector. */
+void
+merge_buckets(std::vector<BucketCount> &into,
+              const std::vector<BucketCount> &add)
+{
+    std::vector<BucketCount> merged;
+    merged.reserve(into.size() + add.size());
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < into.size() || b < add.size()) {
+        if (b >= add.size() ||
+            (a < into.size() && into[a].index < add[b].index)) {
+            merged.push_back(into[a++]);
+        } else if (a >= into.size() || add[b].index < into[a].index) {
+            merged.push_back(add[b++]);
+        } else {
+            merged.push_back(
+                {into[a].index, into[a].count + add[b].count});
+            ++a;
+            ++b;
+        }
+    }
+    into = std::move(merged);
+}
+
+}  // namespace
+
+void
+WindowedAggregator::observe(const ObsSnapshot &snapshot,
+                            std::uint64_t now_ns)
+{
+    if (!baselined_) {
+        baselined_ = true;
+        previous_ = snapshot;
+        open_start_ns_ = now_ns;
+        open_ = SloWindow{};
+        return;
+    }
+
+    // Accumulate the delta since the previous snapshot into the open
+    // window.  Counters are monotonic; a shrink means a reset upstream
+    // and contributes nothing rather than a bogus huge delta.
+    for (const auto &[name, value] : snapshot.counters) {
+        const auto it = previous_.counters.find(name);
+        const std::uint64_t before =
+            it == previous_.counters.end() ? 0 : it->second;
+        if (value > before)
+            open_.counter_deltas[name] += value - before;
+    }
+    for (const auto &[name, value] : snapshot.gauges)
+        open_.gauges[name] = value;
+    for (const auto &[name, summary] : snapshot.histograms) {
+        const auto it = previous_.histograms.find(name);
+        static const HistogramSummary kEmpty;
+        const HistogramSummary &before =
+            it == previous_.histograms.end() ? kEmpty : it->second;
+        if (summary.count <= before.count &&
+            summary.exemplars.empty())
+            continue;
+        HistogramDelta &delta = open_.histograms[name];
+        if (summary.count > before.count) {
+            delta.count += summary.count - before.count;
+            delta.sum_ns += summary.sum_ns - before.sum_ns;
+            merge_buckets(delta.buckets,
+                          diff_buckets(summary.buckets, before.buckets));
+        }
+        delta.exemplars = summary.exemplars;
+    }
+    previous_ = snapshot;
+
+    if (now_ns - open_start_ns_ < interval_ns_)
+        return;
+
+    open_.index = next_index_++;
+    open_.start_ns = open_start_ns_;
+    open_.end_ns = now_ns;
+    windows_.push_back(std::move(open_));
+    while (windows_.size() > window_count_)
+        windows_.pop_front();
+    open_ = SloWindow{};
+    open_start_ns_ = now_ns;
+}
+
+std::string
+WindowedAggregator::to_json() const
+{
+    JsonWriter json;
+    json.begin_object();
+    json.kv("interval_ns", interval_ns_);
+    json.kv("capacity", static_cast<std::uint64_t>(window_count_));
+    json.kv("windows_closed", next_index_);
+    json.key("windows").begin_array();
+    for (const SloWindow &window : windows_) {
+        json.begin_object();
+        json.kv("index", window.index);
+        json.kv("start_ns", window.start_ns);
+        json.kv("end_ns", window.end_ns);
+        json.key("counters").begin_object();
+        for (const auto &[name, delta] : window.counter_deltas)
+            json.kv(name, delta);
+        json.end_object();
+        json.key("gauges").begin_object();
+        for (const auto &[name, value] : window.gauges)
+            json.kv(name, value);
+        json.end_object();
+        json.key("histograms").begin_object();
+        for (const auto &[name, delta] : window.histograms) {
+            json.key(name).begin_object();
+            json.kv("count", delta.count);
+            json.kv("sum_ns", delta.sum_ns);
+            json.kv("mean_ns", delta.mean_ns());
+            json.kv("p50_ns", delta.percentile_ns(0.50));
+            json.kv("p99_ns", delta.percentile_ns(0.99));
+            if (!delta.exemplars.empty()) {
+                json.key("exemplars").begin_array();
+                for (const Exemplar &ex : delta.exemplars) {
+                    json.begin_object();
+                    json.kv("latency_ns", ex.latency_ns);
+                    json.kv("trace_id", ex.trace_id);
+                    json.end_object();
+                }
+                json.end_array();
+            }
+            json.end_object();
+        }
+        json.end_object();
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    return json.str();
+}
+
+void
+SloEvaluator::add_target(SloTarget target)
+{
+    FIDR_CHECK(!target.name.empty());
+    FIDR_CHECK(target.eval_windows >= 1);
+    FIDR_CHECK(target.quantile > 0.0 && target.quantile < 1.0);
+    targets_.push_back(std::move(target));
+}
+
+std::vector<SloResult>
+SloEvaluator::evaluate(const WindowedAggregator &aggregator) const
+{
+    const std::deque<SloWindow> &ring = aggregator.windows();
+    std::vector<SloResult> results;
+    results.reserve(targets_.size());
+    for (const SloTarget &target : targets_) {
+        SloResult result;
+        result.name = target.name;
+        const std::size_t lookback =
+            std::min(target.eval_windows, ring.size());
+        result.windows_evaluated = lookback;
+
+        HistogramDelta merged;
+        for (std::size_t w = ring.size() - lookback; w < ring.size();
+             ++w) {
+            const SloWindow &window = ring[w];
+            if (!target.histogram.empty()) {
+                const auto it = window.histograms.find(target.histogram);
+                if (it != window.histograms.end()) {
+                    merged.count += it->second.count;
+                    merged.sum_ns += it->second.sum_ns;
+                    merge_buckets(merged.buckets, it->second.buckets);
+                }
+            }
+            if (!target.error_counter.empty()) {
+                const auto err =
+                    window.counter_deltas.find(target.error_counter);
+                if (err != window.counter_deltas.end())
+                    result.errors += err->second;
+                const auto tot =
+                    window.counter_deltas.find(target.total_counter);
+                if (tot != window.counter_deltas.end())
+                    result.total_ops += tot->second;
+            }
+        }
+
+        if (target.latency_ns > 0 && merged.count > 0) {
+            result.samples = merged.count;
+            result.slow_samples =
+                merged.count_above_ns(target.latency_ns);
+            result.observed_quantile_ns =
+                merged.percentile_ns(target.quantile);
+            const double bad_fraction =
+                static_cast<double>(result.slow_samples) /
+                static_cast<double>(result.samples);
+            const double allowed = 1.0 - target.quantile;
+            result.latency_burn = bad_fraction / allowed;
+        }
+        if (!target.error_counter.empty() &&
+            target.max_error_rate > 0.0 && result.total_ops > 0) {
+            const double rate =
+                static_cast<double>(result.errors) /
+                static_cast<double>(result.total_ops);
+            result.error_burn = rate / target.max_error_rate;
+        }
+
+        result.breached =
+            lookback > 0 &&
+            (result.latency_burn >= target.burn_threshold ||
+             result.error_burn >= target.burn_threshold);
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+std::string
+SloEvaluator::report_json(const std::vector<SloResult> &results)
+{
+    JsonWriter json;
+    json.begin_object();
+    json.key("slo").begin_array();
+    for (const SloResult &result : results) {
+        json.begin_object();
+        json.kv("name", result.name);
+        json.kv("breached", result.breached);
+        json.kv("windows_evaluated",
+                static_cast<std::uint64_t>(result.windows_evaluated));
+        json.kv("samples", result.samples);
+        json.kv("slow_samples", result.slow_samples);
+        json.kv("latency_burn", result.latency_burn);
+        json.kv("observed_quantile_ns", result.observed_quantile_ns);
+        json.kv("total_ops", result.total_ops);
+        json.kv("errors", result.errors);
+        json.kv("error_burn", result.error_burn);
+        json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    return json.str();
+}
+
+}  // namespace fidr::obs

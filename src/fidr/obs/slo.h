@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Windowed time-series aggregation and SLO evaluation over the
+ * cumulative `ObsSnapshot` stream.
+ *
+ * Everything FIDR measures is cumulative-since-start (counters only go
+ * up, histograms only accumulate), which answers "how did the run go"
+ * but not "is the system healthy *right now*".  The
+ * `WindowedAggregator` turns the cumulative stream into rates: feed it
+ * `obs_snapshot()` on whatever cadence you like and it diffs
+ * consecutive snapshots into fixed-interval windows kept in a bounded
+ * ring (oldest evicted — "window wrap").  Histogram diffs keep the
+ * *sparse bucket deltas* (HistogramSummary::buckets), so a window's
+ * true p99 is recomputable — cumulative p99s cannot be subtracted.
+ *
+ * The `SloEvaluator` reads the window ring with Google-SRE-style
+ * burn rates.  A latency target "q of requests under T" allows a
+ * bad fraction of (1-q); burn = observed_bad_fraction / (1-q), so
+ * burn 1.0 consumes error budget exactly as fast as the SLO allows
+ * and burn 2.0 breaches twice as fast.  Error-rate targets divide the
+ * windowed error rate by the allowed rate the same way.  Targets
+ * evaluate over the last `eval_windows` windows so short spikes and
+ * sustained burns are distinguishable.
+ *
+ * Like the rest of obs, this is passive instrumentation: nothing here
+ * touches the hot path, and with FIDR_TRACE=OFF the inputs simply
+ * carry no exemplars.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fidr/obs/metrics.h"
+
+namespace fidr::obs {
+
+/** Per-histogram activity within one window (deltas, not cumulative). */
+struct HistogramDelta {
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+    std::vector<BucketCount> buckets;  ///< Sparse per-window deltas.
+    /** Cumulative tail exemplars as of window close (informational). */
+    std::vector<Exemplar> exemplars;
+
+    double mean_ns() const;
+    /** True windowed percentile from the bucket deltas (0 if empty). */
+    SimTime percentile_ns(double q) const;
+    /** Samples strictly above the bucket containing `threshold_ns`. */
+    std::uint64_t count_above_ns(SimTime threshold_ns) const;
+};
+
+/** One closed aggregation window. */
+struct SloWindow {
+    std::uint64_t index = 0;     ///< Monotonic; survives ring eviction.
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::map<std::string, std::uint64_t> counter_deltas;
+    std::map<std::string, double> gauges;  ///< Last value in window.
+    std::map<std::string, HistogramDelta> histograms;
+};
+
+/**
+ * Diffs a cumulative snapshot stream into a bounded ring of
+ * fixed-interval windows.  Single-threaded by design: call observe()
+ * from the control thread that owns snapshotting.
+ */
+class WindowedAggregator {
+  public:
+    /**
+     * @param window_count  Ring capacity; the oldest closed window is
+     *                      evicted when a newer one closes past it.
+     * @param interval_ns   Target window length.  A window closes on
+     *                      the first observe() at or past its end, so
+     *                      actual spans may exceed the interval when
+     *                      polling is slow.
+     */
+    WindowedAggregator(std::size_t window_count,
+                       std::uint64_t interval_ns);
+
+    /**
+     * Feeds one cumulative snapshot taken at `now_ns` (any monotonic
+     * clock; windows live on the caller's timeline).  The first call
+     * only baselines.  Later calls accumulate the delta since the
+     * previous snapshot into the open window and close it once the
+     * interval has elapsed.
+     */
+    void observe(const ObsSnapshot &snapshot, std::uint64_t now_ns);
+
+    /** Closed windows, oldest first. */
+    const std::deque<SloWindow> &windows() const { return windows_; }
+
+    /** Total windows ever closed (>= windows().size() after wrap). */
+    std::uint64_t windows_closed() const { return next_index_; }
+
+    std::uint64_t interval_ns() const { return interval_ns_; }
+    std::size_t capacity() const { return window_count_; }
+
+    /** The whole ring as a JSON document (schema in DESIGN.md §13). */
+    std::string to_json() const;
+
+  private:
+    std::size_t window_count_;
+    std::uint64_t interval_ns_;
+
+    bool baselined_ = false;
+    ObsSnapshot previous_;
+    std::uint64_t open_start_ns_ = 0;
+    SloWindow open_;  ///< Accumulating deltas since open_start_ns_.
+    std::uint64_t next_index_ = 0;
+    std::deque<SloWindow> windows_;
+};
+
+/** One service-level objective over windowed metrics. */
+struct SloTarget {
+    std::string name;
+
+    // Latency objective: `quantile` of samples in `histogram` must
+    // finish within `latency_ns` (latency_ns = 0 disables).
+    std::string histogram;
+    double quantile = 0.99;
+    SimTime latency_ns = 0;
+
+    // Error-rate objective: counter(error_counter)/counter(
+    // total_counter) must stay at or below max_error_rate
+    // (empty error_counter disables).
+    std::string error_counter;
+    std::string total_counter;
+    double max_error_rate = 0.0;
+
+    /** Breach when any burn rate reaches this (1.0 = budget-exact). */
+    double burn_threshold = 1.0;
+    /** Evaluate over the most recent N closed windows. */
+    std::size_t eval_windows = 1;
+};
+
+/** Evaluation outcome for one target. */
+struct SloResult {
+    std::string name;
+    bool breached = false;
+
+    // Latency leg (0s when disabled or no traffic).
+    std::uint64_t samples = 0;
+    std::uint64_t slow_samples = 0;
+    double latency_burn = 0.0;
+    SimTime observed_quantile_ns = 0;
+
+    // Error leg (0s when disabled or no traffic).
+    std::uint64_t total_ops = 0;
+    std::uint64_t errors = 0;
+    double error_burn = 0.0;
+
+    std::size_t windows_evaluated = 0;
+};
+
+/** Evaluates a set of SLO targets against the window ring. */
+class SloEvaluator {
+  public:
+    void add_target(SloTarget target);
+    const std::vector<SloTarget> &targets() const { return targets_; }
+
+    std::vector<SloResult>
+    evaluate(const WindowedAggregator &aggregator) const;
+
+    /** JSON report of one evaluation pass. */
+    static std::string report_json(const std::vector<SloResult> &results);
+
+  private:
+    std::vector<SloTarget> targets_;
+};
+
+}  // namespace fidr::obs

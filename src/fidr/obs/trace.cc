@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <string>
 
 #include "fidr/obs/json.h"
 
@@ -178,11 +180,46 @@ std::string
 Tracer::chrome_json_from(
     const std::vector<std::pair<std::size_t, TraceRecord>> &records)
 {
+    // Flow planning: every begin record that carries a request trace_id
+    // becomes a hop on that request's flow chain.  The first hop emits
+    // a flow-start ("s"), intermediate hops a step ("t"), the last hop
+    // the finish ("f") — Perfetto binds each to the slice opening at
+    // the same (tid, ts), drawing the cross-thread request arrows.
+    struct FlowHop {
+        std::size_t record_index;
+        std::uint64_t wall_ts;
+    };
+    std::map<std::uint64_t, std::vector<FlowHop>> flows;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const TraceRecord &rec = records[i].second;
+        if (rec.trace_id != 0 &&
+            static_cast<TraceFlag>(rec.flags) == TraceFlag::kBegin)
+            flows[rec.trace_id].push_back({i, rec.wall_ts});
+    }
+    // record index -> flow phase ('s'/'t'/'f'); single-hop chains have
+    // nothing to connect and emit no flow events.
+    std::map<std::size_t, char> flow_phase;
+    for (auto &[trace_id, hops] : flows) {
+        if (hops.size() < 2)
+            continue;
+        std::stable_sort(hops.begin(), hops.end(),
+                         [](const FlowHop &a, const FlowHop &b) {
+                             return a.wall_ts < b.wall_ts;
+                         });
+        for (std::size_t h = 0; h < hops.size(); ++h) {
+            const char phase = h == 0                ? 's'
+                               : h + 1 == hops.size() ? 'f'
+                                                      : 't';
+            flow_phase[hops[h].record_index] = phase;
+        }
+    }
+
     JsonWriter json;
     json.begin_object();
     json.key("displayTimeUnit").value("ns");
     json.key("traceEvents").begin_array();
-    for (const auto &[ring, rec] : records) {
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto &[ring, rec] = records[i];
         const auto flag = static_cast<TraceFlag>(rec.flags);
         const char *phase = flag == TraceFlag::kBegin ? "B"
                             : flag == TraceFlag::kEnd ? "E"
@@ -202,9 +239,28 @@ Tracer::chrome_json_from(
         json.key("object_id").value(rec.object_id);
         json.key("arg").value(rec.arg);
         json.key("lane").value(static_cast<std::uint64_t>(rec.lane));
+        if (rec.trace_id != 0)
+            json.key("trace_id").value(rec.trace_id);
         if (rec.sim_ts != 0)
             json.key("sim_ts_ns").value(rec.sim_ts);
         json.end_object();
+        json.end_object();
+
+        const auto hop = flow_phase.find(i);
+        if (hop == flow_phase.end())
+            continue;
+        json.begin_object();
+        json.key("name").value("request");
+        json.key("cat").value("fidr.flow");
+        json.key("ph").value(std::string(1, hop->second));
+        json.key("id").value(rec.trace_id);
+        json.key("ts").value(static_cast<double>(rec.wall_ts) / 1000.0);
+        json.key("pid").value(std::uint64_t{1});
+        json.key("tid").value(static_cast<std::uint64_t>(ring));
+        if (hop->second == 'f') {
+            // Bind the finish to the enclosing slice too, not the next.
+            json.key("bp").value("e");
+        }
         json.end_object();
     }
     json.end_array();
@@ -220,10 +276,15 @@ Tracer::export_chrome_json() const
 
 namespace {
 
-/** Binary dump header: magic + version + record size + count. */
+/**
+ * Binary dump header: magic + version + record size + count.
+ * Version history: v1 = 40-byte records (no trace_id), v2 = 48-byte
+ * records with the request trace_id.  Readers reject other versions
+ * with an explicit message rather than misparsing the rows.
+ */
 struct DumpHeader {
     char magic[8] = {'F', 'I', 'D', 'R', 'T', 'R', 'C', '\0'};
-    std::uint32_t version = 1;
+    std::uint32_t version = 2;
     std::uint32_t record_size = sizeof(TraceRecord);
     std::uint64_t record_count = 0;
 };
@@ -264,10 +325,24 @@ Tracer::load_binary(const std::string &path)
         std::fclose(f);
         return Status::corruption("truncated trace header");
     }
-    if (std::memcmp(header.magic, "FIDRTRC", 8) != 0 ||
-        header.record_size != sizeof(TraceRecord)) {
+    if (std::memcmp(header.magic, "FIDRTRC", 8) != 0) {
         std::fclose(f);
         return Status::corruption("not a FIDR trace dump");
+    }
+    if (header.version != DumpHeader{}.version) {
+        std::fclose(f);
+        return Status::corruption(
+            "unsupported trace dump version " +
+            std::to_string(header.version) + " (this tool reads version " +
+            std::to_string(DumpHeader{}.version) +
+            "; re-capture the trace with a matching build)");
+    }
+    if (header.record_size != sizeof(TraceRecord)) {
+        std::fclose(f);
+        return Status::corruption(
+            "trace dump record size " +
+            std::to_string(header.record_size) + " does not match this " +
+            "build's " + std::to_string(sizeof(TraceRecord)) + " bytes");
     }
     std::vector<std::pair<std::size_t, TraceRecord>> records;
     records.reserve(header.record_count);

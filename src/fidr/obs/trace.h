@@ -11,11 +11,16 @@
  *
  * Record layout (fixed size, ISSUE taxonomy):
  *   {tpoint_id, flags(begin/end/instant), lane, object_id, sim_ts,
- *    wall_ts, arg}
+ *    wall_ts, arg, trace_id}
  *
  * `object_id` threads one request through layers: write-flow spans
  * carry the batch sequence number, chunk-scoped points carry the first
  * 8 bytes of the chunk digest, read-flow spans carry the LBA.
+ * `trace_id` is the request-scoped causal id (obs/request.h): record()
+ * stamps the calling thread's current ScopedRequest, so every record a
+ * worker emits while serving a batch or a read carries that request's
+ * id — the Chrome export turns same-id records on different rings into
+ * flow arrows, and `fidr_obs_report attribute` groups spans by it.
  *
  * Compile-time kill switch: configure with -DFIDR_TRACE=OFF and every
  * FIDR_TPOINT / FIDR_TRACE_SPAN site compiles to nothing — the binary
@@ -41,6 +46,7 @@
 #include <vector>
 
 #include "fidr/common/status.h"
+#include "fidr/obs/request.h"
 
 namespace fidr::obs {
 
@@ -118,8 +124,9 @@ struct TraceRecord {
     std::uint64_t sim_ts = 0;   ///< Simulated ns (0 where untracked).
     std::uint64_t wall_ts = 0;  ///< Wall ns since tracer epoch.
     std::uint64_t arg = 0;      ///< Bytes, counts, verdicts, ...
+    std::uint64_t trace_id = 0; ///< Request causal id (0 = unscoped).
 };
-static_assert(sizeof(TraceRecord) == 40, "keep trace records compact");
+static_assert(sizeof(TraceRecord) == 48, "keep trace records compact");
 
 /** Per-thread ring of trace records (single writer, wrap-on-full). */
 class TraceRing {
@@ -129,16 +136,23 @@ class TraceRing {
     void
     push(const TraceRecord &record)
     {
+        // Single-writer ring, and the threading contract (see file
+        // header) says readers only run while the writer is quiescent —
+        // there is no concurrent reader for a release store to pair
+        // with.  Cross-thread visibility rides on whatever join /
+        // mutex the caller used to reach quiescence, so plain relaxed
+        // stores are enough; the atomic only keeps enabled-racing
+        // pushes from being UB.
         const std::uint64_t head = head_.load(std::memory_order_relaxed);
         slots_[head % slots_.size()] = record;
-        head_.store(head + 1, std::memory_order_release);
+        head_.store(head + 1, std::memory_order_relaxed);
     }
 
     std::size_t capacity() const { return slots_.size(); }
 
     /** Records ever pushed (>= capacity() means the ring wrapped). */
     std::uint64_t pushed() const
-    { return head_.load(std::memory_order_acquire); }
+    { return head_.load(std::memory_order_relaxed); }
 
     /** Records currently held (min(pushed, capacity)). */
     std::uint64_t
@@ -154,7 +168,7 @@ class TraceRing {
     void
     clear()
     {
-        head_.store(0, std::memory_order_release);
+        head_.store(0, std::memory_order_relaxed);
     }
 
     /** Drops all records and changes capacity.  Quiescent only. */
@@ -210,6 +224,7 @@ class Tracer {
         rec.sim_ts = sim_ts;
         rec.wall_ts = wall_now_ns();
         rec.arg = arg;
+        rec.trace_id = ScopedRequest::current_trace();
         ring->push(rec);
     }
 

@@ -161,6 +161,61 @@ TEST_F(TracerTest, BinaryDumpRoundTripsExactly)
     }
 }
 
+TEST_F(TracerTest, LoadBinaryRejectsBadDumpsWithDistinctErrors)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.enable();
+    FIDR_TPOINT(obs::Tpoint::kDma, 1, 1);
+    const std::string path = ::testing::TempDir() + "/obs_bad.bin";
+
+    // Truncated mid-record.
+    ASSERT_TRUE(tracer.dump_binary(path).is_ok());
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        const long size = std::ftell(f);
+        std::fclose(f);
+        ASSERT_EQ(truncate(path.c_str(), size - 7), 0);
+    }
+    auto short_load = obs::Tracer::load_binary(path);
+    EXPECT_FALSE(short_load.is_ok());
+    EXPECT_NE(short_load.status().to_string().find("truncated"),
+              std::string::npos);
+
+    // Wrong magic: not a FIDR dump at all.
+    ASSERT_TRUE(tracer.dump_binary(path).is_ok());
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        std::fputc('X', f);
+        std::fclose(f);
+    }
+    auto magic_load = obs::Tracer::load_binary(path);
+    EXPECT_FALSE(magic_load.is_ok());
+    EXPECT_NE(magic_load.status().to_string().find("not a FIDR"),
+              std::string::npos);
+
+    // Wrong version: a v1 capture (40-byte records, no trace_id)
+    // must name the mismatch instead of misparsing records.
+    ASSERT_TRUE(tracer.dump_binary(path).is_ok());
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 8, SEEK_SET);  // Version follows 8-byte magic.
+        const std::uint32_t old_version = 1;
+        ASSERT_EQ(std::fwrite(&old_version, sizeof(old_version), 1, f),
+                  1u);
+        std::fclose(f);
+    }
+    auto version_load = obs::Tracer::load_binary(path);
+    EXPECT_FALSE(version_load.is_ok());
+    EXPECT_NE(version_load.status().to_string().find("version 1"),
+              std::string::npos);
+
+    std::remove(path.c_str());
+}
+
 TEST_F(TracerTest, ChromeExportParsesAndNests)
 {
     obs::Tracer &tracer = obs::Tracer::instance();
@@ -220,6 +275,135 @@ TEST_F(TracerTest, WorkerThreadsGetTheirOwnRings)
     const auto records = tracer.collect();
     ASSERT_EQ(records.size(), 2u);
     EXPECT_NE(records[0].first, records[1].first);
+}
+
+// ---------------------------------------------------------------------
+// Request context + flow events (PR 7).
+
+TEST_F(TracerTest, ScopedRequestPropagatesAndRestoresOnUnwind)
+{
+    EXPECT_EQ(obs::ScopedRequest::current_trace(), 0u);
+    {
+        obs::ScopedRequest outer(41, 7);
+        EXPECT_EQ(obs::ScopedRequest::current_trace(), 41u);
+        EXPECT_EQ(obs::ScopedRequest::current_stream(), 7u);
+        {
+            obs::ScopedRequest inner(42);
+            EXPECT_EQ(obs::ScopedRequest::current_trace(), 42u);
+            EXPECT_EQ(obs::ScopedRequest::current_stream(), 0u);
+        }
+        // Nested scope restored the outer request, not zero.
+        EXPECT_EQ(obs::ScopedRequest::current_trace(), 41u);
+        EXPECT_EQ(obs::ScopedRequest::current_stream(), 7u);
+    }
+    EXPECT_EQ(obs::ScopedRequest::current_trace(), 0u);
+}
+
+TEST_F(TracerTest, RequestContextIsPerThread)
+{
+    obs::ScopedRequest main_request(100);
+    std::uint64_t seen_on_worker = ~0ull;
+    std::thread worker([&] {
+        seen_on_worker = obs::ScopedRequest::current_trace();
+    });
+    worker.join();
+    EXPECT_EQ(seen_on_worker, 0u);  // Context never leaks threads.
+    EXPECT_EQ(obs::ScopedRequest::current_trace(), 100u);
+}
+
+TEST_F(TracerTest, RecordsCarryCurrentTraceId)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.enable();
+    FIDR_TPOINT(obs::Tpoint::kWriteHash, 1, 0);  // Untagged.
+    {
+        obs::ScopedRequest request(77);
+        FIDR_TPOINT(obs::Tpoint::kWriteHash, 2, 0);
+    }
+    const auto records = tracer.collect();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].second.trace_id, 0u);
+    EXPECT_EQ(records[1].second.trace_id, 77u);
+}
+
+TEST_F(TracerTest, FlowEventsLinkRequestAcrossThreads)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.enable();
+    const std::uint64_t id = obs::RequestContext::next_id();
+    {
+        obs::ScopedRequest request(id);
+        FIDR_TRACE_SPAN(submit, obs::Tpoint::kWriteBatch, 1, 64);
+        std::thread worker([&] {
+            obs::ScopedRequest lane(id);
+            FIDR_TRACE_SPAN(hash, obs::Tpoint::kWriteHashLane, 0, 32);
+        });
+        worker.join();
+    }
+
+    Result<obs::JsonValue> doc =
+        obs::JsonValue::parse(tracer.export_chrome_json());
+    ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+    const obs::JsonValue *events = doc.value().find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    // Collect the flow chain for this id and the tagged B slices.
+    struct Hop { std::string ph; double ts; double tid; };
+    std::vector<Hop> hops;
+    std::vector<std::pair<double, double>> tagged;  // (ts, tid)
+    for (const obs::JsonValue &event : events->array) {
+        const obs::JsonValue *cat = event.find("cat");
+        if (cat != nullptr && cat->string == "fidr.flow") {
+            EXPECT_EQ(
+                static_cast<std::uint64_t>(event.find("id")->number),
+                id);
+            hops.push_back({event.find("ph")->string,
+                            event.find("ts")->number,
+                            event.find("tid")->number});
+            continue;
+        }
+        const obs::JsonValue *args = event.find("args");
+        if (event.find("ph")->string == "B" && args != nullptr &&
+            args->find("trace_id") != nullptr) {
+            EXPECT_EQ(static_cast<std::uint64_t>(
+                          args->find("trace_id")->number),
+                      id);
+            tagged.emplace_back(event.find("ts")->number,
+                                event.find("tid")->number);
+        }
+    }
+
+    // One hop per tagged B slice; phases run s, t..., f in time order;
+    // the chain visits both threads.
+    ASSERT_EQ(hops.size(), 2u);
+    ASSERT_EQ(tagged.size(), 2u);
+    EXPECT_EQ(hops.front().ph, "s");
+    EXPECT_EQ(hops.back().ph, "f");
+    EXPECT_NE(hops[0].tid, hops[1].tid);
+    // Flow events bind to their slices by matching (tid, ts).
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+        EXPECT_EQ(hops[i].ts, tagged[i].first);
+        EXPECT_EQ(hops[i].tid, tagged[i].second);
+    }
+}
+
+TEST_F(TracerTest, SingleHopRequestEmitsNoFlow)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.enable();
+    {
+        obs::ScopedRequest request(obs::RequestContext::next_id());
+        FIDR_TRACE_SPAN(span, obs::Tpoint::kWriteBatch, 1, 64);
+    }
+    Result<obs::JsonValue> doc =
+        obs::JsonValue::parse(tracer.export_chrome_json());
+    ASSERT_TRUE(doc.is_ok());
+    for (const obs::JsonValue &event :
+         doc.value().find("traceEvents")->array) {
+        const obs::JsonValue *cat = event.find("cat");
+        EXPECT_TRUE(cat == nullptr || cat->string != "fidr.flow")
+            << "a one-slice request needs no flow arrow";
+    }
 }
 
 #endif  // FIDR_TRACE_ENABLED
@@ -295,6 +479,74 @@ TEST(MetricRegistry, HistogramLogBucketsBoundRelativeError)
         EXPECT_GT(p, exact * 0.97);
         EXPECT_LT(p, exact * 1.03);
     }
+}
+
+TEST(MetricRegistry, ExemplarReservoirKeepsSlowestTaggedSamples)
+{
+    obs::Histogram hist;
+    hist.set_exemplar_capacity(3);
+    hist.record(5000, 1);
+    hist.record(9000, 2);
+    hist.record(1000, 3);
+    hist.record(7000, 4);
+    hist.record(8000, 5);
+    hist.record(100'000, 0);  // Untagged: counted, never an exemplar.
+
+    const obs::HistogramSummary s = hist.summary();
+    EXPECT_EQ(s.count, 6u);
+    ASSERT_EQ(s.exemplars.size(), 3u);
+    // Slowest-first, and the untagged 100 us sample is absent.
+    EXPECT_EQ(s.exemplars[0].latency_ns, 9000u);
+    EXPECT_EQ(s.exemplars[0].trace_id, 2u);
+    EXPECT_EQ(s.exemplars[1].latency_ns, 8000u);
+    EXPECT_EQ(s.exemplars[1].trace_id, 5u);
+    EXPECT_EQ(s.exemplars[2].latency_ns, 7000u);
+    EXPECT_EQ(s.exemplars[2].trace_id, 4u);
+}
+
+TEST(MetricRegistry, ExemplarsDisabledByDefaultAndClearedByReset)
+{
+    obs::Histogram plain;
+    plain.record(5000, 1);
+    EXPECT_TRUE(plain.summary().exemplars.empty());
+
+    obs::Histogram hist;
+    hist.set_exemplar_capacity(2);
+    hist.record(5000, 1);
+    ASSERT_EQ(hist.summary().exemplars.size(), 1u);
+    hist.reset();
+    EXPECT_TRUE(hist.summary().exemplars.empty());
+    // The admission floor reset too: a slower-than-nothing sample
+    // re-enters an empty reservoir.
+    hist.record(10, 9);
+    ASSERT_EQ(hist.summary().exemplars.size(), 1u);
+    EXPECT_EQ(hist.summary().exemplars[0].trace_id, 9u);
+}
+
+TEST(MetricRegistry, SnapshotJsonCarriesBucketsAndExemplars)
+{
+    obs::MetricRegistry registry;
+    obs::Histogram &hist = registry.histogram("lat");
+    hist.set_exemplar_capacity(2);
+    hist.record(1000, 11);
+    hist.record(2'000'000, 12);
+
+    Result<obs::JsonValue> doc =
+        obs::JsonValue::parse(registry.snapshot().to_json());
+    ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+    const obs::JsonValue *lat =
+        doc.value().find("histograms")->find("lat");
+    ASSERT_NE(lat, nullptr);
+    const obs::JsonValue *buckets = lat->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_EQ(buckets->array.size(), 2u);  // Two distinct buckets.
+    EXPECT_EQ(buckets->array[0].find("count")->as_u64(), 1u);
+    const obs::JsonValue *exemplars = lat->find("exemplars");
+    ASSERT_NE(exemplars, nullptr);
+    ASSERT_EQ(exemplars->array.size(), 2u);
+    EXPECT_EQ(exemplars->array[0].find("trace_id")->as_u64(), 12u);
+    EXPECT_EQ(exemplars->array[0].find("latency_ns")->as_u64(),
+              2'000'000u);
 }
 
 TEST(MetricRegistry, SnapshotJsonRoundTrips)

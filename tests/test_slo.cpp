@@ -1,0 +1,351 @@
+// fidr/obs/slo: windowed aggregation over cumulative snapshots and
+// burn-rate SLO evaluation — breach, no-breach, and window-wrap paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fidr/obs/metrics.h"
+#include "fidr/obs/slo.h"
+
+using namespace fidr;
+
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+/**
+ * Registry-backed snapshot source: tests drive real Histogram /
+ * Counter objects so bucket geometry matches what the aggregator
+ * diffs in production.
+ */
+struct Source {
+    obs::MetricRegistry registry;
+
+    void
+    latency(const std::string &name, SimTime ns, std::uint64_t n = 1)
+    {
+        obs::Histogram &h = registry.histogram(name);
+        for (std::uint64_t i = 0; i < n; ++i)
+            h.record(ns);
+    }
+
+    obs::ObsSnapshot snap() { return registry.snapshot(); }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// WindowedAggregator: diffing the cumulative stream.
+
+TEST(WindowedAggregator, FirstObserveOnlyBaselines)
+{
+    Source src;
+    obs::WindowedAggregator agg(4, kMs);
+    src.latency("h", 100, 10);
+    agg.observe(src.snap(), 0);
+    EXPECT_EQ(agg.windows_closed(), 0u);
+    EXPECT_TRUE(agg.windows().empty());
+}
+
+TEST(WindowedAggregator, WindowHoldsDeltasNotCumulativeValues)
+{
+    Source src;
+    obs::WindowedAggregator agg(4, kMs);
+
+    src.latency("h", 1000, 5);
+    src.registry.counter("ops").add(50);
+    agg.observe(src.snap(), 0);  // Baseline: 5 samples, 50 ops.
+
+    src.latency("h", 1000, 3);
+    src.registry.counter("ops").add(7);
+    agg.observe(src.snap(), kMs);  // Closes window 0.
+
+    ASSERT_EQ(agg.windows().size(), 1u);
+    const obs::SloWindow &w = agg.windows().front();
+    EXPECT_EQ(w.counter_deltas.at("ops"), 7u);
+    const obs::HistogramDelta &d = w.histograms.at("h");
+    EXPECT_EQ(d.count, 3u);  // Not the cumulative 8.
+    std::uint64_t bucket_total = 0;
+    for (const obs::BucketCount &b : d.buckets)
+        bucket_total += b.count;
+    EXPECT_EQ(bucket_total, 3u);
+}
+
+TEST(WindowedAggregator, WindowedPercentileIgnoresPriorWindows)
+{
+    Source src;
+    obs::WindowedAggregator agg(4, kMs);
+
+    // Window 0: slow traffic.  Window 1: fast traffic.  The second
+    // window's p99 must reflect only the fast samples — the whole
+    // point of diffing sparse buckets instead of subtracting p99s.
+    agg.observe(src.snap(), 0);
+    src.latency("h", 10'000'000, 100);
+    agg.observe(src.snap(), kMs);
+    src.latency("h", 1000, 100);
+    agg.observe(src.snap(), 2 * kMs);
+
+    ASSERT_EQ(agg.windows().size(), 2u);
+    const SimTime slow_p99 =
+        agg.windows()[0].histograms.at("h").percentile_ns(0.99);
+    const SimTime fast_p99 =
+        agg.windows()[1].histograms.at("h").percentile_ns(0.99);
+    EXPECT_GT(slow_p99, 5'000'000u);
+    EXPECT_LT(fast_p99, 5000u);
+}
+
+TEST(WindowedAggregator, RingWrapEvictsOldestKeepsIndexes)
+{
+    Source src;
+    obs::WindowedAggregator agg(/*window_count=*/3, kMs);
+    agg.observe(src.snap(), 0);
+    for (int i = 1; i <= 6; ++i) {
+        src.registry.counter("ops").add(static_cast<std::uint64_t>(i));
+        agg.observe(src.snap(), static_cast<std::uint64_t>(i) * kMs);
+    }
+    // 6 windows closed, ring keeps the newest 3.
+    EXPECT_EQ(agg.windows_closed(), 6u);
+    ASSERT_EQ(agg.windows().size(), 3u);
+    EXPECT_EQ(agg.windows()[0].index, 3u);
+    EXPECT_EQ(agg.windows()[2].index, 5u);
+    // Deltas survived the wrap: window i carried counter delta i+1.
+    EXPECT_EQ(agg.windows()[0].counter_deltas.at("ops"), 4u);
+    EXPECT_EQ(agg.windows()[2].counter_deltas.at("ops"), 6u);
+}
+
+TEST(WindowedAggregator, SlowPollSpansOneWindow)
+{
+    Source src;
+    obs::WindowedAggregator agg(4, kMs);
+    agg.observe(src.snap(), 0);
+    src.registry.counter("ops").add(9);
+    // Poll arrives late: everything since the window opened lands in
+    // the single window that closes now (spans may exceed interval).
+    agg.observe(src.snap(), 5 * kMs);
+    ASSERT_EQ(agg.windows().size(), 1u);
+    EXPECT_EQ(agg.windows()[0].counter_deltas.at("ops"), 9u);
+    EXPECT_EQ(agg.windows()[0].end_ns - agg.windows()[0].start_ns,
+              5 * kMs);
+}
+
+TEST(WindowedAggregator, ToJsonParsesAndListsWindows)
+{
+    Source src;
+    obs::WindowedAggregator agg(4, kMs);
+    agg.observe(src.snap(), 0);
+    src.latency("h", 1000, 3);
+    agg.observe(src.snap(), kMs);
+    const std::string json = agg.to_json();
+    EXPECT_NE(json.find("\"windows\""), std::string::npos);
+    EXPECT_NE(json.find("\"interval_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"h\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// SloEvaluator: burn rates.
+
+namespace {
+
+/** One closed window with `slow` of `total` samples at 10 ms, rest at
+ *  100 us, plus err/total error counters. */
+void
+feed_window(Source &src, obs::WindowedAggregator &agg,
+            std::uint64_t &clock, std::uint64_t total,
+            std::uint64_t slow, std::uint64_t errors = 0)
+{
+    src.latency("read", 100'000, total - slow);
+    if (slow > 0)
+        src.latency("read", 10'000'000, slow);
+    src.registry.counter("total").add(total);
+    if (errors > 0)
+        src.registry.counter("errors").add(errors);
+    clock += kMs;
+    agg.observe(src.snap(), clock);
+}
+
+obs::SloTarget
+latency_target()
+{
+    obs::SloTarget t;
+    t.name = "read-p99-1ms";
+    t.histogram = "read";
+    t.quantile = 0.99;      // Error budget: 1% may exceed 1 ms.
+    t.latency_ns = kMs;
+    t.eval_windows = 1;
+    return t;
+}
+
+}  // namespace
+
+TEST(SloEvaluator, NoBreachWithinBudget)
+{
+    Source src;
+    obs::WindowedAggregator agg(4, kMs);
+    std::uint64_t clock = 0;
+    agg.observe(src.snap(), clock);
+    // 1000 samples, 5 slow: bad fraction 0.5% of a 1% budget,
+    // burn 0.5 < 1.0.
+    feed_window(src, agg, clock, 1000, 5);
+
+    obs::SloEvaluator eval;
+    eval.add_target(latency_target());
+    const std::vector<obs::SloResult> results = eval.evaluate(agg);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].breached);
+    EXPECT_EQ(results[0].samples, 1000u);
+    EXPECT_EQ(results[0].slow_samples, 5u);
+    EXPECT_NEAR(results[0].latency_burn, 0.5, 0.01);
+}
+
+TEST(SloEvaluator, BreachWhenBudgetBurnsTooFast)
+{
+    Source src;
+    obs::WindowedAggregator agg(4, kMs);
+    std::uint64_t clock = 0;
+    agg.observe(src.snap(), clock);
+    // 1000 samples, 50 slow: 5% bad of a 1% budget, burn 5.0.
+    feed_window(src, agg, clock, 1000, 50);
+
+    obs::SloEvaluator eval;
+    eval.add_target(latency_target());
+    const std::vector<obs::SloResult> results = eval.evaluate(agg);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].breached);
+    EXPECT_NEAR(results[0].latency_burn, 5.0, 0.1);
+    EXPECT_GT(results[0].observed_quantile_ns, kMs);
+}
+
+TEST(SloEvaluator, LookbackAveragesAcrossWindows)
+{
+    Source src;
+    obs::WindowedAggregator agg(8, kMs);
+    std::uint64_t clock = 0;
+    agg.observe(src.snap(), clock);
+    // One bad window (burn 5) followed by a clean one; over a 2-window
+    // lookback the burn halves to 2.5 — still breached — but a
+    // burn_threshold above it rides out the spike.
+    feed_window(src, agg, clock, 1000, 50);
+    feed_window(src, agg, clock, 1000, 0);
+
+    obs::SloTarget sustained = latency_target();
+    sustained.eval_windows = 2;
+    sustained.burn_threshold = 3.0;
+    obs::SloTarget spiky = latency_target();
+    spiky.name = "spiky";
+    spiky.eval_windows = 2;  // Default threshold 1.0.
+
+    obs::SloEvaluator eval;
+    eval.add_target(sustained);
+    eval.add_target(spiky);
+    const std::vector<obs::SloResult> results = eval.evaluate(agg);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].breached);  // 2.5 < 3.0.
+    EXPECT_TRUE(results[1].breached);   // 2.5 >= 1.0.
+    EXPECT_NEAR(results[0].latency_burn, 2.5, 0.1);
+    EXPECT_EQ(results[0].windows_evaluated, 2u);
+}
+
+TEST(SloEvaluator, ErrorRateLeg)
+{
+    Source src;
+    obs::WindowedAggregator agg(4, kMs);
+    std::uint64_t clock = 0;
+    agg.observe(src.snap(), clock);
+    feed_window(src, agg, clock, 1000, 0, /*errors=*/20);  // 2% rate.
+
+    obs::SloTarget t;
+    t.name = "errors-under-1pct";
+    t.error_counter = "errors";
+    t.total_counter = "total";
+    t.max_error_rate = 0.01;
+    obs::SloTarget loose = t;
+    loose.name = "errors-under-5pct";
+    loose.max_error_rate = 0.05;
+
+    obs::SloEvaluator eval;
+    eval.add_target(t);
+    eval.add_target(loose);
+    const std::vector<obs::SloResult> results = eval.evaluate(agg);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].breached);   // Burn 2.0.
+    EXPECT_FALSE(results[1].breached);  // Burn 0.4.
+    EXPECT_EQ(results[0].errors, 20u);
+    EXPECT_EQ(results[0].total_ops, 1000u);
+    EXPECT_NEAR(results[0].error_burn, 2.0, 0.01);
+}
+
+TEST(SloEvaluator, NoWindowsMeansNoBreach)
+{
+    Source src;
+    obs::WindowedAggregator agg(4, kMs);
+    agg.observe(src.snap(), 0);  // Baseline only; nothing closed.
+    obs::SloEvaluator eval;
+    eval.add_target(latency_target());
+    const std::vector<obs::SloResult> results = eval.evaluate(agg);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].breached);
+    EXPECT_EQ(results[0].windows_evaluated, 0u);
+}
+
+TEST(SloEvaluator, EvaluatesAcrossRingWrap)
+{
+    Source src;
+    obs::WindowedAggregator agg(/*window_count=*/2, kMs);
+    std::uint64_t clock = 0;
+    agg.observe(src.snap(), clock);
+    // The bad window wraps out of the ring; only clean windows remain,
+    // so the verdict must recover to no-breach.
+    feed_window(src, agg, clock, 1000, 500);
+    feed_window(src, agg, clock, 1000, 0);
+    feed_window(src, agg, clock, 1000, 0);
+
+    obs::SloTarget t = latency_target();
+    t.eval_windows = 2;
+    obs::SloEvaluator eval;
+    eval.add_target(t);
+    const std::vector<obs::SloResult> results = eval.evaluate(agg);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].breached);
+    EXPECT_EQ(results[0].samples, 2000u);
+    EXPECT_EQ(results[0].slow_samples, 0u);
+}
+
+TEST(SloEvaluator, ReportJsonContainsVerdicts)
+{
+    Source src;
+    obs::WindowedAggregator agg(4, kMs);
+    std::uint64_t clock = 0;
+    agg.observe(src.snap(), clock);
+    feed_window(src, agg, clock, 1000, 50);
+    obs::SloEvaluator eval;
+    eval.add_target(latency_target());
+    const std::string json =
+        obs::SloEvaluator::report_json(eval.evaluate(agg));
+    EXPECT_NE(json.find("\"slo\""), std::string::npos);
+    EXPECT_NE(json.find("\"read-p99-1ms\""), std::string::npos);
+    EXPECT_NE(json.find("\"breached\": true"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// HistogramDelta helpers.
+
+TEST(HistogramDelta, PercentileAndCountAbove)
+{
+    Source src;
+    src.latency("h", 1000, 90);
+    src.latency("h", 1'000'000, 10);
+    obs::WindowedAggregator agg(2, kMs);
+    agg.observe(obs::ObsSnapshot{}, 0);  // Empty baseline.
+    agg.observe(src.snap(), kMs);
+    const obs::HistogramDelta &d =
+        agg.windows().front().histograms.at("h");
+    EXPECT_EQ(d.count, 100u);
+    EXPECT_LT(d.percentile_ns(0.5), 2000u);
+    EXPECT_GT(d.percentile_ns(0.95), 500'000u);
+    EXPECT_EQ(d.count_above_ns(10'000), 10u);
+    EXPECT_EQ(d.count_above_ns(2'000'000), 0u);
+    EXPECT_NEAR(d.mean_ns(), (90 * 1000.0 + 10 * 1e6) / 100, 2e4);
+}

@@ -15,9 +15,19 @@
  *   fidr_obs_report timeline <trace.bin>
  *       Text timeline: one line per record, begin/end pairs matched
  *       into span durations.
+ *
+ *   fidr_obs_report attribute <trace.bin> [--top N]
+ *       Critical-path attribution of the N slowest requests: groups
+ *       spans by request trace id and decomposes each request's wall
+ *       time into per-stage buckets (hash vs resolve vs DMA vs
+ *       decompress vs ...) plus "queue" for wall time no span covers.
+ *       The stage buckets sum to the wall time exactly.
+ *
+ * Exit codes: 0 success, 1 unreadable/corrupt input, 2 usage error.
  */
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -211,16 +221,218 @@ cmd_timeline(const std::string &path)
     return 0;
 }
 
+/**
+ * One matched begin/end span, tagged with the request it served.
+ * `seq` is the record's position in the dump: when two spans open at
+ * the same timestamp, the later record is the more deeply nested one.
+ */
+struct SpanInterval {
+    std::uint64_t trace_id = 0;
+    std::size_t ring = 0;
+    std::uint16_t tpoint = 0;
+    std::uint64_t begin_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::size_t seq = 0;
+};
+
+/**
+ * Matches begin/end records into intervals, per ring.  An end record
+ * closes the innermost open begin with the same tpoint + object on its
+ * ring (records within a ring are already in push order).  Unclosed
+ * begins (ring wrapped mid-span) are dropped.
+ */
+std::vector<SpanInterval>
+match_spans(
+    const std::vector<std::pair<std::size_t, fidr::obs::TraceRecord>>
+        &records)
+{
+    std::map<std::size_t,
+             std::vector<std::pair<fidr::obs::TraceRecord, std::size_t>>>
+        open;
+    std::vector<SpanInterval> out;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto &[ring, rec] = records[i];
+        const auto flag = static_cast<fidr::obs::TraceFlag>(rec.flags);
+        if (flag == fidr::obs::TraceFlag::kBegin) {
+            open[ring].emplace_back(rec, i);
+        } else if (flag == fidr::obs::TraceFlag::kEnd) {
+            auto &stack = open[ring];
+            for (std::size_t s = stack.size(); s-- > 0;) {
+                const fidr::obs::TraceRecord &begin = stack[s].first;
+                if (begin.tpoint == rec.tpoint &&
+                    begin.object_id == rec.object_id) {
+                    SpanInterval interval;
+                    interval.trace_id = begin.trace_id;
+                    interval.ring = ring;
+                    interval.tpoint = begin.tpoint;
+                    interval.begin_ns = begin.wall_ts;
+                    interval.end_ns = rec.wall_ts;
+                    interval.seq = stack[s].second;
+                    out.push_back(interval);
+                    stack.erase(stack.begin() +
+                                static_cast<std::ptrdiff_t>(s));
+                    break;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+/** Per-stage critical-path decomposition of one request. */
+struct Attribution {
+    std::uint64_t trace_id = 0;
+    std::uint64_t wall_ns = 0;
+    std::size_t spans = 0;
+    std::size_t rings = 0;
+    /** stage name -> exclusive ns; "queue" = uncovered wall time. */
+    std::map<std::string, std::uint64_t> stage_ns;
+};
+
+/**
+ * Decomposes a request's wall clock by elementary-segment sweep: the
+ * span boundaries cut [first begin, last end) into segments, and each
+ * segment is charged to the *innermost* span covering it (latest
+ * begin; record order breaks ties).  Uncovered segments are "queue" —
+ * the request existed but no stage was running it.  Every segment is
+ * charged exactly once, so the buckets sum to the wall time exactly.
+ */
+Attribution
+attribute_request(std::uint64_t trace_id,
+                  const std::vector<SpanInterval> &intervals)
+{
+    Attribution out;
+    out.trace_id = trace_id;
+    out.spans = intervals.size();
+    std::vector<std::size_t> rings;
+    std::vector<std::uint64_t> bounds;
+    for (const SpanInterval &interval : intervals) {
+        bounds.push_back(interval.begin_ns);
+        bounds.push_back(interval.end_ns);
+        rings.push_back(interval.ring);
+    }
+    std::sort(rings.begin(), rings.end());
+    out.rings = static_cast<std::size_t>(
+        std::unique(rings.begin(), rings.end()) - rings.begin());
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()),
+                 bounds.end());
+    if (bounds.size() < 2)
+        return out;
+    out.wall_ns = bounds.back() - bounds.front();
+    for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
+        const std::uint64_t seg_begin = bounds[b];
+        const std::uint64_t seg_end = bounds[b + 1];
+        const SpanInterval *innermost = nullptr;
+        for (const SpanInterval &interval : intervals) {
+            if (interval.begin_ns > seg_begin ||
+                interval.end_ns < seg_end)
+                continue;
+            if (innermost == nullptr ||
+                interval.begin_ns > innermost->begin_ns ||
+                (interval.begin_ns == innermost->begin_ns &&
+                 interval.seq > innermost->seq))
+                innermost = &interval;
+        }
+        const char *stage =
+            innermost == nullptr
+                ? "queue"
+                : fidr::obs::tpoint_name(
+                      static_cast<fidr::obs::Tpoint>(innermost->tpoint));
+        out.stage_ns[stage] += seg_end - seg_begin;
+    }
+    return out;
+}
+
 int
-usage()
+cmd_attribute(const std::string &path, std::size_t top)
+{
+    auto loaded = fidr::obs::Tracer::load_binary(path);
+    if (!loaded.is_ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     loaded.status().message().c_str());
+        return 1;
+    }
+    const std::vector<SpanInterval> spans = match_spans(loaded.value());
+    std::map<std::uint64_t, std::vector<SpanInterval>> by_request;
+    for (const SpanInterval &span : spans) {
+        if (span.trace_id != 0)
+            by_request[span.trace_id].push_back(span);
+    }
+    if (by_request.empty()) {
+        std::fprintf(stderr,
+                     "error: no request-tagged spans in %s (captured "
+                     "with FIDR_TRACE=OFF, or tracing disabled?)\n",
+                     path.c_str());
+        return 1;
+    }
+
+    std::vector<Attribution> requests;
+    requests.reserve(by_request.size());
+    for (const auto &[trace_id, intervals] : by_request)
+        requests.push_back(attribute_request(trace_id, intervals));
+    std::sort(requests.begin(), requests.end(),
+              [](const Attribution &a, const Attribution &b) {
+                  return a.wall_ns > b.wall_ns;
+              });
+    if (requests.size() > top)
+        requests.resize(top);
+
+    std::printf("%zu requests, slowest %zu:\n", by_request.size(),
+                requests.size());
+    for (const Attribution &req : requests) {
+        std::printf(
+            "\nrequest trace_id=%llu  wall=%.3f us  spans=%zu rings=%zu\n",
+            static_cast<unsigned long long>(req.trace_id),
+            static_cast<double>(req.wall_ns) / 1e3, req.spans,
+            req.rings);
+        // Slowest stage first; "queue" sorts with the rest.
+        std::vector<std::pair<std::string, std::uint64_t>> stages(
+            req.stage_ns.begin(), req.stage_ns.end());
+        std::sort(stages.begin(), stages.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+        std::uint64_t sum = 0;
+        for (const auto &[stage, ns] : stages) {
+            sum += ns;
+            std::printf("  %-28s %12.3f %6.1f%%\n", stage.c_str(),
+                        static_cast<double>(ns) / 1e3,
+                        req.wall_ns == 0
+                            ? 0.0
+                            : 100.0 * static_cast<double>(ns) /
+                                  static_cast<double>(req.wall_ns));
+        }
+        std::printf("  %-28s %12.3f %6.1f%%\n", "total",
+                    static_cast<double>(sum) / 1e3,
+                    req.wall_ns == 0
+                        ? 0.0
+                        : 100.0 * static_cast<double>(sum) /
+                              static_cast<double>(req.wall_ns));
+    }
+    return 0;
+}
+
+int
+usage(std::FILE *out)
 {
     std::fputs(
-        "usage:\n"
-        "  fidr_obs_report snapshot <snapshot.json>\n"
-        "  fidr_obs_report trace <trace.bin> [-o out.json]\n"
-        "  fidr_obs_report timeline <trace.bin>\n",
-        stderr);
-    return 2;
+        "usage: fidr_obs_report <command> <file> [options]\n"
+        "\n"
+        "commands:\n"
+        "  snapshot <snapshot.json>         pretty-print an ObsSnapshot\n"
+        "  trace <trace.bin> [-o out.json]  convert a binary trace dump\n"
+        "                                   to Chrome trace-event JSON\n"
+        "                                   (Perfetto / chrome://tracing)\n"
+        "  timeline <trace.bin>             per-record text timeline with\n"
+        "                                   matched span durations\n"
+        "  attribute <trace.bin> [--top N]  per-stage critical-path\n"
+        "                                   breakdown of the N slowest\n"
+        "                                   requests (default 5)\n"
+        "\n"
+        "exit codes: 0 ok, 1 unreadable or corrupt input, 2 bad usage\n",
+        out);
+    return out == stdout ? 0 : 2;
 }
 
 }  // namespace
@@ -228,21 +440,53 @@ usage()
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help")
+            return usage(stdout);
+    }
     if (argc < 3)
-        return usage();
+        return usage(stderr);
     const std::string command = argv[1];
     const std::string path = argv[2];
-    if (command == "snapshot")
+    if (command == "snapshot") {
+        if (argc != 3)
+            return usage(stderr);
         return cmd_snapshot(path);
+    }
     if (command == "trace") {
         std::string out_path;
         if (argc == 5 && std::string(argv[3]) == "-o")
             out_path = argv[4];
         else if (argc != 3)
-            return usage();
+            return usage(stderr);
         return cmd_trace(path, out_path);
     }
-    if (command == "timeline")
+    if (command == "timeline") {
+        if (argc != 3)
+            return usage(stderr);
         return cmd_timeline(path);
-    return usage();
+    }
+    if (command == "attribute") {
+        std::size_t top = 5;
+        if (argc == 5 && std::string(argv[3]) == "--top") {
+            char *end = nullptr;
+            const unsigned long parsed =
+                std::strtoul(argv[4], &end, 10);
+            if (end == nullptr || *end != '\0' || parsed == 0) {
+                std::fprintf(stderr,
+                             "error: --top expects a positive "
+                             "integer, got '%s'\n",
+                             argv[4]);
+                return 2;
+            }
+            top = parsed;
+        } else if (argc != 3) {
+            return usage(stderr);
+        }
+        return cmd_attribute(path, top);
+    }
+    std::fprintf(stderr, "error: unknown command '%s'\n",
+                 command.c_str());
+    return usage(stderr);
 }
