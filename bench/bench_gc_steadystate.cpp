@@ -1,0 +1,256 @@
+// Steady-state GC bench: write-until-churn over a deliberately small
+// container log (~3x capacity of churn) with incremental GC riding
+// every batch commit, sweeping the per-step relocation budget.  Each
+// cell reports the client's view (write latency p50/p99, writes/s —
+// GC steps run on the commit sequencer, so oversized steps surface
+// directly as tail latency) against the collector's ledger (write
+// amplification, relocated/reclaimed bytes, concurrent-overlap steps,
+// closing free-slot fraction).
+//
+// Emits BENCH_gc.json via the harness's uniform JsonReport schema.
+// `--smoke` shrinks the churn and sweep for CI and gates the
+// steady-state contract: no write ever fails on space, GC overlaps
+// in-flight batches (nonzero concurrent_steps), the log ends above
+// the reserve watermark, every surviving LBA reads back, and fsck is
+// clean.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness.h"
+#include "fidr/common/rng.h"
+#include "fidr/workload/content.h"
+
+using namespace fidr;
+
+namespace {
+
+double
+now_s()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::uint64_t
+percentile_ns(std::vector<std::uint64_t> &samples, double q)
+{
+    if (samples.empty())
+        return 0;
+    const std::size_t rank = std::min(
+        samples.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+    std::nth_element(samples.begin(), samples.begin() + rank,
+                     samples.end());
+    return samples[rank];
+}
+
+struct CellRun {
+    std::uint64_t step_budget_bytes = 0;
+    double seconds = 0;
+    double writes_per_s = 0;
+    std::uint64_t write_p50_ns = 0;
+    std::uint64_t write_p99_ns = 0;
+    double write_amp = 0;  ///< GC-relocated bytes / client stored bytes.
+    std::uint64_t gc_steps = 0;
+    std::uint64_t concurrent_steps = 0;
+    std::uint64_t relocated_bytes = 0;
+    std::uint64_t containers_reclaimed = 0;
+    std::uint64_t reclaimed_bytes = 0;
+    std::uint64_t cache_rekeys = 0;
+    double free_slot_fraction = 0;
+    double gc_pause_p99_ns = 0;
+};
+
+struct ChurnParams {
+    std::uint64_t writes = 0;
+    Lba working_set = 0;
+    double reserve_free_fraction = 0.15;
+};
+
+CellRun
+run_cell(const ChurnParams &churn, std::uint64_t step_budget_bytes)
+{
+    core::FidrConfig config;
+    config.platform = bench::eval_platform();
+    // Shrink the log so the churn below cycles it ~3x: GC either keeps
+    // up at batch granularity or the bench fails a write on space.
+    config.platform.data_ssd.capacity_bytes = 8 * kMiB;
+    config.container_bytes = 64 * 1024;
+    config.nic.hash_batch = 32;
+    config.in_flight_batches = 4;
+    config.chunk_cache_bytes = 1 * kMiB;
+    config.gc.auto_run = true;
+    config.gc.dead_fraction = 0.5;
+    config.gc.reserve_free_fraction = churn.reserve_free_fraction;
+    config.gc.step_budget_bytes = step_budget_bytes;
+    config.gc.superblock_interval = 8;
+    core::FidrSystem system(config);
+
+    // Uniform-random overwrites: sequential churn would kill whole
+    // containers in write order (pure discards, no relocation); the
+    // random order scatters chunk death so victims keep interleaved
+    // survivors and GC must actually move bytes.
+    Rng rng(0xF1D76C);
+    std::unordered_map<Lba, std::uint64_t> model;
+    std::vector<std::uint64_t> latencies;
+    latencies.reserve(churn.writes);
+    const double t0 = now_s();
+    for (std::uint64_t i = 0; i < churn.writes; ++i) {
+        const Lba lba = rng.next_below(churn.working_set);
+        const std::uint64_t content = 1 + i;  // Unique: never dedups.
+        const auto w0 = std::chrono::steady_clock::now();
+        FIDR_CHECK(system
+                       .write(lba, workload::make_chunk_content(content))
+                       .is_ok());
+        latencies.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - w0)
+                .count()));
+        model[lba] = content;
+    }
+    FIDR_CHECK(system.flush().is_ok());
+    const double seconds = now_s() - t0;
+
+    // Steady-state contract: every surviving LBA reads back its last
+    // acknowledged content after ~3x capacity of relocation churn.
+    for (const auto &[lba, content] : model) {
+        Result<Buffer> got = system.read(lba);
+        FIDR_CHECK(got.is_ok());
+        FIDR_CHECK(got.value() == workload::make_chunk_content(content));
+    }
+    Result<core::FidrSystem::FsckReport> fsck = system.fsck();
+    FIDR_CHECK(fsck.is_ok());
+    FIDR_CHECK(fsck.value().clean());
+
+    const obs::ObsSnapshot snap = system.obs_snapshot();
+    const core::GcStats &gc = system.gc_stats();
+    CellRun cell;
+    cell.step_budget_bytes = step_budget_bytes;
+    cell.seconds = seconds;
+    cell.writes_per_s = static_cast<double>(churn.writes) / seconds;
+    cell.write_p50_ns = percentile_ns(latencies, 0.50);
+    cell.write_p99_ns = percentile_ns(latencies, 0.99);
+    cell.write_amp = snap.gauges.at("gc.write_amp");
+    cell.gc_steps = gc.steps;
+    cell.concurrent_steps = gc.concurrent_steps;
+    cell.relocated_bytes = gc.relocated_bytes;
+    cell.containers_reclaimed = gc.containers_reclaimed;
+    cell.reclaimed_bytes = gc.reclaimed_bytes;
+    cell.cache_rekeys = gc.cache_rekeys;
+    cell.free_slot_fraction =
+        snap.gauges.at("container.free_slot_fraction");
+    cell.gc_pause_p99_ns = static_cast<double>(
+        system.metrics().histogram("gc.pause_ns").percentile_ns(0.99));
+    return cell;
+}
+
+void
+print_cells(const std::vector<CellRun> &cells)
+{
+    std::printf("  %10s | %9s | %8s | %9s | %9s | %9s | %6s | %10s |"
+                " %5s\n",
+                "budget", "writes/s", "p99 us", "write amp", "gc steps",
+                "overlap", "reclmd", "rekeys", "free");
+    for (const CellRun &cell : cells) {
+        std::printf("  %7.0f KB | %9.0f | %8.1f | %9.3f | %9llu |"
+                    " %9llu | %6llu | %10llu | %4.0f%%\n",
+                    static_cast<double>(cell.step_budget_bytes) / 1024,
+                    cell.writes_per_s,
+                    static_cast<double>(cell.write_p99_ns) / 1e3,
+                    cell.write_amp,
+                    static_cast<unsigned long long>(cell.gc_steps),
+                    static_cast<unsigned long long>(
+                        cell.concurrent_steps),
+                    static_cast<unsigned long long>(
+                        cell.containers_reclaimed),
+                    static_cast<unsigned long long>(cell.cache_rekeys),
+                    cell.free_slot_fraction * 100.0);
+    }
+    std::printf("\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    ChurnParams churn;
+    churn.writes = smoke ? 6'000 : 24'000;
+    churn.working_set = 480;
+    const std::vector<std::uint64_t> budget_sweep =
+        smoke ? std::vector<std::uint64_t>{32 * 1024, 256 * 1024}
+              : std::vector<std::uint64_t>{16 * 1024, 64 * 1024,
+                                           256 * 1024, 0};
+
+    bench::print_header(
+        "Steady-state incremental GC under churn",
+        "append-only container log; write-amp vs step budget");
+    std::printf("%llu overwrites over %llu LBAs, 8 MiB/SSD log%s\n\n",
+                static_cast<unsigned long long>(churn.writes),
+                static_cast<unsigned long long>(churn.working_set),
+                smoke ? " (smoke)" : "");
+
+    bench::JsonReport report("gc_steadystate");
+    report.config("writes", churn.writes)
+        .config("working_set", static_cast<std::uint64_t>(churn.working_set))
+        .config("reserve_free_fraction", churn.reserve_free_fraction)
+        .config("smoke", smoke)
+        .config("chunk_bytes", static_cast<std::uint64_t>(kChunkSize));
+
+    std::vector<CellRun> cells;
+    for (const std::uint64_t budget : budget_sweep)
+        cells.push_back(run_cell(churn, budget));
+    print_cells(cells);
+
+    // Steady-state gates, every run (run_cell already gated per-write
+    // success, read-back and fsck): GC must actually collect, must
+    // overlap the write plane, and must hold the reserve watermark.
+    for (const CellRun &cell : cells) {
+        FIDR_CHECK(cell.gc_steps > 0);
+        FIDR_CHECK(cell.concurrent_steps > 0);
+        FIDR_CHECK(cell.containers_reclaimed > 0);
+        FIDR_CHECK(cell.relocated_bytes > 0);
+        FIDR_CHECK(cell.write_amp > 0.0);
+        FIDR_CHECK(cell.free_slot_fraction >
+                   churn.reserve_free_fraction);
+    }
+
+    obs::JsonWriter &json = report.begin_entry("gc_budget_sweep");
+    json.kv("workload", "uniform churn");
+    json.key("runs").begin_array();
+    for (const CellRun &cell : cells) {
+        json.begin_object();
+        json.kv("step_budget_bytes", cell.step_budget_bytes);
+        json.kv("seconds", cell.seconds);
+        json.kv("writes_per_s", cell.writes_per_s);
+        json.kv("write_p50_ns", cell.write_p50_ns);
+        json.kv("write_p99_ns", cell.write_p99_ns);
+        json.kv("write_amp", cell.write_amp);
+        json.kv("gc_steps", cell.gc_steps);
+        json.kv("concurrent_steps", cell.concurrent_steps);
+        json.kv("relocated_bytes", cell.relocated_bytes);
+        json.kv("containers_reclaimed", cell.containers_reclaimed);
+        json.kv("reclaimed_bytes", cell.reclaimed_bytes);
+        json.kv("cache_rekeys", cell.cache_rekeys);
+        json.kv("free_slot_fraction", cell.free_slot_fraction);
+        json.kv("gc_pause_p99_ns", cell.gc_pause_p99_ns);
+        json.end_object();
+    }
+    json.end_array();
+    report.end_entry();
+    FIDR_CHECK(report.write_file("BENCH_gc.json").is_ok());
+    return 0;
+}

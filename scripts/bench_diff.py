@@ -51,7 +51,12 @@ def identity(entry):
                    "cache_hits", "cache_hit_rate", "ssd_fetches",
                    "hash_busy_s", "execute_busy_s", "submit_stall_s",
                    "overlap_s", "overlap_ratio", "batches", "stalls",
-                   "queue_depth_p95", "writes", "reads"):
+                   "queue_depth_p95", "writes", "reads",
+                   "write_p50_ns", "write_p99_ns", "write_amp",
+                   "gc_steps", "concurrent_steps", "relocated_bytes",
+                   "containers_reclaimed", "reclaimed_bytes",
+                   "cache_rekeys", "free_slot_fraction",
+                   "gc_pause_p99_ns"):
             continue
         if isinstance(value, (str, int, float, bool)):
             parts.append((key, value))

@@ -23,12 +23,15 @@
 #      lane/cache-invariant payloads (capacity 0 = cache off is the
 #      equivalence baseline), a nonzero Zipfian chunk-cache hit rate,
 #      and fewer data-SSD fetch DMAs with the cache on;
-#   8. SIMD dispatch: the full suite re-run with FIDR_SIMD=scalar
+#   8. GC steady-state smoke: bench_gc_steadystate --smoke gates on
+#      churn never failing a write, GC overlapping in-flight batches,
+#      the reserve watermark holding, and a clean fsck;
+#   9. SIMD dispatch: the full suite re-run with FIDR_SIMD=scalar
 #      (every result must survive on hosts without vector kernels),
 #      and the cross-target boundary/digest fuzz suite under
 #      ASan+UBSan so lane arithmetic in the new kernels is checked
 #      for UB, not just for identical output;
-#   9. bench regression diff (non-fatal): any freshly produced
+#  10. bench regression diff (non-fatal): any freshly produced
 #      BENCH_*.json in the build tree is compared against the
 #      committed baseline and >15% throughput drops are reported.
 #      Warn-only — bench timings on shared hosts are noisy; rerun the
@@ -68,7 +71,7 @@ cmake -B "$TSAN_DIR" -S . -DFIDR_SANITIZE=thread \
     -DFIDR_BUILD_TOOLS=OFF
 cmake --build "$TSAN_DIR" -j "$JOBS" \
     --target test_thread_pool test_parallel_determinism test_obs \
-    test_pipeline_determinism test_read_plane
+    test_pipeline_determinism test_read_plane test_gc
 "$TSAN_DIR"/tests/test_thread_pool
 "$TSAN_DIR"/tests/test_parallel_determinism
 "$TSAN_DIR"/tests/test_obs
@@ -78,6 +81,9 @@ cmake --build "$TSAN_DIR" -j "$JOBS" \
 # Read-plane fan-out: concurrent fetch+decompress lanes against the
 # sharded chunk cache and atomic SSD read counters, raced by TSan.
 "$TSAN_DIR"/tests/test_read_plane
+# Incremental GC on the commit sequencer raced against in-flight write
+# batches and concurrent read lanes (relocation, cache rekey, fsck).
+"$TSAN_DIR"/tests/test_gc
 
 echo "== tier-1: fault injection + crash sweep under ASan/UBSan =="
 cmake -B "$ASAN_DIR" -S . -DFIDR_SANITIZE=address \
@@ -85,7 +91,7 @@ cmake -B "$ASAN_DIR" -S . -DFIDR_SANITIZE=address \
     -DFIDR_BUILD_TOOLS=OFF
 cmake --build "$ASAN_DIR" -j "$JOBS" \
     --target test_fault test_crash_sweep test_journal test_hwtree \
-    test_pipeline_determinism
+    test_pipeline_determinism test_gc
 ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" -L 'fault|crash'
 
 echo "== tier-1: SIMD kernels under ASan/UBSan (cross-target fuzz) =="
@@ -167,6 +173,14 @@ echo "== tier-1: read-plane smoke (lanes x cache sweep) =="
 # fetch/hit counts lane-invariant, and on the Zipfian hot set a
 # nonzero hit rate with strictly fewer data-SSD fetches than cache-off.
 (cd "$BUILD_DIR"/bench && ./bench_read_throughput --smoke)
+
+echo "== tier-1: GC steady-state smoke (churn vs reserve watermark) =="
+# bench_gc_steadystate asserts its own gates: every write succeeds
+# under ~3x capacity of churn (GC never lets the log fill), GC steps
+# overlap in-flight batches (nonzero concurrent_steps), the log ends
+# above the reserve watermark, every surviving LBA reads back its last
+# acknowledged content, and fsck is clean in every cell.
+(cd "$BUILD_DIR"/bench && ./bench_gc_steadystate --smoke)
 
 echo "== tier-1: bench regression diff vs committed baselines (non-fatal) =="
 # Compares any BENCH_*.json the benches dropped in the build tree

@@ -78,6 +78,31 @@ ChunkReadCache::invalidate(const ChunkKey &key)
     ++shard.stats.invalidations;
 }
 
+bool
+ChunkReadCache::rekey(const ChunkKey &from, const ChunkKey &to)
+{
+    if (from == to)
+        return false;
+    Buffer payload;
+    {
+        Shard &shard = shard_for(from);
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.index.find(from);
+        if (it == shard.index.end())
+            return false;
+        payload = std::move(it->second->payload);
+        shard.used_bytes -= payload.size();
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+        // The old physical location is gone whatever happens next, so
+        // this is an invalidation first and a move second.
+        ++shard.stats.invalidations;
+        ++shard.stats.rekeys;
+    }
+    insert(to, payload);
+    return true;
+}
+
 void
 ChunkReadCache::invalidate_container(std::uint64_t container_id)
 {
@@ -121,6 +146,7 @@ ChunkReadCache::stats() const
         out.insertions += shard->stats.insertions;
         out.evictions += shard->stats.evictions;
         out.invalidations += shard->stats.invalidations;
+        out.rekeys += shard->stats.rekeys;
     }
     return out;
 }

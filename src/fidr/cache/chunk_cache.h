@@ -75,6 +75,9 @@ struct ChunkCacheStats {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
     std::uint64_t invalidations = 0;
+    /** Entries moved to a new key by GC relocation (each also counts
+     *  one invalidation of the old key). */
+    std::uint64_t rekeys = 0;
 
     double
     hit_rate() const
@@ -114,6 +117,15 @@ class ChunkReadCache {
 
     /** Drops one entry if resident. */
     void invalidate(const ChunkKey &key);
+
+    /**
+     * Moves a resident entry from `from` to `to` (GC relocated the
+     * chunk; its decompressed image is unchanged).  The old key is
+     * invalidated either way; a resident payload re-enters under the
+     * new key with fresh recency instead of being refetched on the
+     * next read.  Returns true when an entry actually moved.
+     */
+    bool rekey(const ChunkKey &from, const ChunkKey &to);
 
     /** Drops every entry of `container_id` (compaction discard). */
     void invalidate_container(std::uint64_t container_id);

@@ -11,8 +11,10 @@ FidrSystem::FidrSystem(const FidrConfig &config)
     : config_(config),
       platform_(config.platform),
       nic_(config.nic),
-      containers_(platform_.data_ssds(), config.container_bytes),
-      compressor_(LzLevel::kFast)
+      containers_(platform_.data_ssds(), config.container_bytes,
+                  config.gc.superblock_interval),
+      compressor_(LzLevel::kFast),
+      gc_scheduler_(config.gc)
 {
     const std::size_t compress_lanes =
         config_.compress_lanes == 0 ? ThreadPool::hardware_lanes()
@@ -67,6 +69,9 @@ FidrSystem::FidrSystem(const FidrConfig &config)
     hist_.read_decompress = &metrics_.histogram("read.decompress");
     hist_.read_return = &metrics_.histogram("read.nic_return");
     read_ssd_fetches_ = &metrics_.counter("read.ssd_fetches");
+    // GC pause cost per step, visible from the first snapshot even
+    // before any step runs (eager creation, like the stage set).
+    gc_pause_ = &metrics_.histogram("gc.pause_ns");
 
     // Stage-occupancy histograms exist at every depth so a depth sweep
     // compares like for like (aggregate busy > wall-clock shows real
@@ -420,12 +425,22 @@ FidrSystem::stage_resolve(const nic::SealedBatch &batch, BatchPlan &plan)
 
         if (lookup.verdict == ChunkVerdict::kDuplicate &&
             lookup.pbn < batch_first_pbn &&
-            !lba_table_.location_of(lookup.pbn)) {
+            (lba_table_.refcount(lookup.pbn) == 0 ||
+             !lba_table_.location_of(lookup.pbn))) {
             // Dangling Hash-PBN entry: its bucket reached the table
             // SSD before a crash, but the chunk's data never made
             // it into a container (or the PBN was since reclaimed
-            // and the removal failed).  Re-point the digest at a
-            // fresh PBN and store the chunk as unique.
+            // and the removal failed).  A refcount-0 PBN that still
+            // has a location is a retirement a journal fault
+            // deferred: mapping new LBAs to it would revive a chunk
+            // the space ledger (and, post-recovery, GC) already
+            // counts dead, so finish the retirement instead — this
+            // is the retry the degraded path promises.  Either way,
+            // re-point the digest at a fresh PBN and store the
+            // chunk as unique.
+            if (lba_table_.refcount(lookup.pbn) == 0 &&
+                lba_table_.location_of(lookup.pbn))
+                retire_if_dead(lookup.pbn);
             Result<DedupLookup> removed = dedup_->remove(digest);
             if (!removed.is_ok())
                 return removed.status();
@@ -688,6 +703,12 @@ FidrSystem::execute_batch(nic::SealedBatch &batch)
         stage_commit(batch, plan);
         hist_.batch->record(batch_timer.elapsed_ns(),
                             obs::ScopedRequest::current_trace());
+        // Incremental GC rides the commit sequencer: one budgeted step
+        // after each committed batch, so reclamation interleaves with
+        // the write plane at batch granularity instead of stopping the
+        // world.  Step errors never fail the (already committed) batch.
+        if (config_.gc.auto_run)
+            run_auto_gc();
     }
     pipe_execute_busy_->record(batch_timer.elapsed_ns());
     return status;
@@ -740,9 +761,11 @@ FidrSystem::scrub()
     ScrubReport report;
     for (const auto &[container, space] : space_.containers()) {
         for (const Pbn pbn : space_.live_pbns(container)) {
+            // Chunks adopted by crash recovery carry no recorded
+            // digest (the ledger is rebuilt from the LBA-PBA table);
+            // scrub then recomputes and checks only self-consistency.
             const auto digest = space_.digest_of(pbn);
             const auto location = lba_table_.location_of(pbn);
-            FIDR_CHECK(digest.has_value());
             if (!location) {
                 ++report.mapping_errors;
                 continue;
@@ -754,14 +777,18 @@ FidrSystem::scrub()
             }
             Result<Buffer> raw = decomp_.decompress(compressed.value());
             ++report.chunks_verified;
-            if (!raw.is_ok() ||
-                Sha256::hash(raw.value()) != *digest) {
+            if (!raw.is_ok()) {
                 ++report.digest_mismatches;
                 continue;
             }
-            // The Hash-PBN table must still resolve this digest to
+            const Digest computed = Sha256::hash(raw.value());
+            if (digest && computed != *digest) {
+                ++report.digest_mismatches;
+                continue;
+            }
+            // The Hash-PBN table must still resolve this content to
             // this physical block.
-            Result<DedupLookup> looked = dedup_->lookup(*digest);
+            Result<DedupLookup> looked = dedup_->lookup(computed);
             if (!looked.is_ok())
                 return looked.status();
             if (looked.value().verdict != ChunkVerdict::kDuplicate ||
@@ -855,6 +882,52 @@ FidrSystem::simulate_crash_and_recover()
     if (!records.is_ok())
         return records.status();
     tables::MetadataJournal::apply(records.value(), lba_table_);
+
+    // Container log: rebuild the directory from the on-device layout
+    // (superblock + slot-header scan) instead of trusting the
+    // pre-crash in-memory maps.  The open container's buffer is
+    // battery-backed engine memory and survives in place.
+    const Status log = containers_.recover();
+    if (!log.is_ok())
+        return log;
+
+    // Rebuild the live/dead space ledger from the recovered mapping
+    // table.  Digests did not survive (they live in Hash-PBN cache
+    // lines that died with the host), so records are adopted
+    // digest-less; on_dead then skips the dedup removal and the
+    // dangling entry is repaired lazily at dedup-resolve time.
+    space_ = SpaceTracker();
+    std::vector<Pbn> dead;
+    lba_table_.for_each_pbn(
+        [&](Pbn pbn, std::uint32_t refcount,
+            const std::optional<tables::ChunkLocation> &location) {
+            if (!location)
+                return;
+            space_.on_store(pbn, std::nullopt, *location);
+            if (refcount == 0)
+                dead.push_back(pbn);  // Stored, no longer referenced.
+        });
+    for (const Pbn pbn : dead)
+        (void)space_.on_dead(pbn);
+    // Payload whose PBNs were fully retired before the crash (their
+    // kRetirePbn records replayed) is dead weight the table no longer
+    // names: seed the gap between each container's sealed payload and
+    // the bytes the rebuilt ledger accounts, so GC still sees it.
+    for (std::uint64_t id = 0; id < containers_.containers(); ++id) {
+        const auto info = containers_.info_of(id);
+        if (!info || info->discarded)
+            continue;
+        const auto &ledger = space_.containers();
+        const auto it = ledger.find(id);
+        const std::uint64_t accounted =
+            it == ledger.end()
+                ? 0
+                : it->second.live_bytes + it->second.dead_bytes;
+        if (info->payload_bytes > accounted)
+            space_.seed_dead(id, info->payload_bytes - accounted);
+    }
+    // Any in-progress evacuation restarts from scratch.
+    gc_victim_.reset();
     return Status::ok();
 }
 
@@ -867,64 +940,248 @@ FidrSystem::validate() const
     return table_cache_->validate();
 }
 
+Status
+FidrSystem::gc_relocate(Pbn pbn)
+{
+    FIDR_FAULT_RETURN_IF(fault::Site::kGcRelocate);
+    const auto location = lba_table_.location_of(pbn);
+    if (!location)
+        return Status::internal("GC: live PBN without a location");
+    const tables::ChunkLocation old_loc = *location;
+    Result<Buffer> data = containers_.read(old_loc);
+    if (!data.is_ok())
+        return data.status();
+
+    // Relocation rides the normal write billing path: the Compression
+    // Engine pulls the survivor from the old container's SSD (with
+    // degraded-mode retry) before repacking it into the open one, and
+    // the eventual seal is billed by bill_container_seals below.
+    const Status pulled = dma_checked(
+        platform_.data_ssd_dev(
+            containers_.ssd_index_of(old_loc.container_id)),
+        platform_.compression_engine(), data.value().size(),
+        memtag::kDataSsd);
+    if (!pulled.is_ok())
+        return pulled;
+    Result<tables::ChunkLocation> placed = containers_.append(data.value());
+    if (!placed.is_ok())
+        return placed.status();
+
+    // Journal before the DRAM update, exactly like stage_store: a
+    // crash between the two replays the new location (or never saw
+    // it), and either copy is durable — the new one in battery-backed
+    // open-buffer memory, the old one in a slot not yet trimmed.
+    if (journal_) {
+        tables::JournalRecord rec;
+        rec.op = tables::JournalOp::kSetLocation;
+        rec.pbn = pbn;
+        rec.location = placed.value();
+        const Status logged = journal_append(rec);
+        if (!logged.is_ok())
+            return logged;
+    }
+    const std::optional<Digest> digest = space_.digest_of(pbn);
+    lba_table_.set_location(pbn, placed.value());
+    space_.on_store(pbn, digest, placed.value());
+
+    // The PBN kept its identity but the physical key moved: re-key the
+    // cached decompressed image instead of dropping the whole
+    // container's worth of cache (the compact()-era behaviour, which
+    // made every GC pass a read-latency cliff).
+    if (chunk_cache_ &&
+        chunk_cache_->rekey(
+            {old_loc.container_id, old_loc.offset_units},
+            {placed.value().container_id, placed.value().offset_units})) {
+        ++gc_stats_.cache_rekeys;
+    }
+    const Status billed = bill_container_seals();
+    if (!billed.is_ok())
+        return billed;
+    ++gc_stats_.relocated_chunks;
+    gc_stats_.relocated_bytes += data.value().size();
+    FIDR_TPOINT(obs::Tpoint::kGcRelocate, pbn, data.value().size());
+    return Status::ok();
+}
+
+Status
+FidrSystem::gc_step_impl(const GcScheduler &sched, std::uint64_t budget)
+{
+    // Keep evacuating the current victim across steps; forget it if a
+    // crash/recovery or a completed discard invalidated it.
+    if (gc_victim_) {
+        const auto info = containers_.info_of(*gc_victim_);
+        if (!info || info->discarded || !info->sealed)
+            gc_victim_.reset();
+    }
+    if (!gc_victim_) {
+        gc_victim_ = sched.select_victim(
+            space_, containers_.free_slot_fraction(),
+            [this](std::uint64_t id) {
+                const auto info = containers_.info_of(id);
+                return info && info->sealed && !info->discarded;
+            });
+    }
+    if (!gc_victim_) {
+        ++gc_stats_.idle_steps;
+        return Status::ok();
+    }
+    const std::uint64_t victim = *gc_victim_;
+    ++gc_stats_.steps;
+    // Concurrency witness: other write batches in flight while this
+    // step runs on the commit sequencer (in_flight counts this batch).
+    if (pipeline_ && pipeline_->in_flight() > 1)
+        ++gc_stats_.concurrent_steps;
+
+    const obs::StageTimer timer;
+    FIDR_TRACE_SPAN(span, obs::Tpoint::kGcStep, victim, budget);
+    Status status = Status::ok();
+    bool evacuated = true;
+    const std::uint64_t start_bytes = gc_stats_.relocated_bytes;
+    for (const Pbn pbn : space_.live_pbns(victim)) {
+        if (budget != 0 &&
+            gc_stats_.relocated_bytes - start_bytes >= budget) {
+            evacuated = false;  // Budget spent; resume next step.
+            break;
+        }
+        status = gc_relocate(pbn);
+        if (!status.is_ok())
+            break;
+    }
+    if (status.is_ok() && evacuated) {
+        FIDR_CHECK(space_.container_live_bytes(victim) == 0);
+        Result<std::uint64_t> released = containers_.discard(victim);
+        if (released.is_ok()) {
+            space_.release_container(victim);
+            // Backstop for images cached for chunks that died while
+            // cached: survivors were re-keyed out one by one, so this
+            // only sweeps entries already semantically dead.
+            if (chunk_cache_)
+                chunk_cache_->invalidate_container(victim);
+            ++gc_stats_.containers_reclaimed;
+            gc_stats_.reclaimed_bytes += released.value();
+            gc_victim_.reset();
+        } else {
+            status = released.status();
+        }
+    }
+    gc_pause_->record(timer.elapsed_ns());
+    return status;
+}
+
+Status
+FidrSystem::gc_step()
+{
+    return gc_step_impl(gc_scheduler_, config_.gc.step_budget_bytes);
+}
+
+void
+FidrSystem::run_auto_gc()
+{
+    // One budgeted step per committed batch in steady state.  At or
+    // below the reserve watermark, keep stepping (bounded, so one
+    // commit can never stall indefinitely) until the log climbs back
+    // above it or nothing is left to collect.  Errors are absorbed
+    // into failed_steps: the batch this rides on already committed.
+    constexpr int kMaxStepsPerCommit = 64;
+    for (int i = 0; i < kMaxStepsPerCommit; ++i) {
+        const std::uint64_t idle_before = gc_stats_.idle_steps;
+        const Status status =
+            gc_step_impl(gc_scheduler_, config_.gc.step_budget_bytes);
+        if (!status.is_ok()) {
+            ++gc_stats_.failed_steps;
+            return;
+        }
+        if (gc_stats_.idle_steps != idle_before)
+            return;  // Nothing eligible.
+        if (!gc_scheduler_.under_pressure(
+                containers_.free_slot_fraction()))
+            return;
+    }
+}
+
 Result<std::uint64_t>
-FidrSystem::compact(double min_dead_fraction)
+FidrSystem::run_gc(double min_dead_fraction)
 {
     const Status drained = drain_pipeline();
     if (!drained.is_ok())
         return drained;
-    std::uint64_t reclaimed = 0;
-    for (const std::uint64_t container :
-         space_.candidates(min_dead_fraction)) {
-        if (!containers_.sealed(container))
-            continue;  // The open container compacts on its own seal.
-
-        // Move the survivors: Compression Engine pulls them from the
-        // old container and repacks them into the open one, P2P.
-        for (const Pbn pbn : space_.live_pbns(container)) {
-            const auto location = lba_table_.location_of(pbn);
-            const auto digest = space_.digest_of(pbn);
-            FIDR_CHECK(location.has_value() && digest.has_value());
-            Result<Buffer> data = containers_.read(*location);
-            if (!data.is_ok())
-                return data.status();
-            platform_.fabric().dma(
-                platform_.data_ssd_dev(
-                    containers_.ssd_index_of(location->container_id)),
-                platform_.compression_engine(),
-                data.value().size(), memtag::kDataSsd);
-            Result<tables::ChunkLocation> moved =
-                containers_.append(data.value());
-            if (!moved.is_ok())
-                return moved.status();
-            lba_table_.set_location(pbn, moved.value());
-            space_.on_store(pbn, *digest, moved.value());
-            if (journal_) {
-                tables::JournalRecord rec;
-                rec.op = tables::JournalOp::kSetLocation;
-                rec.pbn = pbn;
-                rec.location = moved.value();
-                const Status logged = journal_append(rec);
-                if (!logged.is_ok())
-                    return logged;
-            }
-            const Status billed = bill_container_seals();
-            if (!billed.is_ok())
-                return billed;
-        }
-
-        Result<std::uint64_t> released = containers_.discard(container);
-        if (!released.is_ok())
-            return released.status();
-        reclaimed += released.value();
-        space_.release_container(container);
-        // Cache coherence: the container's physical slots are free for
-        // reuse, so every cached image keyed to it must go.  Survivors
-        // re-enter the cache at their new location on the next read.
-        if (chunk_cache_)
-            chunk_cache_->invalidate_container(container);
+    // Run to completion at the caller's threshold: unbudgeted steps
+    // (whole victim per step) until selection comes up empty.
+    GcConfig config = config_.gc;
+    config.dead_fraction = min_dead_fraction;
+    const GcScheduler scheduler(config);
+    const std::uint64_t start_bytes = gc_stats_.reclaimed_bytes;
+    for (;;) {
+        const std::uint64_t idle_before = gc_stats_.idle_steps;
+        const Status stepped = gc_step_impl(scheduler, 0);
+        if (!stepped.is_ok())
+            return stepped;
+        if (gc_stats_.idle_steps != idle_before)
+            break;
     }
-    return reclaimed;
+    return gc_stats_.reclaimed_bytes - start_bytes;
+}
+
+Result<FidrSystem::FsckReport>
+FidrSystem::fsck()
+{
+    const Status drained = drain_pipeline();
+    if (!drained.is_ok())
+        return drained;
+    FsckReport report;
+    report.superblock_seq = containers_.superblock_seq();
+    if (report.superblock_seq < last_fsck_superblock_seq_)
+        ++report.superblock_regressions;
+    else
+        last_fsck_superblock_seq_ = report.superblock_seq;
+
+    if (!lba_table_.validate().is_ok())
+        ++report.refcount_errors;
+
+    // Reachability: every PBN any LBA references must resolve to a
+    // readable chunk in a live (non-discarded) container.  Along the
+    // way, sum the table's view of live payload per container for the
+    // ledger cross-check below.
+    std::unordered_map<std::uint64_t, std::uint64_t> table_live;
+    lba_table_.for_each_pbn(
+        [&](Pbn pbn, std::uint32_t refcount,
+            const std::optional<tables::ChunkLocation> &location) {
+            (void)pbn;
+            if (refcount == 0)
+                return;
+            ++report.live_pbns_checked;
+            if (!location) {
+                ++report.missing_locations;
+                return;
+            }
+            table_live[location->container_id] +=
+                location->compressed_size;
+            const auto info = containers_.info_of(location->container_id);
+            if (!info || info->discarded ||
+                !containers_.read(*location).is_ok()) {
+                ++report.unreachable_chunks;
+            }
+        });
+
+    // Space ledger vs mapping table, per container: ledger live bytes
+    // must equal the table's located live payload, and live + dead
+    // must never exceed the payload actually appended there.
+    for (const auto &[container, usage] : space_.containers()) {
+        const auto it = table_live.find(container);
+        const std::uint64_t expect =
+            it == table_live.end() ? 0 : it->second;
+        if (usage.live_bytes != expect)
+            ++report.space_mismatches;
+        const auto info = containers_.info_of(container);
+        if (!info || info->discarded ||
+            usage.live_bytes + usage.dead_bytes > info->payload_bytes)
+            ++report.space_mismatches;
+    }
+    for (const auto &[container, bytes] : table_live) {
+        if (bytes > 0 && space_.containers().count(container) == 0)
+            ++report.space_mismatches;
+    }
+    return report;
 }
 
 Status
@@ -1291,9 +1548,45 @@ FidrSystem::obs_snapshot() const
     snap.counters["read.cache.insertions"] = read_cache.insertions;
     snap.counters["read.cache.evictions"] = read_cache.evictions;
     snap.counters["read.cache.invalidations"] = read_cache.invalidations;
+    snap.counters["read.cache.rekeys"] = read_cache.rekeys;
     snap.counters["read.cache.bytes"] =
         chunk_cache_ ? chunk_cache_->used_bytes() : 0;
     snap.gauges["read.cache.hit_rate"] = read_cache.hit_rate();
+
+    // Incremental GC and container-log durability accounting.
+    snap.counters["gc.steps"] = gc_stats_.steps;
+    snap.counters["gc.idle_steps"] = gc_stats_.idle_steps;
+    snap.counters["gc.failed_steps"] = gc_stats_.failed_steps;
+    snap.counters["gc.relocated_chunks"] = gc_stats_.relocated_chunks;
+    snap.counters["gc.relocated_bytes"] = gc_stats_.relocated_bytes;
+    snap.counters["gc.containers_reclaimed"] =
+        gc_stats_.containers_reclaimed;
+    snap.counters["gc.reclaimed_bytes"] = gc_stats_.reclaimed_bytes;
+    snap.counters["gc.cache_rekeys"] = gc_stats_.cache_rekeys;
+    snap.counters["gc.concurrent_steps"] = gc_stats_.concurrent_steps;
+    // Relocation overhead relative to user payload: the write-amp GC
+    // adds on top of the unique-chunk stores.
+    snap.gauges["gc.write_amp"] =
+        stats_.stored_bytes > 0
+            ? static_cast<double>(gc_stats_.relocated_bytes) /
+                  static_cast<double>(stats_.stored_bytes)
+            : 0.0;
+    const tables::ContainerLogStats &log_stats = containers_.stats();
+    snap.counters["container.superblock_writes"] =
+        log_stats.superblock_writes;
+    snap.counters["container.superblock_write_failures"] =
+        log_stats.superblock_write_failures;
+    snap.counters["container.superblock_seq"] =
+        containers_.superblock_seq();
+    snap.counters["container.discards"] = log_stats.discards;
+    snap.counters["container.headers_scanned"] =
+        log_stats.headers_scanned;
+    snap.counters["container.recovered"] = log_stats.containers_recovered;
+    snap.counters["container.tail_adopted"] = log_stats.tail_adopted;
+    snap.counters["container.used_slots"] = containers_.used_slots();
+    snap.counters["container.total_slots"] = containers_.total_slots();
+    snap.gauges["container.free_slot_fraction"] =
+        containers_.free_slot_fraction();
 
     snap.gauges["write.dedup_rate"] = stats_.dedup_rate();
     snap.gauges["write.reduction_ratio"] =

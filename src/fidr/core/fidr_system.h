@@ -38,6 +38,7 @@
 #include "fidr/cache/indexes.h"
 #include "fidr/cache/table_cache.h"
 #include "fidr/core/dedup_index.h"
+#include "fidr/core/gc.h"
 #include "fidr/core/platform.h"
 #include "fidr/core/read_pipeline.h"
 #include "fidr/core/server.h"
@@ -142,6 +143,13 @@ struct FidrConfig {
      * the record path is unchanged.
      */
     std::size_t tail_exemplars = 4;
+
+    /**
+     * Incremental container-log GC (core/gc.h): budgeted relocation
+     * steps on the commit sequencer, victim selection thresholds, the
+     * free-space reserve watermark and the superblock write cadence.
+     */
+    GcConfig gc;
 };
 
 /** The FIDR server. */
@@ -186,18 +194,39 @@ class FidrSystem : public StorageServer {
     /** Live/dead space accounting (GC extension). */
     const SpaceTracker &space() const { return space_; }
 
+    /** Append-only container log (slot occupancy, superblock seq). */
+    const tables::ContainerLog &container_log() const
+    { return containers_; }
+
     /** Null when chunk_cache_bytes == 0 (cache disabled). */
     const cache::ChunkReadCache *chunk_cache() const
     { return chunk_cache_.get(); }
 
     /**
-     * Compaction (extension): rewrites the live chunks of every sealed
-     * container whose dead share reaches `min_dead_fraction`, releases
-     * the container's SSD space, and returns the bytes reclaimed.
-     * Mappings are preserved (PBNs keep their identity; only their
-     * physical locations move), so concurrent readers are unaffected.
+     * Runs GC to completion at an explicit dead-fraction threshold:
+     * drains the pipeline, then evacuates and discards every eligible
+     * victim in full-container steps until none remain.  Returns the
+     * container bytes reclaimed.  Mappings are preserved (PBNs keep
+     * their identity; only their physical locations move), so
+     * concurrent readers are unaffected.
      */
-    Result<std::uint64_t> compact(double min_dead_fraction = 0.5);
+    Result<std::uint64_t> run_gc(double min_dead_fraction);
+
+    /** Historical name for run_gc() (stop-the-world compaction). */
+    Result<std::uint64_t> compact(double min_dead_fraction = 0.5)
+    { return run_gc(min_dead_fraction); }
+
+    /**
+     * One incremental GC step at the configured budget: picks (or
+     * continues with) a victim container, relocates up to
+     * `gc.step_budget_bytes` of its live payload through the normal
+     * write path, and discards it once empty.  Runs automatically on
+     * the commit sequencer after each batch when `gc.auto_run` is set;
+     * callers invoking it directly must not have batches in flight.
+     */
+    Status gc_step();
+
+    const GcStats &gc_stats() const { return gc_stats_; }
 
     /**
      * Checkpoint (journaling extension): snapshots the LBA-PBA table
@@ -251,6 +280,38 @@ class FidrSystem : public StorageServer {
      * simulated flash show up as digest mismatches.
      */
     Result<ScrubReport> scrub();
+
+    /** Outcome of an fsck pass over the mapping/log invariants. */
+    struct FsckReport {
+        std::uint64_t live_pbns_checked = 0;
+        std::uint64_t missing_locations = 0;  ///< Referenced, unlocated.
+        std::uint64_t unreachable_chunks = 0; ///< Location unreadable in
+                                              ///< the container log.
+        std::uint64_t space_mismatches = 0;   ///< Ledger vs table.
+        std::uint64_t refcount_errors = 0;    ///< validate() failed.
+        std::uint64_t superblock_regressions = 0;  ///< Version moved
+                                                   ///< backwards.
+        std::uint64_t superblock_seq = 0;     ///< Current version.
+
+        bool
+        clean() const
+        {
+            return missing_locations == 0 && unreachable_chunks == 0 &&
+                   space_mismatches == 0 && refcount_errors == 0 &&
+                   superblock_regressions == 0;
+        }
+    };
+
+    /**
+     * fsck-style invariant checker (GC extension): every PBN any LBA
+     * references resolves to a readable chunk in a live container,
+     * refcounts are consistent, the space ledger agrees with the
+     * mapping table per container (and never exceeds the sealed
+     * payload), and the superblock version never moves backwards
+     * across calls — including across simulate_crash_and_recover().
+     * The soak and crash tests run it after every scenario.
+     */
+    Result<FsckReport> fsck();
 
     /** Journal occupancy (0 when journaling is disabled). */
     std::uint64_t journal_records() const
@@ -420,9 +481,35 @@ class FidrSystem : public StorageServer {
     void retire_if_dead(Pbn pbn);
     Status journal_append(const tables::JournalRecord &record);
 
+    /**
+     * Relocates one live chunk out of its container through the
+     * normal write billing path: read, DMA to the engine, re-append,
+     * journal + apply the new location, re-key the chunk read cache.
+     * The PBN keeps its identity; only the location changes.
+     */
+    Status gc_relocate(Pbn pbn);
+
+    /**
+     * One GC step under `sched`'s policy with `budget` bytes of
+     * relocation allowance (0 = unbounded).  Shared by the
+     * incremental gc_step() and the run-to-completion run_gc().
+     */
+    Status gc_step_impl(const GcScheduler &sched, std::uint64_t budget);
+
+    /** Post-commit hook: budgeted steps, errors swallowed into
+     *  gc.failed_steps (the batch itself already committed). */
+    void run_auto_gc();
+
     std::unique_ptr<tables::MetadataJournal> journal_;
     std::uint64_t snapshot_base_ = 0;
     SpaceTracker space_;
+    GcScheduler gc_scheduler_;
+    GcStats gc_stats_;
+    /** Victim being evacuated across incremental steps. */
+    std::optional<std::uint64_t> gc_victim_;
+    obs::Histogram *gc_pause_ = nullptr;
+    /** fsck monotonicity cursor over the container-log superblock. */
+    std::uint64_t last_fsck_superblock_seq_ = 0;
     FaultStats fault_stats_;
     bool high_priority_ = false;
     std::uint64_t stream_tag_ = 0;

@@ -7,7 +7,7 @@
 namespace fidr::core {
 
 void
-SpaceTracker::on_store(Pbn pbn, const Digest &digest,
+SpaceTracker::on_store(Pbn pbn, const std::optional<Digest> &digest,
                        const tables::ChunkLocation &location)
 {
     auto [it, inserted] = chunks_.try_emplace(pbn);
@@ -87,6 +87,22 @@ SpaceTracker::digest_of(Pbn pbn) const
     if (it == chunks_.end() || !it->second.live)
         return std::nullopt;
     return it->second.digest;
+}
+
+void
+SpaceTracker::seed_dead(std::uint64_t container, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    containers_[container].dead_bytes += bytes;
+    dead_bytes_ += bytes;
+}
+
+std::uint64_t
+SpaceTracker::container_live_bytes(std::uint64_t container) const
+{
+    const auto it = containers_.find(container);
+    return it == containers_.end() ? 0 : it->second.live_bytes;
 }
 
 void

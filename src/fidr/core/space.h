@@ -41,16 +41,34 @@ struct ContainerSpace {
 /** Tracks chunk liveness across containers. */
 class SpaceTracker {
   public:
-    /** Records a newly stored (or re-stored by compaction) chunk. */
-    void on_store(Pbn pbn, const Digest &digest,
+    /**
+     * Records a newly stored (or re-stored by GC relocation) chunk.
+     * The digest is nullopt for chunks adopted by crash recovery —
+     * the ledger is rebuilt from the LBA-PBA table, which does not
+     * carry digests (the Hash-PBN table does, but its dirty lines may
+     * have died with the host).
+     */
+    void on_store(Pbn pbn, const std::optional<Digest> &digest,
                   const tables::ChunkLocation &location);
 
     /**
      * Marks `pbn` dead (refcount reached zero).  Returns the digest so
      * the caller can drop the Hash-PBN entry; nullopt when the PBN is
-     * unknown or already dead.
+     * unknown or already dead — or when it was recovered without a
+     * digest (the dangling Hash-PBN entry is then repaired lazily at
+     * dedup-resolve time).
      */
     std::optional<Digest> on_dead(Pbn pbn);
+
+    /**
+     * Recovery seeding: accounts `bytes` of dead payload to
+     * `container` without naming the PBNs that died (their records
+     * did not survive the crash; only the live set is rebuilt).
+     */
+    void seed_dead(std::uint64_t container, std::uint64_t bytes);
+
+    /** Live payload bytes currently accounted to `container`. */
+    std::uint64_t container_live_bytes(std::uint64_t container) const;
 
     /** Container ids whose dead share is at least `min_dead_fraction`. */
     std::vector<std::uint64_t> candidates(double min_dead_fraction) const;
@@ -75,7 +93,7 @@ class SpaceTracker {
 
   private:
     struct ChunkRecord {
-        Digest digest;
+        std::optional<Digest> digest;
         tables::ChunkLocation location;
         bool live = true;
     };

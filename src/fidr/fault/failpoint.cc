@@ -24,6 +24,10 @@ site_name(Site site)
       case Site::kHwTreeForceCrash: return "hwtree.force_crash";
       case Site::kSnapshotWrite: return "snapshot.write";
       case Site::kSnapshotRead: return "snapshot.read";
+      case Site::kGcRelocate: return "gc.relocate";
+      case Site::kGcDiscard: return "gc.discard";
+      case Site::kGcSuperblock: return "gc.superblock";
+      case Site::kGcReplay: return "gc.replay";
       case Site::kMaxSite: break;
     }
     return "unknown";

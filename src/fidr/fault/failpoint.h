@@ -69,6 +69,10 @@ enum class Site : std::uint8_t {
     kHwTreeForceCrash,  ///< Forced misspeculation in account_update.
     kSnapshotWrite,     ///< Checkpoint snapshot write (table SSD).
     kSnapshotRead,      ///< Recovery snapshot read (table SSD).
+    kGcRelocate,        ///< GC live-chunk relocation step.
+    kGcDiscard,         ///< GC container discard (pre-superblock).
+    kGcSuperblock,      ///< Container-log superblock write.
+    kGcReplay,          ///< Recovery container-log scan read.
 
     kMaxSite,
 };

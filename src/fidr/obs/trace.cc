@@ -52,6 +52,10 @@ tpoint_name(Tpoint tpoint)
       case Tpoint::kReadCacheHit: return "read.cache_hit";
       case Tpoint::kReadCacheInsert: return "read.cache_insert";
       case Tpoint::kReadFetchLane: return "read.fetch_lane";
+      case Tpoint::kGcStep: return "gc.step";
+      case Tpoint::kGcRelocate: return "gc.relocate";
+      case Tpoint::kGcDiscard: return "gc.discard";
+      case Tpoint::kGcSuperblock: return "gc.superblock";
       case Tpoint::kMaxTpoint: break;
     }
     return "unknown";

@@ -102,6 +102,12 @@ enum class Tpoint : std::uint16_t {
     kReadCacheInsert,      ///< Decompressed chunk cached (object=container).
     kReadFetchLane,        ///< One lane's fetch shard (worker thread).
 
+    // Incremental container-log GC (concurrent with both planes).
+    kGcStep,               ///< One budgeted GC step (object=victim).
+    kGcRelocate,           ///< One live chunk moved (object=pbn, arg=bytes).
+    kGcDiscard,            ///< Victim container released (object=id).
+    kGcSuperblock,         ///< Superblock version written (object=seq).
+
     kMaxTpoint,
 };
 

@@ -149,6 +149,20 @@ LbaPbaTable::deserialize(const Buffer &raw)
     return table;
 }
 
+void
+LbaPbaTable::for_each_pbn(
+    const std::function<void(Pbn, std::uint32_t,
+                             const std::optional<ChunkLocation> &)>
+        &visit) const
+{
+    for (const auto &[pbn, info] : pbn_info_) {
+        std::optional<ChunkLocation> location;
+        if (info.has_location)
+            location = info.location;
+        visit(pbn, info.refcount, location);
+    }
+}
+
 Status
 LbaPbaTable::validate() const
 {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 
@@ -70,6 +71,17 @@ class LbaPbaTable {
 
     std::size_t mapped_lbas() const { return lba_to_pbn_.size(); }
     std::size_t live_pbns() const { return pbn_info_.size(); }
+
+    /**
+     * Visits every known PBN with its refcount and (if registered)
+     * physical location.  Recovery rebuilds the space ledger from this
+     * after replaying the journal; fsck walks it to prove every live
+     * PBN is still reachable in the container log.
+     */
+    void for_each_pbn(
+        const std::function<void(Pbn, std::uint32_t,
+                                 const std::optional<ChunkLocation> &)>
+            &visit) const;
 
     /**
      * Consistency check: every mapped LBA points at a known PBN, and

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +37,8 @@ struct CrashHarnessConfig {
     std::size_t operations = 1200;
     /** Op index of a mid-run flush+checkpoint; 0 disables. */
     std::size_t checkpoint_at = 600;
+    /** Workload override; nullopt = default_workload(seed). */
+    std::optional<workload::WorkloadSpec> workload;
 
     /** Table-3-style mixed workload (Read-Mixed shape, small scale). */
     static workload::WorkloadSpec
@@ -82,6 +85,29 @@ struct CrashHarnessConfig {
 
     /** System under test; replace fields to sweep configurations. */
     core::FidrConfig system = default_system();
+
+    /**
+     * GC-enabled variant: auto_run GC rides every batch commit over a
+     * high-churn overwrite workload (small address space, write-heavy)
+     * so relocation, discard and superblock writes all happen
+     * mid-workload — the power-cut sweep then cuts inside them.
+     */
+    static CrashHarnessConfig
+    gc_config(std::uint64_t seed = 0xF1D7)
+    {
+        CrashHarnessConfig cfg;
+        cfg.seed = seed;
+        cfg.system.gc.auto_run = true;
+        cfg.system.gc.dead_fraction = 0.3;
+        cfg.system.gc.step_budget_bytes = 32 * 1024;
+        cfg.system.gc.superblock_interval = 2;
+        workload::WorkloadSpec spec = default_workload(seed);
+        spec.name = "crash-gc-churn";
+        spec.address_space_chunks = 384;  // Heavy overwrite churn.
+        spec.read_fraction = 0.2;
+        cfg.workload = spec;
+        return cfg;
+    }
 };
 
 /** Sweepable write-path failpoint sites (recovery sites are driven
@@ -96,11 +122,26 @@ inline constexpr std::array<fault::Site, 14> kWritePathSites = {
     fault::Site::kHwTreeForceCrash, fault::Site::kSnapshotWrite,
 };
 
+/**
+ * Sites swept with GC active (CrashHarnessConfig::gc_config): the new
+ * gc.* sites cut at the entry of a relocation / discard / superblock
+ * write, and the underlying append/journal/SSD sites cut *inside* a
+ * relocation already in progress (GC shares the normal write path, so
+ * the same mid-operation placements now land mid-GC too).
+ */
+inline constexpr std::array<fault::Site, 6> kGcSites = {
+    fault::Site::kGcRelocate,      fault::Site::kGcDiscard,
+    fault::Site::kGcSuperblock,    fault::Site::kContainerAppend,
+    fault::Site::kJournalAppend,   fault::Site::kSsdWrite,
+};
+
 class CrashHarness {
   public:
     explicit CrashHarness(const CrashHarnessConfig &cfg = {})
         : cfg_(cfg), system_(cfg.system),
-          gen_(CrashHarnessConfig::default_workload(cfg.seed))
+          gen_(cfg.workload
+                   ? *cfg.workload
+                   : CrashHarnessConfig::default_workload(cfg.seed))
     {
         // The registry is process-global; every harness starts from a
         // clean, reseeded slate.
@@ -230,6 +271,36 @@ class CrashHarness {
         return ::testing::AssertionSuccess();
     }
 
+    /**
+     * fsck after the scenario: every referenced PBN reachable in the
+     * container log, no refcount leaks, ledger consistent with the
+     * mapping table, superblock version monotonic.
+     */
+    ::testing::AssertionResult
+    verify_fsck()
+    {
+        Result<core::FidrSystem::FsckReport> checked = system_.fsck();
+        if (!checked.is_ok()) {
+            return ::testing::AssertionFailure()
+                   << "fsck failed to run: " << checked.status().message();
+        }
+        const core::FidrSystem::FsckReport &r = checked.value();
+        if (!r.clean()) {
+            return ::testing::AssertionFailure()
+                   << "fsck dirty: missing_locations=" << r.missing_locations
+                   << " unreachable_chunks=" << r.unreachable_chunks
+                   << " space_mismatches=" << r.space_mismatches
+                   << " refcount_errors=" << r.refcount_errors
+                   << " superblock_regressions=" << r.superblock_regressions
+                   << " (checked " << r.live_pbns_checked << " live PBNs)";
+        }
+        if (r.live_pbns_checked == 0) {
+            return ::testing::AssertionFailure()
+                   << "fsck checked no live PBNs — vacuous pass";
+        }
+        return ::testing::AssertionSuccess();
+    }
+
   private:
     CrashHarnessConfig cfg_;
     core::FidrSystem system_;
@@ -250,6 +321,26 @@ default_hit_profile()
     static const std::array<std::uint64_t, fault::kSiteCount> counts =
         [] {
             CrashHarness harness;
+            harness.run_all();
+            (void)harness.system().flush();
+            auto &registry = fault::FailpointRegistry::instance();
+            std::array<std::uint64_t, fault::kSiteCount> out{};
+            for (std::size_t s = 0; s < fault::kSiteCount; ++s)
+                out[s] = registry.hits(static_cast<fault::Site>(s));
+            registry.reset_counters();
+            return out;
+        }();
+    return counts;
+}
+
+/** Fault-free hit profile of the GC-enabled harness run (gc_config),
+ *  used to place fail_nth mid-relocation / mid-discard. */
+inline const std::array<std::uint64_t, fault::kSiteCount> &
+gc_hit_profile()
+{
+    static const std::array<std::uint64_t, fault::kSiteCount> counts =
+        [] {
+            CrashHarness harness(CrashHarnessConfig::gc_config());
             harness.run_all();
             (void)harness.system().flush();
             auto &registry = fault::FailpointRegistry::instance();

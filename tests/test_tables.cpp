@@ -249,5 +249,147 @@ TEST(ContainerLog, PayloadAccounting)
     EXPECT_EQ(log.payload_bytes(), 1500u);
 }
 
+// ---------------------------------------------------------------------
+// Durable layout v2 (ISSUE: versioned recovery): superblock cadence,
+// device-scan recovery, torn-seal and open-buffer semantics.
+
+TEST(ContainerLogV2, RecoverRebuildsDirectoryFromDevice)
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 64 * kMiB;
+    ssd::SsdArray array(2, config);
+
+    // Fill a log, seal everything, discard one sealed container.
+    ContainerLog log1(array, 64 * 1024, /*superblock_interval=*/2);
+    Rng rng(99);
+    std::vector<std::pair<ChunkLocation, Buffer>> sealed;
+    for (int i = 0; i < 100; ++i) {
+        Buffer data(500 + rng.next_below(3000));
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.next_u64());
+        const auto loc = log1.append(data).take();
+        sealed.emplace_back(loc, std::move(data));
+    }
+    ASSERT_TRUE(log1.flush().is_ok());
+    std::uint64_t discarded_id = 0;  // First sealed id.
+    while (!log1.sealed(discarded_id))
+        ++discarded_id;
+    ASSERT_TRUE(log1.discard(discarded_id).is_ok());
+
+    // A fresh object over the same devices: host DRAM is gone.
+    ContainerLog log2(array, 64 * 1024, 2);
+    ASSERT_TRUE(log2.recover().is_ok());
+    EXPECT_GT(log2.stats().headers_scanned, 0u);
+    EXPECT_GT(log2.stats().containers_recovered, 0u);
+    EXPECT_GE(log2.superblock_seq(), 1u);
+
+    for (const auto &[loc, data] : sealed) {
+        if (loc.container_id == discarded_id) {
+            EXPECT_FALSE(log2.read(loc).is_ok());
+        } else {
+            Result<Buffer> out = log2.read(loc);
+            ASSERT_TRUE(out.is_ok())
+                << "container " << loc.container_id;
+            EXPECT_EQ(out.value(), data);
+        }
+    }
+    EXPECT_FALSE(log2.sealed(discarded_id));
+
+    // New ids continue past the high-water mark — the discarded id is
+    // never reissued (the superblock written before the trim floors
+    // the id space).
+    const std::uint64_t high_water = log1.containers();
+    const auto fresh = log2.append(Buffer(4096, 7)).take();
+    ASSERT_TRUE(log2.flush().is_ok());
+    EXPECT_GE(fresh.container_id, high_water - 1);
+    EXPECT_NE(fresh.container_id, discarded_id);
+    EXPECT_EQ(log2.read(fresh).value(), Buffer(4096, 7));
+}
+
+TEST(ContainerLogV2, TornSealHeaderIsInvisibleToRecovery)
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 4 * kMiB;
+    ssd::SsdArray array(1, config);
+    ContainerLog log(array, 64 * 1024, 0);
+    ASSERT_TRUE(log.append(Buffer(4096, 3)).is_ok());
+    ASSERT_TRUE(log.flush().is_ok());  // Slot 0 sealed, superblock v1.
+    const std::uint64_t used_before = log.used_slots();
+
+    // Forge a torn seal in the next free slot: plausible magic and
+    // version, garbage checksum — a power cut mid-header-write.
+    const std::uint64_t stride = log.slot_stride();
+    Buffer torn(kContainerHeaderBytes, 0);
+    store_le(torn.data(), 0xF1D75EA1C047A14Eull, 8);         // Magic.
+    store_le(torn.data() + 8, kContainerFormatVersion, 4);   // Version.
+    store_le(torn.data() + 36, 0xDEADDEADDEADDEADull, 8);    // Bad fnv.
+    const std::uint64_t torn_addr = kContainerReservedBytes +
+                                    used_before * stride + stride -
+                                    kContainerHeaderBytes;
+    ASSERT_TRUE(array.at(0).write(torn_addr, torn).is_ok());
+
+    ASSERT_TRUE(log.recover().is_ok());
+    // The torn slot is not adopted; it stays free and the next seal
+    // overwrites it.
+    EXPECT_EQ(log.used_slots(), used_before);
+    const auto loc = log.append(Buffer(4096, 4)).take();
+    ASSERT_TRUE(log.flush().is_ok());
+    EXPECT_EQ(log.used_slots(), used_before + 1);
+    EXPECT_EQ(log.read(loc).value(), Buffer(4096, 4));
+}
+
+TEST(ContainerLogV2, SuperblockSeqAdvancesAndDiscardForcesOne)
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 64 * kMiB;
+    ssd::SsdArray array(1, config);
+    ContainerLog log(array, 64 * 1024, /*superblock_interval=*/2);
+    EXPECT_EQ(log.superblock_seq(), 0u);
+
+    // Two seals reach the cadence: one superblock write.
+    ASSERT_TRUE(log.append(Buffer(60000, 1)).is_ok());
+    ASSERT_TRUE(log.flush().is_ok());
+    EXPECT_EQ(log.superblock_seq(), 0u);  // One seal: below cadence.
+    ASSERT_TRUE(log.append(Buffer(60000, 2)).is_ok());
+    ASSERT_TRUE(log.flush().is_ok());
+    EXPECT_EQ(log.superblock_seq(), 1u);
+    EXPECT_EQ(log.stats().superblock_writes, 1u);
+
+    // Discard writes a superblock unconditionally, before the trim.
+    const auto released = log.discard(0);
+    ASSERT_TRUE(released.is_ok());
+    EXPECT_GT(released.value(), 0u);
+    EXPECT_EQ(log.superblock_seq(), 2u);
+    EXPECT_EQ(log.stats().discards, 1u);
+    EXPECT_FALSE(log.sealed(0));
+    EXPECT_FALSE(log.read(ChunkLocation{0, 0, 512}).is_ok());
+}
+
+TEST(ContainerLogV2, OpenBufferSurvivesInPlaceRecover)
+{
+    ssd::SsdConfig config;
+    config.capacity_bytes = 64 * kMiB;
+    ssd::SsdArray array(1, config);
+    ContainerLog log(array, 64 * 1024);
+
+    // One sealed container plus an unsealed tail in the open buffer
+    // (battery-backed engine memory: a restart keeps it).
+    ASSERT_TRUE(log.append(Buffer(60000, 1)).is_ok());
+    ASSERT_TRUE(log.flush().is_ok());
+    const auto open_loc = log.append(Buffer(3000, 9)).take();
+
+    ASSERT_TRUE(log.recover().is_ok());
+    Result<Buffer> out = log.read(open_loc);
+    ASSERT_TRUE(out.is_ok());
+    EXPECT_EQ(out.value(), Buffer(3000, 9));
+
+    // The open container keeps accepting appends and seals normally.
+    const auto next = log.append(Buffer(3000, 10)).take();
+    EXPECT_EQ(next.container_id, open_loc.container_id);
+    ASSERT_TRUE(log.flush().is_ok());
+    EXPECT_EQ(log.read(open_loc).value(), Buffer(3000, 9));
+    EXPECT_EQ(log.read(next).value(), Buffer(3000, 10));
+}
+
 }  // namespace
 }  // namespace fidr::tables
