@@ -1,17 +1,21 @@
 // Wall-clock throughput of the batched read plane: sweeps read_lanes
-// x chunk-cache capacity over the Table 3 Read-Mixed workload and a
-// Zipfian hot-set read workload, timing read_batch() over the full
-// read sequence.  The cache column shows the Fig 6b fetch+decompress
-// work a host-DRAM chunk cache removes under skew; the lane column
+// x chunk-cache capacity x cache tier mode (one-tier decompressed LRU
+// vs two-tier hot/warm vs two-tier + SSD spill ring, all at the same
+// DRAM budget) over the Table 3 Read-Mixed workload and a Zipfian
+// hot-set read workload, timing read_batch() over the full read
+// sequence.  The cache columns show the Fig 6b fetch+decompress work
+// a host-DRAM chunk cache removes under skew — and how much further a
+// compressed warm tier stretches the same budget; the lane column
 // shows the fan-out (flat on a 1-core host — the determinism contract
 // says lanes change wall-clock only, and the bench asserts exactly
-// that: payload checksums, fetch counts and hit counts must be
-// identical across every lane count, and cache-off cells must match
-// cache-on cells byte-for-byte).
+// that: payload checksums, fetch counts and per-tier hit counts must
+// be identical across every lane count, and every cell must return
+// byte-identical payloads).
 //
 // Emits BENCH_read.json via the harness's uniform JsonReport schema.
 // `--smoke` shrinks the request count and sweep for CI and gates the
-// cache-off/on equivalence plus a nonzero Zipfian hit rate.
+// cache-off/on equivalence, the equal-budget two-tier improvement and
+// a nonzero spill-tier hit count.
 
 #include <algorithm>
 #include <chrono>
@@ -107,21 +111,40 @@ zipfian_workload(std::size_t unique_chunks, std::size_t reads)
     return out;
 }
 
+/**
+ * Cache configuration of one sweep column.  "one" is the PR 5
+ * one-tier decompressed LRU (the committed baseline the two-tier
+ * cells must beat at equal DRAM budget); "two" adds the compressed
+ * warm tier + admission + ghost auto-sizing; "two+spill" additionally
+ * spills evicted compressed chunks to a reserved data-SSD ring.
+ */
+struct TierMode {
+    const char *name = "off";
+    bool two_tier = false;
+    bool admission = false;
+    std::uint64_t spill_bytes = 0;
+};
+
 struct CellRun {
     std::size_t lanes = 0;
     std::uint64_t cache_bytes = 0;
+    std::string tier = "off";
     double seconds = 0;
     double chunks_per_s = 0;
     double gb_per_s = 0;
     std::uint64_t ssd_fetches = 0;
     std::uint64_t cache_hits = 0;
     double cache_hit_rate = 0;
+    std::uint64_t warm_hits = 0;
+    std::uint64_t spill_hits = 0;
+    std::uint64_t spill_writes = 0;
     std::uint64_t payload_checksum = 0;  ///< FNV over every slot.
 };
 
 CellRun
 run_cell(const ReadWorkload &workload, std::size_t lanes,
-         std::uint64_t cache_bytes, std::size_t batch_size)
+         std::uint64_t cache_bytes, const TierMode &mode,
+         std::size_t batch_size)
 {
     core::FidrConfig config;
     config.platform = bench::eval_platform();
@@ -130,6 +153,9 @@ run_cell(const ReadWorkload &workload, std::size_t lanes,
     config.read_lanes = lanes;
     config.chunk_cache_bytes = cache_bytes;
     config.chunk_cache_shards = cache_bytes > 0 ? 4 : 1;
+    config.chunk_cache_two_tier = mode.two_tier;
+    config.chunk_cache_admission = mode.admission;
+    config.chunk_cache_spill_bytes = mode.spill_bytes;
     core::FidrSystem system(config);
 
     for (const workload::IoRequest &req : workload.writes) {
@@ -165,9 +191,13 @@ run_cell(const ReadWorkload &workload, std::size_t lanes,
                     kChunkSize / cell.seconds / 1e9;
 
     const obs::ObsSnapshot snap = system.obs_snapshot();
+    cell.tier = mode.name;
     cell.ssd_fetches = snap.counters.at("read.ssd_fetches");
     cell.cache_hits = snap.counters.at("read.cache.hits");
     cell.cache_hit_rate = snap.gauges.at("read.cache.hit_rate");
+    cell.warm_hits = snap.counters.at("read.cache.warm.hits");
+    cell.spill_hits = snap.counters.at("read.cache.spill.hits");
+    cell.spill_writes = snap.counters.at("read.cache.spill.writes");
     return cell;
 }
 
@@ -177,17 +207,20 @@ print_cells(const ReadWorkload &workload,
 {
     std::printf("%s: %zu writes, %zu reads\n", workload.name.c_str(),
                 workload.writes.size(), workload.reads.size());
-    std::printf("  %5s | %10s | %9s | %12s | %8s | %11s | %8s\n",
-                "lanes", "cache", "seconds", "chunks/s", "GB/s",
-                "ssd fetches", "hit rate");
+    std::printf("  %5s | %10s | %9s | %9s | %12s | %11s | %8s |"
+                " %9s | %10s\n",
+                "lanes", "cache", "tier", "seconds", "chunks/s",
+                "ssd fetches", "hit rate", "warm hits", "spill hits");
     for (const CellRun &cell : cells) {
-        std::printf("  %5zu | %7.0f MB | %9.3f | %12.0f | %8.3f |"
-                    " %11llu | %7.1f%%\n",
+        std::printf("  %5zu | %7.0f MB | %9s | %9.3f | %12.0f |"
+                    " %11llu | %7.1f%% | %9llu | %10llu\n",
                     cell.lanes,
                     static_cast<double>(cell.cache_bytes) / (1 << 20),
-                    cell.seconds, cell.chunks_per_s, cell.gb_per_s,
+                    cell.tier.c_str(), cell.seconds, cell.chunks_per_s,
                     static_cast<unsigned long long>(cell.ssd_fetches),
-                    cell.cache_hit_rate * 100.0);
+                    cell.cache_hit_rate * 100.0,
+                    static_cast<unsigned long long>(cell.warm_hits),
+                    static_cast<unsigned long long>(cell.spill_hits));
     }
     std::printf("\n");
 }
@@ -210,9 +243,44 @@ main(int argc, char **argv)
     const std::vector<std::size_t> lane_sweep =
         smoke ? std::vector<std::size_t>{1, 2}
               : std::vector<std::size_t>{1, 2, 4};
+    // The smoke budget is 1 MiB (not 4): the smoke working set is
+    // 1000 x 4 KiB = 4 MiB, so a 4 MiB cache holds everything and the
+    // one-tier/two-tier comparison degenerates.  The full-run 4 MiB
+    // budget is the constrained cell (working set 24 MiB raw); 32 MiB
+    // holds the whole decompressed set, so every mode sits at the
+    // compulsory-miss floor there and only the no-regression gate
+    // applies.
     const std::vector<std::uint64_t> cache_sweep =
-        smoke ? std::vector<std::uint64_t>{0, 4ull << 20}
+        smoke ? std::vector<std::uint64_t>{0, 1ull << 20}
               : std::vector<std::uint64_t>{0, 4ull << 20, 32ull << 20};
+    const std::uint64_t spill_bytes = smoke ? 8ull << 20 : 64ull << 20;
+    // Admission stays off in the sweep: the doorkeeper trades one
+    // extra miss per admitted chunk for scan resistance, which is the
+    // wrong trade under pure Zipfian reuse (every unique is re-read).
+    // The admission path is exercised by the unit tests instead.
+    const TierMode kOff{"off", false, false, 0};
+    const TierMode kOne{"one", false, false, 0};
+    const TierMode kTwo{"two", true, false, 0};
+    const TierMode kTwoSpill{"two+spill", true, false, spill_bytes};
+
+    // One sweep column per (cache budget, tier mode); cache-off runs
+    // a single "off" column, every budget > 0 runs all three modes at
+    // the SAME DRAM budget — the equal-budget comparison the two-tier
+    // design is gated on.
+    struct SweepConfig {
+        std::uint64_t cache_bytes;
+        TierMode mode;
+    };
+    std::vector<SweepConfig> configs;
+    for (const std::uint64_t cache_bytes : cache_sweep) {
+        if (cache_bytes == 0) {
+            configs.push_back({cache_bytes, kOff});
+        } else {
+            configs.push_back({cache_bytes, kOne});
+            configs.push_back({cache_bytes, kTwo});
+            configs.push_back({cache_bytes, kTwoSpill});
+        }
+    }
 
     bench::print_header("Batched read plane wall-clock throughput",
                         "Fig 6b read flow; coalescing + chunk cache");
@@ -232,38 +300,75 @@ main(int argc, char **argv)
     };
     for (const ReadWorkload &workload : workloads) {
         std::vector<CellRun> cells;
-        for (const std::uint64_t cache_bytes : cache_sweep) {
+        for (const SweepConfig &config : configs) {
             for (const std::size_t lanes : lane_sweep)
-                cells.push_back(run_cell(workload, lanes, cache_bytes,
-                                         batch_size));
+                cells.push_back(run_cell(workload, lanes,
+                                         config.cache_bytes,
+                                         config.mode, batch_size));
         }
         print_cells(workload, cells);
 
+        // Lane-1 cell of the (cache budget, tier mode) column.
+        const auto cell_at = [&](std::uint64_t cache_bytes,
+                                 const char *tier) -> const CellRun & {
+            for (const CellRun &cell : cells) {
+                if (cell.cache_bytes == cache_bytes &&
+                    cell.tier == tier && cell.lanes == lane_sweep[0])
+                    return cell;
+            }
+            FIDR_CHECK(false);
+            return cells[0];
+        };
+
         // Determinism gates, every run: payloads are invariant across
-        // the whole sweep (the cache and the lanes are pure
-        // optimizations), and within one cache size the fetch and hit
-        // counts are lane-invariant.
+        // the whole sweep (the cache, its tiers and the lanes are pure
+        // optimizations), and within one (cache, tier) column every
+        // cache/fetch counter is lane-invariant.
         for (const CellRun &cell : cells) {
             FIDR_CHECK(cell.payload_checksum ==
                        cells[0].payload_checksum);
         }
-        for (std::size_t c = 0; c < cache_sweep.size(); ++c) {
+        for (std::size_t c = 0; c < configs.size(); ++c) {
             const CellRun &first = cells[c * lane_sweep.size()];
             for (std::size_t l = 1; l < lane_sweep.size(); ++l) {
                 const CellRun &cell = cells[c * lane_sweep.size() + l];
                 FIDR_CHECK(cell.ssd_fetches == first.ssd_fetches);
                 FIDR_CHECK(cell.cache_hits == first.cache_hits);
+                FIDR_CHECK(cell.warm_hits == first.warm_hits);
+                FIDR_CHECK(cell.spill_hits == first.spill_hits);
             }
         }
-        // Cache efficacy gates on the skewed workload: repeat reads
-        // must hit, and hits must remove data-SSD fetch DMAs.
+        // Cache efficacy gates on the skewed workload.  The equal-
+        // budget comparison runs at the smallest nonzero budget, where
+        // the one-tier cache is capacity-constrained: keeping the warm
+        // tier compressed must strictly raise the hit rate and
+        // strictly cut data-SSD fetches, and the spill ring must
+        // absorb capacity misses on top of that.  At budgets that hold
+        // the whole working set every mode sits at the compulsory-miss
+        // floor, so larger budgets only gate no-regression.
         if (workload.name == "Zipfian hot set") {
-            const CellRun &cache_off = cells[0];
-            const CellRun &cache_on = cells[lane_sweep.size()];
+            const CellRun &cache_off = cell_at(0, "off");
             FIDR_CHECK(cache_off.cache_hits == 0);
-            FIDR_CHECK(cache_on.cache_hits > 0);
-            FIDR_CHECK(cache_on.cache_hit_rate > 0.0);
-            FIDR_CHECK(cache_on.ssd_fetches < cache_off.ssd_fetches);
+            const std::uint64_t tight = cache_sweep[1];
+            for (std::size_t c = 1; c < cache_sweep.size(); ++c) {
+                const std::uint64_t budget = cache_sweep[c];
+                const CellRun &one = cell_at(budget, "one");
+                const CellRun &two = cell_at(budget, "two");
+                const CellRun &spill = cell_at(budget, "two+spill");
+                FIDR_CHECK(one.cache_hits > 0);
+                FIDR_CHECK(one.ssd_fetches < cache_off.ssd_fetches);
+                FIDR_CHECK(two.warm_hits > 0);
+                FIDR_CHECK(two.ssd_fetches <= one.ssd_fetches);
+                FIDR_CHECK(spill.ssd_fetches <= two.ssd_fetches);
+                if (budget == tight) {
+                    FIDR_CHECK(two.cache_hit_rate > one.cache_hit_rate);
+                    FIDR_CHECK(two.ssd_fetches < one.ssd_fetches);
+                    FIDR_CHECK(spill.spill_hits > 0);
+                    FIDR_CHECK(spill.cache_hit_rate >
+                               two.cache_hit_rate);
+                    FIDR_CHECK(spill.ssd_fetches < two.ssd_fetches);
+                }
+            }
         }
 
         obs::JsonWriter &json = report.begin_entry("read_sweep");
@@ -277,12 +382,16 @@ main(int argc, char **argv)
             json.begin_object();
             json.kv("lanes", static_cast<std::uint64_t>(cell.lanes));
             json.kv("cache_bytes", cell.cache_bytes);
+            json.kv("tier", cell.tier);
             json.kv("seconds", cell.seconds);
             json.kv("chunks_per_s", cell.chunks_per_s);
             json.kv("gb_per_s", cell.gb_per_s);
             json.kv("ssd_fetches", cell.ssd_fetches);
             json.kv("cache_hits", cell.cache_hits);
             json.kv("cache_hit_rate", cell.cache_hit_rate);
+            json.kv("warm_hits", cell.warm_hits);
+            json.kv("spill_hits", cell.spill_hits);
+            json.kv("spill_writes", cell.spill_writes);
             json.end_object();
         }
         json.end_array();

@@ -56,7 +56,11 @@ def identity(entry):
                    "gc_steps", "concurrent_steps", "relocated_bytes",
                    "containers_reclaimed", "reclaimed_bytes",
                    "cache_rekeys", "free_slot_fraction",
-                   "gc_pause_p99_ns"):
+                   "gc_pause_p99_ns",
+                   # Two-tier cache counters ("tier" itself stays an
+                   # identity field: one/two/two+spill are distinct
+                   # series, their counters are measurements).
+                   "warm_hits", "spill_hits", "spill_writes"):
             continue
         if isinstance(value, (str, int, float, bool)):
             parts.append((key, value))

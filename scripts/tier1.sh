@@ -79,10 +79,12 @@ cmake --build "$TSAN_DIR" -j "$JOBS" \
 # and the power-cut-with-batches-in-flight crash sweep, raced by TSan.
 "$TSAN_DIR"/tests/test_pipeline_determinism
 # Read-plane fan-out: concurrent fetch+decompress lanes against the
-# sharded chunk cache and atomic SSD read counters, raced by TSan.
+# sharded two-tier chunk cache (hot/warm/spill lookups, admission) and
+# atomic SSD read counters, raced by TSan.
 "$TSAN_DIR"/tests/test_read_plane
 # Incremental GC on the commit sequencer raced against in-flight write
-# batches and concurrent read lanes (relocation, cache rekey, fsck).
+# batches and concurrent read lanes (relocation, cache rekey across
+# all tiers incl. the spill ring, fsck).
 "$TSAN_DIR"/tests/test_gc
 
 echo "== tier-1: fault injection + crash sweep under ASan/UBSan =="
@@ -166,12 +168,14 @@ echo "== tier-1: write-path pipelining smoke (depth sweep) =="
 # and depth-4 throughput strictly above depth-1.
 (cd "$BUILD_DIR"/bench && ./bench_pipeline_depth --smoke)
 
-echo "== tier-1: read-plane smoke (lanes x cache sweep) =="
+echo "== tier-1: read-plane smoke (lanes x cache x tier sweep) =="
 # bench_read_throughput asserts its own gates: payload checksums
-# identical across every (read_lanes, cache capacity) cell — the
-# capacity-0 cells prove the chunk cache is a pure optimization —
-# fetch/hit counts lane-invariant, and on the Zipfian hot set a
-# nonzero hit rate with strictly fewer data-SSD fetches than cache-off.
+# identical across every (read_lanes, cache capacity, tier config)
+# cell — the capacity-0 cells prove the chunk cache is a pure
+# optimization — fetch/hit/warm/spill counts lane-invariant, and on
+# the Zipfian hot set, at the same DRAM budget: one-tier strictly
+# beats cache-off, two-tier strictly beats one-tier on hit rate and
+# data-SSD fetches, and the spill ring strictly beats plain two-tier.
 (cd "$BUILD_DIR"/bench && ./bench_read_throughput --smoke)
 
 echo "== tier-1: GC steady-state smoke (churn vs reserve watermark) =="

@@ -1,17 +1,122 @@
 #include "fidr/cache/chunk_cache.h"
 
+#include <algorithm>
+
 namespace fidr::cache {
 
+namespace {
+
+/** Row-seeded key hash for the count-min sketch (independent of the
+ *  shard-routing hash so sketch collisions don't follow shard load). */
+std::uint64_t
+sketch_hash(const ChunkKey &key, std::uint64_t row)
+{
+    std::uint64_t x = key.container_id * 0xD6E8FEB86659FD93ull +
+                      key.offset_units + (row + 1) * 0xA24BAED4963EE407ull;
+    x ^= x >> 32;
+    x *= 0xD6E8FEB86659FD93ull;
+    x ^= x >> 32;
+    x *= 0xD6E8FEB86659FD93ull;
+    x ^= x >> 32;
+    return x;
+}
+
+}  // namespace
+
+void
+ChunkReadCache::GhostList::push(const ChunkKey &key)
+{
+    if (cap == 0)
+        return;
+    const auto it = index.find(key);
+    if (it != index.end()) {
+        order.splice(order.begin(), order, it->second);
+        return;
+    }
+    while (order.size() >= cap) {
+        index.erase(order.back());
+        order.pop_back();
+    }
+    order.push_front(key);
+    index.emplace(key, order.begin());
+}
+
+bool
+ChunkReadCache::GhostList::take(const ChunkKey &key)
+{
+    const auto it = index.find(key);
+    if (it == index.end())
+        return false;
+    order.erase(it->second);
+    index.erase(it);
+    return true;
+}
+
+void
+ChunkReadCache::GhostList::clear()
+{
+    order.clear();
+    index.clear();
+}
+
+void
+ChunkReadCache::Sketch::add(const ChunkKey &key)
+{
+    for (std::size_t row = 0; row < kRows; ++row) {
+        std::uint8_t &count =
+            counts[row * kWidth + (sketch_hash(key, row) & (kWidth - 1))];
+        if (count < 15)  // Saturate at 4 bits: aging stays meaningful.
+            ++count;
+    }
+    // TinyLFU aging: halve everything once a window's worth of
+    // distinct-ish traffic accumulated, so stale popularity decays.
+    if (++adds >= 8 * kWidth) {
+        adds = 0;
+        for (std::uint8_t &count : counts)
+            count >>= 1;
+    }
+}
+
+unsigned
+ChunkReadCache::Sketch::estimate(const ChunkKey &key) const
+{
+    unsigned best = 255;
+    for (std::size_t row = 0; row < kRows; ++row) {
+        best = std::min<unsigned>(
+            best,
+            counts[row * kWidth + (sketch_hash(key, row) & (kWidth - 1))]);
+    }
+    return best;
+}
+
 ChunkReadCache::ChunkReadCache(std::uint64_t capacity_bytes,
-                               std::size_t shards)
-    : capacity_bytes_(capacity_bytes)
+                               std::size_t shards,
+                               ChunkCacheTuning tuning,
+                               SpillBackend *spill)
+    : capacity_bytes_(capacity_bytes), tuning_(tuning),
+      spill_backend_(spill)
 {
     FIDR_CHECK(shards > 0 && (shards & (shards - 1)) == 0);
     shard_mask_ = shards - 1;
     shard_capacity_ = capacity_bytes / shards;
+    if (tuning_.two_tier && spill_backend_)
+        spill_capacity_ = spill_backend_->capacity_bytes();
+    adapt_step_ = static_cast<std::uint64_t>(
+        static_cast<double>(shard_capacity_) *
+        tuning_.adapt_step_fraction);
+    const auto initial_target = static_cast<std::uint64_t>(
+        static_cast<double>(shard_capacity_) *
+        tuning_.hot_fraction_initial);
     shards_.reserve(shards);
-    for (std::size_t s = 0; s < shards; ++s)
-        shards_.push_back(std::make_unique<Shard>());
+    for (std::size_t s = 0; s < shards; ++s) {
+        auto shard = std::make_unique<Shard>();
+        shard->hot_target =
+            tuning_.two_tier ? initial_target : shard_capacity_;
+        shard->ghost_hot.cap = tuning_.two_tier ? tuning_.ghost_entries : 0;
+        shard->ghost_warm.cap =
+            tuning_.two_tier ? tuning_.ghost_entries : 0;
+        shards_.push_back(std::move(shard));
+    }
 }
 
 std::size_t
@@ -20,48 +125,367 @@ ChunkReadCache::shard_of(const ChunkKey &key) const
     return ChunkKeyHash{}(key) & shard_mask_;
 }
 
-std::optional<Buffer>
+std::uint64_t
+ChunkReadCache::billed_hot(const Entry &entry) const
+{
+    // Two-tier hot entries retain the compressed image so demotion is
+    // free (no recompression, ever); one-tier entries bill raw only,
+    // reproducing the PR 5 footprint exactly.
+    return entry.raw.size() +
+           (tuning_.two_tier ? entry.compressed.size() : 0);
+}
+
+std::uint64_t
+ChunkReadCache::billed_warm(const Entry &entry) const
+{
+    return entry.compressed.size();
+}
+
+void
+ChunkReadCache::bump_hot_target(Shard &shard, bool grow)
+{
+    const auto lo = static_cast<std::uint64_t>(
+        static_cast<double>(shard_capacity_) * tuning_.hot_fraction_min);
+    const auto hi = static_cast<std::uint64_t>(
+        static_cast<double>(shard_capacity_) * tuning_.hot_fraction_max);
+    if (grow)
+        // Quarter step: hot bytes are ~3-4x as expensive per resident
+        // entry as warm bytes (see ChunkCacheTuning::adapt_step_fraction).
+        shard.hot_target =
+            std::min(hi, shard.hot_target + adapt_step_ / 4);
+    else
+        shard.hot_target = std::max(
+            lo, shard.hot_target > adapt_step_
+                    ? shard.hot_target - adapt_step_
+                    : 0);
+}
+
+TierLookup
 ChunkReadCache::lookup(const ChunkKey &key)
 {
     Shard &shard = shard_for(key);
     const std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.index.find(key);
-    if (it == shard.index.end()) {
-        ++shard.stats.misses;
-        return std::nullopt;
+    if (it != shard.index.end()) {
+        Entry &entry = *it->second.it;
+        if (it->second.hot) {
+            ++shard.stats.hits;
+            ++shard.stats.hot.hits;
+            shard.hot.splice(shard.hot.begin(), shard.hot, it->second.it);
+            TierLookup out;
+            out.tier = CacheTier::kHot;
+            out.raw = entry.raw;
+            out.raw_size = entry.raw_size;
+            return out;
+        }
+        ++shard.stats.hits;
+        ++shard.stats.warm.hits;
+        shard.warm.splice(shard.warm.begin(), shard.warm, it->second.it);
+        // A warm hit still inside the hot ghost: a bigger hot tier
+        // would have skipped this decompress.  Grow the hot target.
+        if (shard.ghost_hot.take(key)) {
+            ++shard.stats.ghost_hot_hits;
+            bump_hot_target(shard, /*grow=*/true);
+        }
+        TierLookup out;
+        out.tier = CacheTier::kWarm;
+        out.compressed = entry.compressed;
+        out.raw_size = entry.raw_size;
+        return out;
     }
-    ++shard.stats.hits;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return it->second->payload;
+
+    // Not in DRAM: probe the spill index (shard -> spill lock order).
+    if (spill_enabled()) {
+        const std::lock_guard<std::mutex> spill_lock(spill_.mutex);
+        const auto spilled = spill_.index.find(key);
+        if (spilled != spill_.index.end()) {
+            ++shard.stats.hits;
+            ++shard.stats.spill.hits;
+            // The image fell out of DRAM entirely: a bigger warm tier
+            // would have held it.  Shrink the hot target.
+            if (shard.ghost_warm.take(key))
+                ++shard.stats.ghost_warm_hits;
+            bump_hot_target(shard, /*grow=*/false);
+            TierLookup out;
+            out.tier = CacheTier::kSpill;
+            out.spill = spilled->second;
+            out.raw_size = spilled->second.raw_size;
+            return out;
+        }
+    }
+
+    ++shard.stats.misses;
+    if (tuning_.admission)
+        shard.sketch.add(key);
+    if (shard.ghost_warm.take(key)) {
+        ++shard.stats.ghost_warm_hits;
+        bump_hot_target(shard, /*grow=*/false);
+    }
+    return {};
+}
+
+CacheTier
+ChunkReadCache::peek(const ChunkKey &key) const
+{
+    const Shard &shard = *shards_[shard_of(key)];
+    {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.index.find(key);
+        if (it != shard.index.end())
+            return it->second.hot ? CacheTier::kHot : CacheTier::kWarm;
+    }
+    if (spill_enabled()) {
+        const std::lock_guard<std::mutex> spill_lock(spill_.mutex);
+        if (spill_.index.contains(key))
+            return CacheTier::kSpill;
+    }
+    return CacheTier::kNone;
 }
 
 void
-ChunkReadCache::insert(const ChunkKey &key, const Buffer &payload)
+ChunkReadCache::demote_tail(Shard &shard)
 {
-    if (payload.size() > shard_capacity_)
+    Entry &victim = shard.hot.back();
+    shard.hot_bytes -= billed_hot(victim);
+    if (!tuning_.two_tier || victim.compressed.empty()) {
+        // Nothing to demote to: one-tier mode (or an entry without a
+        // compressed image) drops straight out of DRAM.
+        shard.index.erase(victim.key);
+        shard.hot.pop_back();
+        ++shard.stats.evictions;
+        ++shard.stats.hot.evictions;
+        return;
+    }
+    victim.raw = Buffer();  // Free the decompressed bytes.
+    shard.ghost_hot.push(victim.key);
+    ++shard.stats.demotions;
+    ++shard.stats.hot.evictions;
+    ++shard.stats.warm.insertions;
+    shard.warm_bytes += billed_warm(victim);
+    auto slot = shard.index.find(victim.key);
+    // Demoted entry becomes the warm tier's MRU (ARC-style).
+    shard.warm.splice(shard.warm.begin(), shard.hot,
+                      std::prev(shard.hot.end()));
+    slot->second.hot = false;
+    slot->second.it = shard.warm.begin();
+}
+
+void
+ChunkReadCache::spill_drop_overlaps(Shard &shard, std::uint64_t offset,
+                                    std::uint64_t size)
+{
+    // Entries whose bytes the ring is about to overwrite leave the
+    // index.  by_offset is ordered, so scan from the first occupant
+    // that could overlap.  (Counted into the evicting shard's stats;
+    // aggregate totals are exact, per-shard attribution approximate.)
+    auto it = spill_.by_offset.lower_bound(offset);
+    if (it != spill_.by_offset.begin()) {
+        const auto prev = std::prev(it);
+        if (prev->first + prev->second.size > offset)
+            it = prev;
+    }
+    while (it != spill_.by_offset.end() && it->first < offset + size) {
+        spill_.used_bytes -= it->second.size;
+        spill_.index.erase(it->second.key);
+        it = spill_.by_offset.erase(it);
+        ++shard.stats.spill_overwritten;
+        ++shard.stats.spill.evictions;
+    }
+}
+
+void
+ChunkReadCache::spill_out(Shard &shard, Entry &&entry)
+{
+    const std::uint64_t size = entry.compressed.size();
+    if (size == 0 || size > spill_capacity_)
+        return;
+    const std::lock_guard<std::mutex> spill_lock(spill_.mutex);
+    // Sequential ring: wrap when the image won't fit before the end.
+    // The tail gap left by a wrap keeps its occupants readable until
+    // a later lap actually overwrites them.
+    if (spill_.cursor + size > spill_capacity_)
+        spill_.cursor = 0;
+    const std::uint64_t offset = spill_.cursor;
+    spill_drop_overlaps(shard, offset, size);
+    // A re-spilled key must not leave a stale occupant elsewhere.
+    const auto existing = spill_.index.find(entry.key);
+    if (existing != spill_.index.end()) {
+        spill_.used_bytes -= existing->second.size;
+        spill_.by_offset.erase(existing->second.offset);
+        spill_.index.erase(existing);
+    }
+    const Status written = spill_backend_->write(offset, entry.compressed);
+    if (!written.is_ok()) {
+        ++shard.stats.spill_write_failures;
+        return;
+    }
+    spill_.cursor = offset + size;
+    SpillRef ref;
+    ref.offset = offset;
+    ref.size = static_cast<std::uint32_t>(size);
+    ref.raw_size = entry.raw_size;
+    spill_.index.emplace(entry.key, ref);
+    spill_.by_offset[offset] =
+        SpillRing::Occupant{entry.key, ref.size};
+    spill_.used_bytes += size;
+    ++shard.stats.spill_writes;
+    ++shard.stats.spill.insertions;
+}
+
+void
+ChunkReadCache::evict_warm_tail(Shard &shard)
+{
+    Entry victim = std::move(shard.warm.back());
+    shard.warm_bytes -= victim.compressed.size();
+    shard.index.erase(victim.key);
+    shard.warm.pop_back();
+    ++shard.stats.evictions;
+    ++shard.stats.warm.evictions;
+    shard.ghost_warm.push(victim.key);
+    if (spill_enabled())
+        spill_out(shard, std::move(victim));
+}
+
+void
+ChunkReadCache::rebalance(Shard &shard)
+{
+    if (tuning_.two_tier) {
+        while (shard.hot_bytes > shard.hot_target && !shard.hot.empty())
+            demote_tail(shard);
+    }
+    while (shard.hot_bytes + shard.warm_bytes > shard_capacity_) {
+        if (!shard.warm.empty())
+            evict_warm_tail(shard);
+        else if (!shard.hot.empty())
+            demote_tail(shard);  // One-tier mode: drops outright.
+        else
+            break;
+    }
+}
+
+void
+ChunkReadCache::insert(const ChunkKey &key, const Buffer &raw,
+                       const Buffer &compressed)
+{
+    if (raw.size() > shard_capacity_)
         return;  // Would evict the whole shard for one entry.
     Shard &shard = shard_for(key);
     const std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
-        shard.used_bytes -= it->second->payload.size();
-        shard.used_bytes += payload.size();
-        it->second->payload = payload;
-        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        // Resident re-insert: refresh content and recency in place.
+        Entry &entry = *it->second.it;
+        if (it->second.hot) {
+            shard.hot_bytes -= billed_hot(entry);
+            entry.raw = raw;
+            entry.compressed = tuning_.two_tier ? compressed : Buffer();
+            entry.raw_size = static_cast<std::uint32_t>(raw.size());
+            shard.hot_bytes += billed_hot(entry);
+            shard.hot.splice(shard.hot.begin(), shard.hot, it->second.it);
+        } else {
+            // Warm entry getting a fresh fill: promote it.
+            shard.warm_bytes -= billed_warm(entry);
+            entry.raw = raw;
+            entry.raw_size = static_cast<std::uint32_t>(raw.size());
+            shard.hot.splice(shard.hot.begin(), shard.warm,
+                             it->second.it);
+            it->second.hot = true;
+            it->second.it = shard.hot.begin();
+            shard.hot_bytes += billed_hot(*shard.hot.begin());
+            ++shard.stats.promotions;
+            ++shard.stats.hot.insertions;
+        }
+        rebalance(shard);
         return;
     }
-    while (!shard.lru.empty() &&
-           shard.used_bytes + payload.size() > shard_capacity_) {
-        const Entry &victim = shard.lru.back();
-        shard.used_bytes -= victim.payload.size();
-        shard.index.erase(victim.key);
-        shard.lru.pop_back();
-        ++shard.stats.evictions;
+    if (tuning_.admission) {
+        // Incompressible images make the warm tier pointless: a slot
+        // would hold ~raw bytes to save one SSD fetch — the hit-rate
+        // win per DRAM byte is what the tiering exists for.
+        if (!compressed.empty() &&
+            static_cast<double>(compressed.size()) >=
+                tuning_.incompressible_fraction *
+                    static_cast<double>(raw.size())) {
+            ++shard.stats.rejected_incompressible;
+            return;
+        }
+        // Doorkeeper: one-hit wonders never enter.  The lookup miss
+        // that preceded this fill already fed the sketch, so a chunk
+        // is admitted on its admit_frequency-th miss in the window.
+        if (shard.sketch.estimate(key) < tuning_.admit_frequency) {
+            ++shard.stats.rejected_doorkeeper;
+            return;
+        }
     }
-    shard.lru.push_front(Entry{key, payload});
-    shard.index.emplace(key, shard.lru.begin());
-    shard.used_bytes += payload.size();
+    Entry entry;
+    entry.key = key;
+    entry.raw = raw;
+    entry.compressed = tuning_.two_tier ? compressed : Buffer();
+    entry.raw_size = static_cast<std::uint32_t>(raw.size());
+    shard.hot_bytes += billed_hot(entry);
+    shard.hot.push_front(std::move(entry));
+    shard.index.emplace(key, Shard::Slot{true, shard.hot.begin()});
     ++shard.stats.insertions;
+    ++shard.stats.hot.insertions;
+    rebalance(shard);
+}
+
+void
+ChunkReadCache::promote(const ChunkKey &key, const Buffer &raw,
+                        const Buffer &compressed)
+{
+    Shard &shard = shard_for(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        if (it->second.hot) {
+            shard.hot.splice(shard.hot.begin(), shard.hot, it->second.it);
+            return;  // Already hot (promoted earlier in the batch).
+        }
+        Entry &entry = *it->second.it;
+        shard.warm_bytes -= billed_warm(entry);
+        entry.raw = raw;
+        entry.raw_size = static_cast<std::uint32_t>(raw.size());
+        shard.hot.splice(shard.hot.begin(), shard.warm, it->second.it);
+        it->second.hot = true;
+        it->second.it = shard.hot.begin();
+        shard.hot_bytes += billed_hot(*shard.hot.begin());
+        ++shard.stats.promotions;
+        ++shard.stats.hot.insertions;
+        rebalance(shard);
+        return;
+    }
+    // Spill promotion: the image re-enters DRAM and leaves the ring's
+    // index (its flash bytes are simply forgotten; the ring reclaims
+    // space by lapping, not by holes).
+    bool from_spill = false;
+    if (spill_enabled()) {
+        const std::lock_guard<std::mutex> spill_lock(spill_.mutex);
+        const auto spilled = spill_.index.find(key);
+        if (spilled != spill_.index.end()) {
+            spill_.used_bytes -= spilled->second.size;
+            spill_.by_offset.erase(spilled->second.offset);
+            spill_.index.erase(spilled);
+            from_spill = true;
+        }
+    }
+    Entry entry;
+    entry.key = key;
+    entry.raw = raw;
+    entry.compressed = tuning_.two_tier ? compressed : Buffer();
+    entry.raw_size = static_cast<std::uint32_t>(raw.size());
+    shard.hot_bytes += billed_hot(entry);
+    shard.hot.push_front(std::move(entry));
+    shard.index.emplace(key, Shard::Slot{true, shard.hot.begin()});
+    if (from_spill) {
+        ++shard.stats.promotions;
+        ++shard.stats.hot.insertions;
+    } else {
+        // Raced an invalidation (or spill disabled): plain fill.
+        ++shard.stats.insertions;
+        ++shard.stats.hot.insertions;
+    }
+    rebalance(shard);
 }
 
 void
@@ -69,13 +493,35 @@ ChunkReadCache::invalidate(const ChunkKey &key)
 {
     Shard &shard = shard_for(key);
     const std::lock_guard<std::mutex> lock(shard.mutex);
+    bool dropped = false;
     const auto it = shard.index.find(key);
-    if (it == shard.index.end())
-        return;
-    shard.used_bytes -= it->second->payload.size();
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
-    ++shard.stats.invalidations;
+    if (it != shard.index.end()) {
+        Entry &entry = *it->second.it;
+        if (it->second.hot) {
+            shard.hot_bytes -= billed_hot(entry);
+            shard.hot.erase(it->second.it);
+        } else {
+            shard.warm_bytes -= billed_warm(entry);
+            shard.warm.erase(it->second.it);
+        }
+        shard.index.erase(it);
+        dropped = true;
+    }
+    if (spill_enabled()) {
+        // Still under the shard lock: the DRAM and spill copies leave
+        // together, so no probe can see the spilled image outlive an
+        // invalidation of its PBN.
+        const std::lock_guard<std::mutex> spill_lock(spill_.mutex);
+        const auto spilled = spill_.index.find(key);
+        if (spilled != spill_.index.end()) {
+            spill_.used_bytes -= spilled->second.size;
+            spill_.by_offset.erase(spilled->second.offset);
+            spill_.index.erase(spilled);
+            dropped = true;
+        }
+    }
+    if (dropped)
+        ++shard.stats.invalidations;
 }
 
 bool
@@ -83,42 +529,138 @@ ChunkReadCache::rekey(const ChunkKey &from, const ChunkKey &to)
 {
     if (from == to)
         return false;
-    Buffer payload;
-    {
-        Shard &shard = shard_for(from);
-        const std::lock_guard<std::mutex> lock(shard.mutex);
-        const auto it = shard.index.find(from);
-        if (it == shard.index.end())
-            return false;
-        payload = std::move(it->second->payload);
-        shard.used_bytes -= payload.size();
-        shard.lru.erase(it->second);
-        shard.index.erase(it);
+    Shard &src = shard_for(from);
+    Shard &dst = shard_for(to);
+    // Both shard locks (one when the keys co-shard) held together for
+    // the whole move: no interleaved probe can miss the entry under
+    // both keys or find it under the retired one.
+    std::unique_lock<std::mutex> src_lock(src.mutex, std::defer_lock);
+    std::unique_lock<std::mutex> dst_lock(dst.mutex, std::defer_lock);
+    if (&src == &dst)
+        src_lock.lock();
+    else
+        std::lock(src_lock, dst_lock);
+
+    bool moved = false;
+    const auto it = src.index.find(from);
+    if (it != src.index.end()) {
+        const bool was_hot = it->second.hot;
+        Entry entry = std::move(*it->second.it);
+        if (was_hot) {
+            src.hot_bytes -= billed_hot(entry);
+            src.hot.erase(it->second.it);
+        } else {
+            src.warm_bytes -= billed_warm(entry);
+            src.warm.erase(it->second.it);
+        }
+        src.index.erase(it);
         // The old physical location is gone whatever happens next, so
         // this is an invalidation first and a move second.
-        ++shard.stats.invalidations;
-        ++shard.stats.rekeys;
+        ++src.stats.invalidations;
+        ++src.stats.rekeys;
+
+        entry.key = to;
+        // Displace any stale resident under the destination key (the
+        // relocated chunk's image is the authoritative one).
+        const auto existing = dst.index.find(to);
+        if (existing != dst.index.end()) {
+            Entry &old = *existing->second.it;
+            if (existing->second.hot) {
+                dst.hot_bytes -= billed_hot(old);
+                dst.hot.erase(existing->second.it);
+            } else {
+                dst.warm_bytes -= billed_warm(old);
+                dst.warm.erase(existing->second.it);
+            }
+            dst.index.erase(existing);
+            ++dst.stats.invalidations;
+        }
+        if (was_hot) {
+            dst.hot_bytes += billed_hot(entry);
+            dst.hot.push_front(std::move(entry));
+            dst.index.emplace(to, Shard::Slot{true, dst.hot.begin()});
+        } else {
+            dst.warm_bytes += billed_warm(entry);
+            dst.warm.push_front(std::move(entry));
+            dst.index.emplace(to, Shard::Slot{false, dst.warm.begin()});
+        }
+        rebalance(dst);
+        moved = true;
     }
-    insert(to, payload);
-    return true;
+
+    if (spill_enabled()) {
+        // Shard locks still held: the spill index renames in the same
+        // critical section, so the spilled image is never reachable
+        // under the retired key once rekey returns — and never
+        // unreachable while it is.
+        const std::lock_guard<std::mutex> spill_lock(spill_.mutex);
+        const auto spilled = spill_.index.find(from);
+        if (spilled != spill_.index.end()) {
+            const SpillRef ref = spilled->second;
+            spill_.index.erase(spilled);
+            const auto target = spill_.index.find(to);
+            if (target != spill_.index.end()) {
+                // Destination already spilled: keep it, drop ours.
+                spill_.used_bytes -= ref.size;
+                spill_.by_offset.erase(ref.offset);
+            } else {
+                spill_.index.emplace(to, ref);
+                spill_.by_offset[ref.offset] =
+                    SpillRing::Occupant{to, ref.size};
+            }
+            if (!moved) {
+                ++src.stats.invalidations;
+                ++src.stats.rekeys;
+            }
+            moved = true;
+        }
+    }
+    return moved;
 }
 
 void
 ChunkReadCache::invalidate_container(std::uint64_t container_id)
 {
     // A container's chunks hash across shards, so every shard scans.
-    // Invalidation happens at compaction rate, not request rate.
+    // Invalidation happens at GC-discard rate, not request rate.
     for (const auto &shard : shards_) {
         const std::lock_guard<std::mutex> lock(shard->mutex);
-        for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+        for (auto it = shard->hot.begin(); it != shard->hot.end();) {
             if (it->key.container_id != container_id) {
                 ++it;
                 continue;
             }
-            shard->used_bytes -= it->payload.size();
+            shard->hot_bytes -= billed_hot(*it);
             shard->index.erase(it->key);
-            it = shard->lru.erase(it);
+            it = shard->hot.erase(it);
             ++shard->stats.invalidations;
+        }
+        for (auto it = shard->warm.begin(); it != shard->warm.end();) {
+            if (it->key.container_id != container_id) {
+                ++it;
+                continue;
+            }
+            shard->warm_bytes -= billed_warm(*it);
+            shard->index.erase(it->key);
+            it = shard->warm.erase(it);
+            ++shard->stats.invalidations;
+        }
+    }
+    if (spill_enabled()) {
+        const std::lock_guard<std::mutex> spill_lock(spill_.mutex);
+        for (auto it = spill_.by_offset.begin();
+             it != spill_.by_offset.end();) {
+            if (it->second.key.container_id != container_id) {
+                ++it;
+                continue;
+            }
+            spill_.used_bytes -= it->second.size;
+            spill_.index.erase(it->second.key);
+            const std::size_t shard = shard_of(it->second.key);
+            it = spill_.by_offset.erase(it);
+            const std::lock_guard<std::mutex> lock(
+                shards_[shard]->mutex);
+            ++shards_[shard]->stats.invalidations;
         }
     }
 }
@@ -128,12 +670,59 @@ ChunkReadCache::clear()
 {
     for (const auto &shard : shards_) {
         const std::lock_guard<std::mutex> lock(shard->mutex);
-        shard->stats.invalidations += shard->lru.size();
-        shard->lru.clear();
+        shard->stats.invalidations +=
+            shard->hot.size() + shard->warm.size();
+        shard->hot.clear();
+        shard->warm.clear();
         shard->index.clear();
-        shard->used_bytes = 0;
+        shard->hot_bytes = 0;
+        shard->warm_bytes = 0;
+        shard->ghost_hot.clear();
+        shard->ghost_warm.clear();
+    }
+    if (spill_enabled()) {
+        const std::lock_guard<std::mutex> spill_lock(spill_.mutex);
+        // The index is host DRAM: spilled bytes are unreachable after
+        // a crash even though the flash region survives.
+        spill_.index.clear();
+        spill_.by_offset.clear();
+        spill_.cursor = 0;
+        spill_.used_bytes = 0;
     }
 }
+
+namespace {
+
+void
+merge_stats(ChunkCacheStats &out, const ChunkCacheStats &in)
+{
+    out.hits += in.hits;
+    out.misses += in.misses;
+    out.insertions += in.insertions;
+    out.evictions += in.evictions;
+    out.invalidations += in.invalidations;
+    out.rekeys += in.rekeys;
+    out.hot.hits += in.hot.hits;
+    out.hot.insertions += in.hot.insertions;
+    out.hot.evictions += in.hot.evictions;
+    out.warm.hits += in.warm.hits;
+    out.warm.insertions += in.warm.insertions;
+    out.warm.evictions += in.warm.evictions;
+    out.spill.hits += in.spill.hits;
+    out.spill.insertions += in.spill.insertions;
+    out.spill.evictions += in.spill.evictions;
+    out.demotions += in.demotions;
+    out.promotions += in.promotions;
+    out.spill_writes += in.spill_writes;
+    out.spill_write_failures += in.spill_write_failures;
+    out.spill_overwritten += in.spill_overwritten;
+    out.rejected_incompressible += in.rejected_incompressible;
+    out.rejected_doorkeeper += in.rejected_doorkeeper;
+    out.ghost_hot_hits += in.ghost_hot_hits;
+    out.ghost_warm_hits += in.ghost_warm_hits;
+}
+
+}  // namespace
 
 ChunkCacheStats
 ChunkReadCache::stats() const
@@ -141,12 +730,7 @@ ChunkReadCache::stats() const
     ChunkCacheStats out;
     for (const auto &shard : shards_) {
         const std::lock_guard<std::mutex> lock(shard->mutex);
-        out.hits += shard->stats.hits;
-        out.misses += shard->stats.misses;
-        out.insertions += shard->stats.insertions;
-        out.evictions += shard->stats.evictions;
-        out.invalidations += shard->stats.invalidations;
-        out.rekeys += shard->stats.rekeys;
+        merge_stats(out, shard->stats);
     }
     return out;
 }
@@ -164,7 +748,40 @@ ChunkReadCache::used_bytes() const
     std::uint64_t total = 0;
     for (const auto &shard : shards_) {
         const std::lock_guard<std::mutex> lock(shard->mutex);
-        total += shard->used_bytes;
+        total += shard->hot_bytes + shard->warm_bytes;
+    }
+    return total;
+}
+
+std::uint64_t
+ChunkReadCache::hot_used_bytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->hot_bytes;
+    }
+    return total;
+}
+
+std::uint64_t
+ChunkReadCache::warm_used_bytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->warm_bytes;
+    }
+    return total;
+}
+
+std::uint64_t
+ChunkReadCache::hot_target_bytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->hot_target;
     }
     return total;
 }
@@ -175,9 +792,49 @@ ChunkReadCache::entries() const
     std::size_t total = 0;
     for (const auto &shard : shards_) {
         const std::lock_guard<std::mutex> lock(shard->mutex);
-        total += shard->lru.size();
+        total += shard->hot.size() + shard->warm.size();
     }
     return total;
+}
+
+std::size_t
+ChunkReadCache::hot_entries() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->hot.size();
+    }
+    return total;
+}
+
+std::size_t
+ChunkReadCache::warm_entries() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->warm.size();
+    }
+    return total;
+}
+
+std::size_t
+ChunkReadCache::spill_entries() const
+{
+    if (!spill_enabled())
+        return 0;
+    const std::lock_guard<std::mutex> lock(spill_.mutex);
+    return spill_.index.size();
+}
+
+std::uint64_t
+ChunkReadCache::spill_used_bytes() const
+{
+    if (!spill_enabled())
+        return 0;
+    const std::lock_guard<std::mutex> lock(spill_.mutex);
+    return spill_.used_bytes;
 }
 
 }  // namespace fidr::cache

@@ -1,39 +1,70 @@
 /**
  * @file
- * Read-side chunk cache: decompressed chunk content keyed by physical
- * location.
+ * Two-tier read-side chunk cache keyed by physical location, with an
+ * optional SSD spill tier.
  *
  * Dedup concentrates read traffic: many hot LBAs resolve to the same
- * PBN (the locality fingerprint caches like HPDedup exploit on the
- * write path), so a modest host-DRAM cache of *decompressed* chunks
- * keyed by `{container_id, offset}` turns every repeat hit into a pure
- * DRAM serve — no data-SSD fetch, no Decompression Engine pass
- * (the ZipCache idea applied to FIDR's Fig 6b).  Keys are physical,
- * not logical, so N LBAs sharing a PBN share one cache entry and an
- * overwrite of one LBA cannot stale another's entry.
+ * PBN, so a modest host-DRAM cache keyed by `{container_id, offset}`
+ * turns repeat hits into DRAM serves.  PR 5 cached decompressed chunks
+ * only, so one DRAM byte bought one chunk byte.  Following ZipCache,
+ * the cache now holds two DRAM tiers under one byte budget:
  *
- * Sharding follows the TableCache pattern (Sec 5.5 / Observation #4):
- * N = 2^k shards, each with its own LRU list, byte budget
- * (capacity / N), stats, and mutex, routed by a mix of the key's
- * container id and offset.  Lookups and inserts from concurrent read
- * lanes never contend across shards; `shards = 1` keeps a single
- * global LRU order.
+ *  - *Hot*: decompressed chunks (plus their compressed image, so
+ *    demotion never recompresses).  A hot hit is a pure DRAM serve —
+ *    host DRAM -> NIC, no device touched.
+ *  - *Warm*: compressed images only.  A warm hit pays one
+ *    `decompress_stateless` pass but no data-SSD DMA; at typical 2-3x
+ *    compression a warm byte holds 2-3x the chunks a hot byte does.
  *
- * Coherence: the cache is a pure optimization over immutable chunk
- * images.  Container contents never change in place — only
- * `compact()` (whole-container discard) and PBN retirement free
- * physical space — so the owner invalidates by container or by key at
- * exactly those points and clears the cache on crash recovery (host
- * DRAM dies with the power).  Payload bytes served from the cache are
- * therefore always identical to a fresh fetch+decompress.
+ * Eviction cascades downward: hot LRU tails *demote* to warm (drop the
+ * decompressed buffer, keep the compressed one), warm LRU tails leave
+ * DRAM — into the optional *spill* tier when a SpillBackend is
+ * attached (a reserved data-SSD region written as a sequential ring of
+ * compressed images), otherwise they are gone.  A warm or spill
+ * re-reference *promotes* back to hot: the caller decompresses (that
+ * is read-path work with read-path billing) and hands the raw bytes
+ * back via promote().
+ *
+ * The hot/warm split self-tunes instead of being a knob: each shard
+ * keeps two bounded ghost-LRU lists of recently demoted / recently
+ * evicted keys (ARC-style).  A warm hit whose key is still in the
+ * hot-ghost means a larger hot tier would have served it without the
+ * decompress — grow the hot target one step.  A miss or spill hit
+ * whose key is in the warm-ghost means a larger warm tier would have
+ * kept it in DRAM — shrink the hot target.  Targets are clamped to
+ * [hot_fraction_min, hot_fraction_max] of the shard budget.
+ *
+ * Admission (HPDedup's locality-priority argument, off by default and
+ * enabled per config): chunks whose compressed image is >= ~90% of raw
+ * never enter (a warm slot would buy nothing over refetching), and a
+ * small per-shard count-min sketch with periodic halving gates
+ * one-hit wonders — a chunk is admitted only once it has missed twice
+ * within the sketch's aging window.
+ *
+ * Sharding follows the TableCache pattern: N = 2^k shards, each with
+ * its own tier lists, byte budget, ghost lists, sketch, stats and
+ * mutex.  The spill ring (index, write cursor, occupancy map) is
+ * global under its own mutex; every acquisition orders shard mutex(es)
+ * before the spill mutex, and multi-shard operations (rekey) take both
+ * shard locks via std::scoped_lock, so a warm/spill entry can never be
+ * observed under a key whose physical location is already gone.
+ *
+ * Coherence is unchanged from PR 5/8: chunk images are immutable;
+ * owners invalidate by key (PBN retirement), by container (GC
+ * discard), re-key on GC relocation — each of these now covers *all*
+ * tiers including the spill index atomically — and clear() on crash
+ * recovery (the spill index lives in host DRAM, so spilled bytes die
+ * with the power even though the region itself is flash).
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -68,16 +99,119 @@ struct ChunkKeyHash {
     }
 };
 
+/** Which tier satisfied a lookup. */
+enum class CacheTier : std::uint8_t { kNone, kHot, kWarm, kSpill };
+
+/** Handle to one compressed image in the spill ring. */
+struct SpillRef {
+    std::uint64_t offset = 0;   ///< Byte offset inside the spill region.
+    std::uint32_t size = 0;     ///< Compressed bytes.
+    std::uint32_t raw_size = 0; ///< Decompressed bytes (sanity check).
+};
+
+/**
+ * Device hook the spill tier writes through.  FidrSystem implements it
+ * over a reserved region of a data SSD and bills the transfers; the
+ * cache only decides *what* lives *where* in the region.  write() is
+ * called from serial contexts (the read plane's billing stage, the GC
+ * sequencer); read() must be thread-safe — fetch lanes call it
+ * concurrently, and the caller bills the DMA after the join.
+ */
+class SpillBackend {
+  public:
+    virtual ~SpillBackend() = default;
+
+    /** Usable bytes in the spill region (0 disables the tier). */
+    virtual std::uint64_t capacity_bytes() const = 0;
+
+    /** Writes `data` at region offset `offset` (billed by the impl). */
+    virtual Status write(std::uint64_t offset,
+                         std::span<const std::uint8_t> data) = 0;
+
+    /** Reads `size` bytes back (unbilled; the read plane bills the
+     *  fetch serially after the lane join). */
+    virtual Result<Buffer> read(std::uint64_t offset,
+                                std::uint64_t size) const = 0;
+};
+
+/** Cache behaviour knobs (FidrConfig surfaces the interesting ones). */
+struct ChunkCacheTuning {
+    /** false = the PR 5 one-tier decompressed LRU, bit-for-bit: no
+     *  warm tier, no demotion, no ghosts; an eviction drops the entry.
+     *  The equal-budget baseline the bench compares against. */
+    bool two_tier = true;
+
+    /** Enables the admission filters below.  Off by default so the
+     *  cache stays a pure always-admit optimization unless asked. */
+    bool admission = false;
+
+    /** Chunks with compressed >= this fraction of raw are not cached
+     *  (a warm slot would hold nearly raw-size bytes for no gain). */
+    double incompressible_fraction = 0.90;
+
+    /** Doorkeeper: sketch estimate required before a fill is admitted.
+     *  2 = the chunk must miss twice inside the aging window. */
+    unsigned admit_frequency = 2;
+
+    /** Clamp band and starting point for the adaptive hot-tier byte
+     *  target, as fractions of each shard's budget. */
+    double hot_fraction_min = 0.10;
+    double hot_fraction_max = 0.90;
+    double hot_fraction_initial = 0.50;
+
+    /** Ghost-hit adaptation step, as a fraction of the shard budget.
+     *  The step is asymmetric: shrink signals (ghost-warm hits — a
+     *  bigger warm tier would have kept the image in DRAM) move the
+     *  target by the full step, grow signals (ghost-hot hits — a
+     *  bigger hot tier would have skipped a decompress) by a quarter
+     *  of it.  A hot entry bills raw + compressed bytes, ~3-4x a warm
+     *  entry, and a demoted key is almost always still warm-resident
+     *  when it re-hits, so an unweighted grow signal saturates and
+     *  drags the split toward the low-density hot tier. */
+    double adapt_step_fraction = 0.02;
+
+    /** Bounded ghost-list length (keys) per shard per list. */
+    std::size_t ghost_entries = 1024;
+};
+
+/** Per-tier counters (all maintained per shard, summed by stats()). */
+struct TierStats {
+    std::uint64_t hits = 0;
+    std::uint64_t insertions = 0;  ///< Entries that entered this tier.
+    std::uint64_t evictions = 0;   ///< Entries that left it downward.
+};
+
 /** Hit/miss/eviction counters (aggregated or per shard). */
 struct ChunkCacheStats {
-    std::uint64_t hits = 0;
+    std::uint64_t hits = 0;    ///< All tiers (hot + warm + spill).
     std::uint64_t misses = 0;
-    std::uint64_t insertions = 0;
-    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;  ///< Admitted miss fills.
+    std::uint64_t evictions = 0;   ///< Entries that left DRAM entirely.
     std::uint64_t invalidations = 0;
     /** Entries moved to a new key by GC relocation (each also counts
      *  one invalidation of the old key). */
     std::uint64_t rekeys = 0;
+
+    TierStats hot;
+    TierStats warm;
+    TierStats spill;
+    std::uint64_t demotions = 0;   ///< hot -> warm (raw buffer dropped).
+    std::uint64_t promotions = 0;  ///< warm/spill -> hot.
+
+    std::uint64_t spill_writes = 0;
+    std::uint64_t spill_write_failures = 0;
+    /** Live spill entries lapped by the ring's write cursor. */
+    std::uint64_t spill_overwritten = 0;
+
+    std::uint64_t rejected_incompressible = 0;
+    std::uint64_t rejected_doorkeeper = 0;
+
+    /** Warm/spill hits whose key was still in the hot ghost (a bigger
+     *  hot tier would have skipped the decompress). */
+    std::uint64_t ghost_hot_hits = 0;
+    /** Misses/spill hits whose key was still in the warm ghost (a
+     *  bigger warm tier would have kept the image in DRAM). */
+    std::uint64_t ghost_warm_hits = 0;
 
     double
     hit_rate() const
@@ -89,48 +223,98 @@ struct ChunkCacheStats {
     }
 };
 
+/** Outcome of one tiered lookup. */
+struct TierLookup {
+    CacheTier tier = CacheTier::kNone;
+    Buffer raw;         ///< kHot: the decompressed payload (a copy).
+    Buffer compressed;  ///< kWarm: the compressed image (a copy).
+    SpillRef spill;     ///< kSpill: where to read the image from.
+    std::uint32_t raw_size = 0;  ///< Decompressed size (warm/spill).
+
+    bool hit() const { return tier != CacheTier::kNone; }
+};
+
 /**
- * Sharded, capacity-bounded LRU of decompressed chunks.  All entry
- * points are thread-safe (per-shard locking); the FIDR read plane
- * probes and fills it serially anyway so hit/miss order is
- * deterministic.
+ * Sharded, capacity-bounded two-tier chunk cache.  All entry points
+ * are thread-safe (per-shard + spill locking); the FIDR read plane
+ * probes and fills it serially anyway, so hit/miss order, ghost
+ * adaptation and ring placement are deterministic across lane counts.
  */
 class ChunkReadCache {
   public:
     /**
-     * @param capacity_bytes total payload budget, split evenly across
-     *        shards (each shard evicts against capacity / shards).
+     * @param capacity_bytes total DRAM budget (hot raw+compressed and
+     *        warm compressed bytes), split evenly across shards.
      * @param shards power-of-two shard count; 1 = one global LRU.
+     * @param tuning tier/admission/adaptation behaviour.
+     * @param spill optional spill device; nullptr (or a zero-capacity
+     *        backend, or one-tier mode) disables the spill tier.
+     *        Not owned; must outlive the cache.
      */
-    ChunkReadCache(std::uint64_t capacity_bytes, std::size_t shards = 1);
-
-    /** The cached payload (a copy), refreshing recency; counts a hit
-     *  or a miss. */
-    std::optional<Buffer> lookup(const ChunkKey &key);
+    ChunkReadCache(std::uint64_t capacity_bytes, std::size_t shards = 1,
+                   ChunkCacheTuning tuning = {},
+                   SpillBackend *spill = nullptr);
 
     /**
-     * Caches `payload`, evicting LRU entries of the key's shard until
-     * it fits.  Payloads larger than a shard's budget are not cached.
-     * Re-inserting a resident key refreshes payload and recency.
+     * Tiered probe, refreshing recency and feeding the admission
+     * sketch + ghost estimators.  A hot hit returns the payload; a
+     * warm hit returns the compressed image (the caller decompresses
+     * and calls promote()); a spill hit returns the ring location (the
+     * caller reads + decompresses + promote()s).  The entry itself
+     * stays put until promote(), so a caller that fails mid-way leaves
+     * the cache consistent.
      */
-    void insert(const ChunkKey &key, const Buffer &payload);
+    TierLookup lookup(const ChunkKey &key);
 
-    /** Drops one entry if resident. */
+    /**
+     * Side-effect-free residency probe: which tier holds `key` right
+     * now, or kNone.  Touches no recency order, stats, ghost, or
+     * sketch state — safe for tests and debug tooling to call without
+     * perturbing adaptation.
+     */
+    CacheTier peek(const ChunkKey &key) const;
+
+    /**
+     * Miss fill: caches the chunk in the hot tier (evicting down the
+     * cascade until everything fits), subject to admission.  In
+     * one-tier mode `compressed` is ignored and only raw bytes are
+     * billed, reproducing the PR 5 cache exactly.  Payloads larger
+     * than a shard's budget are not cached.  Re-inserting a resident
+     * key refreshes content and recency.
+     */
+    void insert(const ChunkKey &key, const Buffer &raw,
+                const Buffer &compressed);
+
+    /**
+     * Completes a warm or spill hit: re-attaches the decompressed
+     * payload and moves the entry to the hot tier's MRU position (a
+     * spill entry re-enters DRAM and leaves the spill index).
+     * Admission does not re-run — the entry already passed it.  A key
+     * no longer resident anywhere falls back to a plain insert.
+     */
+    void promote(const ChunkKey &key, const Buffer &raw,
+                 const Buffer &compressed);
+
+    /** Drops one entry from every tier it is resident in. */
     void invalidate(const ChunkKey &key);
 
     /**
      * Moves a resident entry from `from` to `to` (GC relocated the
-     * chunk; its decompressed image is unchanged).  The old key is
-     * invalidated either way; a resident payload re-enters under the
-     * new key with fresh recency instead of being refetched on the
-     * next read.  Returns true when an entry actually moved.
+     * chunk; its image is unchanged).  Covers every tier atomically:
+     * both shard locks and the spill lock are held together, so no
+     * window exists where the warm/spill image is reachable under the
+     * retired key or unreachable under the new one.  The old key is
+     * invalidated either way; a resident entry re-enters under the new
+     * key with fresh recency in its current tier.  Returns true when
+     * an entry actually moved (in any tier).
      */
     bool rekey(const ChunkKey &from, const ChunkKey &to);
 
-    /** Drops every entry of `container_id` (compaction discard). */
+    /** Drops every entry of `container_id` (GC discard), all tiers. */
     void invalidate_container(std::uint64_t container_id);
 
-    /** Drops everything (crash recovery: host DRAM is gone). */
+    /** Drops everything (crash recovery: host DRAM — including the
+     *  spill index — is gone). */
     void clear();
 
     /** Aggregate counters over all shards (by value). */
@@ -141,12 +325,24 @@ class ChunkReadCache {
 
     std::size_t shard_count() const { return shards_.size(); }
     std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+    const ChunkCacheTuning &tuning() const { return tuning_; }
+    bool spill_enabled() const { return spill_capacity_ > 0; }
+    std::uint64_t spill_capacity_bytes() const { return spill_capacity_; }
 
-    /** Payload bytes currently resident (sum over shards). */
+    /** DRAM bytes currently billed (hot raw+compressed + warm). */
     std::uint64_t used_bytes() const;
+    std::uint64_t hot_used_bytes() const;
+    std::uint64_t warm_used_bytes() const;
+    /** Sum of per-shard adaptive hot-tier byte targets. */
+    std::uint64_t hot_target_bytes() const;
 
-    /** Resident entry count (sum over shards). */
+    /** Resident DRAM entry count (hot + warm, sum over shards). */
     std::size_t entries() const;
+    std::size_t hot_entries() const;
+    std::size_t warm_entries() const;
+    /** Live entries in the spill index / bytes they occupy. */
+    std::size_t spill_entries() const;
+    std::uint64_t spill_used_bytes() const;
 
     /** The shard that owns `key`. */
     std::size_t shard_of(const ChunkKey &key) const;
@@ -154,30 +350,105 @@ class ChunkReadCache {
   private:
     struct Entry {
         ChunkKey key;
-        Buffer payload;
+        Buffer raw;         ///< Non-empty iff the entry is hot.
+        Buffer compressed;  ///< Always kept in two-tier mode.
+        std::uint32_t raw_size = 0;  ///< Survives demotion.
+    };
+
+    /** Bounded LRU of keys-only: the ghost estimators. */
+    struct GhostList {
+        std::list<ChunkKey> order;  ///< Front = most recently added.
+        std::unordered_map<ChunkKey, std::list<ChunkKey>::iterator,
+                           ChunkKeyHash>
+            index;
+        std::size_t cap = 0;
+
+        void push(const ChunkKey &key);
+        bool take(const ChunkKey &key);  ///< Removes on hit.
+        void clear();
+    };
+
+    /** Count-min doorkeeper with saturating 4-bit-equivalent counters
+     *  and periodic halving (TinyLFU-style aging). */
+    struct Sketch {
+        static constexpr std::size_t kRows = 4;
+        static constexpr std::size_t kWidth = 1024;  ///< Power of two.
+        std::array<std::uint8_t, kRows * kWidth> counts{};
+        std::uint64_t adds = 0;
+
+        void add(const ChunkKey &key);
+        unsigned estimate(const ChunkKey &key) const;
     };
 
     /**
-     * One shard: an LRU-ordered entry list (front = most recent) plus
-     * a key index into it.  unique_ptr because std::mutex is immovable.
+     * One shard: hot and warm LRU lists (front = most recent), a key
+     * index over both, byte accounting, the adaptive hot target, ghost
+     * lists and the admission sketch.  unique_ptr because std::mutex
+     * is immovable.
      */
     struct Shard {
-        std::list<Entry> lru;
-        std::unordered_map<ChunkKey, std::list<Entry>::iterator,
-                           ChunkKeyHash>
-            index;
-        std::uint64_t used_bytes = 0;
+        std::list<Entry> hot;
+        std::list<Entry> warm;
+        struct Slot {
+            bool hot = false;
+            std::list<Entry>::iterator it;
+        };
+        std::unordered_map<ChunkKey, Slot, ChunkKeyHash> index;
+        std::uint64_t hot_bytes = 0;   ///< Billed (raw + compressed).
+        std::uint64_t warm_bytes = 0;  ///< Billed (compressed).
+        std::uint64_t hot_target = 0;  ///< Adaptive, clamped.
+        GhostList ghost_hot;
+        GhostList ghost_warm;
+        Sketch sketch;
         ChunkCacheStats stats;
+        mutable std::mutex mutex;
+    };
+
+    /** The spill ring: index + occupancy ordered by region offset.
+     *  Guarded by `mutex`, always acquired after any shard mutex. */
+    struct SpillRing {
+        std::unordered_map<ChunkKey, SpillRef, ChunkKeyHash> index;
+        struct Occupant {
+            ChunkKey key;
+            std::uint32_t size = 0;
+        };
+        std::map<std::uint64_t, Occupant> by_offset;
+        std::uint64_t cursor = 0;
+        std::uint64_t used_bytes = 0;
         mutable std::mutex mutex;
     };
 
     Shard &shard_for(const ChunkKey &key)
     { return *shards_[shard_of(key)]; }
 
+    std::uint64_t billed_hot(const Entry &entry) const;
+    std::uint64_t billed_warm(const Entry &entry) const;
+
+    /** Caller holds `shard.mutex`.  Demotes/evicts until hot_bytes <=
+     *  hot_target and hot+warm <= shard budget. */
+    void rebalance(Shard &shard);
+    /** Caller holds `shard.mutex`.  Hot LRU tail -> warm MRU. */
+    void demote_tail(Shard &shard);
+    /** Caller holds `shard.mutex`.  Warm LRU tail leaves DRAM (into
+     *  the spill ring when enabled; locks spill nested). */
+    void evict_warm_tail(Shard &shard);
+    /** Caller holds `shard.mutex`; locks spill nested. */
+    void spill_out(Shard &shard, Entry &&entry);
+    /** Caller holds spill_.mutex: drops live entries overlapping
+     *  [offset, offset+size) ahead of the write cursor. */
+    void spill_drop_overlaps(Shard &shard, std::uint64_t offset,
+                             std::uint64_t size);
+    void bump_hot_target(Shard &shard, bool grow);
+
     std::uint64_t capacity_bytes_ = 0;
     std::uint64_t shard_capacity_ = 0;
     std::size_t shard_mask_ = 0;
+    ChunkCacheTuning tuning_;
+    SpillBackend *spill_backend_ = nullptr;
+    std::uint64_t spill_capacity_ = 0;
+    std::uint64_t adapt_step_ = 0;
     std::vector<std::unique_ptr<Shard>> shards_;
+    SpillRing spill_;
 };
 
 }  // namespace fidr::cache

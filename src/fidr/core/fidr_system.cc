@@ -12,7 +12,11 @@ FidrSystem::FidrSystem(const FidrConfig &config)
       platform_(config.platform),
       nic_(config.nic),
       containers_(platform_.data_ssds(), config.container_bytes,
-                  config.gc.superblock_interval),
+                  config.gc.superblock_interval,
+                  config.chunk_cache_bytes > 0 &&
+                          config.chunk_cache_two_tier
+                      ? config.chunk_cache_spill_bytes
+                      : 0),
       compressor_(LzLevel::kFast),
       gc_scheduler_(config.gc)
 {
@@ -23,8 +27,18 @@ FidrSystem::FidrSystem(const FidrConfig &config)
         compress_pool_ = std::make_unique<ThreadPool>(compress_lanes);
     read_pipeline_ = std::make_unique<ReadPipeline>(config_.read_lanes);
     if (config_.chunk_cache_bytes > 0) {
+        cache::ChunkCacheTuning tuning;
+        tuning.two_tier = config_.chunk_cache_two_tier;
+        tuning.admission = config_.chunk_cache_admission;
+        if (tuning.two_tier && containers_.spill_capacity_bytes() > 0) {
+            spill_device_ = std::make_unique<SpillDevice>(
+                *this, containers_.spill_ssd_index(),
+                containers_.spill_base(),
+                containers_.spill_capacity_bytes());
+        }
         chunk_cache_ = std::make_unique<cache::ChunkReadCache>(
-            config_.chunk_cache_bytes, config_.chunk_cache_shards);
+            config_.chunk_cache_bytes, config_.chunk_cache_shards,
+            tuning, spill_device_.get());
     }
     build_cache_structures();
 
@@ -69,6 +83,7 @@ FidrSystem::FidrSystem(const FidrConfig &config)
     hist_.read_decompress = &metrics_.histogram("read.decompress");
     hist_.read_return = &metrics_.histogram("read.nic_return");
     read_ssd_fetches_ = &metrics_.counter("read.ssd_fetches");
+    read_spill_reads_ = &metrics_.counter("read.cache.spill.reads");
     // GC pause cost per step, visible from the first snapshot even
     // before any step runs (eager creation, like the stage set).
     gc_pause_ = &metrics_.histogram("gc.pause_ns");
@@ -113,6 +128,40 @@ FidrSystem::FidrSystem(const FidrConfig &config)
             },
             sinks);
     }
+}
+
+Status
+FidrSystem::SpillDevice::write(std::uint64_t offset,
+                               std::span<const std::uint8_t> data)
+{
+    // Called from serial contexts only (the read plane's billing
+    // stage, the commit sequencer), so the ledger writes below are
+    // deterministic.  Flash first; an error means nothing was billed
+    // and the cache drops the entry (spill is best-effort).
+    const Status written = system_.platform_.data_ssds()
+                               .at(ssd_)
+                               .write(base_ + offset, data);
+    if (!written.is_ok())
+        return written;
+    // The evicted image leaves host DRAM for the spill SSD — the
+    // "cheap sequential write" the tier is built on, billed like the
+    // rest of the chunk-cache traffic.
+    system_.platform_.fabric().dma(
+        pcie::kHostMemory, system_.platform_.data_ssd_dev(ssd_),
+        data.size(), memtag::kChunkCache);
+    FIDR_TPOINT(obs::Tpoint::kReadCacheSpillWrite, offset, data.size());
+    return Status::ok();
+}
+
+Result<Buffer>
+FidrSystem::SpillDevice::read(std::uint64_t offset,
+                              std::uint64_t size) const
+{
+    // Raw flash read; fetch lanes call this concurrently (Ssd read
+    // counters are atomic).  The read plane bills the transfer
+    // serially after the lane join.
+    return system_.platform_.data_ssds().at(ssd_).read(base_ + offset,
+                                                       size);
 }
 
 void
@@ -1236,6 +1285,58 @@ FidrSystem::run_read_jobs(std::vector<ReadJob> &jobs)
     read_pipeline_->run(
         jobs, pending,
         [this](ReadJob &job) {
+            // Warm-tier hit: the compressed image is already in hand;
+            // the lane only decompresses.
+            if (job.tier == cache::CacheTier::kWarm) {
+                job.compressed_bytes = job.compressed.size();
+                const obs::StageTimer decompress_timer;
+                Result<Buffer> raw =
+                    decomp_.decompress_stateless(job.compressed);
+                job.decompress_ns = decompress_timer.elapsed_ns();
+                if (!raw.is_ok()) {
+                    job.status = raw.status();
+                    return;
+                }
+                job.fetch_ok = true;
+                job.payload = raw.take();
+                return;
+            }
+            // Spill-tier hit: read the image back from the ring, then
+            // decompress.  Any failure (transient budget exhausted,
+            // torn/lapped bytes failing decode or the size check)
+            // falls back to the authoritative container fetch below —
+            // the spill tier is best-effort by contract.
+            if (job.tier == cache::CacheTier::kSpill) {
+                const obs::StageTimer fetch_timer;
+                Result<Buffer> data =
+                    spill_device_->read(job.spill.offset, job.spill.size);
+                while (!data.is_ok() &&
+                       data.status().code() == StatusCode::kUnavailable &&
+                       job.fetch_attempts < config_.transient_retries) {
+                    ++job.fetch_attempts;
+                    data = spill_device_->read(job.spill.offset,
+                                               job.spill.size);
+                }
+                job.fetch_ns = fetch_timer.elapsed_ns();
+                if (data.is_ok()) {
+                    job.compressed = data.take();
+                    job.compressed_bytes = job.compressed.size();
+                    const obs::StageTimer decompress_timer;
+                    Result<Buffer> raw =
+                        decomp_.decompress_stateless(job.compressed);
+                    job.decompress_ns = decompress_timer.elapsed_ns();
+                    if (raw.is_ok() &&
+                        raw.value().size() == job.raw_size) {
+                        job.fetch_ok = true;
+                        job.payload = raw.take();
+                        return;
+                    }
+                }
+                job.spill_fallback = true;
+                job.fetch_attempts = 0;
+                job.compressed.clear();
+                job.compressed_bytes = 0;
+            }
             const obs::StageTimer fetch_timer;
             Result<Buffer> data = containers_.read(job.location);
             // Degraded mode: transient flash errors retry with
@@ -1253,10 +1354,13 @@ FidrSystem::run_read_jobs(std::vector<ReadJob> &jobs)
                 return;
             }
             job.fetch_ok = true;
-            job.compressed_bytes = data.value().size();
+            // Keep the compressed image: the two-tier cache fill wants
+            // it alongside the decompressed payload.
+            job.compressed = data.take();
+            job.compressed_bytes = job.compressed.size();
             const obs::StageTimer decompress_timer;
             Result<Buffer> raw =
-                decomp_.decompress_stateless(data.value());
+                decomp_.decompress_stateless(job.compressed);
             job.decompress_ns = decompress_timer.elapsed_ns();
             if (!raw.is_ok()) {
                 job.status = raw.status();
@@ -1280,6 +1384,51 @@ FidrSystem::run_read_jobs(std::vector<ReadJob> &jobs)
         for (unsigned attempt = 0; attempt < job.fetch_attempts;
              ++attempt) {
             fault_stats_.backoff_ns += backoff_for(attempt);
+        }
+        const cache::ChunkKey key{job.location.container_id,
+                                  job.location.offset_units};
+        if (job.tier == cache::CacheTier::kWarm) {
+            // Warm hit: the image moves host DRAM -> Decompression
+            // Engine (no data-SSD DMA, no read.ssd_fetches).
+            const Status moved = dma_checked(
+                pcie::kHostMemory, platform_.decompression_engine(),
+                job.compressed_bytes, memtag::kChunkCache);
+            if (!moved.is_ok()) {
+                job.status = moved;
+                job.payload.clear();
+                continue;
+            }
+            hist_.read_decompress->record(
+                job.decompress_ns, obs::ScopedRequest::current_trace());
+            if (!job.status.is_ok())
+                continue;  // Decompression failed (kCorruption).
+            decomp_.record();
+            job.ready = true;
+            chunk_cache_->promote(key, job.payload, job.compressed);
+            continue;
+        }
+        if (job.tier == cache::CacheTier::kSpill && !job.spill_fallback) {
+            // Spill hit: a ring read off the spill SSD (billed as
+            // chunk-cache traffic, not a chunk fetch) feeds the
+            // engine, and the image promotes back into DRAM.
+            read_spill_reads_->add();
+            hist_.read_fetch->record(job.fetch_ns,
+                                     obs::ScopedRequest::current_trace());
+            const Status moved = dma_checked(
+                platform_.data_ssd_dev(spill_device_->ssd_index()),
+                platform_.decompression_engine(), job.compressed_bytes,
+                memtag::kChunkCache);
+            if (!moved.is_ok()) {
+                job.status = moved;
+                job.payload.clear();
+                continue;
+            }
+            hist_.read_decompress->record(
+                job.decompress_ns, obs::ScopedRequest::current_trace());
+            decomp_.record();
+            job.ready = true;
+            chunk_cache_->promote(key, job.payload, job.compressed);
+            continue;
         }
         if (!job.fetch_ok) {
             if (job.status.code() == StatusCode::kUnavailable)
@@ -1326,9 +1475,14 @@ FidrSystem::run_read_jobs(std::vector<ReadJob> &jobs)
             FIDR_TPOINT(obs::Tpoint::kReadCacheInsert,
                         job.location.container_id,
                         job.location.offset_units);
-            chunk_cache_->insert(
-                {job.location.container_id, job.location.offset_units},
-                job.payload);
+            if (job.spill_fallback) {
+                // The ring copy failed to serve: the refetched image
+                // re-enters DRAM as a promotion (it already passed
+                // admission once) and displaces the stale spill entry.
+                chunk_cache_->promote(key, job.payload, job.compressed);
+            } else {
+                chunk_cache_->insert(key, job.payload, job.compressed);
+            }
         }
     }
 }
@@ -1421,15 +1575,38 @@ FidrSystem::read_batch(std::span<const Lba> lbas)
         job.location = *location;
         job.source_ssd = containers_.ssd_index_of(location->container_id);
         job.slots.push_back(i);
-        // Chunk-cache probe (serial, so hit/miss order and LRU state
-        // are deterministic): a hit serves the decompressed payload
-        // straight from host DRAM, skipping the fetch stage entirely.
+        // Chunk-cache probe (serial, so hit/miss order, LRU state and
+        // ghost adaptation are deterministic).  A hot hit serves the
+        // decompressed payload straight from host DRAM and skips the
+        // lane stage entirely; a warm hit hands the lane the compressed
+        // image (decompress, no SSD); a spill hit hands it the ring
+        // location (spill read + decompress, no chunk fetch).
         if (chunk_cache_) {
-            if (auto cached = chunk_cache_->lookup(key)) {
+            cache::TierLookup cached = chunk_cache_->lookup(key);
+            switch (cached.tier) {
+              case cache::CacheTier::kHot:
                 FIDR_TPOINT(obs::Tpoint::kReadCacheHit,
                             key.container_id, key.offset_units);
                 job.cache_hit = true;
-                job.payload = std::move(*cached);
+                job.tier = cache::CacheTier::kHot;
+                job.payload = std::move(cached.raw);
+                break;
+              case cache::CacheTier::kWarm:
+                FIDR_TPOINT(obs::Tpoint::kReadCacheWarmHit,
+                            key.container_id, key.offset_units);
+                job.tier = cache::CacheTier::kWarm;
+                job.compressed = std::move(cached.compressed);
+                job.raw_size = cached.raw_size;
+                break;
+              case cache::CacheTier::kSpill:
+                FIDR_TPOINT(obs::Tpoint::kReadCacheSpillHit,
+                            key.container_id, key.offset_units);
+                job.tier = cache::CacheTier::kSpill;
+                job.spill = cached.spill;
+                job.raw_size = cached.raw_size;
+                break;
+              case cache::CacheTier::kNone:
+                break;
             }
         }
         slot_job[i] = jobs.size();
@@ -1552,6 +1729,82 @@ FidrSystem::obs_snapshot() const
     snap.counters["read.cache.bytes"] =
         chunk_cache_ ? chunk_cache_->used_bytes() : 0;
     snap.gauges["read.cache.hit_rate"] = read_cache.hit_rate();
+
+    // Per-tier breakdown (two-tier cache, PR 9): where the hits came
+    // from, the demotion/promotion flux between tiers, what admission
+    // turned away, and the ghost-LRU signals steering the hot/warm
+    // split.  Zeros in one-tier mode and with the cache off.
+    snap.counters["read.cache.hot.hits"] = read_cache.hot.hits;
+    snap.counters["read.cache.warm.hits"] = read_cache.warm.hits;
+    snap.counters["read.cache.spill.hits"] = read_cache.spill.hits;
+    snap.counters["read.cache.demotions"] = read_cache.demotions;
+    snap.counters["read.cache.promotions"] = read_cache.promotions;
+    snap.counters["read.cache.spill.writes"] = read_cache.spill_writes;
+    snap.counters["read.cache.spill.write_failures"] =
+        read_cache.spill_write_failures;
+    snap.counters["read.cache.spill.overwritten"] =
+        read_cache.spill_overwritten;
+    snap.counters["read.cache.rejected.incompressible"] =
+        read_cache.rejected_incompressible;
+    snap.counters["read.cache.rejected.doorkeeper"] =
+        read_cache.rejected_doorkeeper;
+    snap.counters["read.cache.ghost.hot_hits"] =
+        read_cache.ghost_hot_hits;
+    snap.counters["read.cache.ghost.warm_hits"] =
+        read_cache.ghost_warm_hits;
+    snap.counters["read.cache.hot.bytes"] =
+        chunk_cache_ ? chunk_cache_->hot_used_bytes() : 0;
+    snap.counters["read.cache.warm.bytes"] =
+        chunk_cache_ ? chunk_cache_->warm_used_bytes() : 0;
+    snap.counters["read.cache.spill.bytes"] =
+        chunk_cache_ ? chunk_cache_->spill_used_bytes() : 0;
+    // Where the adaptive split currently sits, and the ghost-estimated
+    // marginal gain per tier: the fraction of all probes a bigger
+    // hot/warm tier would have upgraded (warm hit -> hot hit, miss ->
+    // DRAM hit respectively).  These are the auto-sizing inputs.
+    snap.gauges["read.cache.hot_target_fraction"] =
+        chunk_cache_ && chunk_cache_->capacity_bytes() > 0
+            ? static_cast<double>(chunk_cache_->hot_target_bytes()) /
+                  static_cast<double>(chunk_cache_->capacity_bytes())
+            : 0.0;
+    const std::uint64_t probes = read_cache.hits + read_cache.misses;
+    snap.gauges["read.cache.ghost.hot_gain"] =
+        probes > 0 ? static_cast<double>(read_cache.ghost_hot_hits) /
+                         static_cast<double>(probes)
+                   : 0.0;
+    snap.gauges["read.cache.ghost.warm_gain"] =
+        probes > 0 ? static_cast<double>(read_cache.ghost_warm_hits) /
+                         static_cast<double>(probes)
+                   : 0.0;
+    if (chunk_cache_ && chunk_cache_->tuning().two_tier) {
+        // Per-tier section: hit share of each tier plus the ghost
+        // gains, rendered by `fidr_obs_report snapshot`.
+        const auto share = [&](std::uint64_t n) {
+            return probes > 0 ? static_cast<double>(n) /
+                                    static_cast<double>(probes)
+                              : 0.0;
+        };
+        std::vector<obs::SnapshotRow> tiers;
+        tiers.push_back({"hot hits (DRAM, decompressed)",
+                         static_cast<double>(read_cache.hot.hits),
+                         share(read_cache.hot.hits)});
+        tiers.push_back({"warm hits (DRAM, compressed)",
+                         static_cast<double>(read_cache.warm.hits),
+                         share(read_cache.warm.hits)});
+        tiers.push_back({"spill hits (SSD ring)",
+                         static_cast<double>(read_cache.spill.hits),
+                         share(read_cache.spill.hits)});
+        tiers.push_back({"misses",
+                         static_cast<double>(read_cache.misses),
+                         share(read_cache.misses)});
+        tiers.push_back({"ghost: marginal hot gain",
+                         static_cast<double>(read_cache.ghost_hot_hits),
+                         share(read_cache.ghost_hot_hits)});
+        tiers.push_back({"ghost: marginal warm gain",
+                         static_cast<double>(read_cache.ghost_warm_hits),
+                         share(read_cache.ghost_warm_hits)});
+        snap.sections["read_cache_tiers"] = std::move(tiers);
+    }
 
     // Incremental GC and container-log durability accounting.
     snap.counters["gc.steps"] = gc_stats_.steps;

@@ -103,6 +103,33 @@ struct FidrConfig {
     std::size_t chunk_cache_shards = 1;
 
     /**
+     * Two-tier chunk cache (cache/chunk_cache.h): hot decompressed
+     * entries above a warm tier of compressed images under the same
+     * chunk_cache_bytes budget, with demotion/promotion and ghost-LRU
+     * auto-sizing of the split.  false = the PR 5 one-tier LRU, the
+     * equal-budget baseline the read bench compares against.
+     */
+    bool chunk_cache_two_tier = true;
+
+    /**
+     * Chunk-cache admission filters (incompressible rejection + the
+     * frequency-sketch doorkeeper).  Off by default: with admission on
+     * the cache is no longer a pure always-admit optimization (a chunk
+     * only enters on its second miss), which benchmarks want but the
+     * cache-equivalence tests do not.
+     */
+    bool chunk_cache_admission = false;
+
+    /**
+     * Spill-tier bytes reserved off the tail of the last data SSD for
+     * evicted compressed chunks (sequential ring writes; see
+     * chunk_cache.h).  0 disables the tier.  Only meaningful with
+     * chunk_cache_bytes > 0 and two-tier mode; the reservation is
+     * carved out of the container log's slot space at construction.
+     */
+    std::uint64_t chunk_cache_spill_bytes = 0;
+
+    /**
      * Hash-PBN table cache shards (power of two, Sec 5.5).  Shard
      * routing is bucket & (N-1) with per-shard free/LRU lists, stats
      * and mutexes; 1 keeps the unsharded layout (and its exact
@@ -475,6 +502,38 @@ class FidrSystem : public StorageServer {
     std::unique_ptr<ThreadPool> compress_pool_;
     /** Read-plane fan-out (inline when read_lanes resolves to 1). */
     std::unique_ptr<ReadPipeline> read_pipeline_;
+
+    /**
+     * Spill backend over the container log's reserved tail region of
+     * the last data SSD: writes bill host DRAM -> data SSD through the
+     * fabric (the "cheap sequential write" of the spill tier); reads
+     * are raw flash reads, billed serially by the read plane after the
+     * lane join.  Declared before chunk_cache_ so the cache (which
+     * holds a raw pointer to it) is destroyed first.
+     */
+    class SpillDevice final : public cache::SpillBackend {
+      public:
+        SpillDevice(FidrSystem &system, std::size_t ssd_index,
+                    std::uint64_t base, std::uint64_t capacity)
+            : system_(system), ssd_(ssd_index), base_(base),
+              capacity_(capacity)
+        {}
+
+        std::uint64_t capacity_bytes() const override
+        { return capacity_; }
+        Status write(std::uint64_t offset,
+                     std::span<const std::uint8_t> data) override;
+        Result<Buffer> read(std::uint64_t offset,
+                            std::uint64_t size) const override;
+        std::size_t ssd_index() const { return ssd_; }
+
+      private:
+        FidrSystem &system_;
+        std::size_t ssd_;
+        std::uint64_t base_;
+        std::uint64_t capacity_;
+    };
+    std::unique_ptr<SpillDevice> spill_device_;
     /** Null when chunk_cache_bytes == 0. */
     std::unique_ptr<cache::ChunkReadCache> chunk_cache_;
 
@@ -525,6 +584,10 @@ class FidrSystem : public StorageServer {
     /** Physical chunk fetches issued to data SSDs (cache misses);
      *  the read-bench's cache-effectiveness signal. */
     obs::Counter *read_ssd_fetches_ = nullptr;
+    /** Compressed images served from the spill ring (they touch the
+     *  spill SSD but are *not* chunk fetches: they never count toward
+     *  read.ssd_fetches, which the bench gates on). */
+    obs::Counter *read_spill_reads_ = nullptr;
     /** Null at depth 1 (synchronous).  Declared last: it must be
      *  destroyed (quiesced/joined) before any state its stages use. */
     std::unique_ptr<WritePipeline> pipeline_;

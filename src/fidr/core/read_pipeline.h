@@ -35,6 +35,7 @@
 #include <memory>
 #include <vector>
 
+#include "fidr/cache/chunk_cache.h"
 #include "fidr/common/status.h"
 #include "fidr/common/thread_pool.h"
 #include "fidr/common/types.h"
@@ -50,9 +51,23 @@ struct ReadJob {
     /** Batch slot indexes this job's payload serves (>= 1). */
     std::vector<std::size_t> slots;
 
-    bool cache_hit = false;       ///< Served from the chunk cache.
-    bool fetch_ok = false;        ///< Container read succeeded.
+    bool cache_hit = false;       ///< Hot-tier hit: payload in hand.
+    /** Which cache tier answered the probe (kNone = miss).  kHot sets
+     *  cache_hit; kWarm carries `compressed`; kSpill carries `spill`.
+     *  Warm/spill jobs still run a lane body (decompress, or spill
+     *  read + decompress) but skip the container fetch. */
+    cache::CacheTier tier = cache::CacheTier::kNone;
+    bool fetch_ok = false;        ///< Compressed image in hand.
     Buffer payload;               ///< Decompressed chunk when ok.
+    /** The chunk's compressed image: from the warm tier (resolve
+     *  stage), the spill ring or the container fetch (lane stage).
+     *  Feeds the two-tier cache fill after the join. */
+    Buffer compressed;
+    cache::SpillRef spill;        ///< kSpill: where the image lives.
+    std::uint32_t raw_size = 0;   ///< Expected decompressed size.
+    /** Spill read/decode failed; the lane fell back to the normal
+     *  container fetch (billed as a plain miss serially). */
+    bool spill_fallback = false;
     std::uint64_t compressed_bytes = 0;
     /** Transient-retry attempts consumed by the fetch (job-local;
      *  merged into FaultStats serially after the join). */

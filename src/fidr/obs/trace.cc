@@ -51,6 +51,9 @@ tpoint_name(Tpoint tpoint)
       case Tpoint::kReadCoalesce: return "read.coalesce";
       case Tpoint::kReadCacheHit: return "read.cache_hit";
       case Tpoint::kReadCacheInsert: return "read.cache_insert";
+      case Tpoint::kReadCacheWarmHit: return "read.cache_warm_hit";
+      case Tpoint::kReadCacheSpillHit: return "read.cache_spill_hit";
+      case Tpoint::kReadCacheSpillWrite: return "read.cache_spill_write";
       case Tpoint::kReadFetchLane: return "read.fetch_lane";
       case Tpoint::kGcStep: return "gc.step";
       case Tpoint::kGcRelocate: return "gc.relocate";

@@ -98,8 +98,11 @@ enum class Tpoint : std::uint16_t {
     // Batched read plane (coalesced Fig 6b).
     kReadBatch,            ///< Whole read_batch() span (object=slots).
     kReadCoalesce,         ///< Slot->job collapse (object=slots, arg=jobs).
-    kReadCacheHit,         ///< Chunk-cache hit (object=container).
+    kReadCacheHit,         ///< Hot-tier chunk-cache hit (object=container).
     kReadCacheInsert,      ///< Decompressed chunk cached (object=container).
+    kReadCacheWarmHit,     ///< Warm-tier hit: decompress, no SSD DMA.
+    kReadCacheSpillHit,    ///< Spill-tier hit: ring read, no chunk fetch.
+    kReadCacheSpillWrite,  ///< Evicted image written to the spill ring.
     kReadFetchLane,        ///< One lane's fetch shard (worker thread).
 
     // Incremental container-log GC (concurrent with both planes).

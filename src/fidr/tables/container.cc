@@ -31,7 +31,8 @@ round_up_pages(std::uint64_t bytes)
 
 ContainerLog::ContainerLog(ssd::SsdArray &data_ssds,
                            std::uint64_t container_bytes,
-                           std::uint64_t superblock_interval)
+                           std::uint64_t superblock_interval,
+                           std::uint64_t spill_reserve_bytes)
     : data_ssds_(data_ssds), container_bytes_(container_bytes),
       superblock_interval_(superblock_interval)
 {
@@ -43,6 +44,16 @@ ContainerLog::ContainerLog(ssd::SsdArray &data_ssds,
     const std::uint64_t capacity = data_ssds_.at(0).config().capacity_bytes;
     FIDR_CHECK(capacity > kContainerReservedBytes + slot_stride_);
     slots_per_ssd_ = (capacity - kContainerReservedBytes) / slot_stride_;
+    // The spill ring takes whole slots off the tail of the last SSD,
+    // so container addressing stays uniform and the two regions can
+    // never alias (a trimmed slot cannot eat spilled bytes and vice
+    // versa).
+    spill_ssd_ = data_ssds_.size() - 1;
+    if (spill_reserve_bytes > 0) {
+        spill_slots_ =
+            (spill_reserve_bytes + slot_stride_ - 1) / slot_stride_;
+        FIDR_CHECK(spill_slots_ < slots_per_ssd_);
+    }
     free_slots_.resize(data_ssds_.size());
     next_slot_.resize(data_ssds_.size(), 0);
     open_new();
@@ -67,7 +78,7 @@ ContainerLog::take_slot(std::size_t ssd)
         free.erase(free.begin());
         return slot;
     }
-    if (next_slot_[ssd] < slots_per_ssd_)
+    if (next_slot_[ssd] < slot_cap(ssd))
         return next_slot_[ssd]++;
     return Status::out_of_space("data SSD has no free container slot");
 }
@@ -251,7 +262,7 @@ ContainerLog::read_superblocks() const
         image.next_seal_id = load_le(p + 20, 8);
         for (std::size_t i = 0; i < ssds; ++i) {
             const std::uint64_t hw = load_le(p + 32 + 8 * i, 8);
-            if (hw > slots_per_ssd_)
+            if (hw > slot_cap(i))
                 return Status::corruption("superblock slot high-water "
                                           "exceeds device");
             image.next_slot.push_back(hw);
@@ -283,7 +294,7 @@ ContainerLog::recover()
     std::unordered_map<std::uint64_t, Adopted> adopted;
     stats_.headers_scanned = 0;
     for (std::size_t ssd = 0; ssd < data_ssds_.size(); ++ssd) {
-        for (std::uint64_t slot = 0; slot < slots_per_ssd_; ++slot) {
+        for (std::uint64_t slot = 0; slot < slot_cap(ssd); ++slot) {
             FIDR_FAULT_RETURN_IF(fault::Site::kGcReplay);
             Result<Buffer> raw = data_ssds_.at(ssd).read(
                 slot_addr(slot) + slot_stride_ - kContainerHeaderBytes,
@@ -399,7 +410,21 @@ ContainerLog::info_of(std::uint64_t container_id) const
 std::uint64_t
 ContainerLog::total_slots() const
 {
-    return slots_per_ssd_ * data_ssds_.size();
+    std::uint64_t total = 0;
+    for (std::size_t ssd = 0; ssd < data_ssds_.size(); ++ssd)
+        total += slot_cap(ssd);
+    return total;
+}
+
+std::uint64_t
+ContainerLog::spill_capacity_bytes() const
+{
+    if (spill_slots_ == 0)
+        return 0;
+    // The reserved slots plus whatever tail slack sits past the last
+    // full slot: all raw device bytes behind spill_base() are ours.
+    return data_ssds_.at(spill_ssd_).config().capacity_bytes -
+           spill_base();
 }
 
 double

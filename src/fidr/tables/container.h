@@ -95,10 +95,16 @@ class ContainerLog {
      *        by the 2-byte/64-B offset encoding (<= 4 MiB).
      * @param superblock_interval seals between best-effort superblock
      *        writes (discard always writes one); 0 = every seal.
+     * @param spill_reserve_bytes bytes carved off the *tail* of the
+     *        last data SSD for the chunk cache's spill ring (rounded
+     *        up to whole container slots so the two regions never
+     *        share a slot).  0 = no reservation.  The region is raw
+     *        device space: the log never writes, scans or trims it.
      */
     explicit ContainerLog(ssd::SsdArray &data_ssds,
                           std::uint64_t container_bytes = 4 * kMiB,
-                          std::uint64_t superblock_interval = 8);
+                          std::uint64_t superblock_interval = 8,
+                          std::uint64_t spill_reserve_bytes = 0);
 
     /**
      * Appends one compressed chunk (64-B aligned) and returns its
@@ -170,11 +176,24 @@ class ContainerLog {
      *  page aligned). */
     std::uint64_t slot_stride() const { return slot_stride_; }
 
+    /** Spill reservation (see the constructor): which SSD hosts it,
+     *  where it starts, and how many raw bytes it spans.  Capacity is
+     *  0 when nothing was reserved. */
+    std::size_t spill_ssd_index() const { return spill_ssd_; }
+    std::uint64_t spill_base() const
+    { return slot_addr(slot_cap(spill_ssd_)); }
+    std::uint64_t spill_capacity_bytes() const;
+
     const ContainerLogStats &stats() const { return stats_; }
 
   private:
     std::uint64_t open_id() const { return infos_.size() - 1; }
     void open_new();
+
+    /** Container slots available on `ssd` (the spill reservation
+     *  shortens the hosting SSD's range). */
+    std::uint64_t slot_cap(std::size_t ssd) const
+    { return slots_per_ssd_ - (ssd == spill_ssd_ ? spill_slots_ : 0); }
 
     /** Smallest free slot on `ssd` (free list, then high water). */
     Result<std::uint64_t> take_slot(std::size_t ssd);
@@ -200,6 +219,8 @@ class ContainerLog {
     std::uint64_t slot_stride_ = 0;
     std::uint64_t slots_per_ssd_ = 0;
     std::uint64_t superblock_interval_;
+    std::size_t spill_ssd_ = 0;       ///< Last SSD hosts the spill.
+    std::uint64_t spill_slots_ = 0;   ///< Slots the reservation covers.
 
     std::vector<ContainerInfo> infos_;
     Buffer open_buffer_;

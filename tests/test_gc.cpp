@@ -365,6 +365,156 @@ TEST(GcConcurrent, StepsOverlapInFlightBatches)
     expect_clean_fsck(system);
 }
 
+// Satellite: the spill tier must stay consistent with GC.  A spilled
+// entry follows its chunk across relocation (rekey covers the ring
+// index) and dies with its PBN at retirement — no stale ring ref may
+// ever serve bytes for a retired or moved location.
+TEST(GcCache, SpillEntriesFollowRelocationAndRetirement)
+{
+    FidrConfig config = gc_fidr();
+    config.chunk_cache_bytes = 64 * 1024;
+    config.chunk_cache_spill_bytes = 256 * 1024;
+    FidrSystem system(config);
+    ASSERT_TRUE(system.chunk_cache()->spill_enabled());
+
+    constexpr Lba kLbas = 90;
+    for (Lba lba = 0; lba < kLbas; ++lba)
+        ASSERT_TRUE(system.write(lba, chunk_of(lba)).is_ok());
+    ASSERT_TRUE(system.flush().is_ok());
+
+    // Read everything: the 64 KiB DRAM budget overflows and the LRU
+    // end of the warm tier lands in the ring.
+    std::vector<Lba> all(kLbas);
+    for (Lba lba = 0; lba < kLbas; ++lba)
+        all[lba] = lba;
+    for (const Result<Buffer> &r : system.read_batch(all))
+        ASSERT_TRUE(r.is_ok());
+    ASSERT_GT(system.chunk_cache()->spill_entries(), 0u);
+
+    const auto key_of = [&](Lba lba) {
+        const auto loc = system.lba_table().lookup(lba);
+        EXPECT_TRUE(loc.has_value());
+        return cache::ChunkKey{loc->container_id, loc->offset_units};
+    };
+    // Find a chunk whose cached image lives in the spill tier.
+    Lba spilled = kLbas;
+    for (Lba lba = 0; lba < kLbas; ++lba) {
+        if (system.chunk_cache()->peek(key_of(lba)) ==
+            cache::CacheTier::kSpill) {
+            spilled = lba;
+            break;
+        }
+    }
+    ASSERT_LT(spilled, kLbas) << "no read landed in the spill tier";
+    const auto before = system.lba_table().lookup(spilled);
+    ASSERT_TRUE(before.has_value());
+
+    // Kill the rest of its container so GC must relocate it.
+    for (Lba lba = 0; lba < kLbas; ++lba) {
+        if (lba == spilled)
+            continue;
+        const auto loc = system.lba_table().lookup(lba);
+        ASSERT_TRUE(loc.has_value());
+        if (loc->container_id == before->container_id) {
+            ASSERT_TRUE(
+                system.write(lba, chunk_of(3000 + lba)).is_ok());
+        }
+    }
+    ASSERT_TRUE(system.flush().is_ok());
+    Result<std::uint64_t> reclaimed = system.run_gc(0.3);
+    ASSERT_TRUE(reclaimed.is_ok());
+    EXPECT_GT(reclaimed.value(), 0u);
+
+    const auto after = system.lba_table().lookup(spilled);
+    ASSERT_TRUE(after.has_value());
+    ASSERT_NE(after->container_id, before->container_id);
+    // The ring entry moved with the chunk: new key hits the spill
+    // tier, the retired key hits nothing.
+    EXPECT_EQ(system.chunk_cache()->peek(key_of(spilled)),
+              cache::CacheTier::kSpill);
+    EXPECT_EQ(system.chunk_cache()->peek(
+                  cache::ChunkKey{before->container_id,
+                                  before->offset_units}),
+              cache::CacheTier::kNone);
+
+    // Retirement: overwriting the LBA kills the relocated PBN, and
+    // the spill entry must die with it.
+    const cache::ChunkKey relocated_key{after->container_id,
+                                        after->offset_units};
+    ASSERT_TRUE(system.write(spilled, chunk_of(5000)).is_ok());
+    ASSERT_TRUE(system.flush().is_ok());
+    EXPECT_EQ(system.chunk_cache()->peek(relocated_key),
+              cache::CacheTier::kNone);
+
+    Result<Buffer> got = system.read(spilled);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value(), chunk_of(5000));
+    expect_clean_fsck(system);
+}
+
+// Satellite (TSan target): the GcConcurrent mix with the tier cascade
+// on — demotions, ring writes and spill-hit fetches race real reads,
+// writes, retirement invalidations and GC rekeys.  Admission stays
+// off: overwrites rotate PBNs so the doorkeeper would never see a
+// repeat key and the cascade would sit idle.
+TEST(GcConcurrent, SpillTierRacesReadsWritesAndGc)
+{
+    FidrConfig config = gc_fidr();
+    config.in_flight_batches = 4;
+    config.pipeline_hash_workers = 2;
+    config.read_lanes = 2;
+    // Small enough that each round's reads overflow the warm tier
+    // into the ring (retirements keep draining DRAM, so a roomy warm
+    // tier would never evict and the ring would sit idle).
+    config.chunk_cache_bytes = 64 * 1024;
+    config.chunk_cache_spill_bytes = 512 * 1024;
+    config.platform.data_ssd.capacity_bytes = 64 * kMiB;
+    config.nic.hash_batch = 16;
+    config.gc.auto_run = true;
+    config.gc.dead_fraction = 0.4;
+    config.gc.step_budget_bytes = 16 * 1024;
+    FidrSystem system(config);
+    ASSERT_TRUE(system.chunk_cache()->spill_enabled());
+
+    constexpr Lba kWorkingSet = 160;
+    Rng rng(0xF1D9);
+    std::unordered_map<Lba, std::uint64_t> model;
+    std::uint64_t next_content = 1;
+    for (int round = 0; round < 40; ++round) {
+        for (int i = 0; i < 256; ++i) {
+            const Lba lba = rng.next_below(kWorkingSet);
+            const std::uint64_t content = next_content++;
+            ASSERT_TRUE(system.write(lba, chunk_of(content)).is_ok());
+            model[lba] = content;
+        }
+        std::vector<Lba> lbas;
+        for (int i = 0; i < 96 && !model.empty(); ++i)
+            lbas.push_back(rng.next_below(kWorkingSet));
+        const auto results = system.read_batch(lbas);
+        for (std::size_t i = 0; i < lbas.size(); ++i) {
+            const auto it = model.find(lbas[i]);
+            if (it == model.end()) {
+                EXPECT_FALSE(results[i].is_ok());
+            } else {
+                ASSERT_TRUE(results[i].is_ok());
+                EXPECT_EQ(results[i].value(), chunk_of(it->second));
+            }
+        }
+    }
+    ASSERT_TRUE(system.flush().is_ok());
+
+    EXPECT_GT(system.gc_stats().steps, 0u);
+    // The cascade actually engaged: entries left DRAM into the ring.
+    EXPECT_GT(system.chunk_cache()->stats().demotions, 0u);
+    EXPECT_GT(system.chunk_cache()->stats().spill_writes, 0u);
+    for (const auto &[lba, content] : model) {
+        Result<Buffer> got = system.read(lba);
+        ASSERT_TRUE(got.is_ok()) << "lba " << lba;
+        EXPECT_EQ(got.value(), chunk_of(content)) << "lba " << lba;
+    }
+    expect_clean_fsck(system);
+}
+
 // Superblock versioning: the sequence only climbs — across churn, GC,
 // and two full crash/recover cycles — and fsck tracks it.
 TEST(GcRecovery, SuperblockSeqIsMonotonicAcrossCrashCycles)

@@ -126,14 +126,16 @@ struct ReadOutcome {
     std::vector<std::uint64_t> ssd_link_bytes;
     std::uint64_t ssd_fetches = 0;
     std::uint64_t cache_hits = 0;
+    std::uint64_t warm_hits = 0;
+    std::uint64_t spill_hits = 0;
+    std::uint64_t doorkeeper_rejects = 0;
     core::FidrSystem::FaultStats faults;
 };
 
 ReadOutcome
-run_read_trace(std::size_t read_lanes, std::uint64_t cache_bytes,
-               const Trace &trace)
+run_read_config(core::FidrConfig config, const Trace &trace)
 {
-    core::FidrSystem system(read_plane_config(read_lanes, cache_bytes));
+    core::FidrSystem system(std::move(config));
     write_trace(system, trace);
 
     ReadOutcome out;
@@ -155,8 +157,20 @@ run_read_trace(std::size_t read_lanes, std::uint64_t cache_bytes,
     const obs::ObsSnapshot snap = system.obs_snapshot();
     out.ssd_fetches = snap.counters.at("read.ssd_fetches");
     out.cache_hits = snap.counters.at("read.cache.hits");
+    out.warm_hits = snap.counters.at("read.cache.warm.hits");
+    out.spill_hits = snap.counters.at("read.cache.spill.hits");
+    out.doorkeeper_rejects =
+        snap.counters.at("read.cache.rejected.doorkeeper");
     out.faults = system.fault_stats();
     return out;
+}
+
+ReadOutcome
+run_read_trace(std::size_t read_lanes, std::uint64_t cache_bytes,
+               const Trace &trace)
+{
+    return run_read_config(read_plane_config(read_lanes, cache_bytes),
+                           trace);
 }
 
 void
@@ -181,6 +195,9 @@ expect_same_outcome(const ReadOutcome &a, const ReadOutcome &b)
     ASSERT_EQ(a.ssd_link_bytes, b.ssd_link_bytes);
     EXPECT_EQ(a.ssd_fetches, b.ssd_fetches);
     EXPECT_EQ(a.cache_hits, b.cache_hits);
+    EXPECT_EQ(a.warm_hits, b.warm_hits);
+    EXPECT_EQ(a.spill_hits, b.spill_hits);
+    EXPECT_EQ(a.doorkeeper_rejects, b.doorkeeper_rejects);
     EXPECT_EQ(a.faults.transient_retries, b.faults.transient_retries);
     EXPECT_EQ(a.faults.retry_exhausted, b.faults.retry_exhausted);
     EXPECT_EQ(a.faults.backoff_ns, b.faults.backoff_ns);
@@ -202,6 +219,77 @@ TEST(ReadPlane, BillingIdenticalAcrossLaneCounts)
             const ReadOutcome parallel =
                 run_read_trace(lanes, cache_bytes, trace);
             expect_same_outcome(serial, parallel);
+        }
+    }
+}
+
+TEST(ReadPlane, BillingIdenticalAcrossLanesAndTierConfigs)
+{
+    // The two-tier cache keeps the determinism contract: for every
+    // tier configuration (one-tier, two-tier, two-tier + admission,
+    // two-tier + spill) payloads and ledgers are bit-identical across
+    // read_lanes in {1, 2, 4, auto} — and payloads are identical
+    // across the configurations too (tiering is a pure optimization).
+    // The small budget forces demotions, warm hits and (in the spill
+    // config) ring traffic, so the invariance is non-vacuous.
+    const Trace trace = make_trace(500);
+    struct TierCase {
+        const char *name;
+        bool two_tier;
+        bool admission;
+        std::uint64_t spill_bytes;
+    };
+    const TierCase cases[] = {
+        {"one-tier", false, false, 0},
+        {"two-tier", true, false, 0},
+        {"two-tier+admission", true, true, 0},
+        {"two-tier+spill", true, false, 4ull * kMiB},
+    };
+    std::vector<Buffer> reference;
+    for (const TierCase &tier : cases) {
+        SCOPED_TRACE(tier.name);
+        auto config_for = [&](std::size_t lanes) {
+            core::FidrConfig config =
+                read_plane_config(lanes, 256ull * 1024);
+            config.chunk_cache_two_tier = tier.two_tier;
+            config.chunk_cache_admission = tier.admission;
+            config.chunk_cache_spill_bytes = tier.spill_bytes;
+            return config;
+        };
+        const ReadOutcome serial = run_read_config(config_for(1), trace);
+        for (const std::size_t lanes : {std::size_t{2}, std::size_t{4},
+                                        std::size_t{0}}) {
+            const ReadOutcome parallel =
+                run_read_config(config_for(lanes), trace);
+            expect_same_outcome(serial, parallel);
+        }
+        // Non-vacuity, per configuration.  Batch coalescing probes
+        // each unique PBN once per pass, so under the doorkeeper every
+        // chunk misses in pass 1 (insert rejected), misses again in
+        // pass 2 (insert admitted) and is never probed a third time:
+        // the admission case deterministically sees zero hits but a
+        // nonzero reject count.
+        if (tier.admission) {
+            EXPECT_EQ(serial.warm_hits, 0u);
+            EXPECT_GT(serial.doorkeeper_rejects, 0u);
+        } else if (tier.two_tier) {
+            EXPECT_GT(serial.warm_hits, 0u);
+            EXPECT_EQ(serial.doorkeeper_rejects, 0u);
+        } else {
+            EXPECT_EQ(serial.warm_hits, 0u);
+        }
+        if (tier.spill_bytes > 0)
+            EXPECT_GT(serial.spill_hits, 0u);
+        else
+            EXPECT_EQ(serial.spill_hits, 0u);
+
+        if (reference.empty()) {
+            reference = serial.payloads;
+        } else {
+            ASSERT_EQ(serial.payloads.size(), reference.size());
+            for (std::size_t i = 0; i < reference.size(); ++i)
+                ASSERT_EQ(serial.payloads[i], reference[i])
+                    << "slot " << i;
         }
     }
 }
