@@ -20,18 +20,29 @@ Directory mode pairs files by BENCH_*.json name and skips baselines
 with no fresh counterpart (a bench that did not run is not a
 regression).  Exit status: 0 = no regressions, 1 = at least one
 regression, 2 = usage or unreadable input.  scripts/tier1.sh runs this
-as a non-fatal stage — bench timings on shared CI hosts are noisy, so
-regressions warn rather than gate; rerun the bench locally before
-trusting a flag.
+as a FATAL stage: a >15% drop in any non-allowlisted throughput
+metric fails tier-1.
+
+Wall-clock benches on shared CI hosts are noisy, so known-noisy
+metrics live in a per-bench allowlist file (--allowlist, default
+scripts/bench_allowlist.txt next to this script).  Each non-comment
+line is two fnmatch globs, "REPORT_GLOB METRIC_GLOB"; a regression
+whose report basename and metric both match a line is reported as
+"allow" and does not fail the run.  Model-based reports (the cluster
+projection bench) have no allowlist entries — their numbers are
+host-independent, so a drop there is a real regression.
 """
 
 import argparse
+import fnmatch
 import glob
 import json
 import os
 import sys
 
 THRESHOLD_DEFAULT = 0.15
+ALLOWLIST_DEFAULT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                 "bench_allowlist.txt")
 
 
 def is_metric(key, value):
@@ -59,8 +70,19 @@ def identity(entry):
                    "gc_pause_p99_ns",
                    # Two-tier cache counters ("tier" itself stays an
                    # identity field: one/two/two+spill are distinct
-                   # series, their counters are measurements).
-                   "warm_hits", "spill_hits", "spill_writes"):
+                   # series, their counters are measurements; likewise
+                   # "demote_batch" is identity, its churn counters are
+                   # not).
+                   "warm_hits", "spill_hits", "spill_writes",
+                   "demotions", "demote_passes",
+                   # Cluster bench measurements ("nodes" and "routing"
+                   # stay identity: each (workload, nodes, routing)
+                   # cell is its own series).
+                   "speedup_vs_1node", "dedup_rate",
+                   "single_node_dedup_rate", "cluster_seconds",
+                   "node_seconds_max", "link_seconds_max",
+                   "net_bytes", "net_messages", "writes_suppressed",
+                   "unmaps_sent", "identical_to_bare"):
             continue
         if isinstance(value, (str, int, float, bool)):
             parts.append((key, value))
@@ -71,10 +93,27 @@ def label(ident):
     return " ".join(f"{k}={v}" for k, v in ident) or "(unnamed)"
 
 
+def config_identity(report):
+    """Report-level config scalars, folded into every series identity.
+
+    A smoke run (fewer requests, shrunk sweeps) is not comparable to a
+    committed full-run baseline — same cell names, systematically
+    different numbers — so differing configs must pair nothing rather
+    than flag phantom regressions.
+    """
+    parts = []
+    for key in sorted(report.get("config", {})):
+        value = report["config"][key]
+        if isinstance(value, (str, int, float, bool)):
+            parts.append(("cfg." + key, value))
+    return tuple(parts)
+
+
 def metric_rows(report):
     """Yields (series_label, run_identity, metric, value)."""
+    config_id = config_identity(report)
     for series in report.get("series", []):
-        series_id = identity(series)
+        series_id = config_id + identity(series)
         runs = series.get("runs")
         if runs:
             for run in runs:
@@ -88,10 +127,35 @@ def metric_rows(report):
                     yield series_id, (), key, float(value)
 
 
-def diff_reports(base, fresh, threshold, path_label):
-    """Returns (regressions, compared) for one report pair."""
+def load_allowlist(path):
+    """Parses (report_glob, metric_glob) lines; missing file = empty."""
+    rules = []
+    if not path or not os.path.exists(path):
+        return rules
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if len(fields) != 2:
+                sys.exit(f"error: {path}: malformed line {raw!r} "
+                         "(want 'REPORT_GLOB METRIC_GLOB')")
+            rules.append((fields[0], fields[1]))
+    return rules
+
+
+def allowlisted(rules, report_name, metric):
+    return any(fnmatch.fnmatch(report_name, report_glob) and
+               fnmatch.fnmatch(metric, metric_glob)
+               for report_glob, metric_glob in rules)
+
+
+def diff_reports(base, fresh, threshold, path_label, allow_rules):
+    """Returns (regressions, allowed, compared) for one report pair."""
     fresh_values = {(s, r, m): v for s, r, m, v in metric_rows(fresh)}
     regressions = []
+    allowed = []
     compared = 0
     for series_id, run_id, metric, base_value in metric_rows(base):
         key = (series_id, run_id, metric)
@@ -107,10 +171,13 @@ def diff_reports(base, fresh, threshold, path_label):
                 f"{base_value:.1f} -> {fresh_value:.1f} "
                 f"({change:+.1%})")
         if change < -threshold:
-            regressions.append(line)
+            if allowlisted(allow_rules, path_label, metric):
+                allowed.append(line)
+            else:
+                regressions.append(line)
         else:
             print("ok " + line.strip())
-    return regressions, compared
+    return regressions, allowed, compared
 
 
 def load(path):
@@ -133,7 +200,13 @@ def main():
     parser.add_argument("--threshold", type=float,
                         default=THRESHOLD_DEFAULT,
                         help="regression fraction (default 0.15)")
+    parser.add_argument("--allowlist", default=ALLOWLIST_DEFAULT,
+                        help="per-bench allowlist file of "
+                             "'REPORT_GLOB METRIC_GLOB' lines "
+                             "(default scripts/bench_allowlist.txt; "
+                             "pass /dev/null to disable)")
     args = parser.parse_args()
+    allow_rules = load_allowlist(args.allowlist)
 
     pairs = []
     if args.baseline_dir or args.fresh_dir:
@@ -154,16 +227,24 @@ def main():
         parser.error("pass BASELINE FRESH or --baseline-dir/--fresh-dir")
 
     regressions = []
+    allowed = []
     compared = 0
     for base_path, fresh_path in pairs:
         base, fresh = load(base_path), load(fresh_path)
-        found, n = diff_reports(base, fresh, args.threshold,
-                                os.path.basename(base_path))
+        found, waived, n = diff_reports(base, fresh, args.threshold,
+                                        os.path.basename(base_path),
+                                        allow_rules)
         regressions.extend(found)
+        allowed.extend(waived)
         compared += n
 
     print(f"\ncompared {compared} metric(s) across {len(pairs)} "
           f"report pair(s), threshold {args.threshold:.0%}")
+    if allowed:
+        print(f"ALLOWLISTED ({len(allowed)} — noisy wall-clock "
+              "metrics, not gating):")
+        for line in allowed:
+            print(line)
     if regressions:
         print(f"REGRESSIONS ({len(regressions)}):")
         for line in regressions:

@@ -350,8 +350,24 @@ void
 ChunkReadCache::rebalance(Shard &shard)
 {
     if (tuning_.two_tier) {
-        while (shard.hot_bytes > shard.hot_target && !shard.hot.empty())
+        std::size_t demoted = 0;
+        while (shard.hot_bytes > shard.hot_target && !shard.hot.empty()) {
             demote_tail(shard);
+            ++demoted;
+        }
+        // Batched demotion: once the target forced a demotion, demote
+        // up to demote_batch tail entries in the same pass.  The slack
+        // below hot_target means a near-fit working set amortizes the
+        // demote/re-promote churn over the next demote_batch inserts
+        // instead of paying it on every one.  Never demotes the MRU
+        // entry (the fill that triggered the pass).
+        if (demoted > 0) {
+            while (demoted < tuning_.demote_batch && shard.hot.size() > 1) {
+                demote_tail(shard);
+                ++demoted;
+            }
+            ++shard.stats.demote_passes;
+        }
     }
     while (shard.hot_bytes + shard.warm_bytes > shard_capacity_) {
         if (!shard.warm.empty())
@@ -713,6 +729,7 @@ merge_stats(ChunkCacheStats &out, const ChunkCacheStats &in)
     out.spill.evictions += in.spill.evictions;
     out.demotions += in.demotions;
     out.promotions += in.promotions;
+    out.demote_passes += in.demote_passes;
     out.spill_writes += in.spill_writes;
     out.spill_write_failures += in.spill_write_failures;
     out.spill_overwritten += in.spill_overwritten;

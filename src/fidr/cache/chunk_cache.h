@@ -172,6 +172,16 @@ struct ChunkCacheTuning {
 
     /** Bounded ghost-list length (keys) per shard per list. */
     std::size_t ghost_entries = 1024;
+
+    /** Hot-tier demotion batch: once an insert pushes the hot tier
+     *  over its byte target, demote at least this many tail entries
+     *  in one pass (bounded by what the target actually requires
+     *  downward pressure for — see rebalance()).  Batching creates
+     *  hot-tier slack so a near-fit working set does not demote and
+     *  re-promote the same tail entry on every insert (the DESIGN.md
+     *  §16 Read-Mixed 4 MiB regression).  1 = the legacy
+     *  demote-exactly-to-target behaviour, bit-for-bit. */
+    std::size_t demote_batch = 1;
 };
 
 /** Per-tier counters (all maintained per shard, summed by stats()). */
@@ -197,6 +207,11 @@ struct ChunkCacheStats {
     TierStats spill;
     std::uint64_t demotions = 0;   ///< hot -> warm (raw buffer dropped).
     std::uint64_t promotions = 0;  ///< warm/spill -> hot.
+    /** Rebalance passes that demoted at least one entry.  With
+     *  demote_batch = K each pass demotes up to K tail entries, so
+     *  passes / demotions measures how well the per-pass bookkeeping
+     *  amortizes (DESIGN.md §16 near-fit churn). */
+    std::uint64_t demote_passes = 0;
 
     std::uint64_t spill_writes = 0;
     std::uint64_t spill_write_failures = 0;

@@ -30,6 +30,8 @@ FidrSystem::FidrSystem(const FidrConfig &config)
         cache::ChunkCacheTuning tuning;
         tuning.two_tier = config_.chunk_cache_two_tier;
         tuning.admission = config_.chunk_cache_admission;
+        tuning.demote_batch =
+            std::max<std::size_t>(1, config_.chunk_cache_demote_batch);
         if (tuning.two_tier && containers_.spill_capacity_bytes() > 0) {
             spill_device_ = std::make_unique<SpillDevice>(
                 *this, containers_.spill_ssd_index(),
@@ -341,7 +343,8 @@ FidrSystem::process_batch()
     // id here, at the seal, and let it ride in the batch — hash
     // workers and the commit sequencer restore the context from there.
     if (batch->trace_id == 0)
-        batch->trace_id = obs::RequestContext::next_id();
+        batch->trace_id =
+            obs::RequestContext::next_id_for_node(config_.node_index);
     batch->stream_tag = stream_tag_;
     obs::ScopedRequest request(batch->trace_id, batch->stream_tag);
 
@@ -456,8 +459,6 @@ FidrSystem::stage_resolve(const nic::SealedBatch &batch, BatchPlan &plan)
 {
     // Steps 4-5: resolve cache lines and scan bucket content on host.
     const std::size_t n = batch.chunks.size();
-    pcie::Fabric &fabric = platform_.fabric();
-    host::HostCpu &cpu = platform_.cpu();
     plan.verdicts.assign(n, ChunkVerdict::kUnique);
     plan.pbns.assign(n, kInvalidPbn);
     const Pbn batch_first_pbn = next_pbn_;
@@ -501,35 +502,7 @@ FidrSystem::stage_resolve(const nic::SealedBatch &batch, BatchPlan &plan)
             ++fault_stats_.dangling_repairs;
         }
 
-        if (!config_.hw_cache_engine) {
-            // NIC+P2P-only configuration: the index stays a
-            // software B+ tree, so its CPU cost remains (Fig 14
-            // config b).
-            cpu.bill_us(cputag::kTreeIndex,
-                        lookup.buckets_probed *
-                                calib::kCpuTreeLookupPerChunk +
-                            lookup.cache_misses *
-                                calib::kCpuTreeUpdatePerMiss);
-            cpu.bill_us(cputag::kTableSsd,
-                        lookup.cache_misses *
-                            calib::kCpuTableSsdPerMiss);
-        }
-        cpu.bill_us(cputag::kScan, calib::kCpuBucketScanPerChunk);
-        cpu.bill_us(cputag::kLru, calib::kCpuLruPerChunk);
-        cpu.bill_us(cputag::kTableMisc, calib::kCpuTableMiscPerChunk);
-
-        fabric.host_memory().add(
-            memtag::kTableCache,
-            lookup.buckets_probed * calib::kBucketScanFraction *
-                static_cast<double>(kBucketSize));
-        for (unsigned m = 0; m < lookup.cache_misses; ++m) {
-            fabric.dma(platform_.table_ssd_dev(), pcie::kHostMemory,
-                       kBucketSize, memtag::kTableCache);
-        }
-        for (unsigned f = 0; f < lookup.dirty_evictions; ++f) {
-            fabric.dma(pcie::kHostMemory, platform_.table_ssd_dev(),
-                       kBucketSize, memtag::kTableCache);
-        }
+        bill_dedup_lookup(lookup);
 
         plan.verdicts[i] = lookup.verdict;
         plan.pbns[i] = lookup.pbn;
@@ -799,6 +772,144 @@ FidrSystem::retire_if_dead(Pbn pbn)
         // occurrence of this digest.
         (void)dedup_->remove(*digest);
     }
+}
+
+void
+FidrSystem::bill_dedup_lookup(const DedupLookup &lookup)
+{
+    pcie::Fabric &fabric = platform_.fabric();
+    host::HostCpu &cpu = platform_.cpu();
+    if (!config_.hw_cache_engine) {
+        // NIC+P2P-only configuration: the index stays a
+        // software B+ tree, so its CPU cost remains (Fig 14
+        // config b).
+        cpu.bill_us(cputag::kTreeIndex,
+                    lookup.buckets_probed *
+                            calib::kCpuTreeLookupPerChunk +
+                        lookup.cache_misses *
+                            calib::kCpuTreeUpdatePerMiss);
+        cpu.bill_us(cputag::kTableSsd,
+                    lookup.cache_misses *
+                        calib::kCpuTableSsdPerMiss);
+    }
+    cpu.bill_us(cputag::kScan, calib::kCpuBucketScanPerChunk);
+    cpu.bill_us(cputag::kLru, calib::kCpuLruPerChunk);
+    cpu.bill_us(cputag::kTableMisc, calib::kCpuTableMiscPerChunk);
+
+    fabric.host_memory().add(
+        memtag::kTableCache,
+        lookup.buckets_probed * calib::kBucketScanFraction *
+            static_cast<double>(kBucketSize));
+    for (unsigned m = 0; m < lookup.cache_misses; ++m) {
+        fabric.dma(platform_.table_ssd_dev(), pcie::kHostMemory,
+                   kBucketSize, memtag::kTableCache);
+    }
+    for (unsigned f = 0; f < lookup.dirty_evictions; ++f) {
+        fabric.dma(pcie::kHostMemory, platform_.table_ssd_dev(),
+                   kBucketSize, memtag::kTableCache);
+    }
+}
+
+Result<std::optional<Pbn>>
+FidrSystem::resolve_committed_digest(const Digest &digest)
+{
+    Result<DedupLookup> looked = dedup_->lookup(digest);
+    if (!looked.is_ok())
+        return looked.status();
+    const DedupLookup lookup = looked.value();
+    bill_dedup_lookup(lookup);
+    if (lookup.verdict != ChunkVerdict::kDuplicate)
+        return std::optional<Pbn>{};
+    // A dangling or retirement-deferred entry is not a committed
+    // readable chunk; the caller falls back to a full write, whose
+    // resolve stage repairs the entry.
+    if (lba_table_.refcount(lookup.pbn) == 0 ||
+        !lba_table_.location_of(lookup.pbn))
+        return std::optional<Pbn>{};
+    return std::optional<Pbn>{lookup.pbn};
+}
+
+Result<bool>
+FidrSystem::probe_digest(const Digest &digest)
+{
+    // Commit NIC-buffered writes first: the probe answers for durable
+    // state only, so a just-acknowledged duplicate is still a hit.
+    const Status flushed = flush();
+    if (!flushed.is_ok())
+        return flushed;
+    Result<std::optional<Pbn>> resolved = resolve_committed_digest(digest);
+    if (!resolved.is_ok())
+        return resolved.status();
+    return resolved.value().has_value();
+}
+
+Status
+FidrSystem::write_ref(Lba lba, const Digest &digest)
+{
+    // An in-flight batch may hold an older write of this LBA whose
+    // commit would override the mapping made below; barrier first.
+    // This is cheap when the pipeline is idle and leaves the open NIC
+    // batch intact, so cluster duplicate suppression does not break
+    // the node's write batching.
+    const Status drained = drain_pipeline();
+    if (!drained.is_ok())
+        return drained;
+    // A NIC-buffered write of this LBA would commit after (and undo)
+    // the reference; bounce so the router's full-write fallback
+    // replaces the buffered chunk instead (newest-write-wins).
+    if (nic_.lookup_buffered(lba))
+        return Status::not_found("LBA has a buffered write pending");
+    Result<std::optional<Pbn>> resolved = resolve_committed_digest(digest);
+    if (!resolved.is_ok())
+        return resolved.status();
+    if (!resolved.value())
+        return Status::not_found("digest is not a committed chunk here");
+    const Pbn pbn = *resolved.value();
+
+    // Mirror stage_apply/stage_commit for one duplicate chunk: journal
+    // before the in-memory map, count at commit, retire a displaced
+    // previous mapping.
+    if (journal_) {
+        tables::JournalRecord rec;
+        rec.op = tables::JournalOp::kMapLba;
+        rec.lba = lba;
+        rec.pbn = pbn;
+        const Status logged = journal_append(rec);
+        if (!logged.is_ok())
+            return logged;
+    }
+    const auto prev = lba_table_.map_lba(lba, pbn);
+    ++stats_.chunks_written;
+    stats_.raw_bytes += kChunkSize;
+    ++stats_.duplicates;
+    if (prev && *prev != pbn)
+        retire_if_dead(*prev);
+    return Status::ok();
+}
+
+Status
+FidrSystem::unmap(Lba lba)
+{
+    // A NIC-buffered (acknowledged) write for this LBA must commit
+    // before the mapping is dropped, or replaying it would resurrect
+    // the mapping the router just moved to another node.
+    const Status flushed = flush();
+    if (!flushed.is_ok())
+        return flushed;
+    if (!lba_table_.pbn_of(lba))
+        return Status::ok();
+    if (journal_) {
+        tables::JournalRecord rec;
+        rec.op = tables::JournalOp::kUnmapLba;
+        rec.lba = lba;
+        const Status logged = journal_append(rec);
+        if (!logged.is_ok())
+            return logged;
+    }
+    const auto prev = lba_table_.unmap_lba(lba);
+    if (prev)
+        retire_if_dead(*prev);
+    return Status::ok();
 }
 
 Result<FidrSystem::ScrubReport>
@@ -1493,7 +1604,8 @@ FidrSystem::read_batch(std::span<const Lba> lbas)
     // The whole batched read is one client-visible request: scope its
     // causal id over everything below, including the pipeline barrier
     // (time spent draining writes is genuinely this read's queueing).
-    const std::uint64_t read_trace = obs::RequestContext::next_id();
+    const std::uint64_t read_trace =
+        obs::RequestContext::next_id_for_node(config_.node_index);
     obs::ScopedRequest request(read_trace, stream_tag_);
 
     // One pipeline barrier for the whole batch: in-flight write
@@ -1738,6 +1850,8 @@ FidrSystem::obs_snapshot() const
     snap.counters["read.cache.warm.hits"] = read_cache.warm.hits;
     snap.counters["read.cache.spill.hits"] = read_cache.spill.hits;
     snap.counters["read.cache.demotions"] = read_cache.demotions;
+    snap.counters["read.cache.demote_passes"] =
+        read_cache.demote_passes;
     snap.counters["read.cache.promotions"] = read_cache.promotions;
     snap.counters["read.cache.spill.writes"] = read_cache.spill_writes;
     snap.counters["read.cache.spill.write_failures"] =

@@ -130,6 +130,23 @@ struct FidrConfig {
     std::uint64_t chunk_cache_spill_bytes = 0;
 
     /**
+     * Hot-tier demotion batch for the two-tier chunk cache: demote up
+     * to this many tail entries per rebalance pass once the hot byte
+     * target forces one (cache/chunk_cache.h).  1 = legacy
+     * demote-exactly-to-target, bit-for-bit.
+     */
+    std::size_t chunk_cache_demote_batch = 1;
+
+    /**
+     * This system's node index inside a cluster (cluster::ClusterRouter).
+     * Embedded in every minted trace id (obs/request.h) so merged
+     * multi-node obs dumps attribute spans to the right node.  0 — the
+     * default — leaves ids numerically identical to a standalone
+     * system.
+     */
+    std::uint32_t node_index = 0;
+
+    /**
      * Hash-PBN table cache shards (power of two, Sec 5.5).  Shard
      * routing is bucket & (N-1) with per-shard free/LRU lists, stats
      * and mutexes; 1 keeps the unsharded layout (and its exact
@@ -201,6 +218,46 @@ class FidrSystem : public StorageServer {
 
     Status flush() override;
     const ReductionStats &reduction() const override { return stats_; }
+
+    // ------------------------------------------------------------------
+    // Cluster surface (cluster::ClusterRouter).  These are the node
+    // side of the router's remote-fingerprint protocol; a standalone
+    // system never calls them, so the single-node flows are unchanged.
+    // All three serialize against the write pipeline (drain/flush)
+    // before touching shared metadata — the router calls them under
+    // the node's serial lock, like every other entry point.
+    // ------------------------------------------------------------------
+
+    /**
+     * Remote-fingerprint lookup: is `digest` a committed, readable
+     * chunk on this node?  Billed like a duplicate dedup resolve (the
+     * CPU scan + bucket traffic the Cache HW-Engine would do for a
+     * write of this content).  Flushes buffered writes first: only
+     * committed state answers, so a yes is stable until the caller
+     * drops the node lock.
+     */
+    Result<bool> probe_digest(const Digest &digest);
+
+    /**
+     * Duplicate-suppressed remote write: maps `lba` to the committed
+     * chunk holding `digest` without shipping or re-hashing the 4 KiB
+     * payload.  Counts exactly like a full write of duplicate content
+     * (chunks_written, raw_bytes, duplicates) and journals the map
+     * like stage_apply.  Deliberately does NOT flush (that would
+     * defeat the node's write batching); it drains in-flight batches,
+     * then returns kNotFound when the digest is not a committed
+     * readable chunk here or the LBA has a NIC-buffered write pending
+     * — the caller falls back to a full write either way.
+     */
+    Status write_ref(Lba lba, const Digest &digest);
+
+    /**
+     * Drops `lba`'s mapping (fingerprint routing moved the LBA's
+     * ownership to another node on overwrite).  Flushes first so a
+     * NIC-buffered write for the LBA cannot resurrect the mapping
+     * after the unmap.  Idempotent: unmapping an unknown LBA is ok.
+     */
+    Status unmap(Lba lba);
 
     Platform &platform() { return platform_; }
     const Platform &platform() const { return platform_; }
@@ -539,6 +596,15 @@ class FidrSystem : public StorageServer {
 
     void retire_if_dead(Pbn pbn);
     Status journal_append(const tables::JournalRecord &record);
+
+    /** Debits CPU + DRAM + table-SSD traffic for one dedup lookup
+     *  (shared by stage_resolve and the cluster probe surface). */
+    void bill_dedup_lookup(const DedupLookup &lookup);
+
+    /** Committed, readable chunk behind `digest`?  Shared probe core
+     *  of probe_digest / write_ref (caller drained the pipeline). */
+    Result<std::optional<Pbn>> resolve_committed_digest(
+        const Digest &digest);
 
     /**
      * Relocates one live chunk out of its container through the

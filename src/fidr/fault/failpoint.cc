@@ -28,6 +28,9 @@ site_name(Site site)
       case Site::kGcDiscard: return "gc.discard";
       case Site::kGcSuperblock: return "gc.superblock";
       case Site::kGcReplay: return "gc.replay";
+      case Site::kNetSend: return "net.send";
+      case Site::kNetDrop: return "net.drop";
+      case Site::kNetDelay: return "net.delay";
       case Site::kMaxSite: break;
     }
     return "unknown";

@@ -73,6 +73,9 @@ enum class Site : std::uint8_t {
     kGcDiscard,         ///< GC container discard (pre-superblock).
     kGcSuperblock,      ///< Container-log superblock write.
     kGcReplay,          ///< Recovery container-log scan read.
+    kNetSend,           ///< cluster::Fabric RPC send (link error).
+    kNetDrop,           ///< cluster::Fabric RPC lost after transmit.
+    kNetDelay,          ///< cluster::Fabric RPC latency spike.
 
     kMaxSite,
 };

@@ -31,6 +31,31 @@
 
 namespace fidr::obs {
 
+/**
+ * Trace-id layout: the top bits carry the originating node index so
+ * ids stay unique when N in-process nodes (cluster::ClusterRouter)
+ * mint from the same process-wide counter and their obs dumps are
+ * merged.  Node 0 ids are numerically identical to the pre-cluster
+ * scheme, so single-node traces (and their goldens) are unchanged.
+ */
+inline constexpr unsigned kTraceNodeShift = 54;
+inline constexpr std::uint64_t kTraceSeqMask =
+    (std::uint64_t{1} << kTraceNodeShift) - 1;
+
+/** Node index embedded in a trace id (0 for single-node systems). */
+constexpr std::uint32_t
+trace_node(std::uint64_t trace_id)
+{
+    return static_cast<std::uint32_t>(trace_id >> kTraceNodeShift);
+}
+
+/** Per-process request sequence number within a trace id. */
+constexpr std::uint64_t
+trace_seq(std::uint64_t trace_id)
+{
+    return trace_id & kTraceSeqMask;
+}
+
 #if FIDR_TRACE_ENABLED
 
 /** Allocates process-unique request trace ids (1-based; 0 = none). */
@@ -40,6 +65,13 @@ class RequestContext {
     next_id()
     {
         return counter().fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+
+    /** next_id() tagged with the minting node's index (see above). */
+    static std::uint64_t
+    next_id_for_node(std::uint32_t node)
+    {
+        return (std::uint64_t{node} << kTraceNodeShift) | next_id();
     }
 
   private:
@@ -115,6 +147,8 @@ class ScopedRequest {
 class RequestContext {
   public:
     static constexpr std::uint64_t next_id() { return 0; }
+    static constexpr std::uint64_t next_id_for_node(std::uint32_t)
+    { return 0; }
 };
 
 class ScopedRequest {

@@ -51,7 +51,7 @@ MetadataJournal::decode(const std::uint8_t *raw, JournalRecord *record,
         raw[kJournalRecordSize - 1])
         return false;
     const std::uint8_t op = raw[0];
-    if (op < 1 || op > 4)
+    if (op < 1 || op > 5)
         return false;
     record->op = static_cast<JournalOp>(op);
     *epoch = static_cast<std::uint32_t>(load_le(raw + 1, 4));
@@ -147,6 +147,15 @@ MetadataJournal::log_retire(Pbn pbn)
     JournalRecord r;
     r.op = JournalOp::kRetirePbn;
     r.pbn = pbn;
+    return append(r);
+}
+
+Status
+MetadataJournal::log_unmap(Lba lba)
+{
+    JournalRecord r;
+    r.op = JournalOp::kUnmapLba;
+    r.lba = lba;
     return append(r);
 }
 
@@ -289,6 +298,9 @@ MetadataJournal::apply(const std::vector<JournalRecord> &records,
             break;
           case JournalOp::kRetirePbn:
             table.reclaim(r.pbn);
+            break;
+          case JournalOp::kUnmapLba:
+            table.unmap_lba(r.lba);
             break;
           case JournalOp::kCheckpoint:
             break;

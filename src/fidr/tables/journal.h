@@ -53,6 +53,7 @@ enum class JournalOp : std::uint8_t {
     kSetLocation = 2,  ///< pbn's physical location (re)assigned.
     kRetirePbn = 3,    ///< pbn reclaimed (refcount reached zero).
     kCheckpoint = 4,   ///< All prior records are reflected on-SSD.
+    kUnmapLba = 5,     ///< lba mapping dropped (cluster ownership move).
 };
 
 /** One journal record (payload; epoch/seq are framing). */
@@ -88,6 +89,7 @@ class MetadataJournal {
     Status log_map(Lba lba, Pbn pbn);
     Status log_location(Pbn pbn, const ChunkLocation &location);
     Status log_retire(Pbn pbn);
+    Status log_unmap(Lba lba);
     Status log_checkpoint();
 
     /** Bytes currently used / available. */

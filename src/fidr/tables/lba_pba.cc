@@ -28,6 +28,20 @@ LbaPbaTable::map_lba(Lba lba, Pbn pbn)
 }
 
 std::optional<Pbn>
+LbaPbaTable::unmap_lba(Lba lba)
+{
+    const auto it = lba_to_pbn_.find(lba);
+    if (it == lba_to_pbn_.end())
+        return std::nullopt;
+    const Pbn pbn = it->second;
+    auto pit = pbn_info_.find(pbn);
+    FIDR_CHECK(pit != pbn_info_.end() && pit->second.refcount > 0);
+    --pit->second.refcount;
+    lba_to_pbn_.erase(it);
+    return pbn;
+}
+
+std::optional<Pbn>
 LbaPbaTable::pbn_of(Lba lba) const
 {
     const auto it = lba_to_pbn_.find(lba);

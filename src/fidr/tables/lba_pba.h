@@ -54,6 +54,15 @@ class LbaPbaTable {
     /** PBN currently backing `lba`. */
     std::optional<Pbn> pbn_of(Lba lba) const;
 
+    /**
+     * Drops the mapping for `lba`, decrementing the backing PBN's
+     * refcount, and returns that PBN (so the caller can reclaim the
+     * physical chunk when the last reference dropped).  Nullopt when
+     * the LBA was not mapped (idempotent — the cluster router replays
+     * unmaps after retried RPCs).
+     */
+    std::optional<Pbn> unmap_lba(Lba lba);
+
     /** Registers the physical location of a newly stored PBN. */
     void set_location(Pbn pbn, const ChunkLocation &location);
 

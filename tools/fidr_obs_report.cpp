@@ -37,6 +37,7 @@
 
 #include "fidr/obs/json.h"
 #include "fidr/obs/metrics.h"
+#include "fidr/obs/request.h"
 #include "fidr/obs/trace.h"
 
 namespace {
@@ -185,8 +186,11 @@ cmd_timeline(const std::string &path)
     std::map<std::tuple<std::size_t, std::uint16_t, std::uint64_t>,
              std::vector<std::uint64_t>>
         open;
-    std::printf("%14s %5s %-24s %-5s %12s %12s %12s\n", "ts_us", "ring",
-                "tpoint", "flag", "object", "arg", "dur_us");
+    // Cluster dumps tag each trace id with its node (obs/request.h);
+    // single-node dumps decode as node 0 with the id unchanged.
+    std::printf("%14s %5s %4s %10s %-24s %-5s %12s %12s %12s\n", "ts_us",
+                "ring", "node", "req", "tpoint", "flag", "object", "arg",
+                "dur_us");
     for (const auto &[ring, rec] : records) {
         const auto flag = static_cast<fidr::obs::TraceFlag>(rec.flags);
         const char *flag_name =
@@ -209,8 +213,12 @@ cmd_timeline(const std::string &path)
                 it->second.pop_back();
             }
         }
-        std::printf("%14.3f %5zu %-24s %-5s %12llu %12llu %12s\n",
+        std::printf("%14.3f %5zu %4u %10llu %-24s %-5s %12llu %12llu "
+                    "%12s\n",
                     static_cast<double>(rec.wall_ts) / 1e3, ring,
+                    fidr::obs::trace_node(rec.trace_id),
+                    static_cast<unsigned long long>(
+                        fidr::obs::trace_seq(rec.trace_id)),
                     fidr::obs::tpoint_name(
                         static_cast<fidr::obs::Tpoint>(rec.tpoint)),
                     flag_name,
@@ -382,7 +390,11 @@ cmd_attribute(const std::string &path, std::size_t top)
                 requests.size());
     for (const Attribution &req : requests) {
         std::printf(
-            "\nrequest trace_id=%llu  wall=%.3f us  spans=%zu rings=%zu\n",
+            "\nrequest node=%u req=%llu trace_id=%llu  wall=%.3f us  "
+            "spans=%zu rings=%zu\n",
+            fidr::obs::trace_node(req.trace_id),
+            static_cast<unsigned long long>(
+                fidr::obs::trace_seq(req.trace_id)),
             static_cast<unsigned long long>(req.trace_id),
             static_cast<double>(req.wall_ns) / 1e3, req.spans,
             req.rings);
